@@ -1,0 +1,42 @@
+// Ablation (not in the paper): stream buffer size. The runtime negotiates
+// buffer sizes within the filters' disclosed [min, max]; this sweep shows
+// the tradeoff — small buffers pipeline finely but pay per-message
+// overheads, large buffers amortize headers but stall the pipeline.
+
+#include <cstdio>
+
+#include "exp_common.hpp"
+
+using namespace dc;
+
+int main(int argc, char** argv) {
+  exp ::Args args = exp ::Args::parse(argc, argv);
+  if (args.uows == 5 && !args.quick) args.uows = 3;
+
+  exp ::print_title("Ablation: stream buffer size",
+                    "RE-Ra-M, Active Pixel, 4 Rogue nodes, large image");
+  exp ::Table t({"buffer", "time (s)", "E->Ra #buf", "acks"}, 13);
+
+  for (std::size_t kb : {8, 16, 64, 256, 1024}) {
+    exp ::Env env = exp ::make_env(args);
+    const auto nodes = env.add_nodes(sim::testbed::rogue_node(), 4);
+    exp ::place_uniform(env, nodes);
+
+    viz::IsoAppSpec spec = exp ::base_spec(env, args, args.large_image);
+    spec.config = viz::PipelineConfig::kRE_Ra_M;
+    spec.hsr = viz::HsrAlgorithm::kActivePixel;
+    spec.data_hosts = viz::one_each(nodes);
+    spec.raster_hosts = viz::one_each(nodes);
+    spec.merge_host = nodes[0];
+    spec.tri_buffer_bytes = kb * 1024;
+    spec.pix_buffer_bytes = kb * 1024;
+
+    core::RuntimeConfig cfg;
+    cfg.policy = core::Policy::kDemandDriven;
+    const viz::RenderRun run = run_iso_app(*env.topo, spec, cfg, args.uows);
+    t.row({std::to_string(kb) + "K", exp ::Table::num(run.avg),
+           std::to_string(run.metrics.streams[0].buffers / static_cast<unsigned>(args.uows)),
+           std::to_string(run.metrics.acks_total / static_cast<unsigned>(args.uows))});
+  }
+  return 0;
+}

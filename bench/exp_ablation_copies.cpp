@@ -1,0 +1,45 @@
+// Ablation (not in the paper): transparent-copy scaling on an SMP. One data
+// node streams to an 8-way SMP running 1..8 raster copies — the paper's
+// "parallelism via transparent copies" lever in isolation.
+
+#include <cstdio>
+
+#include "exp_common.hpp"
+
+using namespace dc;
+
+int main(int argc, char** argv) {
+  exp ::Args args = exp ::Args::parse(argc, argv);
+  if (args.uows == 5 && !args.quick) args.uows = 3;
+
+  exp ::print_title("Ablation: transparent raster copies on an 8-way SMP",
+                    "RE on one Blue data node -> Ra x N on Deathstar, AP, "
+                    "large image (Gigabit variant of the SMP for isolation)");
+  exp ::Table t({"copies", "time (s)", "speedup"}, 12);
+
+  double base = 0.0;
+  for (int copies : {1, 2, 4, 8}) {
+    exp ::Env env = exp ::make_env(args);
+    const auto blue = env.add_nodes(sim::testbed::blue_node(), 1);
+    sim::HostSpec smp_spec = sim::testbed::deathstar_node();
+    smp_spec.nic_bandwidth = 125e6;  // isolate CPU scaling from the slow NIC
+    smp_spec.nic_latency = 100e-6;
+    const int smp = env.topo->add_host(smp_spec);
+    exp ::place_uniform(env, blue);
+
+    viz::IsoAppSpec spec = exp ::base_spec(env, args, args.large_image);
+    spec.config = viz::PipelineConfig::kRE_Ra_M;
+    spec.hsr = viz::HsrAlgorithm::kActivePixel;
+    spec.data_hosts = viz::one_each(blue);
+    spec.raster_hosts = {{smp, copies}};
+    spec.merge_host = smp;
+
+    core::RuntimeConfig cfg;
+    cfg.policy = core::Policy::kDemandDriven;
+    const double avg = run_iso_app(*env.topo, spec, cfg, args.uows).avg;
+    if (copies == 1) base = avg;
+    t.row({std::to_string(copies), exp ::Table::num(avg),
+           exp ::Table::num(base / avg)});
+  }
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Ablation (paper Section 6, Conclusions): "as the number of copies of
+// other filters or the number of nodes increases, the merge filter becomes
+// a bottleneck." Sweeps worker-node count and reports both total time and
+// the merge copy's busy share of the makespan.
+
+#include <cstdio>
+
+#include "exp_common.hpp"
+#include "viz/partitioned.hpp"
+
+using namespace dc;
+
+int main(int argc, char** argv) {
+  exp ::Args args = exp ::Args::parse(argc, argv);
+  if (args.uows == 5 && !args.quick) args.uows = 3;
+
+  exp ::print_title("Ablation: the Merge bottleneck",
+                    "RE-Ra-M on N Blue worker nodes + 1 merge node, Z-buffer "
+                    "(dense transfers), large image");
+  exp ::Table t({"workers", "time (s)", "M busy (s)", "M share", "striped(s)"},
+                12);
+
+  for (int n : {1, 2, 4, 8, 16}) {
+    exp ::Env env = exp ::make_env(args);
+    const auto workers = env.add_nodes(sim::testbed::blue_node(), n);
+    const int merge = env.topo->add_host(sim::testbed::blue_node());
+    exp ::place_uniform(env, workers);
+
+    viz::IsoAppSpec spec = exp ::base_spec(env, args, args.large_image);
+    spec.config = viz::PipelineConfig::kRE_Ra_M;
+    spec.hsr = viz::HsrAlgorithm::kZBuffer;
+    spec.data_hosts = viz::one_each(workers);
+    spec.raster_hosts = viz::one_each(workers);
+    spec.merge_host = merge;
+
+    core::RuntimeConfig cfg;
+    cfg.policy = core::Policy::kDemandDriven;
+    const viz::RenderRun run = run_iso_app(*env.topo, spec, cfg, args.uows);
+
+    // Merge is the last filter in every configuration's graph.
+    double merge_busy = 0.0;
+    int merge_instances = 0;
+    for (const auto& m : run.metrics.instances) {
+      if (m.host == merge) {
+        merge_busy += m.busy_time;
+        ++merge_instances;
+      }
+    }
+    const double per_uow = merge_busy / static_cast<double>(args.uows);
+
+    // The future-work hybrid: 4 stripe merges on 4 hosts (workers reused).
+    std::vector<int> merge_hosts = {merge};
+    for (int i = 0; i < std::min(3, n); ++i) merge_hosts.push_back(workers[static_cast<std::size_t>(i)]);
+    const viz::RenderRun striped = viz::run_partitioned_iso_app(
+        *env.topo, spec, static_cast<int>(merge_hosts.size()), merge_hosts, cfg,
+        args.uows);
+    if (striped.sink->digests != run.sink->digests) {
+      std::printf("IMAGE MISMATCH (striped) at n=%d\n", n);
+      return 1;
+    }
+
+    t.row({std::to_string(n), exp ::Table::num(run.avg),
+           exp ::Table::num(per_uow), exp ::Table::num(per_uow / run.avg, 2),
+           exp ::Table::num(striped.avg)});
+  }
+  std::printf(
+      "\nThe merge share grows toward 1.0 with worker count: replicating the\n"
+      "pipelined stages cannot help once the single merge copy saturates.\n"
+      "The last column is the paper's future-work hybrid (image partitioned\n"
+      "across stripe-merge copies, rasters replicated) — same exact image,\n"
+      "bottleneck removed.\n");
+  return 0;
+}

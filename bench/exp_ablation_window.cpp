@@ -1,0 +1,47 @@
+// Ablation (not in the paper): the demand-driven sliding-window depth. A
+// window of 1 maximizes responsiveness to load but serializes the pipeline;
+// a deep window parks buffers at stuck copies. Sweeps the window with and
+// without background load on half the workers.
+
+#include <cstdio>
+
+#include "exp_common.hpp"
+
+using namespace dc;
+
+int main(int argc, char** argv) {
+  exp ::Args args = exp ::Args::parse(argc, argv);
+  if (args.uows == 5 && !args.quick) args.uows = 3;
+
+  exp ::print_title("Ablation: DD window depth",
+                    "RE-Ra-M, Active Pixel, 4 Rogue + 4 Blue nodes, large image");
+  exp ::Table t({"window", "bg=0", "bg=16"}, 12);
+
+  for (int window : {1, 2, 4, 8, 16}) {
+    std::vector<double> row;
+    for (int bg : {0, 16}) {
+      exp ::Env env = exp ::make_env(args);
+      const auto rogue = env.add_nodes(sim::testbed::rogue_node(), 4);
+      const auto blue = env.add_nodes(sim::testbed::blue_node(), 4);
+      std::vector<int> all = rogue;
+      all.insert(all.end(), blue.begin(), blue.end());
+      exp ::place_uniform(env, all);
+      exp ::set_background(env, rogue, bg);
+
+      viz::IsoAppSpec spec = exp ::base_spec(env, args, args.large_image);
+      spec.config = viz::PipelineConfig::kRE_Ra_M;
+      spec.hsr = viz::HsrAlgorithm::kActivePixel;
+      spec.data_hosts = viz::one_each(all);
+      spec.raster_hosts = viz::one_each(all);
+      spec.merge_host = blue.back();
+
+      core::RuntimeConfig cfg;
+      cfg.policy = core::Policy::kDemandDriven;
+      cfg.window = window;
+      row.push_back(run_iso_app(*env.topo, spec, cfg, args.uows).avg);
+    }
+    t.row({std::to_string(window), exp ::Table::num(row[0]),
+           exp ::Table::num(row[1])});
+  }
+  return 0;
+}

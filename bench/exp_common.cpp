@@ -1,0 +1,121 @@
+#include "exp_common.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+namespace dc::exp {
+
+Args Args::parse(int argc, char** argv) {
+  Args args;
+  auto next_int = [&](int& i) {
+    if (i + 1 >= argc) throw std::invalid_argument("missing flag value");
+    return std::stoi(argv[++i]);
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (flag == "--grid") {
+      args.grid = next_int(i);
+    } else if (flag == "--chunks") {
+      args.chunks = next_int(i);
+    } else if (flag == "--files") {
+      args.files = next_int(i);
+    } else if (flag == "--uows") {
+      args.uows = next_int(i);
+    } else if (flag == "--small-image") {
+      args.small_image = next_int(i);
+    } else if (flag == "--large-image") {
+      args.large_image = next_int(i);
+    } else if (flag == "--seed") {
+      args.seed = static_cast<std::uint64_t>(next_int(i));
+    } else if (flag == "--quick") {
+      args.quick = true;
+    } else if (flag == "--help" || flag == "-h") {
+      std::printf(
+          "flags: --grid N --chunks N --files N --uows N --small-image N "
+          "--large-image N --seed N --quick\n");
+      std::exit(0);
+    } else {
+      throw std::invalid_argument("unknown flag: " + flag);
+    }
+  }
+  if (args.quick) {
+    args.grid = 32;
+    args.chunks = 4;
+    args.files = 16;
+    args.uows = 2;
+    args.small_image = 128;
+    args.large_image = 512;
+  }
+  return args;
+}
+
+Env make_env(const Args& args) {
+  Env env;
+  env.sim = std::make_unique<sim::Simulation>();
+  env.topo = std::make_unique<sim::Topology>(*env.sim);
+  env.layout = data::ChunkLayout(data::GridDims{args.grid, args.grid, args.grid},
+                                 args.chunks, args.chunks, args.chunks);
+  env.store = std::make_unique<data::DatasetStore>(
+      env.layout, data::hilbert_decluster(env.layout, args.files), args.files);
+  env.field = std::make_unique<data::PlumeField>(args.seed);
+  return env;
+}
+
+void place_uniform(Env& env, const std::vector<int>& hosts) {
+  std::vector<data::FileLocation> locs;
+  for (int h : hosts) {
+    const int disks = env.topo->host(h).num_disks();
+    for (int d = 0; d < disks; ++d) locs.push_back(data::FileLocation{h, d});
+  }
+  env.store->place_uniform(locs);
+}
+
+viz::VizWorkload workload(const Env& env, const Args& args, int image) {
+  viz::VizWorkload w;
+  w.store = env.store.get();
+  w.field = env.field.get();
+  w.iso_value = args.iso;
+  w.width = image;
+  w.height = image;
+  return w;
+}
+
+viz::IsoAppSpec base_spec(const Env& env, const Args& args, int image) {
+  viz::IsoAppSpec spec;
+  spec.workload = workload(env, args, image);
+  spec.keep_images = false;  // digests are enough for experiments
+  return spec;
+}
+
+void set_background(Env& env, const std::vector<int>& hosts, int jobs) {
+  for (int h : hosts) env.topo->host(h).cpu().set_background_jobs(jobs);
+}
+
+void print_title(const std::string& title, const std::string& subtitle) {
+  std::printf("\n=== %s ===\n", title.c_str());
+  if (!subtitle.empty()) std::printf("%s\n", subtitle.c_str());
+}
+
+void print_rule() { std::printf("%s\n", std::string(72, '-').c_str()); }
+
+Table::Table(std::vector<std::string> headers, int col_width)
+    : cols_(headers.size()), width_(col_width) {
+  for (const auto& h : headers) std::printf("%*s", width_, h.c_str());
+  std::printf("\n");
+  std::printf("%s\n", std::string(cols_ * static_cast<std::size_t>(width_), '-').c_str());
+}
+
+void Table::row(const std::vector<std::string>& cells) {
+  for (const auto& c : cells) std::printf("%*s", width_, c.c_str());
+  std::printf("\n");
+}
+
+std::string Table::num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+}  // namespace dc::exp

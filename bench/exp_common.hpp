@@ -1,0 +1,85 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "adr/adr.hpp"
+#include "data/decluster.hpp"
+#include "data/store.hpp"
+#include "data/synth.hpp"
+#include "sim/cluster.hpp"
+#include "viz/app.hpp"
+
+namespace dc::exp {
+
+/// Command-line parameters shared by every experiment binary. The defaults
+/// reproduce the paper's *shapes* at laptop scale; `--quick` shrinks
+/// everything for smoke runs. See EXPERIMENTS.md for the scale mapping.
+struct Args {
+  int grid = 96;      ///< grid cells per axis (paper: 1536x1024x(768|808))
+  int chunks = 8;     ///< chunks per axis (paper: 1536 or 24576 sub-volumes);
+                      ///< 512 chunks give the fine-grained buffer stream the
+                      ///< demand-driven balancing feeds on
+  int files = 64;     ///< dataset files (paper: 64)
+  int uows = 5;       ///< timesteps averaged (paper: 5)
+  int small_image = 512;
+  int large_image = 2048;
+  std::uint64_t seed = 2002;
+  float iso = 0.8f;
+  bool quick = false;
+
+  static Args parse(int argc, char** argv);
+};
+
+/// One experiment environment: virtual cluster + dataset.
+struct Env {
+  std::unique_ptr<sim::Simulation> sim;
+  std::unique_ptr<sim::Topology> topo;
+  data::ChunkLayout layout;
+  std::unique_ptr<data::DatasetStore> store;
+  std::unique_ptr<data::PlumeField> field;
+
+  [[nodiscard]] std::vector<int> add_nodes(const sim::HostSpec& spec, int n) {
+    return topo->add_hosts(n, spec);
+  }
+};
+
+/// Builds simulation + dataset (no hosts yet).
+Env make_env(const Args& args);
+
+/// Deals the dataset files over every disk of each listed host.
+void place_uniform(Env& env, const std::vector<int>& hosts);
+
+/// Workload for one image size.
+viz::VizWorkload workload(const Env& env, const Args& args, int image);
+
+/// Base spec with merge/buffers defaulted; caller sets config/hosts.
+viz::IsoAppSpec base_spec(const Env& env, const Args& args, int image);
+
+/// Sets background jobs on each host in `hosts`.
+void set_background(Env& env, const std::vector<int>& hosts, int jobs);
+
+// ---- output helpers -------------------------------------------------------
+
+void print_title(const std::string& title, const std::string& subtitle);
+void print_rule();
+
+/// Fixed-width table printer.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers, int col_width = 10);
+  void row(const std::vector<std::string>& cells);
+  static std::string num(double v, int precision = 2);
+
+ private:
+  std::size_t cols_;
+  int width_;
+};
+
+[[nodiscard]] inline double mb(std::uint64_t bytes) {
+  return static_cast<double>(bytes) / (1024.0 * 1024.0);
+}
+
+}  // namespace dc::exp

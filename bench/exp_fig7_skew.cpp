@@ -1,0 +1,66 @@
+// Figure 7 (paper Section 4.5): skewed distribution of the dataset. Two Blue
+// and two Rogue nodes; P% of the files are moved from the Blue nodes onto
+// the Rogue nodes. Expected shapes: the fused RERa-M is most sensitive to
+// skew (SPMD: the slowest, most-loaded node gates the run); decoupling the
+// processing from the retrieval (R-ERa-M, RE-Ra-M) hides the skew; the
+// demand-driven policy helps further; RE-Ra-M is best overall (less data on
+// the wire than R-ERa-M).
+
+#include <cstdio>
+
+#include "exp_common.hpp"
+
+using namespace dc;
+
+int main(int argc, char** argv) {
+  exp ::Args args = exp ::Args::parse(argc, argv);
+  if (args.uows == 5 && !args.quick) args.uows = 3;
+
+  for (int skew : {0, 25, 50, 75}) {
+    exp ::print_title(
+        skew == 0 ? "Figure 7 (balanced)"
+                  : "Figure 7 (skewed " + std::to_string(skew) + "%)",
+        "Rendering time (virtual s/timestep); 2 Blue + 2 Rogue nodes, Active "
+        "Pixel, large image");
+    exp ::Table t({"config", "RR", "WRR", "DD"}, 12);
+
+    for (viz::PipelineConfig config :
+         {viz::PipelineConfig::kRERa_M, viz::PipelineConfig::kR_ERa_M,
+          viz::PipelineConfig::kRE_Ra_M}) {
+      std::vector<double> results;
+      for (core::Policy policy :
+           {core::Policy::kRoundRobin, core::Policy::kWeightedRoundRobin,
+            core::Policy::kDemandDriven}) {
+        exp ::Env env = exp ::make_env(args);
+        const auto blue = env.add_nodes(sim::testbed::blue_node(), 2);
+        const auto rogue = env.add_nodes(sim::testbed::rogue_node(), 2);
+        std::vector<int> all = blue;
+        all.insert(all.end(), rogue.begin(), rogue.end());
+        exp ::place_uniform(env, all);
+        if (skew > 0) {
+          std::vector<data::FileLocation> rogue_disks;
+          for (int h : rogue) {
+            for (int d = 0; d < env.topo->host(h).num_disks(); ++d) {
+              rogue_disks.push_back(data::FileLocation{h, d});
+            }
+          }
+          env.store->move_fraction(blue, rogue_disks, skew / 100.0);
+        }
+
+        viz::IsoAppSpec spec = exp ::base_spec(env, args, args.large_image);
+        spec.config = config;
+        spec.hsr = viz::HsrAlgorithm::kActivePixel;
+        spec.data_hosts = viz::one_each(all);
+        spec.raster_hosts = viz::one_each(all);
+        spec.merge_host = blue[0];
+
+        core::RuntimeConfig cfg;
+        cfg.policy = policy;
+        results.push_back(run_iso_app(*env.topo, spec, cfg, args.uows).avg);
+      }
+      t.row({to_string(config), exp ::Table::num(results[0]),
+             exp ::Table::num(results[1]), exp ::Table::num(results[2])});
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Table 3 (paper Section 4.2): the mechanism behind Figure 5 — the average
+// number of E->Ra buffers received by the Raster copies on each node class,
+// under the Demand Driven policy, as background jobs load the Rogue nodes.
+// Expected shape: balanced when unloaded; buffers migrate to the Blue class
+// as Rogue load grows, more strongly for the large image.
+
+#include <cstdio>
+
+#include "exp_common.hpp"
+
+using namespace dc;
+
+int main(int argc, char** argv) {
+  const auto args = exp ::Args::parse(argc, argv);
+
+  for (int half : {2, 4, 8}) {
+    exp ::print_title(
+        "Table 3 (" + std::to_string(half) + " Rogue + " + std::to_string(half) +
+            " Blue nodes)",
+        "Avg E->Ra buffers received per Raster copy per node class (DD policy)");
+    exp ::Table t({"bg", "image", "alg", "rogue", "blue"}, 10);
+
+    for (int bg : {0, 1, 4, 16}) {
+      for (int image : {args.small_image, args.large_image}) {
+        for (viz::HsrAlgorithm hsr :
+             {viz::HsrAlgorithm::kZBuffer, viz::HsrAlgorithm::kActivePixel}) {
+          exp ::Env env = exp ::make_env(args);
+          const auto rogue = env.add_nodes(sim::testbed::rogue_node(), half);
+          const auto blue = env.add_nodes(sim::testbed::blue_node(), half);
+          std::vector<int> all = rogue;
+          all.insert(all.end(), blue.begin(), blue.end());
+          exp ::place_uniform(env, all);
+          exp ::set_background(env, rogue, bg);
+
+          core::RuntimeConfig dd;
+          dd.policy = core::Policy::kDemandDriven;
+          viz::IsoAppSpec spec = exp ::base_spec(env, args, image);
+          spec.hsr = hsr;
+          spec.config = viz::PipelineConfig::kRE_Ra_M;
+          spec.data_hosts = viz::one_each(all);
+          spec.raster_hosts = viz::one_each(all);
+          spec.merge_host = blue.back();
+          const viz::RenderRun run = run_iso_app(*env.topo, spec, dd, args.uows);
+
+          const auto by_class = run.metrics.buffers_in_by_class(run.raster_filter);
+          const double per_uow = static_cast<double>(args.uows);
+          const double rogue_avg =
+              static_cast<double>(by_class.count("rogue") ? by_class.at("rogue") : 0) /
+              (per_uow * half);
+          const double blue_avg =
+              static_cast<double>(by_class.count("blue") ? by_class.at("blue") : 0) /
+              (per_uow * half);
+          t.row({std::to_string(bg), std::to_string(image),
+                 hsr == viz::HsrAlgorithm::kZBuffer ? "Z" : "AP",
+                 exp ::Table::num(rogue_avg, 1), exp ::Table::num(blue_avg, 1)});
+        }
+      }
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Table 4 (paper Section 4.3): writer policies under computational load
+// imbalance. 8 Rogue nodes: 7 run one copy of each filter except Merge, the
+// 8th runs one copy of every filter including Merge; background jobs on 4 of
+// the 7 worker nodes. Expected shapes: DD >= RR under load; RE-Ra-M is the
+// best decomposition; the fused RERa-M cannot benefit from DD at all.
+
+#include <cstdio>
+
+#include "exp_common.hpp"
+
+using namespace dc;
+
+namespace {
+
+double run_config(const exp ::Args& args, int image, viz::PipelineConfig config,
+                  viz::HsrAlgorithm hsr, core::Policy policy, int bg) {
+  exp ::Env env = exp ::make_env(args);
+  const auto nodes = env.add_nodes(sim::testbed::rogue_node(), 8);
+  exp ::place_uniform(env, nodes);
+  // Background jobs on 4 worker nodes; the merge node (7) stays clean.
+  exp ::set_background(env, {nodes[0], nodes[1], nodes[2], nodes[3]}, bg);
+
+  viz::IsoAppSpec spec = exp ::base_spec(env, args, image);
+  spec.config = config;
+  spec.hsr = hsr;
+  spec.data_hosts = viz::one_each(nodes);
+  spec.raster_hosts = viz::one_each(nodes);
+  spec.merge_host = nodes[7];
+
+  core::RuntimeConfig cfg;
+  cfg.policy = policy;
+  return run_iso_app(*env.topo, spec, cfg, args.uows).avg;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  exp ::Args args = exp ::Args::parse(argc, argv);
+  if (args.uows == 5 && !args.quick) args.uows = 3;  // 96 configurations
+
+  for (int image : {args.small_image, args.large_image}) {
+    exp ::print_title(
+        "Table 4 (" + std::to_string(image) + "x" + std::to_string(image) +
+            " output image)",
+        "Execution time (virtual s/timestep); 8 Rogue nodes, bg jobs on 4");
+    exp ::Table t({"bg", "config", "AP RR", "AP DD", "Z RR", "Z DD"}, 11);
+    for (int bg : {0, 1, 4, 16}) {
+      for (viz::PipelineConfig config :
+           {viz::PipelineConfig::kRERa_M, viz::PipelineConfig::kRE_Ra_M,
+            viz::PipelineConfig::kR_ERa_M}) {
+        const double ap_rr = run_config(args, image, config,
+                                        viz::HsrAlgorithm::kActivePixel,
+                                        core::Policy::kRoundRobin, bg);
+        const double ap_dd = run_config(args, image, config,
+                                        viz::HsrAlgorithm::kActivePixel,
+                                        core::Policy::kDemandDriven, bg);
+        const double z_rr =
+            run_config(args, image, config, viz::HsrAlgorithm::kZBuffer,
+                       core::Policy::kRoundRobin, bg);
+        const double z_dd =
+            run_config(args, image, config, viz::HsrAlgorithm::kZBuffer,
+                       core::Policy::kDemandDriven, bg);
+        t.row({std::to_string(bg), to_string(config), exp ::Table::num(ap_rr),
+               exp ::Table::num(ap_dd), exp ::Table::num(z_rr),
+               exp ::Table::num(z_dd)});
+      }
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Table 5 (paper Section 4.4): adding an 8-way SMP compute node behind a
+// slow (Fast Ethernet) link. Data lives on 1/2/4/8 two-processor Red nodes;
+// the Deathstar SMP runs 7 raster copies plus the Merge filter; each data
+// node also runs one copy of each non-merge filter. Expected shapes: the
+// SMP helps most when data sits on few nodes; RE-Ra-M beats R-ERa-M (less
+// data over the slow link); WRR wins — DD's acknowledgment messages are too
+// expensive across the slow link, and there is no load imbalance to exploit.
+
+#include <cstdio>
+
+#include "exp_common.hpp"
+
+using namespace dc;
+
+namespace {
+
+double run_config(const exp ::Args& args, viz::PipelineConfig config,
+                  core::Policy policy, int data_nodes) {
+  exp ::Env env = exp ::make_env(args);
+  const auto reds = env.add_nodes(sim::testbed::red_node(), data_nodes);
+  const int smp = env.topo->add_host(sim::testbed::deathstar_node());
+  exp ::place_uniform(env, reds);
+
+  viz::IsoAppSpec spec = exp ::base_spec(env, args, args.large_image);
+  spec.config = config;
+  spec.hsr = viz::HsrAlgorithm::kActivePixel;
+  spec.data_hosts = viz::one_each(reds);
+  // One raster copy per data node plus seven transparent copies on the SMP.
+  spec.raster_hosts = viz::one_each(reds);
+  spec.raster_hosts.push_back(viz::HostCopies{smp, 7});
+  spec.merge_host = smp;
+
+  core::RuntimeConfig cfg;
+  cfg.policy = policy;
+  return run_iso_app(*env.topo, spec, cfg, args.uows).avg;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  exp ::Args args = exp ::Args::parse(argc, argv);
+  if (args.uows == 5 && !args.quick) args.uows = 3;
+
+  exp ::print_title("Table 5",
+                    "Execution time (virtual s/timestep); 8-way SMP compute "
+                    "node over Fast Ethernet, Active Pixel, large image");
+  exp ::Table t({"data nodes", "config", "RR", "WRR", "DD"}, 12);
+  for (int n : {1, 2, 4, 8}) {
+    for (viz::PipelineConfig config :
+         {viz::PipelineConfig::kRE_Ra_M, viz::PipelineConfig::kR_ERa_M}) {
+      const double rr = run_config(args, config, core::Policy::kRoundRobin, n);
+      const double wrr =
+          run_config(args, config, core::Policy::kWeightedRoundRobin, n);
+      const double dd = run_config(args, config, core::Policy::kDemandDriven, n);
+      t.row({std::to_string(n), to_string(config), exp ::Table::num(rr),
+             exp ::Table::num(wrr), exp ::Table::num(dd)});
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,124 @@
+// Micro benchmarks of the computational kernels: marching cubes, the
+// scanline rasterizer, Hilbert indexing, z-buffer merging, active-pixel
+// rasterization.
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "data/hilbert.hpp"
+#include "sim/rng.hpp"
+#include "viz/active_pixel.hpp"
+#include "viz/marching_cubes.hpp"
+#include "viz/raster.hpp"
+#include "viz/zbuffer.hpp"
+
+namespace {
+
+using namespace dc;
+
+std::vector<float> sphere_grid(int n) {
+  std::vector<float> s;
+  const float c = static_cast<float>(n) / 2.f;
+  s.reserve(static_cast<std::size_t>(n + 1) * (n + 1) * (n + 1));
+  for (int z = 0; z <= n; ++z) {
+    for (int y = 0; y <= n; ++y) {
+      for (int x = 0; x <= n; ++x) {
+        const float dx = static_cast<float>(x) - c;
+        const float dy = static_cast<float>(y) - c;
+        const float dz = static_cast<float>(z) - c;
+        s.push_back(std::sqrt(dx * dx + dy * dy + dz * dz));
+      }
+    }
+  }
+  return s;
+}
+
+void BM_MarchingCubes(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto samples = sphere_grid(n);
+  std::vector<viz::Triangle> tris;
+  for (auto _ : state) {
+    tris.clear();
+    const auto stats = viz::marching_cubes(samples.data(), n, n, n, 0, 0, 0,
+                                           static_cast<float>(n) / 3.f, tris);
+    benchmark::DoNotOptimize(stats.triangles);
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_MarchingCubes)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_Rasterize(benchmark::State& state) {
+  sim::Rng rng(3);
+  std::vector<viz::ScreenTriangle> tris;
+  for (int i = 0; i < 256; ++i) {
+    viz::ScreenTriangle t;
+    t.v0 = {static_cast<float>(rng.uniform(0, 512)),
+            static_cast<float>(rng.uniform(0, 512)), 1.f};
+    t.v1 = {t.v0.x + 20.f, t.v0.y + 2.f, 2.f};
+    t.v2 = {t.v0.x + 4.f, t.v0.y + 18.f, 3.f};
+    tris.push_back(t);
+  }
+  std::uint64_t frags = 0;
+  for (auto _ : state) {
+    for (const auto& t : tris) {
+      frags += viz::rasterize(t, 512, 512, [](int, int, float) {});
+    }
+  }
+  benchmark::DoNotOptimize(frags);
+  state.SetItemsProcessed(state.iterations() * 256);
+}
+BENCHMARK(BM_Rasterize);
+
+void BM_HilbertIndex(benchmark::State& state) {
+  sim::Rng rng(5);
+  std::uint64_t acc = 0;
+  for (auto _ : state) {
+    const std::uint32_t x = static_cast<std::uint32_t>(rng.below(1 << 10));
+    const std::uint32_t y = static_cast<std::uint32_t>(rng.below(1 << 10));
+    const std::uint32_t z = static_cast<std::uint32_t>(rng.below(1 << 10));
+    acc ^= data::hilbert_index({x, y, z}, 10);
+  }
+  benchmark::DoNotOptimize(acc);
+}
+BENCHMARK(BM_HilbertIndex);
+
+void BM_ZBufferApply(benchmark::State& state) {
+  viz::ZBuffer zb(512, 512);
+  sim::Rng rng(7);
+  std::vector<viz::PixEntry> entries(4096);
+  for (auto& e : entries) {
+    e.index = static_cast<std::uint32_t>(rng.below(512 * 512));
+    e.depth = static_cast<float>(rng.uniform(0, 100));
+    e.rgba = static_cast<std::uint32_t>(rng.below(1 << 24));
+  }
+  for (auto _ : state) {
+    for (const auto& e : entries) benchmark::DoNotOptimize(zb.apply(e));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(entries.size()));
+}
+BENCHMARK(BM_ZBufferApply);
+
+void BM_ActivePixelAdd(benchmark::State& state) {
+  sim::Rng rng(9);
+  std::vector<viz::ScreenTriangle> tris;
+  for (int i = 0; i < 64; ++i) {
+    viz::ScreenTriangle t;
+    t.v0 = {static_cast<float>(rng.uniform(0, 500)),
+            static_cast<float>(rng.uniform(0, 500)), 1.f};
+    t.v1 = {t.v0.x + 15.f, t.v0.y + 3.f, 2.f};
+    t.v2 = {t.v0.x + 2.f, t.v0.y + 12.f, 3.f};
+    tris.push_back(t);
+  }
+  const auto sink = [](const std::vector<viz::PixEntry>&) {};
+  for (auto _ : state) {
+    viz::ActivePixelRaster ap(512, 512, 4096);
+    for (const auto& t : tris) ap.add(t, 0x123456, sink);
+    ap.flush(sink);
+    benchmark::DoNotOptimize(ap.entries_emitted());
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_ActivePixelAdd);
+
+}  // namespace

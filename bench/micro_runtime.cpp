@@ -1,0 +1,85 @@
+// Micro benchmarks of the filter runtime itself: wall-clock cost of pushing
+// buffers through the simulated pipeline under each writer policy (i.e. how
+// many simulated buffer-hops per second the host machine executes).
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "core/runtime.hpp"
+
+namespace {
+
+using namespace dc;
+using namespace dc::core;
+
+class NullSource : public SourceFilter {
+ public:
+  explicit NullSource(int count) : count_(count) {}
+  bool step(FilterContext& ctx) override {
+    if (i_ >= count_) return false;
+    ctx.charge(100.0);
+    Buffer b = ctx.make_buffer(0);
+    b.push(i_);
+    ctx.write(0, b);
+    return ++i_ < count_;
+  }
+
+ private:
+  int count_;
+  int i_ = 0;
+};
+
+class NullWorker : public Filter {
+ public:
+  void process_buffer(FilterContext& ctx, int, const Buffer&) override {
+    ctx.charge(500.0);
+  }
+};
+
+void run_pipeline(Policy policy, int buffers, int consumer_hosts) {
+  sim::Simulation simulation;
+  sim::Topology topo(simulation);
+  sim::HostSpec spec;
+  spec.name = "n";
+  spec.host_class = "n";
+  for (int i = 0; i < consumer_hosts + 1; ++i) topo.add_host(spec);
+
+  Graph g;
+  const int src = g.add_source(
+      "src", [buffers] { return std::make_unique<NullSource>(buffers); });
+  const int wrk = g.add_filter("wrk", [] { return std::make_unique<NullWorker>(); });
+  g.connect(src, 0, wrk, 0);
+  Placement p;
+  p.place(src, 0);
+  for (int h = 1; h <= consumer_hosts; ++h) p.place(wrk, h);
+  RuntimeConfig cfg;
+  cfg.policy = policy;
+  Runtime rt(topo, g, p, cfg);
+  rt.run_uow();
+}
+
+void BM_PipelineRR(benchmark::State& state) {
+  for (auto _ : state) run_pipeline(Policy::kRoundRobin, 1024, 4);
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_PipelineRR);
+
+void BM_PipelineWRR(benchmark::State& state) {
+  for (auto _ : state) run_pipeline(Policy::kWeightedRoundRobin, 1024, 4);
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_PipelineWRR);
+
+void BM_PipelineDD(benchmark::State& state) {
+  for (auto _ : state) run_pipeline(Policy::kDemandDriven, 1024, 4);
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_PipelineDD);
+
+void BM_UowSetupTeardown(benchmark::State& state) {
+  for (auto _ : state) run_pipeline(Policy::kRoundRobin, 1, 4);
+}
+BENCHMARK(BM_UowSetupTeardown);
+
+}  // namespace

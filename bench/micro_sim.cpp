@@ -1,0 +1,80 @@
+// Micro benchmarks of the discrete-event substrate: event queue throughput,
+// processor-sharing CPU churn, network reservation rate.
+
+#include <benchmark/benchmark.h>
+
+#include "sim/cpu.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/network.hpp"
+#include "sim/rng.hpp"
+#include "sim/simulation.hpp"
+
+namespace {
+
+using namespace dc::sim;
+
+void BM_EventQueuePushPop(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(1);
+  for (auto _ : state) {
+    EventQueue q;
+    for (int i = 0; i < n; ++i) {
+      q.push(rng.uniform(), [] {});
+    }
+    while (!q.empty()) q.pop();
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EventQueuePushPop)->Arg(1024)->Arg(16384);
+
+void BM_SimulationEventChain(benchmark::State& state) {
+  for (auto _ : state) {
+    Simulation sim;
+    int remaining = static_cast<int>(state.range(0));
+    std::function<void()> tick = [&] {
+      if (--remaining > 0) sim.after(1e-6, tick);
+    };
+    sim.after(1e-6, tick);
+    sim.run();
+    benchmark::DoNotOptimize(sim.now());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SimulationEventChain)->Arg(10000);
+
+void BM_CpuProcessorSharing(benchmark::State& state) {
+  const int jobs = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    Simulation sim;
+    Cpu cpu(sim, 4, 1e9);
+    int done = 0;
+    for (int j = 0; j < jobs; ++j) {
+      cpu.submit(1000.0 + j, [&] { ++done; });
+    }
+    sim.run();
+    benchmark::DoNotOptimize(done);
+  }
+  state.SetItemsProcessed(state.iterations() * jobs);
+}
+BENCHMARK(BM_CpuProcessorSharing)->Arg(64)->Arg(512);
+
+void BM_NetworkContention(benchmark::State& state) {
+  for (auto _ : state) {
+    Simulation sim;
+    Network net(sim);
+    Nic a(sim, 125e6, 1e-4), b(sim, 125e6, 1e-4), c(sim, 12.5e6, 1e-4);
+    net.register_nic(&a);
+    net.register_nic(&b);
+    net.register_nic(&c);
+    int delivered = 0;
+    for (int i = 0; i < 256; ++i) {
+      net.send(i % 2, 2, 64 * 1024, [&] { ++delivered; });
+    }
+    sim.run();
+    benchmark::DoNotOptimize(delivered);
+  }
+  state.SetItemsProcessed(state.iterations() * 256);
+}
+BENCHMARK(BM_NetworkContention);
+
+}  // namespace

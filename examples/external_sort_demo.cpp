@@ -1,0 +1,43 @@
+// External sort demo: the framework is not isosurface-specific. A
+// DataCutter-style external sample sort (read runs -> sort copies -> merge)
+// over a heterogeneous pair of sorter nodes, with the same transparent-copy
+// and policy machinery as the rendering application.
+//
+//   build/examples/external_sort_demo
+
+#include <cstdio>
+
+#include "sort/external_sort.hpp"
+
+using namespace dc;
+
+int main() {
+  sim::Simulation simulation;
+  sim::Topology topo(simulation);
+  const auto blue = topo.add_hosts(2, sim::testbed::blue_node());
+  const auto rogue = topo.add_hosts(2, sim::testbed::rogue_node());
+
+  sort::SortAppSpec spec;
+  spec.workload.runs_per_reader = 8;
+  spec.workload.records_per_run = 8192;
+  spec.workload.sort_per_record = 300.0;
+  spec.reader_hosts = {{blue[0], 1}, {blue[1], 1}};
+  spec.sorter_hosts = {{rogue[0], 1}, {rogue[1], 1}, {blue[1], 2}};
+  spec.merge_host = blue[0];
+
+  std::printf("%8s %12s %12s %10s\n", "policy", "makespan(s)", "records", "sorted");
+  for (core::Policy policy :
+       {core::Policy::kRoundRobin, core::Policy::kWeightedRoundRobin,
+        core::Policy::kDemandDriven}) {
+    core::RuntimeConfig cfg;
+    cfg.policy = policy;
+    const sort::SortRun run = sort::run_sort_app(topo, spec, cfg);
+    std::printf("%8s %12.3f %12llu %10s\n",
+                std::string(core::to_string(policy)).c_str(), run.makespan,
+                static_cast<unsigned long long>(run.outcome.count),
+                run.outcome.sorted ? "yes" : "NO");
+  }
+  std::printf("\nEvery policy sorts the same multiset: the combine filter\n"
+              "makes the output independent of buffer scheduling.\n");
+  return 0;
+}

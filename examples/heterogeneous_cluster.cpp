@@ -1,0 +1,76 @@
+// Heterogeneity demo: the paper's headline behavior in one run. Renders the
+// same dataset on a mixed Rogue+Blue cluster while background jobs pile onto
+// the Rogue nodes, comparing Round Robin against Demand Driven and showing
+// where the buffers went.
+//
+//   build/examples/heterogeneous_cluster
+
+#include <cstdio>
+
+#include "data/decluster.hpp"
+#include "viz/app.hpp"
+
+using namespace dc;
+
+int main() {
+  const data::ChunkLayout layout(data::GridDims{64, 64, 64}, 6, 6, 6);
+  data::DatasetStore store(layout, data::hilbert_decluster(layout, 32), 32);
+  const data::PlumeField field(7);
+
+  std::printf("%6s %10s %10s %14s %14s\n", "bg", "RR (s)", "DD (s)",
+              "DD buf rogue", "DD buf blue");
+
+  for (int bg : {0, 4, 16}) {
+    sim::Simulation simulation;
+    sim::Topology topo(simulation);
+    const auto rogue = topo.add_hosts(2, sim::testbed::rogue_node());
+    const auto blue = topo.add_hosts(2, sim::testbed::blue_node());
+    std::vector<int> all = rogue;
+    all.insert(all.end(), blue.begin(), blue.end());
+    std::vector<data::FileLocation> locs;
+    for (int h : all) {
+      for (int d = 0; d < topo.host(h).num_disks(); ++d) locs.push_back({h, d});
+    }
+    store.place_uniform(locs);
+    for (int h : rogue) topo.host(h).cpu().set_background_jobs(bg);
+
+    viz::IsoAppSpec spec;
+    spec.config = viz::PipelineConfig::kRE_Ra_M;
+    spec.hsr = viz::HsrAlgorithm::kActivePixel;
+    spec.workload.store = &store;
+    spec.workload.field = &field;
+    spec.workload.width = 512;
+    spec.workload.height = 512;
+    spec.data_hosts = viz::one_each(all);
+    spec.raster_hosts = viz::one_each(all);
+    spec.merge_host = blue[1];
+    spec.keep_images = false;
+
+    core::RuntimeConfig rr;
+    rr.policy = core::Policy::kRoundRobin;
+    core::RuntimeConfig dd;
+    dd.policy = core::Policy::kDemandDriven;
+
+    const viz::RenderRun run_rr = run_iso_app(topo, spec, rr, 2);
+    const viz::RenderRun run_dd = run_iso_app(topo, spec, dd, 2);
+    const auto by_class = run_dd.metrics.buffers_in_by_class(run_dd.raster_filter);
+
+    std::printf("%6d %10.2f %10.2f %14llu %14llu\n", bg, run_rr.avg, run_dd.avg,
+                static_cast<unsigned long long>(
+                    by_class.count("rogue") ? by_class.at("rogue") : 0),
+                static_cast<unsigned long long>(
+                    by_class.count("blue") ? by_class.at("blue") : 0));
+
+    if (run_rr.sink->digests != run_dd.sink->digests) {
+      std::fprintf(stderr, "image mismatch between policies!\n");
+      return 1;
+    }
+  }
+  std::printf(
+      "\nDemand Driven shifts raster buffers toward the unloaded Blue nodes\n"
+      "as load grows and stays ahead of Round Robin throughout. (The\n"
+      "read+extract work pinned to the loaded data nodes still slows both —\n"
+      "see bench/exp_fig5_heterogeneous for the full effect vs ADR.)\n"
+      "Both policies produced bit-identical images.\n");
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Isosurface rendering end to end: builds a synthetic reactive-transport
+// dataset, declusters it over a small cluster's disks, renders three
+// timesteps through the RE-Ra-M pipeline, and writes the images as PPM
+// files — the visual proof that the distributed pipeline produces a real
+// picture identical to a direct render.
+//
+//   build/examples/isosurface_render [out_prefix]
+
+#include <cstdio>
+#include <string>
+
+#include "data/decluster.hpp"
+#include "viz/app.hpp"
+
+using namespace dc;
+
+int main(int argc, char** argv) {
+  const std::string prefix = argc > 1 ? argv[1] : "isosurface";
+
+  // Dataset: a 64^3 grid of superposed chemical plumes, 4^3 chunks,
+  // declustered into 16 files (Hilbert-based, as in the paper).
+  const data::ChunkLayout layout(data::GridDims{64, 64, 64}, 4, 4, 4);
+  data::DatasetStore store(layout, data::hilbert_decluster(layout, 16), 16);
+  const data::PlumeField field(/*seed=*/2002);
+
+  // Cluster: two Blue data nodes, one Rogue compute node, merge on blue0.
+  sim::Simulation simulation;
+  sim::Topology topo(simulation);
+  const auto blue = topo.add_hosts(2, sim::testbed::blue_node());
+  const auto rogue = topo.add_hosts(1, sim::testbed::rogue_node());
+  store.place_uniform({{blue[0], 0}, {blue[0], 1}, {blue[1], 0}, {blue[1], 1}});
+
+  viz::IsoAppSpec spec;
+  spec.config = viz::PipelineConfig::kRE_Ra_M;
+  spec.hsr = viz::HsrAlgorithm::kActivePixel;
+  spec.workload.store = &store;
+  spec.workload.field = &field;
+  spec.workload.iso_value = 0.8f;
+  spec.workload.width = 512;
+  spec.workload.height = 512;
+  spec.data_hosts = viz::one_each(blue);
+  spec.raster_hosts = viz::one_each({blue[0], blue[1], rogue[0]});
+  spec.merge_host = blue[0];
+
+  core::RuntimeConfig config;
+  config.policy = core::Policy::kDemandDriven;
+  const viz::RenderRun run = run_iso_app(topo, spec, config, /*uows=*/3);
+
+  for (std::size_t u = 0; u < run.sink->images.size(); ++u) {
+    const std::string path = prefix + "_t" + std::to_string(u) + ".ppm";
+    if (!run.sink->images[u].write_ppm(path)) {
+      std::fprintf(stderr, "failed to write %s\n", path.c_str());
+      return 1;
+    }
+    std::printf("timestep %zu: %s  (%zu active pixels, %.2f virtual s)\n", u,
+                path.c_str(), run.sink->active_pixel_counts[u], run.per_uow[u]);
+  }
+  std::printf("average render time: %.2f virtual s/timestep\n", run.avg);
+  return 0;
+}

@@ -1,0 +1,45 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/cluster.hpp"
+#include "viz/filters.hpp"
+#include "viz/image.hpp"
+
+namespace dc::adr {
+
+/// Tuning knobs of the Active Data Repository baseline.
+struct AdrConfig {
+  int io_depth = 4;  ///< outstanding async disk reads per node ("optimal
+                     ///< number of active asynchronous disk I/O calls")
+  std::size_t message_bytes = 64 * 1024;  ///< gather-message granularity
+  std::uint64_t header_bytes = 64;
+};
+
+/// Result of an ADR run over several units of work (timesteps).
+struct AdrResult {
+  std::vector<sim::SimTime> per_uow;
+  sim::SimTime avg = 0.0;
+  std::vector<std::uint64_t> digests;
+  viz::Image last_image;
+};
+
+/// The ADR baseline (paper Section 4.2): a highly tuned SPMD accumulator
+/// framework for homogeneous clusters, reimplemented on the same simulated
+/// substrate as DataCutter so the comparison isolates the programming model:
+///
+///  - static partitioning: each node processes exactly the chunks resident
+///    on its local disks (no dynamic load balancing);
+///  - read -> extract -> rasterize fused per node into a local z-buffer,
+///    with `io_depth` asynchronous disk reads overlapping compute;
+///  - a pixel-merging phase gathers every node's dense z-buffer to the
+///    merge node, which composites and extracts the final image.
+///
+/// Z-buffer rendering only — "Z-buffer better matches the programming model
+/// of ADR". The rendered image is bit-identical to the DataCutter versions.
+AdrResult run_adr_isosurface(sim::Topology& topo, const viz::VizWorkload& workload,
+                             const std::vector<int>& nodes, int merge_host,
+                             const AdrConfig& config, int uows);
+
+}  // namespace dc::adr

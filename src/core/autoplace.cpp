@@ -1,0 +1,60 @@
+#include "core/autoplace.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dc::core {
+
+namespace {
+
+/// Effective per-core speed once the fair-share dilution from background
+/// jobs is taken into account: with c cores and b background jobs, one more
+/// runnable filter job would run at speed * min(1, c / (b + 1)).
+double effective_speed(const sim::Host& host) {
+  const auto& cpu = host.cpu();
+  const double dilution = std::min(
+      1.0, static_cast<double>(cpu.cores()) /
+               static_cast<double>(cpu.background_jobs() + 1));
+  return cpu.ops_per_sec() * dilution;
+}
+
+}  // namespace
+
+std::vector<Placement::Entry> auto_place_copies(Placement& placement, int filter,
+                                                sim::Topology& topo,
+                                                const std::vector<int>& hosts,
+                                                const AutoPlaceOptions& options) {
+  if (hosts.empty()) {
+    throw std::invalid_argument("auto_place_copies: no candidate hosts");
+  }
+  double best = 0.0;
+  for (int h : hosts) best = std::max(best, effective_speed(topo.host(h)));
+  if (best <= 0.0) {
+    throw std::invalid_argument("auto_place_copies: no usable host");
+  }
+
+  std::vector<Placement::Entry> chosen;
+  for (int h : hosts) {
+    const sim::Host& host = topo.host(h);
+    if (effective_speed(host) < options.min_speed_fraction * best) continue;
+    int copies = host.cpu().cores();
+    if (options.max_copies_per_host > 0) {
+      copies = std::min(copies, options.max_copies_per_host);
+    }
+    chosen.push_back(Placement::Entry{h, copies});
+  }
+  if (chosen.empty()) {
+    // Degenerate: everything below threshold; fall back to the fastest host.
+    int best_host = hosts.front();
+    for (int h : hosts) {
+      if (effective_speed(topo.host(h)) > effective_speed(topo.host(best_host))) {
+        best_host = h;
+      }
+    }
+    chosen.push_back(Placement::Entry{best_host, topo.host(best_host).cpu().cores()});
+  }
+  for (const auto& e : chosen) placement.place(filter, e.host, e.copies);
+  return chosen;
+}
+
+}  // namespace dc::core

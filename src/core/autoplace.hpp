@@ -1,0 +1,34 @@
+#pragma once
+
+#include <vector>
+
+#include "core/placement.hpp"
+#include "sim/cluster.hpp"
+
+namespace dc::core {
+
+/// Options for the automatic copy-count heuristic.
+struct AutoPlaceOptions {
+  /// Hosts whose effective per-core speed falls below this fraction of the
+  /// fastest candidate get no copies (not worth the ack/transfer traffic).
+  double min_speed_fraction = 0.35;
+  /// Upper bound on copies per host (0 = one per core).
+  int max_copies_per_host = 0;
+};
+
+/// Chooses transparent-copy counts for a compute-bound filter across
+/// `hosts` — the automation the paper leaves as future work (footnote 1:
+/// "We are in the process of examining various mechanisms to automate some
+/// of these steps").
+///
+/// Heuristic: one copy per core on every candidate host whose effective
+/// per-core speed (clock speed divided by the fair-share dilution from
+/// currently known background jobs) is at least `min_speed_fraction` of the
+/// fastest candidate's. Returns the chosen (host, copies) entries and adds
+/// them to `placement`.
+std::vector<Placement::Entry> auto_place_copies(Placement& placement, int filter,
+                                                sim::Topology& topo,
+                                                const std::vector<int>& hosts,
+                                                const AutoPlaceOptions& options = {});
+
+}  // namespace dc::core

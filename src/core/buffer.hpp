@@ -1,0 +1,95 @@
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstring>
+#include <memory>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+namespace dc::core {
+
+/// Fixed-capacity stream buffer (paper Section 2: "All transfers to and from
+/// streams are through fixed size buffers").
+///
+/// The payload is shared and immutable once written, so passing a Buffer by
+/// value is cheap; the runtime moves Buffers between filter copies without
+/// copying bytes (virtual network time accounts for the transfer cost).
+///
+/// Typed helpers (`push` / `records<T>`) let application filters treat a
+/// buffer as an array of trivially-copyable records, which is how every
+/// filter in the isosurface application uses them.
+class Buffer {
+ public:
+  Buffer() = default;
+
+  explicit Buffer(std::size_t capacity_bytes)
+      : storage_(std::make_shared<std::vector<std::byte>>()),
+        capacity_(capacity_bytes) {
+    storage_->reserve(capacity_bytes);
+  }
+
+  /// Wraps existing bytes as a full buffer (capacity == size).
+  static Buffer wrap(std::vector<std::byte> bytes) {
+    Buffer b;
+    b.capacity_ = bytes.size();
+    b.storage_ = std::make_shared<std::vector<std::byte>>(std::move(bytes));
+    return b;
+  }
+
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] std::size_t size() const {
+    return storage_ ? storage_->size() : 0;
+  }
+  [[nodiscard]] bool empty() const { return size() == 0; }
+  [[nodiscard]] std::size_t remaining() const { return capacity_ - size(); }
+
+  [[nodiscard]] std::span<const std::byte> bytes() const {
+    if (!storage_) return {};
+    return {storage_->data(), storage_->size()};
+  }
+
+  /// Appends raw bytes; returns false (and appends nothing) on overflow.
+  bool append(std::span<const std::byte> src) {
+    if (!storage_ || src.size() > remaining()) return false;
+    storage_->insert(storage_->end(), src.begin(), src.end());
+    return true;
+  }
+
+  /// Appends one trivially-copyable record; false on overflow.
+  template <typename T>
+  bool push(const T& record) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    return append(std::as_bytes(std::span<const T, 1>(&record, 1)));
+  }
+
+  /// Number of T records that fit in the capacity.
+  template <typename T>
+  [[nodiscard]] std::size_t record_capacity() const {
+    return capacity_ / sizeof(T);
+  }
+
+  /// Views the payload as records of T. Requires the payload to be a whole
+  /// number of records (it is, when produced exclusively via push<T>).
+  template <typename T>
+  [[nodiscard]] std::span<const T> records() const {
+    static_assert(std::is_trivially_copyable_v<T>);
+    if (!storage_ || storage_->empty()) return {};
+    assert(storage_->size() % sizeof(T) == 0);
+    assert(reinterpret_cast<std::uintptr_t>(storage_->data()) % alignof(T) == 0);
+    return {reinterpret_cast<const T*>(storage_->data()),
+            storage_->size() / sizeof(T)};
+  }
+
+  template <typename T>
+  [[nodiscard]] std::size_t record_count() const {
+    return size() / sizeof(T);
+  }
+
+ private:
+  std::shared_ptr<std::vector<std::byte>> storage_;
+  std::size_t capacity_ = 0;
+};
+
+}  // namespace dc::core

@@ -1,0 +1,128 @@
+#include "core/graph.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace dc::core {
+
+int Graph::add_filter(std::string name, FilterFactory factory, bool is_source) {
+  FilterSpec spec;
+  spec.name = std::move(name);
+  spec.factory = std::move(factory);
+  spec.is_source = is_source;
+  filters_.push_back(std::move(spec));
+  return static_cast<int>(filters_.size()) - 1;
+}
+
+int Graph::connect(int from_filter, int from_port, int to_filter, int to_port,
+                   std::size_t min_buffer_bytes, std::size_t max_buffer_bytes) {
+  if (from_filter < 0 || from_filter >= num_filters() || to_filter < 0 ||
+      to_filter >= num_filters()) {
+    throw std::invalid_argument("Graph::connect: bad filter id");
+  }
+  // 256 B floor: every record type in the system fits many times over, so
+  // fixed-size buffers can never silently drop a record.
+  if (min_buffer_bytes < 256 || min_buffer_bytes > max_buffer_bytes) {
+    throw std::invalid_argument("Graph::connect: bad buffer size bounds");
+  }
+  auto& from = filters_[static_cast<std::size_t>(from_filter)];
+  auto& to = filters_[static_cast<std::size_t>(to_filter)];
+  if (to.is_source) {
+    throw std::invalid_argument("Graph::connect: source filters take no input");
+  }
+  for (const auto& s : streams_) {
+    if (s.to_filter == to_filter && s.to_port == to_port) {
+      throw std::invalid_argument("Graph::connect: input port already connected");
+    }
+  }
+  StreamSpec s;
+  s.name = from.name + "->" + to.name;
+  s.from_filter = from_filter;
+  s.from_port = from_port;
+  s.to_filter = to_filter;
+  s.to_port = to_port;
+  s.min_buffer_bytes = min_buffer_bytes;
+  s.max_buffer_bytes = max_buffer_bytes;
+  streams_.push_back(std::move(s));
+  from.num_output_ports = std::max(from.num_output_ports, from_port + 1);
+  to.num_input_ports = std::max(to.num_input_ports, to_port + 1);
+  return static_cast<int>(streams_.size()) - 1;
+}
+
+std::vector<int> Graph::out_streams(int f) const {
+  std::vector<int> ids;
+  for (int s = 0; s < num_streams(); ++s) {
+    if (streams_[static_cast<std::size_t>(s)].from_filter == f) ids.push_back(s);
+  }
+  std::sort(ids.begin(), ids.end(), [this](int a, int b) {
+    return streams_[static_cast<std::size_t>(a)].from_port <
+           streams_[static_cast<std::size_t>(b)].from_port;
+  });
+  return ids;
+}
+
+std::vector<int> Graph::in_streams(int f) const {
+  std::vector<int> ids;
+  for (int s = 0; s < num_streams(); ++s) {
+    if (streams_[static_cast<std::size_t>(s)].to_filter == f) ids.push_back(s);
+  }
+  std::sort(ids.begin(), ids.end(), [this](int a, int b) {
+    return streams_[static_cast<std::size_t>(a)].to_port <
+           streams_[static_cast<std::size_t>(b)].to_port;
+  });
+  return ids;
+}
+
+void Graph::validate() const {
+  for (int f = 0; f < num_filters(); ++f) {
+    const auto& spec = filters_[static_cast<std::size_t>(f)];
+    if (!spec.factory) {
+      throw std::invalid_argument("Graph: filter '" + spec.name + "' has no factory");
+    }
+    if (spec.is_source && spec.num_input_ports != 0) {
+      throw std::invalid_argument("Graph: source '" + spec.name + "' has inputs");
+    }
+    // Input ports must be densely connected.
+    const auto ins = in_streams(f);
+    for (std::size_t i = 0; i < ins.size(); ++i) {
+      if (streams_[static_cast<std::size_t>(ins[i])].to_port != static_cast<int>(i)) {
+        throw std::invalid_argument("Graph: filter '" + spec.name +
+                                    "' has a gap in input ports");
+      }
+    }
+    const auto outs = out_streams(f);
+    for (std::size_t i = 0; i < outs.size(); ++i) {
+      if (streams_[static_cast<std::size_t>(outs[i])].from_port !=
+          static_cast<int>(i)) {
+        throw std::invalid_argument("Graph: filter '" + spec.name +
+                                    "' has a gap in output ports");
+      }
+    }
+  }
+  // Cycle check (streams form a DAG in all supported applications).
+  std::vector<int> indeg(static_cast<std::size_t>(num_filters()), 0);
+  for (const auto& s : streams_) {
+    ++indeg[static_cast<std::size_t>(s.to_filter)];
+  }
+  std::vector<int> queue;
+  for (int f = 0; f < num_filters(); ++f) {
+    if (indeg[static_cast<std::size_t>(f)] == 0) queue.push_back(f);
+  }
+  int visited = 0;
+  while (!queue.empty()) {
+    const int f = queue.back();
+    queue.pop_back();
+    ++visited;
+    for (const auto& s : streams_) {
+      if (s.from_filter == f && --indeg[static_cast<std::size_t>(s.to_filter)] == 0) {
+        queue.push_back(s.to_filter);
+      }
+    }
+  }
+  if (visited != num_filters()) {
+    throw std::invalid_argument("Graph: stream graph contains a cycle");
+  }
+}
+
+}  // namespace dc::core

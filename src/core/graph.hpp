@@ -1,0 +1,79 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/filter.hpp"
+
+namespace dc::core {
+
+/// Declarative description of one filter in the application graph.
+struct FilterSpec {
+  std::string name;
+  FilterFactory factory;
+  int num_input_ports = 0;
+  int num_output_ports = 0;
+  bool is_source = false;
+};
+
+/// A logical unidirectional stream connecting an output port of one filter
+/// to an input port of another (paper Section 2). The runtime picks the
+/// actual buffer size within [min_buffer_bytes, max_buffer_bytes].
+struct StreamSpec {
+  std::string name;
+  int from_filter = -1;
+  int from_port = 0;
+  int to_filter = -1;
+  int to_port = 0;
+  std::size_t min_buffer_bytes = 4 * 1024;
+  std::size_t max_buffer_bytes = 256 * 1024;
+};
+
+/// The application processing structure: filters + streams. Pure
+/// specification — building a Graph performs no instantiation.
+class Graph {
+ public:
+  /// Adds a filter; `is_source` filters must derive from SourceFilter.
+  int add_filter(std::string name, FilterFactory factory, bool is_source = false);
+
+  /// Convenience for sources.
+  int add_source(std::string name, FilterFactory factory) {
+    return add_filter(std::move(name), std::move(factory), /*is_source=*/true);
+  }
+
+  /// Connects from_filter.out[from_port] -> to_filter.in[to_port]. Ports are
+  /// created implicitly and must be used densely. Each input port accepts
+  /// exactly one stream. Returns the stream id.
+  int connect(int from_filter, int from_port, int to_filter, int to_port,
+              std::size_t min_buffer_bytes = 4 * 1024,
+              std::size_t max_buffer_bytes = 256 * 1024);
+
+  [[nodiscard]] int num_filters() const { return static_cast<int>(filters_.size()); }
+  [[nodiscard]] int num_streams() const { return static_cast<int>(streams_.size()); }
+  [[nodiscard]] const FilterSpec& filter(int f) const {
+    return filters_.at(static_cast<std::size_t>(f));
+  }
+  [[nodiscard]] const StreamSpec& stream(int s) const {
+    return streams_.at(static_cast<std::size_t>(s));
+  }
+  [[nodiscard]] StreamSpec& stream(int s) {
+    return streams_.at(static_cast<std::size_t>(s));
+  }
+
+  /// Streams leaving filter f, ordered by output port.
+  [[nodiscard]] std::vector<int> out_streams(int f) const;
+  /// Streams entering filter f, ordered by input port.
+  [[nodiscard]] std::vector<int> in_streams(int f) const;
+
+  /// Checks structural sanity (dense ports, sources have no inputs, no
+  /// cycles); throws std::invalid_argument on violation.
+  void validate() const;
+
+ private:
+  std::vector<FilterSpec> filters_;
+  std::vector<StreamSpec> streams_;
+};
+
+}  // namespace dc::core

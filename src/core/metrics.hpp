@@ -1,0 +1,89 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace dc::core {
+
+/// Per-filter-instance counters.
+struct InstanceMetrics {
+  int filter = -1;
+  int instance = -1;
+  int host = -1;
+  std::string host_class;
+  double work_ops = 0.0;              ///< charged compute demand
+  sim::SimTime busy_time = 0.0;       ///< virtual time spent in CPU jobs
+  sim::SimTime stall_time = 0.0;      ///< virtual time blocked on output windows
+  std::uint64_t buffers_in = 0;
+  std::uint64_t buffers_out = 0;
+  std::uint64_t bytes_in = 0;
+  std::uint64_t bytes_out = 0;
+  std::uint64_t disk_bytes = 0;
+  std::uint64_t acks_sent = 0;
+};
+
+/// Per-logical-stream counters (Table 1 reports these).
+struct StreamMetrics {
+  std::string name;
+  std::uint64_t buffers = 0;
+  std::uint64_t payload_bytes = 0;
+  std::uint64_t message_bytes = 0;  ///< payload + headers
+};
+
+/// Aggregate of one filter over all its instances (Table 2 reports min /
+/// avg / max processing time per filter).
+struct FilterAggregate {
+  std::string name;
+  int instances = 0;
+  sim::SimTime busy_min = 0.0;
+  sim::SimTime busy_avg = 0.0;
+  sim::SimTime busy_max = 0.0;
+  double work_ops = 0.0;
+};
+
+/// Everything measured during one or more UOWs.
+struct Metrics {
+  std::vector<InstanceMetrics> instances;
+  std::vector<StreamMetrics> streams;
+  sim::SimTime makespan = 0.0;  ///< last UOW duration
+  std::uint64_t acks_total = 0;
+  std::uint64_t ack_bytes_total = 0;
+
+  /// Aggregates instance metrics by filter id.
+  [[nodiscard]] FilterAggregate aggregate_filter(int filter,
+                                                 const std::string& name) const {
+    FilterAggregate agg;
+    agg.name = name;
+    bool first = true;
+    double sum = 0.0;
+    for (const auto& m : instances) {
+      if (m.filter != filter) continue;
+      ++agg.instances;
+      sum += m.busy_time;
+      agg.work_ops += m.work_ops;
+      if (first || m.busy_time < agg.busy_min) agg.busy_min = m.busy_time;
+      if (first || m.busy_time > agg.busy_max) agg.busy_max = m.busy_time;
+      first = false;
+    }
+    if (agg.instances > 0) agg.busy_avg = sum / agg.instances;
+    return agg;
+  }
+
+  /// Buffers received by copies of `filter`, grouped by host class
+  /// (Table 3 reports the per-node average of these).
+  [[nodiscard]] std::map<std::string, std::uint64_t> buffers_in_by_class(
+      int filter) const {
+    std::map<std::string, std::uint64_t> by_class;
+    for (const auto& m : instances) {
+      if (m.filter != filter) continue;
+      by_class[m.host_class] += m.buffers_in;
+    }
+    return by_class;
+  }
+};
+
+}  // namespace dc::core

@@ -1,0 +1,61 @@
+#pragma once
+
+#include <stdexcept>
+#include <vector>
+
+namespace dc::core {
+
+/// Where the transparent copies of each filter run (paper Section 2: the
+/// application developer chooses decomposition, placement, and copy counts).
+class Placement {
+ public:
+  struct Entry {
+    int host = -1;
+    int copies = 1;
+  };
+
+  /// Places `copies` transparent copies of `filter` on `host`. May be called
+  /// multiple times per filter for different hosts.
+  Placement& place(int filter, int host, int copies = 1) {
+    if (copies <= 0) throw std::invalid_argument("Placement: copies must be > 0");
+    if (host < 0) throw std::invalid_argument("Placement: bad host");
+    grow(filter);
+    entries_[static_cast<std::size_t>(filter)].push_back(Entry{host, copies});
+    return *this;
+  }
+
+  /// One copy of `filter` on each host in `hosts`.
+  Placement& place_each(int filter, const std::vector<int>& hosts, int copies = 1) {
+    for (int h : hosts) place(filter, h, copies);
+    return *this;
+  }
+
+  [[nodiscard]] const std::vector<Entry>& entries(int filter) const {
+    static const std::vector<Entry> kEmpty;
+    if (filter < 0 || static_cast<std::size_t>(filter) >= entries_.size()) {
+      return kEmpty;
+    }
+    return entries_[static_cast<std::size_t>(filter)];
+  }
+
+  [[nodiscard]] int total_copies(int filter) const {
+    int n = 0;
+    for (const auto& e : entries(filter)) n += e.copies;
+    return n;
+  }
+
+  [[nodiscard]] int num_filters_placed() const {
+    return static_cast<int>(entries_.size());
+  }
+
+ private:
+  void grow(int filter) {
+    if (filter < 0) throw std::invalid_argument("Placement: bad filter");
+    if (static_cast<std::size_t>(filter) >= entries_.size()) {
+      entries_.resize(static_cast<std::size_t>(filter) + 1);
+    }
+  }
+  std::vector<std::vector<Entry>> entries_;
+};
+
+}  // namespace dc::core

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace dc::core {
+
+/// Buffer-distribution ("writer") policies between copy sets on different
+/// hosts (paper Section 2):
+///
+///  - RoundRobin: cyclic over hosts that run copies of the consumer.
+///  - WeightedRoundRobin: cyclic over hosts, each host appearing once per
+///    consumer copy it runs.
+///  - DemandDriven: send to the consumer host with the fewest
+///    unacknowledged buffers; consumers acknowledge a buffer when they start
+///    processing it; ties prefer co-located copies. Acks are real messages
+///    and cost network time.
+enum class Policy {
+  kRoundRobin,
+  kWeightedRoundRobin,
+  kDemandDriven,
+};
+
+[[nodiscard]] inline std::string_view to_string(Policy p) {
+  switch (p) {
+    case Policy::kRoundRobin: return "RR";
+    case Policy::kWeightedRoundRobin: return "WRR";
+    case Policy::kDemandDriven: return "DD";
+  }
+  return "?";
+}
+
+[[nodiscard]] inline Policy parse_policy(std::string_view s) {
+  if (s == "RR" || s == "rr") return Policy::kRoundRobin;
+  if (s == "WRR" || s == "wrr") return Policy::kWeightedRoundRobin;
+  if (s == "DD" || s == "dd") return Policy::kDemandDriven;
+  throw std::invalid_argument("unknown policy: " + std::string(s));
+}
+
+}  // namespace dc::core

@@ -1,0 +1,688 @@
+#include "core/runtime.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+#include <deque>
+#include <stdexcept>
+#include <utility>
+
+namespace dc::core {
+
+// ---------------------------------------------------------------------------
+// Internal structures
+// ---------------------------------------------------------------------------
+
+/// A buffer in flight / queued at a consumer copy set, with enough envelope
+/// to credit the producer's window and send DD acknowledgments.
+struct Runtime::Delivery {
+  Buffer buf;
+  Instance* producer = nullptr;
+  int out_port = 0;
+  int target = 0;  ///< index of the receiving copy set among the stream targets
+};
+
+/// All transparent copies of one filter on one host share input queues; a
+/// buffer arriving at the copy set is processed by whichever copy idles
+/// first (demand-based balance within a host, paper Section 2).
+struct Runtime::CopySet {
+  int filter = -1;
+  int host = -1;
+  std::vector<Instance*> copies;
+  std::vector<std::deque<Delivery>> queues;  ///< one per input port
+  std::vector<int> eow_pending;              ///< producer copies yet to EOW, per port
+  int rr_port = 0;                           ///< fair rotation across ports
+
+  [[nodiscard]] bool all_eow() const {
+    for (int e : eow_pending) {
+      if (e > 0) return false;
+    }
+    return true;
+  }
+  [[nodiscard]] bool queues_empty() const {
+    for (const auto& q : queues) {
+      if (!q.empty()) return false;
+    }
+    return true;
+  }
+};
+
+/// Runtime view of one logical stream: the consumer copy sets it fans out to.
+struct Runtime::StreamRt {
+  const StreamSpec* spec = nullptr;
+  int id = -1;
+  std::vector<CopySet*> targets;
+  std::vector<int> wrr_order;  ///< target indices, one entry per consumer copy
+};
+
+/// Writer-side state of one producer copy for one output port.
+struct WriterState {
+  Runtime::StreamRt* stream = nullptr;
+  std::vector<int> in_flight;  ///< per target: sent, not yet dequeued
+  std::vector<int> unacked;    ///< per target: sent, not yet acknowledged (DD)
+  int rr_next = 0;
+};
+
+struct PendingOut {
+  int port;
+  Buffer buf;
+};
+
+struct DiskDemand {
+  int disk;
+  std::uint64_t bytes;
+};
+
+/// One transparent copy of a filter for the current UOW.
+struct Runtime::Instance {
+  enum class State { kCreated, kInit, kIdle, kBusy, kDraining, kFinished };
+
+  Runtime* rt = nullptr;
+  int filter = -1;
+  int index = -1;         ///< global index among the filter's copies
+  int copy_in_host = -1;  ///< index within the copy set
+  CopySet* cset = nullptr;
+  std::unique_ptr<Filter> user;
+  std::vector<WriterState> writers;  ///< per output port
+
+  State state = State::kCreated;
+  bool eow_executed = false;
+  bool source_exhausted = false;
+  std::deque<PendingOut> pending;
+
+  // Per-callback accumulators, reset before each user callback.
+  double charged_ops = 0.0;
+  std::vector<DiskDemand> disk_demands;
+  bool in_init = false;
+
+  InstanceMetrics m;
+  sim::Rng rng;
+  sim::SimTime busy_start = 0.0;
+  sim::SimTime drain_start = 0.0;
+
+  std::unique_ptr<ContextImpl> ctx;
+};
+
+/// FilterContext implementation bound to one Instance.
+struct Runtime::ContextImpl final : FilterContext {
+  Instance* inst = nullptr;
+
+  [[nodiscard]] int instance_index() const override { return inst->index; }
+  [[nodiscard]] int num_instances() const override {
+    return inst->rt->total_copies(inst->filter);
+  }
+  [[nodiscard]] int copy_in_host() const override { return inst->copy_in_host; }
+  [[nodiscard]] int copies_on_host() const override {
+    return static_cast<int>(inst->cset->copies.size());
+  }
+  [[nodiscard]] int host() const override { return inst->cset->host; }
+  [[nodiscard]] const std::string& host_class() const override {
+    return inst->rt->topo_.host(inst->cset->host).host_class();
+  }
+  [[nodiscard]] int uow_index() const override { return inst->rt->uow_index_; }
+  [[nodiscard]] sim::SimTime now() const override {
+    return inst->rt->topo_.sim().now();
+  }
+  [[nodiscard]] sim::Rng& rng() override { return inst->rng; }
+
+  void charge(double ops) override {
+    if (ops < 0.0) throw std::invalid_argument("charge: negative ops");
+    inst->charged_ops += ops;
+  }
+
+  void read_disk(int local_disk, std::uint64_t bytes) override {
+    const auto& spec = inst->rt->graph_.filter(inst->filter);
+    if (!spec.is_source) {
+      throw std::logic_error("read_disk is only available to source filters");
+    }
+    auto& host = inst->rt->topo_.host(inst->cset->host);
+    if (local_disk < 0 || local_disk >= host.num_disks()) {
+      throw std::out_of_range("read_disk: no such local disk");
+    }
+    inst->disk_demands.push_back(DiskDemand{local_disk, bytes});
+    inst->m.disk_bytes += bytes;
+  }
+
+  void write(int port, Buffer buf) override {
+    if (inst->in_init) {
+      throw std::logic_error("write() is not allowed in init()");
+    }
+    if (port < 0 || port >= num_output_ports()) {
+      throw std::out_of_range("write: bad output port");
+    }
+    inst->pending.push_back(PendingOut{port, std::move(buf)});
+  }
+
+  [[nodiscard]] Buffer make_buffer(int port) const override {
+    return Buffer(buffer_bytes(port));
+  }
+
+  [[nodiscard]] int num_input_ports() const override {
+    return inst->rt->graph_.filter(inst->filter).num_input_ports;
+  }
+  [[nodiscard]] int num_output_ports() const override {
+    return inst->rt->graph_.filter(inst->filter).num_output_ports;
+  }
+  [[nodiscard]] std::size_t buffer_bytes(int out_port) const override {
+    if (out_port < 0 || out_port >= num_output_ports()) {
+      throw std::out_of_range("buffer_bytes: bad output port");
+    }
+    const int stream =
+        inst->writers[static_cast<std::size_t>(out_port)].stream->id;
+    return inst->rt->buffer_bytes_[static_cast<std::size_t>(stream)];
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Construction
+// ---------------------------------------------------------------------------
+
+Runtime::Runtime(sim::Topology& topo, const Graph& graph,
+                 const Placement& placement, RuntimeConfig config)
+    : topo_(topo),
+      graph_(graph),
+      placement_(placement),
+      config_(std::move(config)),
+      base_rng_(config_.rng_seed) {
+  graph_.validate();
+  if (config_.window <= 0) {
+    throw std::invalid_argument("RuntimeConfig: window must be positive");
+  }
+  // Negotiate buffer sizes: prefer the default, clamped to [min, max].
+  buffer_bytes_.resize(static_cast<std::size_t>(graph_.num_streams()));
+  for (int s = 0; s < graph_.num_streams(); ++s) {
+    const auto& spec = graph_.stream(s);
+    buffer_bytes_[static_cast<std::size_t>(s)] = std::clamp(
+        config_.default_buffer_bytes, spec.min_buffer_bytes, spec.max_buffer_bytes);
+  }
+  // Placement sanity.
+  for (int f = 0; f < graph_.num_filters(); ++f) {
+    const auto& entries = placement_.entries(f);
+    if (entries.empty()) {
+      throw std::invalid_argument("Runtime: filter '" + graph_.filter(f).name +
+                                  "' has no placement");
+    }
+    for (const auto& e : entries) {
+      if (e.host >= topo_.size()) {
+        throw std::invalid_argument("Runtime: placement host out of range");
+      }
+    }
+    if (!graph_.filter(f).is_source && graph_.in_streams(f).empty()) {
+      throw std::invalid_argument("Runtime: non-source filter '" +
+                                  graph_.filter(f).name + "' has no inputs");
+    }
+  }
+  // Stream metrics slots.
+  metrics_.streams.resize(static_cast<std::size_t>(graph_.num_streams()));
+  for (int s = 0; s < graph_.num_streams(); ++s) {
+    metrics_.streams[static_cast<std::size_t>(s)].name = graph_.stream(s).name;
+  }
+}
+
+Runtime::~Runtime() = default;
+
+int Runtime::total_copies(int filter) const {
+  return placement_.total_copies(filter);
+}
+
+void Runtime::emit_trace(const char* tag, const Instance& inst,
+                         const std::string& detail) {
+  if (!trace_.enabled()) return;
+  trace_.emit(topo_.sim().now(), tag,
+              graph_.filter(inst.filter).name + "#" +
+                  std::to_string(inst.index) + "@h" +
+                  std::to_string(inst.cset->host) +
+                  (detail.empty() ? "" : " " + detail));
+}
+
+void Runtime::reset_metrics() {
+  metrics_.instances.clear();
+  metrics_.acks_total = 0;
+  metrics_.ack_bytes_total = 0;
+  metrics_.makespan = 0.0;
+  for (auto& s : metrics_.streams) {
+    s.buffers = 0;
+    s.payload_bytes = 0;
+    s.message_bytes = 0;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// UOW setup / teardown
+// ---------------------------------------------------------------------------
+
+void Runtime::build_uow() {
+  // Copy sets: one per (filter, host) with at least one copy.
+  std::vector<std::vector<CopySet*>> csets_by_filter(
+      static_cast<std::size_t>(graph_.num_filters()));
+  for (int f = 0; f < graph_.num_filters(); ++f) {
+    const int in_ports = graph_.filter(f).num_input_ports;
+    for (const auto& e : placement_.entries(f)) {
+      auto cset = std::make_unique<CopySet>();
+      cset->filter = f;
+      cset->host = e.host;
+      cset->queues.resize(static_cast<std::size_t>(in_ports));
+      cset->eow_pending.resize(static_cast<std::size_t>(in_ports), 0);
+      csets_by_filter[static_cast<std::size_t>(f)].push_back(cset.get());
+      copysets_.push_back(std::move(cset));
+    }
+  }
+
+  // Stream runtime: target copy sets and the WRR expansion.
+  stream_rt_.clear();
+  for (int s = 0; s < graph_.num_streams(); ++s) {
+    auto rt = std::make_unique<StreamRt>();
+    rt->spec = &graph_.stream(s);
+    rt->id = s;
+    const int consumer = rt->spec->to_filter;
+    const auto& consumer_entries = placement_.entries(consumer);
+    const auto& consumer_sets = csets_by_filter[static_cast<std::size_t>(consumer)];
+    for (std::size_t i = 0; i < consumer_sets.size(); ++i) {
+      rt->targets.push_back(consumer_sets[i]);
+      for (int c = 0; c < consumer_entries[i].copies; ++c) {
+        rt->wrr_order.push_back(static_cast<int>(i));
+      }
+    }
+    stream_rt_.push_back(std::move(rt));
+  }
+
+  // Instances.
+  for (int f = 0; f < graph_.num_filters(); ++f) {
+    const auto& entries = placement_.entries(f);
+    const auto& sets = csets_by_filter[static_cast<std::size_t>(f)];
+    const auto outs = graph_.out_streams(f);
+    int global = 0;
+    for (std::size_t p = 0; p < entries.size(); ++p) {
+      for (int c = 0; c < entries[p].copies; ++c) {
+        auto inst = std::make_unique<Instance>();
+        inst->rt = this;
+        inst->filter = f;
+        inst->index = global++;
+        inst->copy_in_host = c;
+        inst->cset = sets[p];
+        inst->user = graph_.filter(f).factory();
+        if (!inst->user) {
+          throw std::runtime_error("Runtime: factory for '" +
+                                   graph_.filter(f).name + "' returned null");
+        }
+        if (graph_.filter(f).is_source &&
+            dynamic_cast<SourceFilter*>(inst->user.get()) == nullptr) {
+          throw std::runtime_error("Runtime: source filter '" +
+                                   graph_.filter(f).name +
+                                   "' does not derive from SourceFilter");
+        }
+        for (int out : outs) {
+          WriterState w;
+          w.stream = stream_rt_[static_cast<std::size_t>(out)].get();
+          w.in_flight.assign(w.stream->targets.size(), 0);
+          w.unacked.assign(w.stream->targets.size(), 0);
+          inst->writers.push_back(std::move(w));
+        }
+        inst->m.filter = f;
+        inst->m.instance = inst->index;
+        inst->m.host = entries[p].host;
+        inst->m.host_class = topo_.host(entries[p].host).host_class();
+        inst->rng = base_rng_.split(
+            static_cast<std::uint64_t>(f) * 1000003ULL +
+            static_cast<std::uint64_t>(inst->index) * 257ULL +
+            static_cast<std::uint64_t>(uow_index_));
+        inst->ctx = std::make_unique<ContextImpl>();
+        inst->ctx->inst = inst.get();
+        sets[p]->copies.push_back(inst.get());
+        instances_.push_back(std::move(inst));
+      }
+    }
+  }
+
+  // EOW bookkeeping: each consumer port expects one marker per producer copy.
+  for (int s = 0; s < graph_.num_streams(); ++s) {
+    const auto& spec = graph_.stream(s);
+    const int producers = placement_.total_copies(spec.from_filter);
+    for (CopySet* t : stream_rt_[static_cast<std::size_t>(s)]->targets) {
+      t->eow_pending[static_cast<std::size_t>(spec.to_port)] = producers;
+    }
+  }
+
+  remaining_instances_ = static_cast<int>(instances_.size());
+}
+
+void Runtime::teardown_uow() {
+  for (auto& inst : instances_) {
+    metrics_.instances.push_back(inst->m);
+  }
+  instances_.clear();
+  copysets_.clear();
+  stream_rt_.clear();
+}
+
+sim::SimTime Runtime::run_uow() {
+  auto& sim = topo_.sim();
+  const sim::SimTime t0 = sim.now();
+  build_uow();
+  for (auto& inst : instances_) start_instance(*inst);
+  const std::uint64_t event_limit = sim.events_fired() + config_.max_events_per_uow;
+  while (remaining_instances_ > 0 && sim.step()) {
+    static const bool debug = std::getenv("DC_DEBUG") != nullptr;
+    if (debug && sim.events_fired() % 10000 == 0) {
+      std::fprintf(stderr, "ev=%llu t=%.12f remaining=%d\n",
+                   (unsigned long long)sim.events_fired(), sim.now(),
+                   remaining_instances_);
+    }
+    if (sim.events_fired() > event_limit) {
+      throw std::runtime_error(
+          "Runtime: UOW exceeded max_events_per_uow (livelock?) at t=" +
+          std::to_string(sim.now()));
+    }
+  }
+  if (remaining_instances_ > 0) {
+    throw std::runtime_error("Runtime: UOW deadlocked (no events, instances pending)");
+  }
+  const sim::SimTime makespan = uow_done_at_ - t0;
+  metrics_.makespan = makespan;
+  // Drain stragglers (acks / markers still in flight) so the virtual clock
+  // is quiescent before the next UOW.
+  sim.run();
+  teardown_uow();
+  ++uow_index_;
+  return makespan;
+}
+
+// ---------------------------------------------------------------------------
+// Instance lifecycle
+// ---------------------------------------------------------------------------
+
+void Runtime::start_instance(Instance& inst) {
+  inst.state = Instance::State::kInit;
+  inst.in_init = true;
+  inst.charged_ops = 0.0;
+  inst.user->init(*inst.ctx);
+  inst.in_init = false;
+  const double ops = inst.charged_ops;
+  inst.m.work_ops += ops;
+  inst.busy_start = topo_.sim().now();
+  topo_.host(inst.cset->host).cpu().submit(ops, [this, &inst] {
+    inst.m.busy_time += topo_.sim().now() - inst.busy_start;
+    on_init_done(inst);
+  });
+}
+
+void Runtime::on_init_done(Instance& inst) {
+  inst.state = Instance::State::kIdle;
+  if (graph_.filter(inst.filter).is_source) {
+    source_step(inst);
+  } else {
+    try_consume(inst);
+  }
+}
+
+void Runtime::source_step(Instance& inst) {
+  if (inst.state != Instance::State::kIdle) return;
+  if (inst.source_exhausted) {
+    begin_eow(inst);
+    return;
+  }
+  auto* src = static_cast<SourceFilter*>(inst.user.get());
+  inst.charged_ops = 0.0;
+  inst.disk_demands.clear();
+  inst.state = Instance::State::kBusy;
+  const bool more = src->step(*inst.ctx);
+  inst.source_exhausted = !more;
+  run_source_io_then_compute(inst);
+}
+
+void Runtime::run_source_io_then_compute(Instance& inst) {
+  if (inst.disk_demands.empty()) {
+    submit_compute(inst);
+    return;
+  }
+  // Issue all declared reads concurrently; compute starts when the last one
+  // completes (per-disk FIFO serializes same-disk requests).
+  auto remaining = std::make_shared<int>(static_cast<int>(inst.disk_demands.size()));
+  auto& host = topo_.host(inst.cset->host);
+  for (const auto& d : inst.disk_demands) {
+    host.disk(d.disk).read(d.bytes, [this, &inst, remaining] {
+      if (--*remaining == 0) submit_compute(inst);
+    });
+  }
+  inst.disk_demands.clear();
+}
+
+void Runtime::submit_compute(Instance& inst) {
+  const double ops = inst.charged_ops;
+  inst.charged_ops = 0.0;
+  inst.m.work_ops += ops;
+  inst.busy_start = topo_.sim().now();
+  topo_.host(inst.cset->host).cpu().submit(ops, [this, &inst] { on_compute_done(inst); });
+}
+
+void Runtime::try_consume(Instance& inst) {
+  if (inst.state != Instance::State::kIdle) return;
+  CopySet& cset = *inst.cset;
+  const int ports = static_cast<int>(cset.queues.size());
+
+  // Find the next non-empty port, rotating for fairness across ports.
+  int port = -1;
+  for (int i = 0; i < ports; ++i) {
+    const int p = (cset.rr_port + i) % ports;
+    if (!cset.queues[static_cast<std::size_t>(p)].empty()) {
+      port = p;
+      break;
+    }
+  }
+
+  if (port < 0) {
+    if (ports >= 0 && cset.all_eow() && !inst.eow_executed) {
+      begin_eow(inst);
+    }
+    return;
+  }
+  cset.rr_port = (port + 1) % ports;
+
+  Delivery d = std::move(cset.queues[static_cast<std::size_t>(port)].front());
+  cset.queues[static_cast<std::size_t>(port)].pop_front();
+
+  inst.state = Instance::State::kBusy;  // guard against reentrant wakeups
+  inst.m.buffers_in++;
+  inst.m.bytes_in += d.buf.size();
+  emit_trace("consume", inst, std::to_string(d.buf.size()) + "B");
+
+  // Receiver-side dequeue frees the producer's flow-control slot.
+  on_window_release(*d.producer, d.out_port, d.target);
+
+  // Demand-driven: acknowledge that the buffer is now being processed. The
+  // ack is a real message and costs network time (paper Section 2).
+  if (config_.policy == Policy::kDemandDriven) {
+    Instance* producer = d.producer;
+    const int out_port = d.out_port;
+    const int target = d.target;
+    inst.m.acks_sent++;
+    metrics_.acks_total++;
+    metrics_.ack_bytes_total += config_.ack_bytes;
+    topo_.network().send(cset.host, producer->cset->host, config_.ack_bytes,
+                         [this, producer, out_port, target] {
+                           on_ack(*producer, out_port, target);
+                         });
+  }
+
+  inst.charged_ops = 0.0;
+  inst.user->process_buffer(*inst.ctx, port, d.buf);
+  submit_compute(inst);
+}
+
+void Runtime::begin_eow(Instance& inst) {
+  emit_trace("eow", inst, "");
+  inst.eow_executed = true;
+  inst.state = Instance::State::kBusy;
+  inst.charged_ops = 0.0;
+  inst.user->process_eow(*inst.ctx);
+  submit_compute(inst);
+}
+
+void Runtime::on_compute_done(Instance& inst) {
+  inst.m.busy_time += topo_.sim().now() - inst.busy_start;
+  inst.state = Instance::State::kDraining;
+  inst.drain_start = topo_.sim().now();
+  drain(inst);
+}
+
+void Runtime::drain(Instance& inst) {
+  if (inst.state != Instance::State::kDraining) return;
+  while (!inst.pending.empty()) {
+    if (!dispatch_one(inst)) {
+      emit_trace("stall", inst,
+                 std::to_string(inst.pending.size()) + " pending");
+      return;  // stalled on a window; resumed by credit
+    }
+  }
+  inst.m.stall_time += topo_.sim().now() - inst.drain_start;
+  if (inst.eow_executed) {
+    finish_instance(inst);
+    return;
+  }
+  inst.state = Instance::State::kIdle;
+  if (graph_.filter(inst.filter).is_source) {
+    source_step(inst);
+  } else {
+    try_consume(inst);
+  }
+}
+
+int Runtime::pick_target(Instance& inst, int out_port) {
+  WriterState& w = inst.writers[static_cast<std::size_t>(out_port)];
+  const auto n = static_cast<int>(w.stream->targets.size());
+  assert(n > 0);
+
+  switch (config_.policy) {
+    case Policy::kRoundRobin: {
+      const int t = w.rr_next % n;
+      if (w.in_flight[static_cast<std::size_t>(t)] >= config_.window) return -1;
+      w.rr_next = (t + 1) % n;
+      return t;
+    }
+    case Policy::kWeightedRoundRobin: {
+      const auto& order = w.stream->wrr_order;
+      const int t = order[static_cast<std::size_t>(w.rr_next) % order.size()];
+      if (w.in_flight[static_cast<std::size_t>(t)] >= config_.window) return -1;
+      w.rr_next = (w.rr_next + 1) % static_cast<int>(order.size());
+      return t;
+    }
+    case Policy::kDemandDriven: {
+      int best = -1;
+      bool best_local = false;
+      for (int t = 0; t < n; ++t) {
+        if (w.unacked[static_cast<std::size_t>(t)] >= config_.window) continue;
+        const bool local = w.stream->targets[static_cast<std::size_t>(t)]->host ==
+                           inst.cset->host;
+        if (best < 0 ||
+            w.unacked[static_cast<std::size_t>(t)] <
+                w.unacked[static_cast<std::size_t>(best)] ||
+            (w.unacked[static_cast<std::size_t>(t)] ==
+                 w.unacked[static_cast<std::size_t>(best)] &&
+             local && !best_local)) {
+          best = t;
+          best_local = local;
+        }
+      }
+      return best;
+    }
+  }
+  return -1;
+}
+
+bool Runtime::dispatch_one(Instance& inst) {
+  PendingOut& out = inst.pending.front();
+  const int target = pick_target(inst, out.port);
+  if (target < 0) return false;
+
+  WriterState& w = inst.writers[static_cast<std::size_t>(out.port)];
+  CopySet* cset = w.stream->targets[static_cast<std::size_t>(target)];
+
+  w.in_flight[static_cast<std::size_t>(target)]++;
+  w.unacked[static_cast<std::size_t>(target)]++;
+
+  auto& sm = metrics_.streams[static_cast<std::size_t>(w.stream->id)];
+  sm.buffers++;
+  sm.payload_bytes += out.buf.size();
+  sm.message_bytes += out.buf.size() + config_.header_bytes;
+  inst.m.buffers_out++;
+  inst.m.bytes_out += out.buf.size();
+
+  Delivery d;
+  d.buf = std::move(out.buf);
+  d.producer = &inst;
+  d.out_port = out.port;
+  d.target = target;
+  inst.pending.pop_front();
+
+  emit_trace("dispatch", inst,
+             w.stream->spec->name + " -> h" + std::to_string(cset->host));
+
+  const std::uint64_t msg_bytes = d.buf.size() + config_.header_bytes;
+  // Move the delivery through the network; it lands in the copy set queue.
+  auto shared = std::make_shared<Delivery>(std::move(d));
+  topo_.network().send(inst.cset->host, cset->host, msg_bytes,
+                       [this, cset, shared] { deliver(*cset, std::move(*shared)); });
+  return true;
+}
+
+void Runtime::deliver(CopySet& cset, Delivery d) {
+  const int port = graph_.stream(d.producer
+                                      ->writers[static_cast<std::size_t>(d.out_port)]
+                                      .stream->id)
+                       .to_port;
+  cset.queues[static_cast<std::size_t>(port)].push_back(std::move(d));
+  wake_copies(cset);
+}
+
+void Runtime::wake_copies(CopySet& cset) {
+  for (Instance* copy : cset.copies) {
+    if (copy->state == Instance::State::kIdle) try_consume(*copy);
+  }
+}
+
+void Runtime::on_eow_marker(CopySet& cset, int in_port) {
+  auto& pending = cset.eow_pending[static_cast<std::size_t>(in_port)];
+  assert(pending > 0);
+  --pending;
+  wake_copies(cset);
+}
+
+void Runtime::finish_instance(Instance& inst) {
+  emit_trace("finish", inst, "");
+  inst.charged_ops = 0.0;
+  inst.user->finalize(*inst.ctx);
+  inst.state = Instance::State::kFinished;
+
+  // Send end-of-work markers to every consumer copy set, after all data
+  // buffers (FIFO links guarantee markers cannot overtake data).
+  for (auto& w : inst.writers) {
+    const int in_port = w.stream->spec->to_port;
+    for (CopySet* t : w.stream->targets) {
+      topo_.network().send(inst.cset->host, t->host, config_.eow_bytes,
+                           [this, t, in_port] { on_eow_marker(*t, in_port); });
+    }
+  }
+
+  if (--remaining_instances_ == 0) {
+    uow_done_at_ = topo_.sim().now();
+  }
+}
+
+void Runtime::on_window_release(Instance& producer, int out_port, int target) {
+  WriterState& w = producer.writers[static_cast<std::size_t>(out_port)];
+  auto& slot = w.in_flight[static_cast<std::size_t>(target)];
+  assert(slot > 0);
+  --slot;
+  if (producer.state == Instance::State::kDraining) drain(producer);
+}
+
+void Runtime::on_ack(Instance& producer, int out_port, int target) {
+  WriterState& w = producer.writers[static_cast<std::size_t>(out_port)];
+  auto& slot = w.unacked[static_cast<std::size_t>(target)];
+  assert(slot > 0);
+  --slot;
+  if (producer.state == Instance::State::kDraining) drain(producer);
+}
+
+}  // namespace dc::core

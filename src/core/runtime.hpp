@@ -1,0 +1,123 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/graph.hpp"
+#include "core/metrics.hpp"
+#include "core/placement.hpp"
+#include "core/policy.hpp"
+#include "sim/cluster.hpp"
+#include "sim/trace.hpp"
+
+namespace dc::core {
+
+/// Knobs of the filtering service.
+struct RuntimeConfig {
+  Policy policy = Policy::kDemandDriven;
+  /// Sliding-window depth per (producer copy -> consumer copy set): RR/WRR
+  /// cap in-flight (sent but not yet dequeued) buffers; DD caps
+  /// unacknowledged buffers.
+  int window = 4;
+  std::uint64_t header_bytes = 64;  ///< per-buffer message envelope
+  std::uint64_t ack_bytes = 64;     ///< DD acknowledgment message size
+  std::uint64_t eow_bytes = 64;     ///< end-of-work marker message size
+  /// Buffer size the runtime prefers when a stream's [min,max] allows it.
+  std::size_t default_buffer_bytes = 64 * 1024;
+  std::uint64_t rng_seed = 42;
+  /// Livelock guard: a UOW firing more events than this throws.
+  std::uint64_t max_events_per_uow = 2'000'000'000ULL;
+};
+
+/// The filtering service: instantiates a filter graph onto a simulated
+/// topology according to a Placement, runs units of work, and collects
+/// metrics.
+///
+/// Execution model: each transparent copy is an actor. The runtime delivers
+/// one buffer at a time to a copy; the copy's real computation runs
+/// immediately and its declared cost is retired on the host's
+/// processor-sharing CPU in virtual time. Output buffers release when the
+/// compute completes and flow through bounded per-target windows
+/// (backpressure); the writer policy picks the destination copy set per
+/// buffer. End-of-work markers propagate per producer copy; a consumer copy
+/// runs process_eow() after every producer copy's marker arrived and the
+/// shared queues drained.
+class Runtime {
+ public:
+  Runtime(sim::Topology& topo, const Graph& graph, const Placement& placement,
+          RuntimeConfig config = {});
+  ~Runtime();
+
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  /// Runs one unit of work to completion. Fresh filter objects are created
+  /// per UOW (init / process / finalize cycle). Returns the UOW makespan in
+  /// virtual seconds.
+  sim::SimTime run_uow();
+
+  /// Cumulative metrics across all UOWs run so far.
+  [[nodiscard]] const Metrics& metrics() const { return metrics_; }
+  void reset_metrics();
+
+  /// Optional event trace (disabled by default): records `dispatch`,
+  /// `deliver`, `consume`, `stall`, `eow`, and `finish` events with filter /
+  /// copy / host detail. Enable via `trace().enable()` before run_uow().
+  [[nodiscard]] sim::Trace& trace() { return trace_; }
+
+  [[nodiscard]] const RuntimeConfig& config() const { return config_; }
+  [[nodiscard]] int total_copies(int filter) const;
+  [[nodiscard]] sim::Topology& topology() { return topo_; }
+
+  // Implementation types, public only so that helper structs in the
+  // translation unit can reference them; not part of the stable API.
+  struct Instance;
+  struct CopySet;
+  struct StreamRt;
+  struct ContextImpl;
+  struct Delivery;
+
+ private:
+  void build_uow();
+  void teardown_uow();
+  void start_instance(Instance& inst);
+  void on_init_done(Instance& inst);
+  void source_step(Instance& inst);
+  void run_source_io_then_compute(Instance& inst);
+  void submit_compute(Instance& inst);
+  void try_consume(Instance& inst);
+  void begin_eow(Instance& inst);
+  void on_compute_done(Instance& inst);
+  void drain(Instance& inst);
+  bool dispatch_one(Instance& inst);
+  void deliver(CopySet& cset, Delivery d);
+  void on_eow_marker(CopySet& cset, int in_port);
+  void wake_copies(CopySet& cset);
+  void finish_instance(Instance& inst);
+  void on_window_release(Instance& producer, int out_port, int target);
+  void on_ack(Instance& producer, int out_port, int target);
+  [[nodiscard]] int pick_target(Instance& inst, int out_port);
+
+  sim::Topology& topo_;
+  const Graph& graph_;
+  const Placement& placement_;
+  RuntimeConfig config_;
+  std::vector<std::size_t> buffer_bytes_;  ///< negotiated, per stream
+
+  // Live only between build_uow() and teardown_uow().
+  std::vector<std::unique_ptr<Instance>> instances_;
+  std::vector<std::unique_ptr<CopySet>> copysets_;
+  std::vector<std::unique_ptr<StreamRt>> stream_rt_;
+  int remaining_instances_ = 0;
+  sim::SimTime uow_done_at_ = 0.0;
+  int uow_index_ = 0;
+
+  Metrics metrics_;
+  sim::Rng base_rng_;
+  sim::Trace trace_;
+
+  void emit_trace(const char* tag, const Instance& inst, const std::string& detail);
+};
+
+}  // namespace dc::core

@@ -1,0 +1,52 @@
+#include "data/decluster.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "data/hilbert.hpp"
+
+namespace dc::data {
+
+std::vector<int> hilbert_ranks(const ChunkLayout& layout) {
+  const int n = layout.num_chunks();
+  // Enough bits to cover the largest chunk-coordinate axis.
+  int bits = 1;
+  const int max_dim = std::max(
+      {layout.chunks_x(), layout.chunks_y(), layout.chunks_z()});
+  while ((1 << bits) < max_dim) ++bits;
+
+  std::vector<std::uint64_t> keys(static_cast<std::size_t>(n));
+  for (int c = 0; c < n; ++c) {
+    const auto coords = layout.chunk_coords(c);
+    keys[static_cast<std::size_t>(c)] =
+        hilbert_index({static_cast<std::uint32_t>(coords[0]),
+                       static_cast<std::uint32_t>(coords[1]),
+                       static_cast<std::uint32_t>(coords[2])},
+                      bits);
+  }
+  std::vector<int> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    return keys[static_cast<std::size_t>(a)] < keys[static_cast<std::size_t>(b)];
+  });
+  std::vector<int> rank(static_cast<std::size_t>(n));
+  for (int r = 0; r < n; ++r) {
+    rank[static_cast<std::size_t>(order[static_cast<std::size_t>(r)])] = r;
+  }
+  return rank;
+}
+
+std::vector<int> hilbert_decluster(const ChunkLayout& layout, int num_files) {
+  if (num_files <= 0) {
+    throw std::invalid_argument("hilbert_decluster: num_files must be positive");
+  }
+  const auto rank = hilbert_ranks(layout);
+  std::vector<int> file(rank.size());
+  for (std::size_t c = 0; c < rank.size(); ++c) {
+    file[c] = rank[c] % num_files;
+  }
+  return file;
+}
+
+}  // namespace dc::data

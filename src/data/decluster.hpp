@@ -1,0 +1,23 @@
+#pragma once
+
+#include <vector>
+
+#include "data/volume.hpp"
+
+namespace dc::data {
+
+/// Hilbert curve-based declustering [Faloutsos & Bhagwat 1993], as used in
+/// the paper: chunks are ordered along the 3-D Hilbert curve through their
+/// chunk coordinates and dealt round-robin into `num_files` files. Any
+/// contiguous spatial region then spreads nearly evenly over all files,
+/// which in turn spread over all disks.
+///
+/// Returns file id per chunk (size == layout.num_chunks()).
+[[nodiscard]] std::vector<int> hilbert_decluster(const ChunkLayout& layout,
+                                                 int num_files);
+
+/// Hilbert rank per chunk (the permutation underlying the declustering);
+/// exposed for tests and for the ADR partitioner.
+[[nodiscard]] std::vector<int> hilbert_ranks(const ChunkLayout& layout);
+
+}  // namespace dc::data

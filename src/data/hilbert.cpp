@@ -1,0 +1,103 @@
+#include "data/hilbert.hpp"
+
+#include <stdexcept>
+
+namespace dc::data {
+namespace {
+
+constexpr int kDims = 3;
+
+// Skilling, "Programming the Hilbert curve", AIP Conf. Proc. 707 (2004).
+// In the transpose representation the Hilbert index bits are distributed
+// across the coordinate words: bit k of the index lives in word (k % n).
+
+void axes_to_transpose(std::uint32_t x[kDims], int bits) {
+  std::uint32_t m = 1u << (bits - 1);
+  // Inverse undo.
+  for (std::uint32_t q = m; q > 1; q >>= 1) {
+    const std::uint32_t p = q - 1;
+    for (int i = 0; i < kDims; ++i) {
+      if (x[i] & q) {
+        x[0] ^= p;  // invert
+      } else {
+        const std::uint32_t t = (x[0] ^ x[i]) & p;
+        x[0] ^= t;
+        x[i] ^= t;
+      }
+    }
+  }
+  // Gray encode.
+  for (int i = 1; i < kDims; ++i) x[i] ^= x[i - 1];
+  std::uint32_t t = 0;
+  for (std::uint32_t q = m; q > 1; q >>= 1) {
+    if (x[kDims - 1] & q) t ^= q - 1;
+  }
+  for (int i = 0; i < kDims; ++i) x[i] ^= t;
+}
+
+void transpose_to_axes(std::uint32_t x[kDims], int bits) {
+  const std::uint32_t n = 2u << (bits - 1);
+  // Gray decode by H ^ (H/2).
+  std::uint32_t t = x[kDims - 1] >> 1;
+  for (int i = kDims - 1; i > 0; --i) x[i] ^= x[i - 1];
+  x[0] ^= t;
+  // Undo excess work.
+  for (std::uint32_t q = 2; q != n; q <<= 1) {
+    const std::uint32_t p = q - 1;
+    for (int i = kDims - 1; i >= 0; --i) {
+      if (x[i] & q) {
+        x[0] ^= p;
+      } else {
+        const std::uint32_t t2 = (x[0] ^ x[i]) & p;
+        x[0] ^= t2;
+        x[i] ^= t2;
+      }
+    }
+  }
+}
+
+void check_args(std::array<std::uint32_t, 3> coords, int bits) {
+  if (bits < 1 || bits > 20) {
+    throw std::invalid_argument("hilbert: bits must be in [1, 20]");
+  }
+  for (auto c : coords) {
+    if (c >= (1u << bits)) {
+      throw std::invalid_argument("hilbert: coordinate out of range");
+    }
+  }
+}
+
+}  // namespace
+
+std::uint64_t hilbert_index(std::array<std::uint32_t, 3> coords, int bits) {
+  check_args(coords, bits);
+  std::uint32_t x[kDims] = {coords[0], coords[1], coords[2]};
+  axes_to_transpose(x, bits);
+  // Interleave: MSB-first, word order x[0], x[1], x[2].
+  std::uint64_t index = 0;
+  for (int b = bits - 1; b >= 0; --b) {
+    for (int i = 0; i < kDims; ++i) {
+      index = (index << 1) | ((x[i] >> b) & 1u);
+    }
+  }
+  return index;
+}
+
+std::array<std::uint32_t, 3> hilbert_coords(std::uint64_t index, int bits) {
+  if (bits < 1 || bits > 20) {
+    throw std::invalid_argument("hilbert: bits must be in [1, 20]");
+  }
+  std::uint32_t x[kDims] = {0, 0, 0};
+  // De-interleave into the transpose representation.
+  int bit = kDims * bits - 1;
+  for (int b = bits - 1; b >= 0; --b) {
+    for (int i = 0; i < kDims; ++i) {
+      x[i] |= static_cast<std::uint32_t>((index >> bit) & 1u) << b;
+      --bit;
+    }
+  }
+  transpose_to_axes(x, bits);
+  return {x[0], x[1], x[2]};
+}
+
+}  // namespace dc::data

@@ -1,0 +1,23 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace dc::data {
+
+/// 3-D Hilbert space-filling curve (Skilling's transpose algorithm).
+///
+/// The paper declusters dataset chunks across files with a Hilbert
+/// curve-based algorithm [Faloutsos & Bhagwat 1993]; chunks close on the
+/// curve are close in space, so striding along the curve spreads any query
+/// box across all files.
+///
+/// Coordinates must be < 2^bits; bits <= 20 keeps the index in 60 bits.
+[[nodiscard]] std::uint64_t hilbert_index(std::array<std::uint32_t, 3> coords,
+                                          int bits);
+
+/// Inverse of hilbert_index.
+[[nodiscard]] std::array<std::uint32_t, 3> hilbert_coords(std::uint64_t index,
+                                                          int bits);
+
+}  // namespace dc::data

@@ -1,0 +1,93 @@
+#include "data/store.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace dc::data {
+
+DatasetStore::DatasetStore(ChunkLayout layout, std::vector<int> file_of_chunk,
+                           int num_files, int floats_per_point)
+    : layout_(layout),
+      file_of_chunk_(std::move(file_of_chunk)),
+      num_files_(num_files),
+      floats_per_point_(floats_per_point) {
+  if (num_files_ <= 0) {
+    throw std::invalid_argument("DatasetStore: num_files must be positive");
+  }
+  if (static_cast<int>(file_of_chunk_.size()) != layout_.num_chunks()) {
+    throw std::invalid_argument("DatasetStore: file map size mismatch");
+  }
+  for (int f : file_of_chunk_) {
+    if (f < 0 || f >= num_files_) {
+      throw std::invalid_argument("DatasetStore: file id out of range");
+    }
+  }
+  location_.assign(static_cast<std::size_t>(num_files_), FileLocation{});
+}
+
+void DatasetStore::place_uniform(const std::vector<FileLocation>& locations) {
+  if (locations.empty()) {
+    throw std::invalid_argument("DatasetStore: no locations");
+  }
+  for (int f = 0; f < num_files_; ++f) {
+    location_[static_cast<std::size_t>(f)] =
+        locations[static_cast<std::size_t>(f) % locations.size()];
+  }
+}
+
+void DatasetStore::move_fraction(const std::vector<int>& from_hosts,
+                                 const std::vector<FileLocation>& to_locations,
+                                 double fraction) {
+  if (fraction < 0.0 || fraction > 1.0) {
+    throw std::invalid_argument("DatasetStore: fraction must be in [0, 1]");
+  }
+  if (to_locations.empty()) {
+    throw std::invalid_argument("DatasetStore: no target locations");
+  }
+  std::vector<int> candidates;
+  for (int f = 0; f < num_files_; ++f) {
+    const int host = location_[static_cast<std::size_t>(f)].host;
+    if (std::find(from_hosts.begin(), from_hosts.end(), host) != from_hosts.end()) {
+      candidates.push_back(f);
+    }
+  }
+  const auto n_move = static_cast<std::size_t>(
+      std::llround(fraction * static_cast<double>(candidates.size())));
+  for (std::size_t i = 0; i < n_move; ++i) {
+    location_[static_cast<std::size_t>(candidates[i])] =
+        to_locations[i % to_locations.size()];
+  }
+}
+
+std::vector<ChunkRef> DatasetStore::chunks_on_host(int host) const {
+  std::vector<ChunkRef> refs;
+  for (int c = 0; c < layout_.num_chunks(); ++c) {
+    const int f = file_of_chunk_[static_cast<std::size_t>(c)];
+    const auto& loc = location_[static_cast<std::size_t>(f)];
+    if (loc.host != host) continue;
+    refs.push_back(ChunkRef{c, f, loc.disk,
+                            layout_.chunk_bytes(c, floats_per_point_)});
+  }
+  return refs;
+}
+
+std::uint64_t DatasetStore::bytes_on_host(int host) const {
+  std::uint64_t total = 0;
+  for (const auto& ref : chunks_on_host(host)) total += ref.bytes;
+  return total;
+}
+
+std::vector<int> DatasetStore::data_hosts() const {
+  std::vector<int> hosts;
+  for (const auto& loc : location_) {
+    if (loc.host >= 0 &&
+        std::find(hosts.begin(), hosts.end(), loc.host) == hosts.end()) {
+      hosts.push_back(loc.host);
+    }
+  }
+  std::sort(hosts.begin(), hosts.end());
+  return hosts;
+}
+
+}  // namespace dc::data

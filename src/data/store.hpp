@@ -1,0 +1,79 @@
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "data/volume.hpp"
+
+namespace dc::data {
+
+/// Location of a dataset file on the simulated storage system.
+struct FileLocation {
+  int host = -1;
+  int disk = 0;
+};
+
+/// A chunk a given host must read: which file holds it, where, how large.
+struct ChunkRef {
+  int chunk = -1;
+  int file = -1;
+  int disk = 0;
+  std::uint64_t bytes = 0;
+};
+
+/// Maps the declustered dataset files onto the disks of the simulated
+/// cluster and answers "which chunks does host H read from which local
+/// disk?" — the question the Read filters and the ADR partitioner ask.
+///
+/// Placement styles reproduce the paper's experiments:
+///  - uniform: files dealt round-robin over the (host, disk) pairs in use;
+///  - skewed:  start uniform, then move a fraction of the files resident on
+///    one set of hosts onto another set (Section 4.5 moves P% of the files
+///    from the Blue nodes to the Rogue nodes).
+class DatasetStore {
+ public:
+  DatasetStore(ChunkLayout layout, std::vector<int> file_of_chunk, int num_files,
+               int floats_per_point = 1);
+
+  /// Deals all files round-robin across `locations`.
+  void place_uniform(const std::vector<FileLocation>& locations);
+
+  /// Moves ceil(fraction * |files on from_hosts|) files (lowest file ids
+  /// first, deterministically) to `to_locations`, dealt round-robin.
+  void move_fraction(const std::vector<int>& from_hosts,
+                     const std::vector<FileLocation>& to_locations,
+                     double fraction);
+
+  [[nodiscard]] const ChunkLayout& layout() const { return layout_; }
+  [[nodiscard]] int num_files() const { return num_files_; }
+  [[nodiscard]] int floats_per_point() const { return floats_per_point_; }
+  [[nodiscard]] const FileLocation& location_of_file(int file) const {
+    return location_.at(static_cast<std::size_t>(file));
+  }
+  [[nodiscard]] int file_of_chunk(int chunk) const {
+    return file_of_chunk_.at(static_cast<std::size_t>(chunk));
+  }
+
+  /// All chunks resident on `host`, ordered by chunk id.
+  [[nodiscard]] std::vector<ChunkRef> chunks_on_host(int host) const;
+
+  /// Bytes resident on `host` (sum over its chunks).
+  [[nodiscard]] std::uint64_t bytes_on_host(int host) const;
+
+  [[nodiscard]] std::uint64_t total_bytes() const {
+    return layout_.total_bytes(floats_per_point_);
+  }
+
+  /// Hosts that currently hold at least one file.
+  [[nodiscard]] std::vector<int> data_hosts() const;
+
+ private:
+  ChunkLayout layout_;
+  std::vector<int> file_of_chunk_;
+  int num_files_ = 0;
+  int floats_per_point_ = 1;
+  std::vector<FileLocation> location_;  ///< per file
+};
+
+}  // namespace dc::data

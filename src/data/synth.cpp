@@ -1,0 +1,79 @@
+#include "data/synth.hpp"
+
+#include <cmath>
+
+namespace dc::data {
+
+PlumeField::PlumeField(std::uint64_t seed, int num_plumes) {
+  sim::Rng rng(seed);
+  plumes_.reserve(static_cast<std::size_t>(num_plumes));
+  for (int i = 0; i < num_plumes; ++i) {
+    Plume p;
+    p.cx = static_cast<float>(rng.uniform(0.2, 0.8));
+    p.cy = static_cast<float>(rng.uniform(0.2, 0.8));
+    p.cz = static_cast<float>(rng.uniform(0.2, 0.8));
+    p.vx = static_cast<float>(rng.uniform(-0.03, 0.03));
+    p.vy = static_cast<float>(rng.uniform(-0.03, 0.03));
+    p.vz = static_cast<float>(rng.uniform(-0.03, 0.03));
+    p.sigma0 = static_cast<float>(rng.uniform(0.08, 0.2));
+    p.growth = static_cast<float>(rng.uniform(0.002, 0.01));
+    p.amplitude = static_cast<float>(rng.uniform(0.5, 1.0));
+    plumes_.push_back(p);
+  }
+  gradient_[0] = static_cast<float>(rng.uniform(0.0, 0.1));
+  gradient_[1] = static_cast<float>(rng.uniform(0.0, 0.1));
+  gradient_[2] = static_cast<float>(rng.uniform(0.0, 0.1));
+  for (auto& wave : waves_) {
+    wave.amplitude = static_cast<float>(rng.uniform(0.25, 0.45));
+    wave.frequency = static_cast<float>(rng.uniform(1.5, 3.0));
+    wave.phase = static_cast<float>(rng.uniform(0.0, 6.2831853));
+    wave.drift = static_cast<float>(rng.uniform(0.02, 0.08));
+  }
+}
+
+float PlumeField::value(float x, float y, float z, float t) const {
+  constexpr float kTwoPi = 6.2831853071795865f;
+  float v = 1.0f + gradient_[0] * x + gradient_[1] * y + gradient_[2] * z;
+  const float axes[3] = {x, y, z};
+  for (int a = 0; a < 3; ++a) {
+    const Wave& wave = waves_[a];
+    v += wave.amplitude *
+         std::sin(kTwoPi * (wave.frequency * axes[a] + wave.drift * t) +
+                  wave.phase);
+  }
+  for (const auto& p : plumes_) {
+    const float cx = p.cx + p.vx * t;
+    const float cy = p.cy + p.vy * t;
+    const float cz = p.cz + p.vz * t;
+    const float sigma = p.sigma0 + p.growth * t;
+    const float dx = x - cx;
+    const float dy = y - cy;
+    const float dz = z - cz;
+    const float r2 = dx * dx + dy * dy + dz * dz;
+    v += p.amplitude * std::exp(-r2 / (2.0f * sigma * sigma));
+  }
+  return v;
+}
+
+std::size_t PlumeField::fill_chunk(const ChunkLayout& layout, int chunk,
+                                   float timestep, std::vector<float>& out) const {
+  const CellBox box = layout.chunk_box(chunk);
+  const auto& g = layout.grid();
+  out.clear();
+  out.reserve(static_cast<std::size_t>(box.points()));
+  const float inv_x = 1.0f / static_cast<float>(g.nx);
+  const float inv_y = 1.0f / static_cast<float>(g.ny);
+  const float inv_z = 1.0f / static_cast<float>(g.nz);
+  for (int z = box.lo[2]; z <= box.hi[2]; ++z) {
+    for (int y = box.lo[1]; y <= box.hi[1]; ++y) {
+      for (int x = box.lo[0]; x <= box.hi[0]; ++x) {
+        out.push_back(value(static_cast<float>(x) * inv_x,
+                            static_cast<float>(y) * inv_y,
+                            static_cast<float>(z) * inv_z, timestep));
+      }
+    }
+  }
+  return out.size();
+}
+
+}  // namespace dc::data

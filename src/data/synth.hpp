@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "data/volume.hpp"
+#include "sim/rng.hpp"
+
+namespace dc::data {
+
+/// Synthetic stand-in for the ParSSim reactive-transport output used in the
+/// paper: a smooth scalar field on [0,1]^3 formed by superposed Gaussian
+/// chemical plumes that advect and spread over time, riding on slowly
+/// drifting long-wavelength concentration waves plus a gentle background
+/// gradient. The waves make the isosurface percolate the whole domain (like
+/// a transport front), so most dataset chunks contribute surface — the
+/// workload shape the paper's 470-buffer triangle stream implies.
+/// Deterministic in (seed, timestep).
+class PlumeField {
+ public:
+  explicit PlumeField(std::uint64_t seed, int num_plumes = 5);
+
+  /// Field value at normalized coordinates, for timestep `t` (0, 1, 2, ...).
+  [[nodiscard]] float value(float x, float y, float z, float t) const;
+
+  [[nodiscard]] int num_plumes() const { return static_cast<int>(plumes_.size()); }
+
+  /// Samples the grid points of one chunk (cells + one-point halo) into
+  /// `out`, ordered x-fastest. Returns the number of samples written.
+  std::size_t fill_chunk(const ChunkLayout& layout, int chunk, float timestep,
+                         std::vector<float>& out) const;
+
+ private:
+  struct Plume {
+    float cx, cy, cz;     ///< initial center
+    float vx, vy, vz;     ///< drift per timestep
+    float sigma0;         ///< initial width
+    float growth;         ///< width growth per timestep
+    float amplitude;
+  };
+  std::vector<Plume> plumes_;
+  float gradient_[3] = {0.f, 0.f, 0.f};
+  // Long-wavelength concentration waves, one per axis: amplitude, spatial
+  // frequency (cycles over the unit cube), phase, and drift per timestep.
+  struct Wave {
+    float amplitude, frequency, phase, drift;
+  };
+  Wave waves_[3]{};
+};
+
+}  // namespace dc::data

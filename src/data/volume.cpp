@@ -1,0 +1,71 @@
+#include "data/volume.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace dc::data {
+
+ChunkLayout::ChunkLayout(GridDims grid, int cx, int cy, int cz)
+    : grid_(grid), cx_(cx), cy_(cy), cz_(cz) {
+  if (grid.nx <= 0 || grid.ny <= 0 || grid.nz <= 0) {
+    throw std::invalid_argument("ChunkLayout: grid dims must be positive");
+  }
+  if (cx <= 0 || cy <= 0 || cz <= 0) {
+    throw std::invalid_argument("ChunkLayout: chunk counts must be positive");
+  }
+  if (cx > grid.nx || cy > grid.ny || cz > grid.nz) {
+    throw std::invalid_argument("ChunkLayout: more chunks than cells");
+  }
+}
+
+std::array<int, 3> ChunkLayout::chunk_coords(int chunk) const {
+  if (chunk < 0 || chunk >= num_chunks()) {
+    throw std::out_of_range("ChunkLayout: bad chunk id");
+  }
+  return {chunk % cx_, (chunk / cx_) % cy_, chunk / (cx_ * cy_)};
+}
+
+int ChunkLayout::chunk_id(std::array<int, 3> c) const {
+  if (c[0] < 0 || c[0] >= cx_ || c[1] < 0 || c[1] >= cy_ || c[2] < 0 ||
+      c[2] >= cz_) {
+    throw std::out_of_range("ChunkLayout: bad chunk coords");
+  }
+  return c[0] + cx_ * (c[1] + cy_ * c[2]);
+}
+
+CellBox ChunkLayout::chunk_box(int chunk) const {
+  const auto c = chunk_coords(chunk);
+  // Split cells as evenly as possible: the first (n % k) chunks get one
+  // extra cell.
+  auto split = [](int n, int k, int i) -> std::pair<int, int> {
+    const int base = n / k;
+    const int extra = n % k;
+    const int lo = i * base + std::min(i, extra);
+    const int len = base + (i < extra ? 1 : 0);
+    return {lo, lo + len};
+  };
+  CellBox box;
+  const auto [x0, x1] = split(grid_.nx, cx_, c[0]);
+  const auto [y0, y1] = split(grid_.ny, cy_, c[1]);
+  const auto [z0, z1] = split(grid_.nz, cz_, c[2]);
+  box.lo = {x0, y0, z0};
+  box.hi = {x1, y1, z1};
+  return box;
+}
+
+std::uint64_t ChunkLayout::chunk_bytes(int chunk, int floats_per_point) const {
+  const auto box = chunk_box(chunk);
+  return static_cast<std::uint64_t>(box.points()) * sizeof(float) *
+         static_cast<std::uint64_t>(floats_per_point);
+}
+
+std::uint64_t ChunkLayout::total_bytes(int floats_per_point) const {
+  std::uint64_t total = 0;
+  for (int c = 0; c < num_chunks(); ++c) {
+    total += chunk_bytes(c, floats_per_point);
+  }
+  return total;
+}
+
+}  // namespace dc::data

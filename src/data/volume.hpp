@@ -1,0 +1,67 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace dc::data {
+
+/// Size of a rectilinear grid in cells. Grid points are (nx+1)(ny+1)(nz+1).
+struct GridDims {
+  int nx = 0;
+  int ny = 0;
+  int nz = 0;
+  [[nodiscard]] std::int64_t cells() const {
+    return static_cast<std::int64_t>(nx) * ny * nz;
+  }
+  [[nodiscard]] std::int64_t points() const {
+    return static_cast<std::int64_t>(nx + 1) * (ny + 1) * (nz + 1);
+  }
+};
+
+/// Inclusive-exclusive cell box [lo, hi) of a chunk within the grid.
+struct CellBox {
+  std::array<int, 3> lo{};
+  std::array<int, 3> hi{};
+  [[nodiscard]] std::int64_t cells() const {
+    return static_cast<std::int64_t>(hi[0] - lo[0]) * (hi[1] - lo[1]) *
+           (hi[2] - lo[2]);
+  }
+  /// Grid points needed to evaluate all cells (one-point halo per axis).
+  [[nodiscard]] std::int64_t points() const {
+    return static_cast<std::int64_t>(hi[0] - lo[0] + 1) * (hi[1] - lo[1] + 1) *
+           (hi[2] - lo[2] + 1);
+  }
+};
+
+/// Regular decomposition of a grid into cx*cy*cz equal chunks — the paper
+/// partitions each timestep "into equal sub-volumes in three dimensions".
+class ChunkLayout {
+ public:
+  ChunkLayout() = default;
+  ChunkLayout(GridDims grid, int cx, int cy, int cz);
+
+  [[nodiscard]] const GridDims& grid() const { return grid_; }
+  [[nodiscard]] int chunks_x() const { return cx_; }
+  [[nodiscard]] int chunks_y() const { return cy_; }
+  [[nodiscard]] int chunks_z() const { return cz_; }
+  [[nodiscard]] int num_chunks() const { return cx_ * cy_ * cz_; }
+
+  [[nodiscard]] std::array<int, 3> chunk_coords(int chunk) const;
+  [[nodiscard]] int chunk_id(std::array<int, 3> coords) const;
+  [[nodiscard]] CellBox chunk_box(int chunk) const;
+
+  /// Stored size of one chunk: one float per grid point of the chunk
+  /// (cells + halo), times `floats_per_point` (e.g. several chemical
+  /// species in the ParSSim output).
+  [[nodiscard]] std::uint64_t chunk_bytes(int chunk, int floats_per_point = 1) const;
+
+  /// Total stored dataset size.
+  [[nodiscard]] std::uint64_t total_bytes(int floats_per_point = 1) const;
+
+ private:
+  GridDims grid_{};
+  int cx_ = 0, cy_ = 0, cz_ = 0;
+};
+
+}  // namespace dc::data

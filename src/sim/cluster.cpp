@@ -1,0 +1,95 @@
+#include "sim/cluster.hpp"
+
+#include <utility>
+
+namespace dc::sim {
+
+int Topology::add_host(HostSpec spec) {
+  const int id = static_cast<int>(hosts_.size());
+  hosts_.push_back(std::make_unique<Host>(sim_, id, std::move(spec)));
+  network_.register_nic(&hosts_.back()->nic());
+  return id;
+}
+
+std::vector<int> Topology::add_hosts(int n, HostSpec spec) {
+  std::vector<int> ids;
+  ids.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    HostSpec s = spec;
+    s.name = spec.name + std::to_string(i);
+    ids.push_back(add_host(std::move(s)));
+  }
+  return ids;
+}
+
+std::vector<int> Topology::hosts_in_class(const std::string& cls) const {
+  std::vector<int> ids;
+  for (const auto& h : hosts_) {
+    if (h->host_class() == cls) ids.push_back(h->id());
+  }
+  return ids;
+}
+
+namespace testbed {
+
+// Bandwidths: Gigabit Ethernet ~125 MB/s line rate, Fast Ethernet 12.5 MB/s.
+// Disk numbers reflect year-2000 drives: 18 GB SCSI ~ 25 MB/s sequential,
+// 75 GB IDE ~ 30 MB/s sequential, ~8 ms average positioning time.
+
+HostSpec red_node() {
+  HostSpec s;
+  s.name = "red";
+  s.host_class = "red";
+  s.cores = 2;
+  s.cpu_mhz = 450.0;
+  s.num_disks = 1;
+  s.disk_bandwidth = 25e6;
+  s.nic_bandwidth = 125e6;
+  s.memory_bytes = 256ull << 20;
+  return s;
+}
+
+HostSpec blue_node() {
+  HostSpec s;
+  s.name = "blue";
+  s.host_class = "blue";
+  s.cores = 2;
+  s.cpu_mhz = 550.0;
+  s.num_disks = 2;
+  s.disk_bandwidth = 25e6;
+  s.nic_bandwidth = 125e6;
+  s.memory_bytes = 1024ull << 20;
+  return s;
+}
+
+HostSpec rogue_node() {
+  HostSpec s;
+  s.name = "rogue";
+  s.host_class = "rogue";
+  s.cores = 1;
+  s.cpu_mhz = 650.0;
+  s.num_disks = 2;
+  s.disk_bandwidth = 30e6;
+  s.nic_bandwidth = 12.5e6;  // Switched Fast Ethernet
+  s.nic_latency = 150e-6;
+  s.memory_bytes = 128ull << 20;
+  return s;
+}
+
+HostSpec deathstar_node() {
+  HostSpec s;
+  s.name = "deathstar";
+  s.host_class = "deathstar";
+  s.cores = 8;
+  s.cpu_mhz = 550.0;
+  s.num_disks = 1;
+  s.disk_bandwidth = 25e6;
+  s.nic_bandwidth = 12.5e6;  // Fast Ethernet uplink to the other clusters
+  s.nic_latency = 150e-6;
+  s.memory_bytes = 4096ull << 20;
+  return s;
+}
+
+}  // namespace testbed
+
+}  // namespace dc::sim

@@ -1,0 +1,65 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/host.hpp"
+#include "sim/network.hpp"
+#include "sim/simulation.hpp"
+
+namespace dc::sim {
+
+/// A collection of simulated hosts wired into one switched network.
+///
+/// Hosts are added in order; their ids are dense [0, size).
+class Topology {
+ public:
+  explicit Topology(Simulation& sim) : sim_(sim), network_(sim) {}
+
+  Topology(const Topology&) = delete;
+  Topology& operator=(const Topology&) = delete;
+
+  /// Adds one host and wires its NIC into the network. Returns its id.
+  int add_host(HostSpec spec);
+
+  /// Adds `n` hosts with `spec`, numbering their names name0..name(n-1).
+  std::vector<int> add_hosts(int n, HostSpec spec);
+
+  [[nodiscard]] int size() const { return static_cast<int>(hosts_.size()); }
+  [[nodiscard]] Host& host(int id) { return *hosts_.at(static_cast<std::size_t>(id)); }
+  [[nodiscard]] const Host& host(int id) const {
+    return *hosts_.at(static_cast<std::size_t>(id));
+  }
+  [[nodiscard]] Network& network() { return network_; }
+  [[nodiscard]] Simulation& sim() { return sim_; }
+
+  /// All host ids whose host_class equals `cls`.
+  [[nodiscard]] std::vector<int> hosts_in_class(const std::string& cls) const;
+
+ private:
+  Simulation& sim_;
+  Network network_;
+  std::vector<std::unique_ptr<Host>> hosts_;
+};
+
+/// Presets matching the University of Maryland testbed in the paper
+/// (Section 4): Red, Blue, Rogue clusters and the Deathstar SMP.
+namespace testbed {
+
+/// Red: 8x 2-processor Pentium II 450 MHz, 256 MB, 1x 18 GB SCSI disk,
+/// Gigabit Ethernet.
+HostSpec red_node();
+/// Blue: 8x 2-processor Pentium III 550 MHz, 1 GB, 2x 18 GB SCSI disks,
+/// Gigabit Ethernet.
+HostSpec blue_node();
+/// Rogue: 8x 1-processor Pentium III 650 MHz, 128 MB, 2x 75 GB IDE disks,
+/// Switched Fast Ethernet (100 Mbit).
+HostSpec rogue_node();
+/// Deathstar: one 8-processor Pentium III 550 MHz SMP, 4 GB, connected to
+/// the other clusters via Fast Ethernet.
+HostSpec deathstar_node();
+
+}  // namespace testbed
+
+}  // namespace dc::sim

@@ -1,0 +1,105 @@
+#include "sim/cpu.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <stdexcept>
+#include <utility>
+
+namespace dc::sim {
+
+Cpu::Cpu(Simulation& sim, int cores, double ops_per_sec)
+    : sim_(sim), cores_(cores), ops_per_sec_(ops_per_sec) {
+  if (cores <= 0) throw std::invalid_argument("Cpu: cores must be positive");
+  if (ops_per_sec <= 0.0) {
+    throw std::invalid_argument("Cpu: ops_per_sec must be positive");
+  }
+}
+
+double Cpu::per_job_rate() const {
+  const int runnable = static_cast<int>(jobs_.size()) + background_jobs_;
+  if (runnable == 0) return 0.0;
+  const double share =
+      std::min(1.0, static_cast<double>(cores_) / static_cast<double>(runnable));
+  return ops_per_sec_ * share;
+}
+
+void Cpu::advance_to_now() {
+  const SimTime t = sim_.now();
+  const SimTime dt = t - last_update_;
+  if (dt > 0.0 && !jobs_.empty()) {
+    const double rate = per_job_rate();
+    const double progress = rate * dt;
+    for (auto& job : jobs_) {
+      job.remaining = std::max(0.0, job.remaining - progress);
+    }
+    const int runnable = static_cast<int>(jobs_.size()) + background_jobs_;
+    busy_core_seconds_ +=
+        dt * std::min(static_cast<double>(cores_), static_cast<double>(runnable));
+  }
+  last_update_ = t;
+}
+
+void Cpu::reschedule() {
+  ++gen_;
+  if (pending_event_ != 0) {
+    sim_.cancel(pending_event_);
+    pending_event_ = 0;
+  }
+  if (jobs_.empty()) return;
+
+  double min_remaining = std::numeric_limits<double>::infinity();
+  for (const auto& job : jobs_) {
+    min_remaining = std::min(min_remaining, job.remaining);
+  }
+  const double rate = per_job_rate();
+  assert(rate > 0.0);
+  const SimTime dt = min_remaining / rate;
+  const std::uint64_t expected_gen = gen_;
+  pending_event_ =
+      sim_.after(dt, [this, expected_gen] { on_completion_event(expected_gen); });
+}
+
+void Cpu::on_completion_event(std::uint64_t gen) {
+  if (gen != gen_) return;  // stale
+  pending_event_ = 0;
+  advance_to_now();
+
+  // Collect finished jobs, preserving submission order for determinism.
+  // A job also counts as finished when its residual work is too small to
+  // advance the clock by a representable amount — without this, rounding in
+  // the fair-share updates can leave a sliver of work that re-fires a
+  // zero-delay completion event forever.
+  const double rate = per_job_rate();
+  const SimTime now = sim_.now();
+  std::vector<std::function<void()>> done;
+  for (auto it = jobs_.begin(); it != jobs_.end();) {
+    const bool no_progress_possible =
+        rate > 0.0 && now + it->remaining / rate <= now;
+    if (it->remaining <= kTimeEps || no_progress_possible) {
+      done.push_back(std::move(it->done));
+      it = jobs_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  reschedule();
+  for (auto& fn : done) fn();
+}
+
+void Cpu::submit(double ops, std::function<void()> on_complete) {
+  if (ops < 0.0) throw std::invalid_argument("Cpu::submit: negative ops");
+  advance_to_now();
+  ops_completed_ += ops;
+  jobs_.push_back(Job{ops, std::move(on_complete), next_job_id_++});
+  reschedule();
+}
+
+void Cpu::set_background_jobs(int n) {
+  if (n < 0) throw std::invalid_argument("Cpu: background jobs must be >= 0");
+  advance_to_now();
+  background_jobs_ = n;
+  reschedule();
+}
+
+}  // namespace dc::sim

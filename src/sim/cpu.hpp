@@ -1,0 +1,75 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sim/event_queue.hpp"
+#include "sim/simulation.hpp"
+#include "sim/time.hpp"
+
+namespace dc::sim {
+
+/// Multi-core processor-sharing CPU.
+///
+/// Jobs carry an abstract work demand in "ops"; a core retires `ops_per_sec`
+/// ops per second. While `r` jobs are runnable on a host with `c` cores, each
+/// job progresses at rate `ops_per_sec * min(1, c / r)` — the same fair-share
+/// model as an equal-priority Linux run queue, which is how the paper
+/// generates heterogeneity from background jobs.
+///
+/// Background jobs are modeled as permanently-runnable jobs with infinite
+/// demand: they consume shares but never complete.
+class Cpu {
+ public:
+  Cpu(Simulation& sim, int cores, double ops_per_sec);
+
+  Cpu(const Cpu&) = delete;
+  Cpu& operator=(const Cpu&) = delete;
+
+  /// Submits a compute job; `on_complete` fires when `ops` have been retired.
+  /// Zero-op jobs complete after one zero-delay event.
+  void submit(double ops, std::function<void()> on_complete);
+
+  /// Changes the number of equal-priority background jobs (>= 0). Takes
+  /// effect immediately: in-flight jobs are re-rated.
+  void set_background_jobs(int n);
+
+  [[nodiscard]] int cores() const { return cores_; }
+  [[nodiscard]] double ops_per_sec() const { return ops_per_sec_; }
+  [[nodiscard]] int background_jobs() const { return background_jobs_; }
+  [[nodiscard]] int active_jobs() const { return static_cast<int>(jobs_.size()); }
+
+  /// Total ops retired by completed jobs (metrics).
+  [[nodiscard]] double ops_completed() const { return ops_completed_; }
+  /// Integral of (busy cores) dt — for utilization reporting.
+  [[nodiscard]] double busy_core_seconds() const { return busy_core_seconds_; }
+
+ private:
+  struct Job {
+    double remaining;
+    std::function<void()> done;
+    std::uint64_t id;
+  };
+
+  void advance_to_now();
+  void reschedule();
+  void on_completion_event(std::uint64_t gen);
+  [[nodiscard]] double per_job_rate() const;
+
+  Simulation& sim_;
+  int cores_;
+  double ops_per_sec_;
+  int background_jobs_ = 0;
+
+  std::vector<Job> jobs_;
+  SimTime last_update_ = 0.0;
+  std::uint64_t next_job_id_ = 1;
+  std::uint64_t gen_ = 0;  // invalidates stale completion events
+  EventId pending_event_ = 0;
+
+  double ops_completed_ = 0.0;
+  double busy_core_seconds_ = 0.0;
+};
+
+}  // namespace dc::sim

@@ -1,0 +1,32 @@
+#include "sim/disk.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace dc::sim {
+
+Disk::Disk(Simulation& sim, double bandwidth_bytes_per_sec, SimTime seek_seconds)
+    : sim_(sim), bandwidth_(bandwidth_bytes_per_sec), seek_(seek_seconds) {
+  if (bandwidth_ <= 0.0) throw std::invalid_argument("Disk: bandwidth must be positive");
+  if (seek_ < 0.0) throw std::invalid_argument("Disk: negative seek time");
+}
+
+void Disk::request(std::uint64_t bytes, std::function<void()> done) {
+  const SimTime start = std::max(sim_.now(), busy_until_);
+  const SimTime service = seek_ + static_cast<double>(bytes) / bandwidth_;
+  busy_until_ = start + service;
+  bytes_ += bytes;
+  ++requests_;
+  sim_.at(busy_until_, std::move(done));
+}
+
+void Disk::read(std::uint64_t bytes, std::function<void()> done) {
+  request(bytes, std::move(done));
+}
+
+void Disk::write(std::uint64_t bytes, std::function<void()> done) {
+  request(bytes, std::move(done));
+}
+
+}  // namespace dc::sim

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/simulation.hpp"
+#include "sim/time.hpp"
+
+namespace dc::sim {
+
+/// FIFO disk model: each request costs one average positioning time (seek +
+/// rotational latency) followed by a sequential transfer at `bandwidth`
+/// bytes/s. Requests are serviced strictly in arrival order — the right
+/// first-order model for the single-spindle SCSI/IDE drives in the paper's
+/// testbed.
+class Disk {
+ public:
+  Disk(Simulation& sim, double bandwidth_bytes_per_sec, SimTime seek_seconds);
+
+  Disk(const Disk&) = delete;
+  Disk& operator=(const Disk&) = delete;
+
+  /// Enqueues a read of `bytes`; `done` fires at transfer completion.
+  void read(std::uint64_t bytes, std::function<void()> done);
+
+  /// Enqueues a write (same service model as read for this drive class).
+  void write(std::uint64_t bytes, std::function<void()> done);
+
+  [[nodiscard]] double bandwidth() const { return bandwidth_; }
+  [[nodiscard]] SimTime seek_time() const { return seek_; }
+  [[nodiscard]] SimTime busy_until() const { return busy_until_; }
+  [[nodiscard]] std::uint64_t bytes_transferred() const { return bytes_; }
+  [[nodiscard]] std::uint64_t requests() const { return requests_; }
+
+ private:
+  void request(std::uint64_t bytes, std::function<void()> done);
+
+  Simulation& sim_;
+  double bandwidth_;
+  SimTime seek_;
+  SimTime busy_until_ = 0.0;
+  std::uint64_t bytes_ = 0;
+  std::uint64_t requests_ = 0;
+};
+
+}  // namespace dc::sim

@@ -1,0 +1,41 @@
+#include "sim/event_queue.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace dc::sim {
+
+EventId EventQueue::push(SimTime t, std::function<void()> fn) {
+  const EventId id = next_id_++;
+  heap_.push(Entry{t, id, std::make_shared<std::function<void()>>(std::move(fn))});
+  live_.insert(id);
+  return id;
+}
+
+void EventQueue::cancel(EventId id) {
+  if (live_.erase(id) == 0) return;  // fired, unknown, or already cancelled
+  cancelled_.insert(id);
+  drop_cancelled_prefix();
+}
+
+void EventQueue::drop_cancelled_prefix() {
+  while (!heap_.empty() && cancelled_.erase(heap_.top().id) > 0) {
+    heap_.pop();
+  }
+}
+
+SimTime EventQueue::next_time() const {
+  assert(!empty());
+  return heap_.top().time;
+}
+
+EventQueue::Fired EventQueue::pop() {
+  assert(!empty());
+  Entry top = heap_.top();
+  heap_.pop();
+  live_.erase(top.id);
+  drop_cancelled_prefix();
+  return Fired{top.time, std::move(*top.fn)};
+}
+
+}  // namespace dc::sim

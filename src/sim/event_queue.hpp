@@ -1,0 +1,66 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace dc::sim {
+
+/// Identifier of a scheduled event, usable for cancellation.
+using EventId = std::uint64_t;
+
+/// Min-heap of timestamped callbacks. Ties are broken by insertion order so
+/// that the simulation is fully deterministic. Cancellation is lazy: the
+/// entry stays in the heap but is skipped when it reaches the top.
+class EventQueue {
+ public:
+  EventQueue() = default;
+
+  /// Schedules `fn` to fire at virtual time `t`. Returns an id that can be
+  /// passed to cancel().
+  EventId push(SimTime t, std::function<void()> fn);
+
+  /// Cancels a pending event. Cancelling an already-fired, already-cancelled
+  /// or unknown id is a no-op.
+  void cancel(EventId id);
+
+  [[nodiscard]] bool empty() const { return live_.empty(); }
+  [[nodiscard]] std::size_t size() const { return live_.size(); }
+  [[nodiscard]] SimTime next_time() const;
+
+  /// Pops and returns the earliest live event. Precondition: !empty().
+  struct Fired {
+    SimTime time;
+    std::function<void()> fn;
+  };
+  Fired pop();
+
+ private:
+  struct Entry {
+    SimTime time;
+    EventId id;
+    // Heap entries are copied around by std::priority_queue; keep the
+    // callback in a shared_ptr so copies are cheap.
+    std::shared_ptr<std::function<void()>> fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.id > b.id;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::unordered_set<EventId> live_;       ///< pushed, not yet popped/cancelled
+  std::unordered_set<EventId> cancelled_;  ///< cancelled, still in the heap
+  EventId next_id_ = 1;
+
+  void drop_cancelled_prefix();
+};
+
+}  // namespace dc::sim

@@ -1,0 +1,64 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/cpu.hpp"
+#include "sim/disk.hpp"
+#include "sim/network.hpp"
+
+namespace dc::sim {
+
+/// Static description of one machine in the testbed.
+struct HostSpec {
+  std::string name;
+  std::string host_class;  ///< cluster name, e.g. "rogue" — used for grouping
+  int cores = 1;
+  double cpu_mhz = 500.0;       ///< ops_per_sec = cpu_mhz * 1e6
+  int num_disks = 1;
+  double disk_bandwidth = 25e6;  ///< bytes/s
+  SimTime disk_seek = 8e-3;      ///< s
+  double nic_bandwidth = 125e6;  ///< bytes/s (Gigabit Ethernet)
+  SimTime nic_latency = 100e-6;  ///< s
+  std::uint64_t memory_bytes = 256ull << 20;
+};
+
+/// A simulated machine: CPU + disks + NIC, owned by a Topology.
+class Host {
+ public:
+  Host(Simulation& sim, int id, HostSpec spec)
+      : id_(id),
+        spec_(std::move(spec)),
+        cpu_(sim, spec_.cores, spec_.cpu_mhz * 1e6),
+        nic_(sim, spec_.nic_bandwidth, spec_.nic_latency) {
+    disks_.reserve(static_cast<std::size_t>(spec_.num_disks));
+    for (int d = 0; d < spec_.num_disks; ++d) {
+      disks_.push_back(
+          std::make_unique<Disk>(sim, spec_.disk_bandwidth, spec_.disk_seek));
+    }
+  }
+
+  Host(const Host&) = delete;
+  Host& operator=(const Host&) = delete;
+
+  [[nodiscard]] int id() const { return id_; }
+  [[nodiscard]] const std::string& name() const { return spec_.name; }
+  [[nodiscard]] const std::string& host_class() const { return spec_.host_class; }
+  [[nodiscard]] const HostSpec& spec() const { return spec_; }
+
+  [[nodiscard]] Cpu& cpu() { return cpu_; }
+  [[nodiscard]] const Cpu& cpu() const { return cpu_; }
+  [[nodiscard]] Nic& nic() { return nic_; }
+  [[nodiscard]] int num_disks() const { return static_cast<int>(disks_.size()); }
+  [[nodiscard]] Disk& disk(int i) { return *disks_.at(static_cast<std::size_t>(i)); }
+
+ private:
+  int id_;
+  HostSpec spec_;
+  Cpu cpu_;
+  Nic nic_;
+  std::vector<std::unique_ptr<Disk>> disks_;
+};
+
+}  // namespace dc::sim

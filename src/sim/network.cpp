@@ -1,0 +1,55 @@
+#include "sim/network.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+#include <utility>
+
+namespace dc::sim {
+
+Link::Link(Simulation& sim, double bandwidth_bytes_per_sec, SimTime latency_seconds)
+    : sim_(sim), bandwidth_(bandwidth_bytes_per_sec), latency_(latency_seconds) {
+  if (bandwidth_ <= 0.0) throw std::invalid_argument("Link: bandwidth must be positive");
+  if (latency_ < 0.0) throw std::invalid_argument("Link: negative latency");
+}
+
+Link::Reservation Link::reserve(std::uint64_t bytes, SimTime earliest) {
+  const SimTime start = std::max({sim_.now(), busy_until_, earliest});
+  const SimTime end = start + static_cast<double>(bytes) / bandwidth_;
+  busy_until_ = end;
+  bytes_ += bytes;
+  return Reservation{start, end};
+}
+
+void Network::send(int src, int dst, std::uint64_t bytes,
+                   std::function<void()> delivered) {
+  assert(src >= 0 && static_cast<std::size_t>(src) < nics_.size());
+  assert(dst >= 0 && static_cast<std::size_t>(dst) < nics_.size());
+  ++messages_;
+  total_bytes_ += bytes;
+
+  if (src == dst) {
+    // Same-host delivery: a bounded-bandwidth memory copy, no NIC use.
+    // Copies serialize per host, which keeps local delivery FIFO.
+    ++local_messages_;
+    auto& busy = loopback_busy_until_[static_cast<std::size_t>(src)];
+    const SimTime start = std::max(sim_.now(), busy);
+    const SimTime end = start + static_cast<double>(bytes) / local_bandwidth_;
+    busy = end;
+    sim_.at(end + local_latency_, std::move(delivered));
+    return;
+  }
+
+  Link& tx = nics_[static_cast<std::size_t>(src)]->tx;
+  Link& rx = nics_[static_cast<std::size_t>(dst)]->rx;
+
+  const Link::Reservation out = tx.reserve(bytes, sim_.now());
+  // The first byte reaches the receiver one propagation latency after the
+  // transmitter starts; receive-side serialization is pipelined with the
+  // transmit but cannot finish before the transmitter has finished sending.
+  const Link::Reservation in = rx.reserve(bytes, out.start + tx.latency());
+  const SimTime delivery = std::max(out.end + tx.latency(), in.end);
+  sim_.at(delivery, std::move(delivered));
+}
+
+}  // namespace dc::sim

@@ -1,0 +1,97 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sim/simulation.hpp"
+#include "sim/time.hpp"
+
+namespace dc::sim {
+
+/// Unidirectional FIFO bandwidth server (one direction of a NIC port).
+class Link {
+ public:
+  Link(Simulation& sim, double bandwidth_bytes_per_sec, SimTime latency_seconds);
+
+  Link(const Link&) = delete;
+  Link& operator=(const Link&) = delete;
+
+  /// Reserves the link for `bytes` starting no earlier than `earliest`.
+  /// Returns the pair (service_start, service_end).
+  struct Reservation {
+    SimTime start;
+    SimTime end;
+  };
+  Reservation reserve(std::uint64_t bytes, SimTime earliest);
+
+  [[nodiscard]] double bandwidth() const { return bandwidth_; }
+  [[nodiscard]] SimTime latency() const { return latency_; }
+  [[nodiscard]] SimTime busy_until() const { return busy_until_; }
+  [[nodiscard]] std::uint64_t bytes_transferred() const { return bytes_; }
+
+ private:
+  Simulation& sim_;
+  double bandwidth_;
+  SimTime latency_;
+  SimTime busy_until_ = 0.0;
+  std::uint64_t bytes_ = 0;
+};
+
+/// Full-duplex network interface: independent transmit and receive servers.
+struct Nic {
+  Nic(Simulation& sim, double bandwidth_bytes_per_sec, SimTime latency_seconds)
+      : tx(sim, bandwidth_bytes_per_sec, latency_seconds),
+        rx(sim, bandwidth_bytes_per_sec, latency_seconds) {}
+  Link tx;
+  Link rx;
+};
+
+/// Point-to-point switched network over per-host NICs.
+///
+/// A message from A to B serializes on A's transmit link, propagates with the
+/// transmit latency, then serializes on B's receive link (pipelined, so an
+/// uncontended path achieves latency + bytes / min(tx_bw, rx_bw)). Contention
+/// arises naturally when many senders target one receiver (rx queueing) or
+/// one sender fans out (tx queueing) — the effects behind the paper's
+/// slow-Ethernet observations. Same-host messages cost a memory copy.
+class Network {
+ public:
+  explicit Network(Simulation& sim, double local_copy_bandwidth = 400e6,
+                   SimTime local_latency = 5e-6)
+      : sim_(sim),
+        local_bandwidth_(local_copy_bandwidth),
+        local_latency_(local_latency) {}
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  /// Registers a host NIC; host ids must be dense, in registration order.
+  void register_nic(Nic* nic) {
+    nics_.push_back(nic);
+    loopback_busy_until_.push_back(0.0);
+  }
+
+  /// Sends `bytes` from host `src` to host `dst`; `delivered` fires when the
+  /// last byte reaches the destination.
+  void send(int src, int dst, std::uint64_t bytes,
+            std::function<void()> delivered);
+
+  [[nodiscard]] std::uint64_t messages_sent() const { return messages_; }
+  [[nodiscard]] std::uint64_t bytes_sent() const { return total_bytes_; }
+  [[nodiscard]] std::uint64_t local_messages() const { return local_messages_; }
+
+ private:
+  Simulation& sim_;
+  double local_bandwidth_;
+  SimTime local_latency_;
+  std::vector<Nic*> nics_;
+  // Per-host loopback "link": same-host messages serialize on the memory
+  // bus so they stay FIFO (an end-of-work marker must never overtake data).
+  std::vector<SimTime> loopback_busy_until_;
+  std::uint64_t messages_ = 0;
+  std::uint64_t total_bytes_ = 0;
+  std::uint64_t local_messages_ = 0;
+};
+
+}  // namespace dc::sim

@@ -1,0 +1,74 @@
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+namespace dc::sim {
+
+/// Deterministic, seedable xoshiro256** generator with splitmix64 seeding.
+/// Used for every source of randomness in the library so that simulations
+/// are reproducible bit-for-bit across runs.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    // splitmix64 expansion of the seed into the 256-bit state.
+    std::uint64_t x = seed;
+    for (auto& word : s_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [0, n). Precondition: n > 0.
+  std::uint64_t below(std::uint64_t n) { return next_u64() % n; }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t range(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(
+                    below(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  /// Standard normal via Box-Muller.
+  double normal() {
+    const double u1 = 1.0 - uniform();  // avoid log(0)
+    const double u2 = uniform();
+    return std::sqrt(-2.0 * std::log(u1)) *
+           std::cos(2.0 * 3.14159265358979323846 * u2);
+  }
+
+  /// Derives an independent child stream; deterministic in (state, salt).
+  Rng split(std::uint64_t salt) { return Rng(next_u64() ^ (salt * 0x9e3779b97f4a7c15ULL)); }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t s_[4]{};
+};
+
+}  // namespace dc::sim

@@ -1,0 +1,45 @@
+#include "sim/simulation.hpp"
+
+#include <cassert>
+#include <stdexcept>
+#include <utility>
+
+namespace dc::sim {
+
+EventId Simulation::at(SimTime t, std::function<void()> fn) {
+  if (t < now_ - kTimeEps) {
+    throw std::invalid_argument("Simulation::at: time is in the past");
+  }
+  if (t < now_) t = now_;
+  return queue_.push(t, std::move(fn));
+}
+
+EventId Simulation::after(SimTime dt, std::function<void()> fn) {
+  if (dt < 0.0) {
+    throw std::invalid_argument("Simulation::after: negative delay");
+  }
+  return queue_.push(now_ + dt, std::move(fn));
+}
+
+bool Simulation::step() {
+  if (queue_.empty()) return false;
+  auto [time, fn] = queue_.pop();
+  assert(time >= now_ - kTimeEps);
+  if (time > now_) now_ = time;
+  ++events_fired_;
+  fn();
+  return true;
+}
+
+void Simulation::run(SimTime horizon) {
+  while (!queue_.empty() && queue_.next_time() <= horizon) {
+    step();
+  }
+  // Advance the clock to the horizon even when later events remain pending —
+  // run(h) means "simulate until virtual time h".
+  if (horizon != std::numeric_limits<SimTime>::infinity() && horizon > now_) {
+    now_ = horizon;
+  }
+}
+
+}  // namespace dc::sim

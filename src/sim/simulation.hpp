@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+
+#include "sim/event_queue.hpp"
+#include "sim/time.hpp"
+
+namespace dc::sim {
+
+/// Discrete-event simulation driver: a virtual clock plus an event queue.
+///
+/// All resource models (Cpu, Disk, Link) and the filter runtime schedule
+/// their state transitions here. The simulation is strictly single-threaded
+/// and deterministic: equal-time events fire in scheduling order.
+class Simulation {
+ public:
+  Simulation() = default;
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  [[nodiscard]] SimTime now() const { return now_; }
+
+  /// Schedules `fn` at absolute virtual time `t` (must be >= now()).
+  EventId at(SimTime t, std::function<void()> fn);
+
+  /// Schedules `fn` after a virtual delay `dt` (must be >= 0).
+  EventId after(SimTime dt, std::function<void()> fn);
+
+  void cancel(EventId id) { queue_.cancel(id); }
+
+  /// Fires the next event, if any. Returns false when the queue is empty.
+  bool step();
+
+  /// Runs until the event queue drains or `horizon` is reached.
+  void run(SimTime horizon = std::numeric_limits<SimTime>::infinity());
+
+  [[nodiscard]] std::uint64_t events_fired() const { return events_fired_; }
+  [[nodiscard]] bool idle() const { return queue_.empty(); }
+
+ private:
+  SimTime now_ = 0.0;
+  EventQueue queue_;
+  std::uint64_t events_fired_ = 0;
+};
+
+}  // namespace dc::sim

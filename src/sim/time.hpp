@@ -1,0 +1,16 @@
+#pragma once
+
+namespace dc::sim {
+
+/// Virtual time, in seconds. The simulation is single-threaded and
+/// deterministic; double precision is sufficient because all experiment
+/// horizons are << 1e6 s and event deltas are >= 1e-9 s.
+using SimTime = double;
+
+/// Tolerance used when comparing virtual times / remaining work.
+inline constexpr double kTimeEps = 1e-12;
+
+inline constexpr SimTime usec(double n) { return n * 1e-6; }
+inline constexpr SimTime msec(double n) { return n * 1e-3; }
+
+}  // namespace dc::sim

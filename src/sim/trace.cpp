@@ -1,0 +1,24 @@
+#include "sim/trace.hpp"
+
+#include <iomanip>
+
+namespace dc::sim {
+
+std::size_t Trace::count(const std::string& tag) const {
+  std::size_t n = 0;
+  for (const auto& r : records_) {
+    if (r.tag == tag) ++n;
+  }
+  return n;
+}
+
+std::string Trace::dump() const {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(6);
+  for (const auto& r : records_) {
+    os << r.time << ' ' << r.tag << ' ' << r.detail << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace dc::sim

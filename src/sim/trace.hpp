@@ -1,0 +1,45 @@
+#pragma once
+
+#include <functional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace dc::sim {
+
+/// Lightweight optional event trace. Disabled by default so the hot path
+/// costs one branch; when enabled, records (time, tag, detail) tuples that
+/// tests and debugging tools can inspect.
+class Trace {
+ public:
+  struct Record {
+    SimTime time;
+    std::string tag;
+    std::string detail;
+  };
+
+  void enable(bool on = true) { enabled_ = on; }
+  [[nodiscard]] bool enabled() const { return enabled_; }
+
+  void emit(SimTime t, std::string tag, std::string detail) {
+    if (!enabled_) return;
+    records_.push_back(Record{t, std::move(tag), std::move(detail)});
+  }
+
+  [[nodiscard]] const std::vector<Record>& records() const { return records_; }
+  void clear() { records_.clear(); }
+
+  /// Number of records whose tag equals `tag`.
+  [[nodiscard]] std::size_t count(const std::string& tag) const;
+
+  /// Renders all records as "t tag detail" lines (test/debug helper).
+  [[nodiscard]] std::string dump() const;
+
+ private:
+  bool enabled_ = false;
+  std::vector<Record> records_;
+};
+
+}  // namespace dc::sim

@@ -1,0 +1,169 @@
+#include "sort/external_sort.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/filter.hpp"
+
+namespace dc::sort {
+
+namespace {
+
+/// Source: scans `runs_per_reader` runs from the host-local disk, producing
+/// key/payload records (synthesized deterministically — the stand-in for a
+/// stored input file).
+class ReadRecordsFilter final : public core::SourceFilter {
+ public:
+  explicit ReadRecordsFilter(SortWorkload w) : w_(w) {}
+
+  bool step(core::FilterContext& ctx) override {
+    if (run_ >= w_.runs_per_reader) return false;
+    ++run_;
+    ctx.read_disk(0, w_.records_per_run * w_.stored_record_bytes);
+    ctx.charge(w_.gen_per_record * static_cast<double>(w_.records_per_run));
+    auto& rng = ctx.rng();
+    core::Buffer out = ctx.make_buffer(0);
+    for (std::uint64_t i = 0; i < w_.records_per_run; ++i) {
+      SortRecord r;
+      r.key = rng.next_u64();
+      r.payload = (static_cast<std::uint64_t>(ctx.instance_index()) << 32) | i;
+      if (!out.push(r)) {
+        ctx.write(0, out);
+        out = ctx.make_buffer(0);
+        out.push(r);
+      }
+    }
+    if (out.size() > 0) ctx.write(0, out);
+    return run_ < w_.runs_per_reader;
+  }
+
+ private:
+  SortWorkload w_;
+  int run_ = 0;
+};
+
+/// Accumulates records, sorts them at end of work, and emits one sorted run.
+/// A filter with internal state — the class of applications that forces the
+/// trailing combine filter (paper Section 1).
+class SortRunFilter final : public core::Filter {
+ public:
+  explicit SortRunFilter(SortWorkload w) : w_(w) {}
+
+  void process_buffer(core::FilterContext& ctx, int /*port*/,
+                      const core::Buffer& buf) override {
+    const auto records = buf.records<SortRecord>();
+    records_.insert(records_.end(), records.begin(), records.end());
+    ctx.charge(w_.gen_per_record * 0.25 * static_cast<double>(records.size()));
+  }
+
+  void process_eow(core::FilterContext& ctx) override {
+    std::sort(records_.begin(), records_.end(),
+              [](const SortRecord& a, const SortRecord& b) {
+                return a.key < b.key ||
+                       (a.key == b.key && a.payload < b.payload);
+              });
+    const double n = static_cast<double>(records_.size());
+    ctx.charge(w_.sort_per_record * n * std::max(1.0, std::log2(n + 1.0)));
+    core::Buffer out = ctx.make_buffer(0);
+    for (const SortRecord& r : records_) {
+      if (!out.push(r)) {
+        ctx.write(0, out);
+        out = ctx.make_buffer(0);
+        out.push(r);
+      }
+    }
+    if (out.size() > 0) ctx.write(0, out);
+  }
+
+ private:
+  SortWorkload w_;
+  std::vector<SortRecord> records_;
+};
+
+/// Combine filter: merges the sorted runs into the final output and records
+/// invariants for verification. With k upstream copies the merge work is
+/// n * log2(k); the output is identical no matter how many copies ran.
+class MergeRunsFilter final : public core::Filter {
+ public:
+  MergeRunsFilter(SortWorkload w, std::shared_ptr<SortOutcome> out, int k)
+      : w_(w), out_(std::move(out)), k_(std::max(2, k)) {}
+
+  void process_buffer(core::FilterContext& ctx, int /*port*/,
+                      const core::Buffer& buf) override {
+    const auto records = buf.records<SortRecord>();
+    all_.insert(all_.end(), records.begin(), records.end());
+    ctx.charge(w_.merge_per_record * static_cast<double>(records.size()));
+  }
+
+  void process_eow(core::FilterContext& ctx) override {
+    ctx.charge(w_.merge_per_record * static_cast<double>(all_.size()) *
+               std::log2(static_cast<double>(k_)));
+    std::sort(all_.begin(), all_.end(),
+              [](const SortRecord& a, const SortRecord& b) {
+                return a.key < b.key ||
+                       (a.key == b.key && a.payload < b.payload);
+              });
+    SortOutcome o;
+    o.count = all_.size();
+    o.sorted = true;
+    for (std::size_t i = 0; i < all_.size(); ++i) {
+      o.key_xor ^= all_[i].key;
+      o.key_sum += all_[i].key;
+      if (i > 0 && all_[i - 1].key > all_[i].key) o.sorted = false;
+    }
+    if (!all_.empty()) {
+      o.min_key = all_.front().key;
+      o.max_key = all_.back().key;
+    }
+    *out_ = o;
+  }
+
+ private:
+  SortWorkload w_;
+  std::shared_ptr<SortOutcome> out_;
+  int k_;
+  std::vector<SortRecord> all_;
+};
+
+}  // namespace
+
+SortRun run_sort_app(sim::Topology& topo, const SortAppSpec& spec,
+                     const core::RuntimeConfig& rt_config) {
+  core::Graph graph;
+  core::Placement placement;
+  auto outcome = std::make_shared<SortOutcome>();
+
+  const SortWorkload w = spec.workload;
+  int total_sorters = 0;
+  for (const auto& [host, copies] : spec.sorter_hosts) {
+    (void)host;
+    total_sorters += copies;
+  }
+
+  const int reader = graph.add_source(
+      "ReadRecords", [w] { return std::make_unique<ReadRecordsFilter>(w); });
+  const int sorter = graph.add_filter(
+      "SortRun", [w] { return std::make_unique<SortRunFilter>(w); });
+  const int merger = graph.add_filter("MergeRuns", [w, outcome, total_sorters] {
+    return std::make_unique<MergeRunsFilter>(w, outcome, total_sorters);
+  });
+  graph.connect(reader, 0, sorter, 0, spec.buffer_bytes, spec.buffer_bytes);
+  graph.connect(sorter, 0, merger, 0, spec.buffer_bytes, spec.buffer_bytes);
+
+  for (const auto& [host, copies] : spec.reader_hosts) {
+    placement.place(reader, host, copies);
+  }
+  for (const auto& [host, copies] : spec.sorter_hosts) {
+    placement.place(sorter, host, copies);
+  }
+  placement.place(merger, spec.merge_host, 1);
+
+  core::Runtime rt(topo, graph, placement, rt_config);
+  SortRun run;
+  run.makespan = rt.run_uow();
+  run.outcome = *outcome;
+  run.metrics = rt.metrics();
+  return run;
+}
+
+}  // namespace dc::sort

@@ -1,0 +1,62 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/runtime.hpp"
+#include "sim/cluster.hpp"
+
+namespace dc::sort {
+
+/// A record being sorted. Key + payload, 16 bytes — the "low processing
+/// requirements" data-movement workload class the paper contrasts with
+/// isosurface rendering (cf. River / external sorting in related work).
+struct SortRecord {
+  std::uint64_t key = 0;
+  std::uint64_t payload = 0;
+};
+static_assert(sizeof(SortRecord) == 16);
+
+/// Parameters of the external-sort demo application.
+struct SortWorkload {
+  int runs_per_reader = 8;            ///< disk runs each reader copy scans
+  std::uint64_t records_per_run = 4096;
+  std::uint64_t stored_record_bytes = 64;  ///< on-disk footprint per record
+  std::uint64_t seed = 12345;
+  double gen_per_record = 40.0;   ///< parse/copy ops per record read
+  double sort_per_record = 30.0;  ///< per record per log2(n) compare+swap
+  double merge_per_record = 25.0;
+};
+
+/// What the merge filter observed; checked by tests and printed by the demo.
+struct SortOutcome {
+  std::uint64_t count = 0;
+  std::uint64_t key_xor = 0;   ///< order-independent checksum
+  std::uint64_t key_sum = 0;
+  bool sorted = true;
+  std::uint64_t min_key = 0;
+  std::uint64_t max_key = 0;
+};
+
+/// Placement of the three-filter sort pipeline
+/// (ReadRecords -> Sort copies -> Merge).
+struct SortAppSpec {
+  SortWorkload workload;
+  std::vector<std::pair<int, int>> reader_hosts;  ///< (host, copies)
+  std::vector<std::pair<int, int>> sorter_hosts;  ///< (host, copies)
+  int merge_host = 0;
+  std::size_t buffer_bytes = 32 * 1024;
+};
+
+struct SortRun {
+  SortOutcome outcome;
+  sim::SimTime makespan = 0.0;
+  core::Metrics metrics;
+};
+
+/// Builds and runs one unit of work of the external sort on `topo`.
+SortRun run_sort_app(sim::Topology& topo, const SortAppSpec& spec,
+                     const core::RuntimeConfig& rt_config);
+
+}  // namespace dc::sort

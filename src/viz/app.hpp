@@ -1,0 +1,75 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/runtime.hpp"
+#include "viz/filters.hpp"
+
+namespace dc::viz {
+
+/// The three decompositions evaluated in the paper (Figure 3). Merge is
+/// always a separate filter with exactly one copy.
+enum class PipelineConfig {
+  kRERa_M,   ///< fully fused workers (SPMD-like)
+  kRE_Ra_M,  ///< decoupled raster
+  kR_ERa_M   ///< decoupled read
+};
+
+[[nodiscard]] const char* to_string(PipelineConfig c);
+
+/// Copies of a filter to run on one host.
+struct HostCopies {
+  int host = -1;
+  int copies = 1;
+};
+
+/// One copy on each listed host.
+[[nodiscard]] std::vector<HostCopies> one_each(const std::vector<int>& hosts);
+
+/// Full description of one isosurface-rendering run.
+struct IsoAppSpec {
+  PipelineConfig config = PipelineConfig::kRE_Ra_M;
+  HsrAlgorithm hsr = HsrAlgorithm::kActivePixel;
+  VizWorkload workload;
+  std::vector<HostCopies> data_hosts;    ///< R / RE / RERa placement
+  std::vector<HostCopies> raster_hosts;  ///< Ra / ERa placement (unused for RERa_M)
+  int merge_host = 0;
+  /// R -> E voxel-block stream. Smaller than the other streams: these
+  /// buffers carry the extract+raster work granules that the writer
+  /// policies schedule, and the demand signal needs enough of them
+  /// (the paper's R->E stream has ~6x more buffers than E->Ra).
+  std::size_t block_buffer_bytes = 16 * 1024;
+  std::size_t tri_buffer_bytes = 64 * 1024;    ///< E -> Ra
+  std::size_t pix_buffer_bytes = 64 * 1024;    ///< Ra -> M
+  bool keep_images = true;
+};
+
+/// An assembled (but not yet instantiated) application.
+struct IsoApp {
+  core::Graph graph;
+  core::Placement placement;
+  std::shared_ptr<RenderSink> sink;
+  int merge_filter = -1;
+  int raster_filter = -1;  ///< the filter whose copies receive E->Ra buffers
+                           ///< (Table 3); -1 for RERa_M
+};
+
+/// Builds graph + placement + result sink for `spec`.
+[[nodiscard]] IsoApp build_iso_app(const IsoAppSpec& spec);
+
+/// Outcome of rendering `uows` timesteps.
+struct RenderRun {
+  std::vector<sim::SimTime> per_uow;  ///< makespan per timestep
+  sim::SimTime avg = 0.0;
+  core::Metrics metrics;
+  std::shared_ptr<RenderSink> sink;
+  int raster_filter = -1;
+};
+
+/// Convenience: build, run `uows` units of work, collect results.
+RenderRun run_iso_app(sim::Topology& topo, const IsoAppSpec& spec,
+                      const core::RuntimeConfig& rt_config, int uows);
+
+}  // namespace dc::viz

@@ -1,0 +1,86 @@
+#pragma once
+
+#include <array>
+#include <cmath>
+
+namespace dc::viz {
+
+/// Minimal 3-vector used throughout the visualization pipeline.
+struct Vec3 {
+  float x = 0.f, y = 0.f, z = 0.f;
+
+  constexpr Vec3() = default;
+  constexpr Vec3(float px, float py, float pz) : x(px), y(py), z(pz) {}
+
+  constexpr Vec3 operator+(const Vec3& o) const { return {x + o.x, y + o.y, z + o.z}; }
+  constexpr Vec3 operator-(const Vec3& o) const { return {x - o.x, y - o.y, z - o.z}; }
+  constexpr Vec3 operator*(float s) const { return {x * s, y * s, z * s}; }
+  constexpr Vec3 operator/(float s) const { return {x / s, y / s, z / s}; }
+
+  [[nodiscard]] constexpr float dot(const Vec3& o) const {
+    return x * o.x + y * o.y + z * o.z;
+  }
+  [[nodiscard]] constexpr Vec3 cross(const Vec3& o) const {
+    return {y * o.z - z * o.y, z * o.x - x * o.z, x * o.y - y * o.x};
+  }
+  [[nodiscard]] float length() const { return std::sqrt(dot(*this)); }
+  [[nodiscard]] Vec3 normalized() const {
+    const float len = length();
+    return len > 0.f ? *this / len : Vec3{0.f, 0.f, 0.f};
+  }
+};
+
+/// A triangle in world (grid) coordinates. This is the record type flowing
+/// over the E -> Ra stream; it must stay trivially copyable.
+struct Triangle {
+  Vec3 v0, v1, v2;
+
+  [[nodiscard]] Vec3 face_normal() const {
+    return (v1 - v0).cross(v2 - v0).normalized();
+  }
+  [[nodiscard]] float area() const {
+    return 0.5f * (v1 - v0).cross(v2 - v0).length();
+  }
+};
+
+/// Column-major 4x4 matrix, sufficient for the view transforms we need.
+struct Mat4 {
+  // m[col][row]
+  std::array<std::array<float, 4>, 4> m{};
+
+  static Mat4 identity() {
+    Mat4 r;
+    for (int i = 0; i < 4; ++i) r.m[static_cast<std::size_t>(i)][static_cast<std::size_t>(i)] = 1.f;
+    return r;
+  }
+
+  [[nodiscard]] Mat4 operator*(const Mat4& o) const {
+    Mat4 r;
+    for (int c = 0; c < 4; ++c) {
+      for (int row = 0; row < 4; ++row) {
+        float acc = 0.f;
+        for (int k = 0; k < 4; ++k) {
+          acc += m[static_cast<std::size_t>(k)][static_cast<std::size_t>(row)] *
+                 o.m[static_cast<std::size_t>(c)][static_cast<std::size_t>(k)];
+        }
+        r.m[static_cast<std::size_t>(c)][static_cast<std::size_t>(row)] = acc;
+      }
+    }
+    return r;
+  }
+
+  /// Transforms a point (w = 1); returns (x', y', z', w').
+  [[nodiscard]] std::array<float, 4> transform(const Vec3& p) const {
+    std::array<float, 4> r{};
+    for (int row = 0; row < 4; ++row) {
+      r[static_cast<std::size_t>(row)] =
+          m[0][static_cast<std::size_t>(row)] * p.x +
+          m[1][static_cast<std::size_t>(row)] * p.y +
+          m[2][static_cast<std::size_t>(row)] * p.z +
+          m[3][static_cast<std::size_t>(row)];
+    }
+    return r;
+  }
+};
+
+}  // namespace dc::viz

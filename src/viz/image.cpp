@@ -1,0 +1,56 @@
+#include "viz/image.hpp"
+
+#include <fstream>
+
+namespace dc::viz {
+
+Image::Image(int width, int height, std::uint32_t fill)
+    : width_(width),
+      height_(height),
+      pixels_(static_cast<std::size_t>(width) * static_cast<std::size_t>(height),
+              fill) {}
+
+std::uint64_t Image::digest() const {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 0x100000001b3ULL;
+  };
+  mix(static_cast<std::uint64_t>(width_));
+  mix(static_cast<std::uint64_t>(height_));
+  for (std::uint32_t p : pixels_) mix(p);
+  return h;
+}
+
+std::size_t Image::diff_count(const Image& o) const {
+  if (width_ != o.width_ || height_ != o.height_) {
+    return pixels_.size() + o.pixels_.size();
+  }
+  std::size_t diff = 0;
+  for (std::size_t i = 0; i < pixels_.size(); ++i) {
+    if (pixels_[i] != o.pixels_[i]) ++diff;
+  }
+  return diff;
+}
+
+std::size_t Image::active_pixels(std::uint32_t background) const {
+  std::size_t n = 0;
+  for (std::uint32_t p : pixels_) {
+    if (p != background) ++n;
+  }
+  return n;
+}
+
+bool Image::write_ppm(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  out << "P6\n" << width_ << ' ' << height_ << "\n255\n";
+  for (std::uint32_t p : pixels_) {
+    const char rgb[3] = {static_cast<char>(red(p)), static_cast<char>(green(p)),
+                         static_cast<char>(blue(p))};
+    out.write(rgb, 3);
+  }
+  return static_cast<bool>(out);
+}
+
+}  // namespace dc::viz

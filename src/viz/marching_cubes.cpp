@@ -1,0 +1,84 @@
+#include "viz/marching_cubes.hpp"
+
+#include "viz/mc_tables.hpp"
+
+namespace dc::viz {
+
+namespace {
+
+// Corner positions within a cell, matching the numbering in mc_tables.hpp.
+constexpr int kCornerOffset[8][3] = {{0, 0, 0}, {1, 0, 0}, {1, 1, 0}, {0, 1, 0},
+                                     {0, 0, 1}, {1, 0, 1}, {1, 1, 1}, {0, 1, 1}};
+
+/// Linear interpolation of the iso crossing between two corner positions.
+Vec3 interp(float iso, const Vec3& p1, const Vec3& p2, float v1, float v2) {
+  // Guard against division by ~zero when the surface grazes a corner; the
+  // cutoffs match the classic implementation so meshes stay watertight
+  // (adjacent cells make the same decision from the same corner values).
+  if (std::abs(iso - v1) < 1e-5f) return p1;
+  if (std::abs(iso - v2) < 1e-5f) return p2;
+  if (std::abs(v1 - v2) < 1e-5f) return p1;
+  const float mu = (iso - v1) / (v2 - v1);
+  return p1 + (p2 - p1) * mu;
+}
+
+}  // namespace
+
+McStats marching_cubes(const float* samples, int nx, int ny, int nz, float ox,
+                       float oy, float oz, float iso,
+                       std::vector<Triangle>& out) {
+  McStats stats;
+  const int sx = nx + 1;  // samples per row
+  const int sy = ny + 1;
+  auto sample = [&](int x, int y, int z) {
+    return samples[static_cast<std::size_t>(z) * static_cast<std::size_t>(sx) *
+                       static_cast<std::size_t>(sy) +
+                   static_cast<std::size_t>(y) * static_cast<std::size_t>(sx) +
+                   static_cast<std::size_t>(x)];
+  };
+
+  for (int z = 0; z < nz; ++z) {
+    for (int y = 0; y < ny; ++y) {
+      for (int x = 0; x < nx; ++x) {
+        ++stats.cells;
+        float val[8];
+        Vec3 pos[8];
+        int cube_index = 0;
+        for (int c = 0; c < 8; ++c) {
+          const int cx = x + kCornerOffset[c][0];
+          const int cy = y + kCornerOffset[c][1];
+          const int cz = z + kCornerOffset[c][2];
+          val[c] = sample(cx, cy, cz);
+          pos[c] = Vec3{ox + static_cast<float>(cx), oy + static_cast<float>(cy),
+                        oz + static_cast<float>(cz)};
+          if (val[c] < iso) cube_index |= 1 << c;
+        }
+        const std::uint16_t edges = mc::kEdgeTable[cube_index];
+        if (edges == 0) continue;
+        ++stats.active_cells;
+
+        Vec3 vert[12];
+        for (int e = 0; e < 12; ++e) {
+          if (edges & (1u << e)) {
+            const int a = mc::kEdgeCorners[e][0];
+            const int b = mc::kEdgeCorners[e][1];
+            vert[e] = interp(iso, pos[a], pos[b], val[a], val[b]);
+          }
+        }
+
+        const std::int8_t* tris = mc::kTriTable[cube_index];
+        for (int i = 0; tris[i] != -1; i += 3) {
+          Triangle t;
+          t.v0 = vert[tris[i]];
+          t.v1 = vert[tris[i + 1]];
+          t.v2 = vert[tris[i + 2]];
+          out.push_back(t);
+          ++stats.triangles;
+        }
+      }
+    }
+  }
+  return stats;
+}
+
+}  // namespace dc::viz

@@ -1,0 +1,31 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "viz/geometry.hpp"
+
+namespace dc::viz {
+
+/// Work counters from one marching-cubes sweep; the Extract filter charges
+/// its CPU demand from these.
+struct McStats {
+  std::uint64_t cells = 0;         ///< cells visited
+  std::uint64_t active_cells = 0;  ///< cells crossed by the surface
+  std::uint64_t triangles = 0;     ///< triangles emitted
+};
+
+/// Marching cubes (Lorensen & Cline 1987) over one block of cells.
+///
+/// `samples` holds (nx+1) * (ny+1) * (nz+1) grid-point scalars, x fastest,
+/// then y, then z — the layout PlumeField::fill_chunk produces. The block's
+/// lower corner sits at grid coordinates (ox, oy, oz); emitted triangle
+/// vertices are in global grid coordinates, so triangles from different
+/// chunks stitch seamlessly.
+///
+/// Triangles are appended to `out` in deterministic cell order.
+McStats marching_cubes(const float* samples, int nx, int ny, int nz, float ox,
+                       float oy, float oz, float iso,
+                       std::vector<Triangle>& out);
+
+}  // namespace dc::viz

@@ -1,0 +1,30 @@
+#pragma once
+
+#include <cstdint>
+
+namespace dc::viz::mc {
+
+/// Cube corner numbering (Lorensen & Cline / Bourke convention):
+///
+///        4--------5            +-- corner i is at offset
+///       /|       /|            |   (i&1, (i>>1 ^ i)&1, i>>2)... see
+///      7--------6 |            |   corner_offset() in marching_cubes.cpp
+///      | |      | |
+///      | 0------|-1
+///      |/       |/
+///      3--------2
+///
+/// Edge e connects kEdgeCorners[e][0] and kEdgeCorners[e][1].
+inline constexpr int kEdgeCorners[12][2] = {
+    {0, 1}, {1, 2}, {2, 3}, {3, 0}, {4, 5}, {5, 6},
+    {6, 7}, {7, 4}, {0, 4}, {1, 5}, {2, 6}, {3, 7}};
+
+/// For each of the 256 inside/outside corner configurations, the set of cube
+/// edges crossed by the isosurface (bit e set = edge e crossed).
+extern const std::uint16_t kEdgeTable[256];
+
+/// For each configuration, up to 5 triangles as triples of edge indices,
+/// terminated by -1.
+extern const std::int8_t kTriTable[256][16];
+
+}  // namespace dc::viz::mc

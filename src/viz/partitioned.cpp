@@ -1,0 +1,120 @@
+#include "viz/partitioned.hpp"
+
+#include <stdexcept>
+
+namespace dc::viz {
+
+void StripeAssembler::add_stripe(int uow, int y0, const Image& stripe) {
+  Pending& p = pending_[uow];
+  if (p.image.empty()) p.image = Image(width_, height_, sink_->background);
+  for (int y = 0; y < stripe.height(); ++y) {
+    for (int x = 0; x < width_; ++x) {
+      p.image.set(x, y0 + y, stripe.at(x, y));
+    }
+  }
+  if (++p.received == stripes_) {
+    sink_->push(std::move(p.image));
+    pending_.erase(uow);
+  }
+}
+
+StripeMergeFilter::StripeMergeFilter(VizWorkload w,
+                                     std::shared_ptr<StripeAssembler> assembler,
+                                     int stripe)
+    : w_(w), assembler_(std::move(assembler)), stripe_(stripe) {
+  const int stripe_rows = assembler_->stripe_rows();
+  y0_ = stripe_ * stripe_rows;
+  rows_ = std::min(stripe_rows, w_.height - y0_);
+  if (rows_ <= 0) {
+    throw std::invalid_argument("StripeMergeFilter: empty stripe");
+  }
+}
+
+void StripeMergeFilter::init(core::FilterContext& ctx) {
+  zb_ = ZBuffer(w_.width, rows_);
+  ctx.charge(w_.cost.zbuffer_touch_per_entry * static_cast<double>(zb_.size()));
+}
+
+void StripeMergeFilter::process_buffer(core::FilterContext& ctx, int /*port*/,
+                                       const core::Buffer& buf) {
+  const auto entries = buf.records<PixEntry>();
+  const auto base = static_cast<std::uint32_t>(y0_) *
+                    static_cast<std::uint32_t>(w_.width);
+  for (const PixEntry& e : entries) {
+    zb_.apply(e.index - base, e.depth, e.rgba);
+  }
+  ctx.charge(w_.cost.merge_per_entry * static_cast<double>(entries.size()));
+}
+
+void StripeMergeFilter::process_eow(core::FilterContext& ctx) {
+  ctx.charge(w_.cost.image_per_pixel * static_cast<double>(zb_.size()));
+  assembler_->add_stripe(ctx.uow_index(), y0_,
+                         zb_.to_image(assembler_->sink().background));
+}
+
+IsoApp build_partitioned_iso_app(const IsoAppSpec& spec, int stripes,
+                                 const std::vector<int>& merge_hosts) {
+  if (spec.config != PipelineConfig::kRE_Ra_M) {
+    throw std::invalid_argument(
+        "build_partitioned_iso_app: only the RE-Ra-M decomposition is "
+        "supported");
+  }
+  if (stripes < 1 || merge_hosts.empty()) {
+    throw std::invalid_argument("build_partitioned_iso_app: bad partitioning");
+  }
+  if (spec.workload.store == nullptr || spec.workload.field == nullptr) {
+    throw std::invalid_argument("build_partitioned_iso_app: missing workload");
+  }
+
+  IsoApp app;
+  app.sink = std::make_shared<RenderSink>();
+  app.sink->keep_images = spec.keep_images;
+  auto assembler = std::make_shared<StripeAssembler>(
+      spec.workload.width, spec.workload.height, stripes, app.sink);
+
+  const VizWorkload& w = spec.workload;
+  const int re = app.graph.add_source(
+      "RE", [w] { return std::make_unique<ReadExtractFilter>(w); });
+  const int ra = app.graph.add_filter(
+      "Ra(part)", [w, hsr = spec.hsr, stripes] {
+        return std::make_unique<RasterFilter>(hsr, w, stripes);
+      });
+  app.graph.connect(re, 0, ra, 0, spec.tri_buffer_bytes, spec.tri_buffer_bytes);
+
+  for (int s = 0; s < stripes; ++s) {
+    const int m = app.graph.add_filter(
+        "M" + std::to_string(s), [w, assembler, s] {
+          return std::make_unique<StripeMergeFilter>(w, assembler, s);
+        });
+    app.graph.connect(ra, s, m, 0, spec.pix_buffer_bytes, spec.pix_buffer_bytes);
+    app.placement.place(m, merge_hosts[static_cast<std::size_t>(s) %
+                                       merge_hosts.size()]);
+  }
+
+  for (const auto& hc : spec.data_hosts) app.placement.place(re, hc.host, hc.copies);
+  for (const auto& hc : spec.raster_hosts) {
+    app.placement.place(ra, hc.host, hc.copies);
+  }
+  app.merge_filter = -1;  // there are `stripes` of them
+  app.raster_filter = ra;
+  return app;
+}
+
+RenderRun run_partitioned_iso_app(sim::Topology& topo, const IsoAppSpec& spec,
+                                  int stripes, const std::vector<int>& merge_hosts,
+                                  const core::RuntimeConfig& rt_config, int uows) {
+  IsoApp app = build_partitioned_iso_app(spec, stripes, merge_hosts);
+  core::Runtime rt(topo, app.graph, app.placement, rt_config);
+  RenderRun run;
+  run.sink = app.sink;
+  run.raster_filter = app.raster_filter;
+  for (int u = 0; u < uows; ++u) run.per_uow.push_back(rt.run_uow());
+  sim::SimTime sum = 0.0;
+  for (sim::SimTime t : run.per_uow) sum += t;
+  run.avg = run.per_uow.empty() ? 0.0
+                                : sum / static_cast<double>(run.per_uow.size());
+  run.metrics = rt.metrics();
+  return run;
+}
+
+}  // namespace dc::viz

@@ -1,0 +1,75 @@
+#pragma once
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "viz/app.hpp"
+
+namespace dc::viz {
+
+/// Assembles full images from disjoint horizontal stripes produced by the
+/// image-partitioned merge copies (the paper's future-work hybrid, Section
+/// 6: partition the image space among merges while keeping the raster
+/// filters replicated). Stripes of one unit of work always complete before
+/// the next starts, so assembly is per-UOW.
+class StripeAssembler {
+ public:
+  StripeAssembler(int width, int height, int stripes,
+                  std::shared_ptr<RenderSink> sink)
+      : width_(width), height_(height), stripes_(stripes), sink_(std::move(sink)) {}
+
+  /// Rows [y0, y0+rows) of the final image for `uow`.
+  void add_stripe(int uow, int y0, const Image& stripe);
+
+  [[nodiscard]] int stripe_rows() const {
+    return (height_ + stripes_ - 1) / stripes_;
+  }
+  [[nodiscard]] const RenderSink& sink() const { return *sink_; }
+
+ private:
+  int width_, height_, stripes_;
+  std::shared_ptr<RenderSink> sink_;
+  struct Pending {
+    Image image;
+    int received = 0;
+  };
+  std::map<int, Pending> pending_;
+};
+
+/// One image-partitioned merge copy: composites PixEntry fragments of its
+/// own stripe only, with a stripe-sized accumulator. K of these replace the
+/// single Merge filter, removing the paper's merge bottleneck.
+class StripeMergeFilter final : public core::Filter {
+ public:
+  StripeMergeFilter(VizWorkload w, std::shared_ptr<StripeAssembler> assembler,
+                    int stripe);
+
+  void init(core::FilterContext& ctx) override;
+  void process_buffer(core::FilterContext& ctx, int port,
+                      const core::Buffer& buf) override;
+  void process_eow(core::FilterContext& ctx) override;
+
+ private:
+  VizWorkload w_;
+  std::shared_ptr<StripeAssembler> assembler_;
+  int stripe_;
+  int y0_ = 0;
+  int rows_ = 0;
+  ZBuffer zb_;  ///< stripe-sized
+};
+
+/// Builds the image-partitioned RE -> Ra -> {M_0..M_{k-1}} pipeline.
+/// `spec.config` must be kRE_Ra_M; `merge_hosts` receive the stripe merges
+/// round-robin. The rendered image is identical to every other
+/// configuration's.
+[[nodiscard]] IsoApp build_partitioned_iso_app(const IsoAppSpec& spec,
+                                               int stripes,
+                                               const std::vector<int>& merge_hosts);
+
+/// Convenience runner mirroring run_iso_app.
+RenderRun run_partitioned_iso_app(sim::Topology& topo, const IsoAppSpec& spec,
+                                  int stripes, const std::vector<int>& merge_hosts,
+                                  const core::RuntimeConfig& rt_config, int uows);
+
+}  // namespace dc::viz

@@ -1,0 +1,23 @@
+#include "viz/raster.hpp"
+
+namespace dc::viz {
+
+std::uint32_t shade_flat(const Vec3& world_normal, const Vec3& view_dir,
+                         float scalar_norm) {
+  const float s = std::clamp(scalar_norm, 0.f, 1.f);
+  // Blue (cold) -> red (hot) ramp through white-ish midtones.
+  const float r = std::clamp(1.8f * s, 0.f, 1.f);
+  const float g = std::clamp(1.2f - std::abs(2.f * s - 1.f) * 1.2f, 0.f, 1.f);
+  const float b = std::clamp(1.8f * (1.f - s), 0.f, 1.f);
+
+  const float ndotl = std::abs(world_normal.dot(view_dir * -1.f));
+  const float intensity = 0.25f + 0.75f * ndotl;
+
+  auto to_byte = [](float v) {
+    return static_cast<std::uint8_t>(std::clamp(v, 0.f, 1.f) * 255.f + 0.5f);
+  };
+  return pack_rgb(to_byte(r * intensity), to_byte(g * intensity),
+                  to_byte(b * intensity));
+}
+
+}  // namespace dc::viz

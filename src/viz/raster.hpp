@@ -1,0 +1,63 @@
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+#include "viz/camera.hpp"
+#include "viz/image.hpp"
+
+namespace dc::viz {
+
+/// Rasterizes a projected triangle, invoking `emit(x, y, depth)` for every
+/// covered pixel center. Iteration order (y-major, then x) and the
+/// barycentric depth interpolation are fully deterministic, so the fragment
+/// multiset a triangle produces never depends on which raster copy processed
+/// it. Returns the number of emitted fragments.
+template <typename Emit>
+std::size_t rasterize(const ScreenTriangle& t, int width, int height,
+                      Emit&& emit) {
+  const double x0 = t.v0.x, y0 = t.v0.y;
+  const double x1 = t.v1.x, y1 = t.v1.y;
+  const double x2 = t.v2.x, y2 = t.v2.y;
+
+  // Signed doubled area; sign gives the winding.
+  const double area = (x1 - x0) * (y2 - y0) - (x2 - x0) * (y1 - y0);
+  if (area == 0.0) return 0;
+  const double sign = area > 0.0 ? 1.0 : -1.0;
+  const double inv_area = 1.0 / area;
+
+  const int min_x = std::max(0, static_cast<int>(std::floor(std::min({x0, x1, x2}))));
+  const int max_x = std::min(width - 1,
+                             static_cast<int>(std::ceil(std::max({x0, x1, x2}))));
+  const int min_y = std::max(0, static_cast<int>(std::floor(std::min({y0, y1, y2}))));
+  const int max_y = std::min(height - 1,
+                             static_cast<int>(std::ceil(std::max({y0, y1, y2}))));
+
+  std::size_t emitted = 0;
+  for (int y = min_y; y <= max_y; ++y) {
+    const double py = y + 0.5;
+    for (int x = min_x; x <= max_x; ++x) {
+      const double px = x + 0.5;
+      // Edge functions (doubled barycentric weights).
+      const double w0 = (x2 - x1) * (py - y1) - (y2 - y1) * (px - x1);
+      const double w1 = (x0 - x2) * (py - y2) - (y0 - y2) * (px - x2);
+      const double w2 = (x1 - x0) * (py - y0) - (y1 - y0) * (px - x0);
+      if (w0 * sign < 0.0 || w1 * sign < 0.0 || w2 * sign < 0.0) continue;
+      const double depth = (w0 * t.v0.depth + w1 * t.v1.depth + w2 * t.v2.depth) *
+                           inv_area;
+      emit(x, y, static_cast<float>(depth));
+      ++emitted;
+    }
+  }
+  return emitted;
+}
+
+/// Flat Lambert shading of a face: base color from a blue->red ramp over the
+/// normalized scalar, scaled by |N . L| with the light along the view
+/// direction, plus an ambient floor. Pure function of its inputs so every
+/// raster copy shades identically.
+[[nodiscard]] std::uint32_t shade_flat(const Vec3& world_normal,
+                                       const Vec3& view_dir, float scalar_norm);
+
+}  // namespace dc::viz

@@ -1,0 +1,438 @@
+#include "vm/virtual_microscope.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+#include "data/decluster.hpp"
+#include "data/volume.hpp"
+
+namespace dc::vm {
+
+namespace {
+
+std::uint64_t mix(std::uint64_t h) {
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdULL;
+  h ^= h >> 33;
+  h *= 0xc4ceb9fe1a85ec53ULL;
+  h ^= h >> 33;
+  return h;
+}
+
+std::uint64_t hash2(std::uint64_t seed, std::uint32_t a, std::uint32_t b) {
+  return mix(seed * 0xd6e8feb86659fd93ULL ^
+             (static_cast<std::uint64_t>(a) << 32 | b) * 0x9e3779b97f4a7c15ULL);
+}
+
+/// Header of one tile on the TileRead -> Zoom stream.
+struct TileHeader {
+  std::int32_t tx = 0, ty = 0;
+  std::int32_t edge = 0;  ///< pixels per side
+  [[nodiscard]] std::size_t packed_bytes() const {
+    return sizeof(TileHeader) +
+           static_cast<std::size_t>(edge) * static_cast<std::size_t>(edge);
+  }
+};
+
+/// Header of one stitched region on the Zoom -> Stitch stream.
+struct RegionHeader {
+  std::int32_t ox = 0, oy = 0;  ///< output-frame position
+  std::int32_t w = 0, h = 0;
+  [[nodiscard]] std::size_t packed_bytes() const {
+    return sizeof(RegionHeader) +
+           static_cast<std::size_t>(w) * static_cast<std::size_t>(h);
+  }
+};
+
+void validate_view(const Slide& slide, const Viewport& v) {
+  if (v.zoom < 1 || (v.zoom & (v.zoom - 1)) != 0) {
+    throw std::invalid_argument("Viewport: zoom must be a power of two");
+  }
+  if (slide.spec().tile_px % v.zoom != 0) {
+    throw std::invalid_argument("Viewport: zoom must divide the tile size");
+  }
+  if (v.x0 % v.zoom != 0 || v.y0 % v.zoom != 0 || v.w % v.zoom != 0 ||
+      v.h % v.zoom != 0) {
+    throw std::invalid_argument("Viewport: origin/extent must be zoom-aligned");
+  }
+  if (v.x0 < 0 || v.y0 < 0 || v.x0 + v.w > slide.width_px() ||
+      v.y0 + v.h > slide.height_px()) {
+    throw std::invalid_argument("Viewport: outside the slide");
+  }
+}
+
+}  // namespace
+
+Slide::Slide(const Spec& spec) : spec_(spec) {
+  if (spec.tiles_x <= 0 || spec.tiles_y <= 0 || spec.tile_px <= 0 ||
+      spec.files <= 0) {
+    throw std::invalid_argument("Slide: bad spec");
+  }
+  // Decluster tiles with the 3-D Hilbert machinery at z = 1.
+  const data::ChunkLayout layout(
+      data::GridDims{spec.tiles_x, spec.tiles_y, 1}, spec.tiles_x, spec.tiles_y,
+      1);
+  file_of_tile_ = data::hilbert_decluster(layout, spec.files);
+  location_.assign(static_cast<std::size_t>(spec.files), data::FileLocation{});
+}
+
+std::uint8_t Slide::pixel(int x, int y) const {
+  // Procedural "tissue": bright stroma with dark cell nuclei scattered on a
+  // 32-pixel lattice, plus fine grain noise. Pure integer math so every
+  // copy computes bit-identical values.
+  const auto ux = static_cast<std::uint32_t>(x);
+  const auto uy = static_cast<std::uint32_t>(y);
+  const std::uint64_t grain = hash2(spec_.seed, ux, uy);
+  const std::uint64_t region = hash2(spec_.seed ^ 0xabcdULL, ux >> 5, uy >> 5);
+  const int cx = (x & 31) - 16 + static_cast<int>(region & 7) - 3;
+  const int cy = (y & 31) - 16 + static_cast<int>((region >> 3) & 7) - 3;
+  const int r2 = cx * cx + cy * cy;
+  const int nucleus_r2 = 20 + static_cast<int>((region >> 6) & 63);
+  int v = r2 < nucleus_r2 ? 70 : 180;
+  v += static_cast<int>(grain & 31) - 16;
+  if (v < 0) v = 0;
+  if (v > 255) v = 255;
+  return static_cast<std::uint8_t>(v);
+}
+
+void Slide::fill_tile(int tx, int ty, std::vector<std::uint8_t>& out) const {
+  const int edge = spec_.tile_px;
+  out.resize(static_cast<std::size_t>(edge) * static_cast<std::size_t>(edge));
+  const int x0 = tx * edge, y0 = ty * edge;
+  for (int y = 0; y < edge; ++y) {
+    for (int x = 0; x < edge; ++x) {
+      out[static_cast<std::size_t>(y) * static_cast<std::size_t>(edge) +
+          static_cast<std::size_t>(x)] = pixel(x0 + x, y0 + y);
+    }
+  }
+}
+
+std::uint64_t Slide::tile_bytes() const {
+  return static_cast<std::uint64_t>(
+      static_cast<double>(spec_.tile_px) * spec_.tile_px *
+      spec_.stored_bytes_per_pixel);
+}
+
+void Slide::place_uniform(const std::vector<data::FileLocation>& locations) {
+  if (locations.empty()) throw std::invalid_argument("Slide: no locations");
+  for (std::size_t f = 0; f < location_.size(); ++f) {
+    location_[f] = locations[f % locations.size()];
+  }
+}
+
+int Slide::file_of_tile(int tx, int ty) const {
+  return file_of_tile_.at(static_cast<std::size_t>(ty) *
+                              static_cast<std::size_t>(spec_.tiles_x) +
+                          static_cast<std::size_t>(tx));
+}
+
+const data::FileLocation& Slide::location_of_file(int file) const {
+  return location_.at(static_cast<std::size_t>(file));
+}
+
+std::vector<Slide::TileRef> Slide::tiles_on_host(int host, int x0, int y0,
+                                                 int w, int h) const {
+  std::vector<TileRef> refs;
+  const int edge = spec_.tile_px;
+  const int tx0 = x0 / edge;
+  const int ty0 = y0 / edge;
+  const int tx1 = (x0 + w - 1) / edge;
+  const int ty1 = (y0 + h - 1) / edge;
+  for (int ty = ty0; ty <= ty1; ++ty) {
+    for (int tx = tx0; tx <= tx1; ++tx) {
+      const auto& loc = location_of_file(file_of_tile(tx, ty));
+      if (loc.host != host) continue;
+      refs.push_back(TileRef{tx, ty, loc.disk, tile_bytes()});
+    }
+  }
+  return refs;
+}
+
+Viewport VmWorkload::view(int uow) const {
+  Viewport v = base_view;
+  v.x0 += uow * pan_step;
+  // Wrap around rather than fall off the slide during long pans.
+  if (slide != nullptr && v.x0 + v.w > slide->width_px()) {
+    v.x0 = (v.x0 + v.w) % slide->width_px();
+    if (v.x0 + v.w > slide->width_px()) v.x0 = 0;
+  }
+  return v;
+}
+
+std::vector<std::uint8_t> direct_viewport(const Slide& slide, const Viewport& v) {
+  validate_view(slide, v);
+  const int ow = v.w / v.zoom, oh = v.h / v.zoom;
+  std::vector<std::uint8_t> frame(static_cast<std::size_t>(ow) *
+                                  static_cast<std::size_t>(oh));
+  for (int oy = 0; oy < oh; ++oy) {
+    for (int ox = 0; ox < ow; ++ox) {
+      unsigned sum = 0;
+      for (int dy = 0; dy < v.zoom; ++dy) {
+        for (int dx = 0; dx < v.zoom; ++dx) {
+          sum += slide.pixel(v.x0 + ox * v.zoom + dx, v.y0 + oy * v.zoom + dy);
+        }
+      }
+      frame[static_cast<std::size_t>(oy) * static_cast<std::size_t>(ow) +
+            static_cast<std::size_t>(ox)] =
+          static_cast<std::uint8_t>(sum / static_cast<unsigned>(v.zoom * v.zoom));
+    }
+  }
+  return frame;
+}
+
+std::uint64_t frame_digest(const std::vector<std::uint8_t>& frame) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (std::uint8_t b : frame) {
+    h ^= b;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+// ---------------------------------------------------------------------------
+// Filters
+// ---------------------------------------------------------------------------
+
+namespace {
+
+class TileReadFilter final : public core::SourceFilter {
+ public:
+  explicit TileReadFilter(VmWorkload w) : w_(w) {}
+
+  void init(core::FilterContext& ctx) override {
+    const Viewport v = w_.view(ctx.uow_index());
+    auto all = w_.slide->tiles_on_host(ctx.host(), v.x0, v.y0, v.w, v.h);
+    refs_.clear();
+    for (std::size_t i = 0; i < all.size(); ++i) {
+      if (static_cast<int>(i % static_cast<std::size_t>(ctx.copies_on_host())) ==
+          ctx.copy_in_host()) {
+        refs_.push_back(all[i]);
+      }
+    }
+    next_ = 0;
+  }
+
+  bool step(core::FilterContext& ctx) override {
+    if (next_ >= refs_.size()) return false;
+    const Slide::TileRef ref = refs_[next_++];
+    ctx.read_disk(ref.disk, ref.bytes);
+    ctx.charge(w_.cost.decompress_per_byte * static_cast<double>(ref.bytes));
+    w_.slide->fill_tile(ref.tx, ref.ty, pixels_);
+
+    TileHeader h;
+    h.tx = ref.tx;
+    h.ty = ref.ty;
+    h.edge = w_.slide->spec().tile_px;
+    if (out_.capacity() == 0) out_ = ctx.make_buffer(0);
+    if (out_.remaining() < h.packed_bytes()) {
+      ctx.write(0, out_);
+      out_ = ctx.make_buffer(0);
+    }
+    if (h.packed_bytes() > out_.capacity()) {
+      throw std::runtime_error("TileReadFilter: buffer smaller than one tile");
+    }
+    out_.push(h);
+    out_.append(std::as_bytes(std::span<const std::uint8_t>(pixels_)));
+    return next_ < refs_.size();
+  }
+
+  void process_eow(core::FilterContext& ctx) override {
+    if (out_.size() > 0) {
+      ctx.write(0, out_);
+      out_ = core::Buffer();
+    }
+  }
+
+ private:
+  VmWorkload w_;
+  std::vector<Slide::TileRef> refs_;
+  std::size_t next_ = 0;
+  std::vector<std::uint8_t> pixels_;
+  core::Buffer out_;
+};
+
+class ZoomFilter final : public core::Filter {
+ public:
+  explicit ZoomFilter(VmWorkload w) : w_(w) {}
+
+  void process_buffer(core::FilterContext& ctx, int /*port*/,
+                      const core::Buffer& buf) override {
+    const Viewport v = w_.view(ctx.uow_index());
+    const auto bytes = buf.bytes();
+    std::size_t off = 0;
+    double input_pixels = 0.0;
+    while (off + sizeof(TileHeader) <= bytes.size()) {
+      TileHeader h;
+      std::memcpy(&h, bytes.data() + off, sizeof(TileHeader));
+      if (off + h.packed_bytes() > bytes.size()) {
+        throw std::runtime_error("ZoomFilter: truncated tile");
+      }
+      const auto* px =
+          reinterpret_cast<const std::uint8_t*>(bytes.data() + off +
+                                                sizeof(TileHeader));
+      input_pixels += emit_region(ctx, v, h, px);
+      off += h.packed_bytes();
+    }
+    ctx.charge(w_.cost.zoom_per_input_pixel * input_pixels);
+  }
+
+ private:
+  /// Subsamples the intersection of tile `h` with the viewport; returns the
+  /// number of input pixels consumed.
+  double emit_region(core::FilterContext& ctx, const Viewport& v,
+                     const TileHeader& h, const std::uint8_t* px) {
+    const int edge = h.edge;
+    const int tile_x0 = h.tx * edge, tile_y0 = h.ty * edge;
+    // Intersection in slide pixels, aligned to zoom blocks (tile edges are
+    // zoom-aligned by construction, viewport by validation).
+    const int ix0 = std::max(tile_x0, v.x0);
+    const int iy0 = std::max(tile_y0, v.y0);
+    const int ix1 = std::min(tile_x0 + edge, v.x0 + v.w);
+    const int iy1 = std::min(tile_y0 + edge, v.y0 + v.h);
+    if (ix0 >= ix1 || iy0 >= iy1) return 0.0;
+
+    RegionHeader r;
+    r.ox = (ix0 - v.x0) / v.zoom;
+    r.oy = (iy0 - v.y0) / v.zoom;
+    r.w = (ix1 - ix0) / v.zoom;
+    r.h = (iy1 - iy0) / v.zoom;
+
+    region_.resize(static_cast<std::size_t>(r.w) * static_cast<std::size_t>(r.h));
+    for (int oy = 0; oy < r.h; ++oy) {
+      for (int ox = 0; ox < r.w; ++ox) {
+        unsigned sum = 0;
+        for (int dy = 0; dy < v.zoom; ++dy) {
+          const int sy = iy0 + oy * v.zoom + dy - tile_y0;
+          for (int dx = 0; dx < v.zoom; ++dx) {
+            const int sx = ix0 + ox * v.zoom + dx - tile_x0;
+            sum += px[static_cast<std::size_t>(sy) *
+                          static_cast<std::size_t>(edge) +
+                      static_cast<std::size_t>(sx)];
+          }
+        }
+        region_[static_cast<std::size_t>(oy) * static_cast<std::size_t>(r.w) +
+                static_cast<std::size_t>(ox)] =
+            static_cast<std::uint8_t>(sum /
+                                      static_cast<unsigned>(v.zoom * v.zoom));
+      }
+    }
+
+    core::Buffer out = ctx.make_buffer(0);
+    if (r.packed_bytes() > out.capacity()) {
+      throw std::runtime_error("ZoomFilter: buffer smaller than one region");
+    }
+    out.push(r);
+    out.append(std::as_bytes(std::span<const std::uint8_t>(region_)));
+    ctx.write(0, out);
+    return static_cast<double>((ix1 - ix0)) * static_cast<double>(iy1 - iy0);
+  }
+
+  VmWorkload w_;
+  std::vector<std::uint8_t> region_;
+};
+
+class StitchFilter final : public core::Filter {
+ public:
+  StitchFilter(VmWorkload w, std::shared_ptr<VmSink> sink)
+      : w_(w), sink_(std::move(sink)) {}
+
+  void init(core::FilterContext& ctx) override {
+    const Viewport v = w_.view(ctx.uow_index());
+    ow_ = v.w / v.zoom;
+    oh_ = v.h / v.zoom;
+    frame_.assign(static_cast<std::size_t>(ow_) * static_cast<std::size_t>(oh_),
+                  0);
+    ctx.charge(0.1 * w_.cost.stitch_per_output_pixel *
+               static_cast<double>(frame_.size()));
+  }
+
+  void process_buffer(core::FilterContext& ctx, int /*port*/,
+                      const core::Buffer& buf) override {
+    const auto bytes = buf.bytes();
+    std::size_t off = 0;
+    double pixels = 0.0;
+    while (off + sizeof(RegionHeader) <= bytes.size()) {
+      RegionHeader r;
+      std::memcpy(&r, bytes.data() + off, sizeof(RegionHeader));
+      if (off + r.packed_bytes() > bytes.size()) {
+        throw std::runtime_error("StitchFilter: truncated region");
+      }
+      const auto* px = reinterpret_cast<const std::uint8_t*>(
+          bytes.data() + off + sizeof(RegionHeader));
+      for (int y = 0; y < r.h; ++y) {
+        std::memcpy(frame_.data() +
+                        static_cast<std::size_t>(r.oy + y) *
+                            static_cast<std::size_t>(ow_) +
+                        static_cast<std::size_t>(r.ox),
+                    px + static_cast<std::size_t>(y) * static_cast<std::size_t>(r.w),
+                    static_cast<std::size_t>(r.w));
+      }
+      pixels += static_cast<double>(r.w) * static_cast<double>(r.h);
+      off += r.packed_bytes();
+    }
+    ctx.charge(w_.cost.stitch_per_output_pixel * pixels);
+  }
+
+  void process_eow(core::FilterContext&) override {
+    sink_->out_w = ow_;
+    sink_->out_h = oh_;
+    sink_->digests.push_back(frame_digest(frame_));
+    sink_->frames.push_back(std::move(frame_));
+  }
+
+ private:
+  VmWorkload w_;
+  std::shared_ptr<VmSink> sink_;
+  int ow_ = 0, oh_ = 0;
+  std::vector<std::uint8_t> frame_;
+};
+
+}  // namespace
+
+VmApp build_vm_app(const VmWorkload& workload, const std::vector<int>& data_hosts,
+                   const std::vector<std::pair<int, int>>& zoom_hosts,
+                   int stitch_host, std::size_t buffer_bytes) {
+  if (workload.slide == nullptr) {
+    throw std::invalid_argument("build_vm_app: missing slide");
+  }
+  validate_view(*workload.slide, workload.base_view);
+  VmApp app;
+  app.sink = std::make_shared<VmSink>();
+  const VmWorkload w = workload;
+  auto sink = app.sink;
+
+  const int reader = app.graph.add_source(
+      "TileRead", [w] { return std::make_unique<TileReadFilter>(w); });
+  const int zoom = app.graph.add_filter(
+      "Zoom", [w] { return std::make_unique<ZoomFilter>(w); });
+  const int stitch = app.graph.add_filter(
+      "Stitch", [w, sink] { return std::make_unique<StitchFilter>(w, sink); });
+  app.graph.connect(reader, 0, zoom, 0, buffer_bytes, buffer_bytes);
+  app.graph.connect(zoom, 0, stitch, 0, buffer_bytes, buffer_bytes);
+
+  for (int h : data_hosts) app.placement.place(reader, h);
+  for (const auto& [host, copies] : zoom_hosts) {
+    app.placement.place(zoom, host, copies);
+  }
+  app.placement.place(stitch, stitch_host);
+  return app;
+}
+
+VmRun run_vm_app(sim::Topology& topo, const VmWorkload& workload,
+                 const std::vector<int>& data_hosts,
+                 const std::vector<std::pair<int, int>>& zoom_hosts,
+                 int stitch_host, const core::RuntimeConfig& rt_config, int uows) {
+  VmApp app = build_vm_app(workload, data_hosts, zoom_hosts, stitch_host);
+  core::Runtime rt(topo, app.graph, app.placement, rt_config);
+  VmRun run;
+  run.sink = app.sink;
+  for (int u = 0; u < uows; ++u) run.per_uow.push_back(rt.run_uow());
+  sim::SimTime sum = 0.0;
+  for (sim::SimTime t : run.per_uow) sum += t;
+  run.avg = run.per_uow.empty() ? 0.0
+                                : sum / static_cast<double>(run.per_uow.size());
+  run.metrics = rt.metrics();
+  return run;
+}
+
+}  // namespace dc::vm

@@ -1,0 +1,137 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/runtime.hpp"
+#include "data/store.hpp"
+#include "sim/cluster.hpp"
+
+namespace dc::vm {
+
+/// The paper's other motivating application (Section 1 cites the digitized
+/// microscopy browser of [8]): a huge 2-D slide stored as tiles declustered
+/// over the storage system; a client pans a viewport at some zoom level and
+/// the filter pipeline reads, decompresses, subsamples, clips and stitches
+/// the visible region. Unlike isosurface rendering, every stage is
+/// stateless, so the pipeline needs no combine filter beyond the stitcher
+/// writing disjoint regions.
+///
+/// Tile pixels are procedural (deterministic in slide seed and position) —
+/// the stand-in for stored sensor data, mirroring how PlumeField stands in
+/// for the ParSSim output.
+class Slide {
+ public:
+  struct Spec {
+    int tiles_x = 64;
+    int tiles_y = 64;
+    int tile_px = 64;            ///< tile edge, pixels
+    std::uint64_t seed = 7;
+    int files = 32;              ///< declustering granularity
+    double stored_bytes_per_pixel = 3.0;  ///< compressed RGB on disk
+  };
+
+  explicit Slide(const Spec& spec);
+
+  [[nodiscard]] const Spec& spec() const { return spec_; }
+  [[nodiscard]] int width_px() const { return spec_.tiles_x * spec_.tile_px; }
+  [[nodiscard]] int height_px() const { return spec_.tiles_y * spec_.tile_px; }
+
+  /// Grayscale value of one slide pixel (procedural "tissue" texture).
+  [[nodiscard]] std::uint8_t pixel(int x, int y) const;
+
+  /// Fills `out` with one tile's pixels, row-major.
+  void fill_tile(int tx, int ty, std::vector<std::uint8_t>& out) const;
+
+  /// Stored (compressed) size of one tile.
+  [[nodiscard]] std::uint64_t tile_bytes() const;
+
+  // ---- storage placement (Hilbert-declustered files over disks) -----------
+  void place_uniform(const std::vector<data::FileLocation>& locations);
+  [[nodiscard]] int file_of_tile(int tx, int ty) const;
+  [[nodiscard]] const data::FileLocation& location_of_file(int file) const;
+
+  struct TileRef {
+    int tx = 0, ty = 0;
+    int disk = 0;
+    std::uint64_t bytes = 0;
+  };
+  /// Tiles resident on `host` that intersect the pixel rectangle
+  /// [x0, x0+w) x [y0, y0+h).
+  [[nodiscard]] std::vector<TileRef> tiles_on_host(int host, int x0, int y0,
+                                                   int w, int h) const;
+
+ private:
+  Spec spec_;
+  std::vector<int> file_of_tile_;
+  std::vector<data::FileLocation> location_;
+};
+
+/// A pan/zoom request: render the slide rectangle [x0, x0+w) x [y0, y0+h)
+/// subsampled by `zoom` (output is (w/zoom) x (h/zoom) pixels).
+struct Viewport {
+  int x0 = 0, y0 = 0;
+  int w = 256, h = 256;
+  int zoom = 2;  ///< power-of-two subsampling factor
+};
+
+/// Per-stage cost constants (same convention as viz::CostModel).
+struct VmCost {
+  double decompress_per_byte = 400.0;
+  double zoom_per_input_pixel = 800.0;
+  double stitch_per_output_pixel = 200.0;
+};
+
+/// Output collector: the stitched grayscale viewport per unit of work.
+struct VmSink {
+  std::vector<std::vector<std::uint8_t>> frames;  ///< row-major, one per UOW
+  std::vector<std::uint64_t> digests;
+  int out_w = 0, out_h = 0;
+};
+
+/// Everything the filters need.
+struct VmWorkload {
+  const Slide* slide = nullptr;
+  Viewport base_view;
+  int pan_step = 64;  ///< viewport shifts right by this many pixels per UOW
+  VmCost cost;
+
+  [[nodiscard]] Viewport view(int uow) const;
+};
+
+/// Assembled pipeline: TileRead (sources on data hosts) -> Zoom copies ->
+/// Stitch (single copy).
+struct VmApp {
+  core::Graph graph;
+  core::Placement placement;
+  std::shared_ptr<VmSink> sink;
+};
+
+[[nodiscard]] VmApp build_vm_app(const VmWorkload& workload,
+                                 const std::vector<int>& data_hosts,
+                                 const std::vector<std::pair<int, int>>& zoom_hosts,
+                                 int stitch_host,
+                                 std::size_t buffer_bytes = 32 * 1024);
+
+struct VmRun {
+  std::vector<sim::SimTime> per_uow;
+  sim::SimTime avg = 0.0;
+  std::shared_ptr<VmSink> sink;
+  core::Metrics metrics;
+};
+
+VmRun run_vm_app(sim::Topology& topo, const VmWorkload& workload,
+                 const std::vector<int>& data_hosts,
+                 const std::vector<std::pair<int, int>>& zoom_hosts,
+                 int stitch_host, const core::RuntimeConfig& rt_config, int uows);
+
+/// Runtime-free reference: renders the viewport directly (average-pools
+/// zoom x zoom blocks). Every pipeline configuration must match it exactly.
+[[nodiscard]] std::vector<std::uint8_t> direct_viewport(const Slide& slide,
+                                                        const Viewport& view);
+
+/// FNV digest of a frame, for cheap comparisons.
+[[nodiscard]] std::uint64_t frame_digest(const std::vector<std::uint8_t>& frame);
+
+}  // namespace dc::vm

@@ -1,0 +1,116 @@
+#include "adr/adr.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+#include "viz/app.hpp"
+
+namespace dc::adr {
+namespace {
+
+struct AdrFixture : ::testing::Test {
+  sim::Simulation simulation;
+  sim::Topology topo{simulation};
+  test::TestDataset ds = test::make_dataset();
+
+  void place_data(const std::vector<int>& hosts) {
+    std::vector<data::FileLocation> locs;
+    for (int h : hosts) locs.push_back(data::FileLocation{h, 0});
+    ds.store->place_uniform(locs);
+  }
+};
+
+TEST_F(AdrFixture, RejectsEmptyNodeList) {
+  test::add_plain_nodes(topo, 1);
+  const viz::VizWorkload w = test::make_workload(ds);
+  EXPECT_THROW((void)run_adr_isosurface(topo, w, {}, 0, {}, 1), std::invalid_argument);
+}
+
+TEST_F(AdrFixture, ProducesTheReferenceImage) {
+  test::add_plain_nodes(topo, 2);
+  place_data({0, 1});
+  const viz::VizWorkload w = test::make_workload(ds);
+  const AdrResult r = run_adr_isosurface(topo, w, {0, 1}, 0, {}, 1);
+  ASSERT_EQ(r.digests.size(), 1u);
+  EXPECT_EQ(r.digests[0], test::direct_render(w).digest());
+  EXPECT_GT(r.avg, 0.0);
+}
+
+TEST_F(AdrFixture, MatchesDataCutterOutputBitForBit) {
+  test::add_plain_nodes(topo, 2);
+  place_data({0, 1});
+  const viz::VizWorkload w = test::make_workload(ds);
+  const AdrResult adr = run_adr_isosurface(topo, w, {0, 1}, 0, {}, 2);
+
+  viz::IsoAppSpec spec;
+  spec.workload = w;
+  spec.config = viz::PipelineConfig::kRE_Ra_M;
+  spec.data_hosts = viz::one_each({0, 1});
+  spec.raster_hosts = viz::one_each({0, 1});
+  spec.merge_host = 0;
+  const viz::RenderRun dc = viz::run_iso_app(topo, spec, {}, 2);
+  EXPECT_EQ(adr.digests, dc.sink->digests);
+}
+
+TEST_F(AdrFixture, ScalesWithNodes) {
+  test::add_plain_nodes(topo, 4);
+  const viz::VizWorkload w = test::make_workload(ds);
+
+  place_data({0});
+  const AdrResult one = run_adr_isosurface(topo, w, {0}, 0, {}, 1);
+  place_data({0, 1, 2, 3});
+  const AdrResult four = run_adr_isosurface(topo, w, {0, 1, 2, 3}, 0, {}, 1);
+  EXPECT_LT(four.avg, one.avg);
+  EXPECT_EQ(one.digests, four.digests);
+}
+
+TEST_F(AdrFixture, BackgroundLoadHurtsAdrMoreThanDataCutter) {
+  // The paper's headline: ADR's static partitioning cannot shed load, the
+  // component framework with demand-driven copies can.
+  test::add_plain_nodes(topo, 4);
+  place_data({0, 1});
+  viz::VizWorkload w = test::make_workload(ds);
+  // Raster-dominated, as in the paper (Table 2): the stage DataCutter can
+  // offload to unloaded nodes but statically-partitioned ADR cannot.
+  test::make_raster_bound(w);
+
+  const AdrResult adr_clean = run_adr_isosurface(topo, w, {0, 1}, 0, {}, 1);
+
+  viz::IsoAppSpec spec;
+  spec.workload = w;
+  spec.config = viz::PipelineConfig::kRE_Ra_M;
+  spec.hsr = viz::HsrAlgorithm::kActivePixel;
+  spec.data_hosts = viz::one_each({0, 1});
+  spec.raster_hosts = viz::one_each({0, 1, 2, 3});
+  spec.merge_host = 2;
+  core::RuntimeConfig dd;
+  dd.policy = core::Policy::kDemandDriven;
+  const viz::RenderRun dc_clean = viz::run_iso_app(topo, spec, dd, 1);
+
+  topo.host(0).cpu().set_background_jobs(8);
+  const AdrResult adr_loaded = run_adr_isosurface(topo, w, {0, 1}, 0, {}, 1);
+  const viz::RenderRun dc_loaded = viz::run_iso_app(topo, spec, dd, 1);
+  topo.host(0).cpu().set_background_jobs(0);
+
+  const double adr_degradation = adr_loaded.avg / adr_clean.avg;
+  const double dc_degradation = dc_loaded.avg / dc_clean.avg;
+  EXPECT_GT(adr_degradation, 1.5);
+  EXPECT_LT(dc_degradation, adr_degradation);
+}
+
+TEST_F(AdrFixture, DeeperIoPipelineNeverSlower) {
+  test::add_plain_nodes(topo, 2);
+  place_data({0, 1});
+  const viz::VizWorkload w = test::make_workload(ds);
+  AdrConfig shallow;
+  shallow.io_depth = 1;
+  AdrConfig deep;
+  deep.io_depth = 8;
+  const AdrResult s = run_adr_isosurface(topo, w, {0, 1}, 0, shallow, 1);
+  const AdrResult d = run_adr_isosurface(topo, w, {0, 1}, 0, deep, 1);
+  EXPECT_LE(d.avg, s.avg * 1.001);
+  EXPECT_EQ(s.digests, d.digests);
+}
+
+}  // namespace
+}  // namespace dc::adr

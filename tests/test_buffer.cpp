@@ -1,0 +1,79 @@
+#include "core/buffer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dc::core {
+namespace {
+
+struct Rec {
+  std::uint32_t a;
+  float b;
+};
+
+TEST(Buffer, DefaultIsEmpty) {
+  Buffer b;
+  EXPECT_EQ(b.size(), 0u);
+  EXPECT_EQ(b.capacity(), 0u);
+  EXPECT_TRUE(b.empty());
+}
+
+TEST(Buffer, PushAndReadRecords) {
+  Buffer b(64);
+  EXPECT_TRUE(b.push(Rec{1, 2.5f}));
+  EXPECT_TRUE(b.push(Rec{3, 4.5f}));
+  const auto recs = b.records<Rec>();
+  ASSERT_EQ(recs.size(), 2u);
+  EXPECT_EQ(recs[0].a, 1u);
+  EXPECT_FLOAT_EQ(recs[1].b, 4.5f);
+  EXPECT_EQ(b.record_count<Rec>(), 2u);
+}
+
+TEST(Buffer, PushFailsWhenFull) {
+  Buffer b(2 * sizeof(Rec));
+  EXPECT_TRUE(b.push(Rec{}));
+  EXPECT_TRUE(b.push(Rec{}));
+  EXPECT_FALSE(b.push(Rec{}));
+  EXPECT_EQ(b.size(), 2 * sizeof(Rec));
+}
+
+TEST(Buffer, RecordCapacityFromBytes) {
+  Buffer b(100);
+  EXPECT_EQ(b.record_capacity<Rec>(), 100 / sizeof(Rec));
+}
+
+TEST(Buffer, AppendRawBytes) {
+  Buffer b(8);
+  const std::byte raw[4] = {std::byte{1}, std::byte{2}, std::byte{3}, std::byte{4}};
+  EXPECT_TRUE(b.append(raw));
+  EXPECT_TRUE(b.append(raw));
+  EXPECT_FALSE(b.append(raw));
+  EXPECT_EQ(b.size(), 8u);
+  EXPECT_EQ(b.remaining(), 0u);
+}
+
+TEST(Buffer, CopiesShareStorage) {
+  Buffer b(16);
+  b.push<std::uint32_t>(7);
+  Buffer c = b;
+  EXPECT_EQ(c.records<std::uint32_t>()[0], 7u);
+  EXPECT_EQ(c.bytes().data(), b.bytes().data());
+}
+
+TEST(Buffer, WrapTakesOwnership) {
+  std::vector<std::byte> bytes(12, std::byte{0xab});
+  Buffer b = Buffer::wrap(std::move(bytes));
+  EXPECT_EQ(b.size(), 12u);
+  EXPECT_EQ(b.capacity(), 12u);
+  EXPECT_EQ(b.remaining(), 0u);
+}
+
+TEST(Buffer, MixedRawAndTypedSizes) {
+  Buffer b(1024);
+  for (std::uint32_t i = 0; i < 10; ++i) EXPECT_TRUE(b.push(i));
+  const auto recs = b.records<std::uint32_t>();
+  ASSERT_EQ(recs.size(), 10u);
+  for (std::uint32_t i = 0; i < 10; ++i) EXPECT_EQ(recs[i], i);
+}
+
+}  // namespace
+}  // namespace dc::core

@@ -1,0 +1,99 @@
+#include "viz/camera.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dc::viz {
+namespace {
+
+TEST(Camera, TargetProjectsToScreenCenter) {
+  Camera cam({0, 0, -10}, {0, 0, 0}, {0, 1, 0}, 45.f, 200, 100);
+  Triangle t;
+  t.v0 = {0, 0, 0};
+  t.v1 = {0.01f, 0, 0};
+  t.v2 = {0, 0.01f, 0};
+  ScreenTriangle st;
+  ASSERT_TRUE(cam.project(t, st));
+  EXPECT_NEAR(st.v0.x, 100.f, 1.0f);
+  EXPECT_NEAR(st.v0.y, 50.f, 1.0f);
+  EXPECT_NEAR(st.v0.depth, 10.f, 1e-4f);
+}
+
+TEST(Camera, BehindCameraRejected) {
+  Camera cam({0, 0, -10}, {0, 0, 0}, {0, 1, 0}, 45.f, 100, 100);
+  Triangle t;
+  t.v0 = {0, 0, -20};
+  t.v1 = {1, 0, -20};
+  t.v2 = {0, 1, -20};
+  ScreenTriangle st;
+  EXPECT_FALSE(cam.project(t, st));
+}
+
+TEST(Camera, FullyOffscreenRejected) {
+  Camera cam({0, 0, -10}, {0, 0, 0}, {0, 1, 0}, 45.f, 100, 100);
+  Triangle t;
+  t.v0 = {100, 100, 0};
+  t.v1 = {101, 100, 0};
+  t.v2 = {100, 101, 0};
+  ScreenTriangle st;
+  EXPECT_FALSE(cam.project(t, st));
+}
+
+TEST(Camera, CloserVertexHasSmallerDepth) {
+  Camera cam({0, 0, -10}, {0, 0, 0}, {0, 1, 0}, 45.f, 100, 100);
+  Triangle t;
+  t.v0 = {0, 0, -2};  // closer to the eye
+  t.v1 = {0.5f, 0, 2};
+  t.v2 = {0, 0.5f, 2};
+  ScreenTriangle st;
+  ASSERT_TRUE(cam.project(t, st));
+  EXPECT_LT(st.v0.depth, st.v1.depth);
+}
+
+TEST(Camera, ForVolumeFramesAllCorners) {
+  const int nx = 32, ny = 24, nz = 16;
+  for (int view = 0; view < 4; ++view) {
+    Camera cam = Camera::for_volume(nx, ny, nz, 256, 256, view);
+    for (int corner = 0; corner < 8; ++corner) {
+      const Vec3 p{static_cast<float>((corner & 1) ? nx : 0),
+                   static_cast<float>((corner & 2) ? ny : 0),
+                   static_cast<float>((corner & 4) ? nz : 0)};
+      Triangle t;
+      t.v0 = t.v1 = t.v2 = p;
+      t.v1.x += 0.01f;
+      t.v2.y += 0.01f;
+      ScreenTriangle st;
+      ASSERT_TRUE(cam.project(t, st)) << "view " << view << " corner " << corner;
+      EXPECT_GE(st.v0.x, 0.f);
+      EXPECT_LT(st.v0.x, 256.f);
+      EXPECT_GE(st.v0.y, 0.f);
+      EXPECT_LT(st.v0.y, 256.f);
+    }
+  }
+}
+
+TEST(Camera, DifferentViewIndicesDiffer) {
+  Camera a = Camera::for_volume(16, 16, 16, 64, 64, 0);
+  Camera b = Camera::for_volume(16, 16, 16, 64, 64, 1);
+  Triangle t;
+  t.v0 = {1, 2, 3};
+  t.v1 = {4, 5, 6};
+  t.v2 = {7, 8, 2};
+  ScreenTriangle sa, sb;
+  ASSERT_TRUE(a.project(t, sa));
+  ASSERT_TRUE(b.project(t, sb));
+  EXPECT_NE(sa.v0.x, sb.v0.x);
+}
+
+TEST(Camera, NormalComputedInWorldSpace) {
+  Camera cam({0, 0, -10}, {0, 0, 0}, {0, 1, 0}, 45.f, 100, 100);
+  Triangle t;
+  t.v0 = {0, 0, 0};
+  t.v1 = {1, 0, 0};
+  t.v2 = {0, 1, 0};
+  ScreenTriangle st;
+  ASSERT_TRUE(cam.project(t, st));
+  EXPECT_NEAR(std::abs(st.world_normal.z), 1.f, 1e-5f);
+}
+
+}  // namespace
+}  // namespace dc::viz

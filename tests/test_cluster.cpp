@@ -1,0 +1,80 @@
+#include "sim/cluster.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dc::sim {
+namespace {
+
+TEST(Topology, AddHostAssignsDenseIds) {
+  Simulation sim;
+  Topology topo(sim);
+  HostSpec spec;
+  spec.name = "a";
+  EXPECT_EQ(topo.add_host(spec), 0);
+  EXPECT_EQ(topo.add_host(spec), 1);
+  EXPECT_EQ(topo.size(), 2);
+}
+
+TEST(Topology, AddHostsNumbersNames) {
+  Simulation sim;
+  Topology topo(sim);
+  HostSpec spec;
+  spec.name = "node";
+  spec.host_class = "work";
+  const auto ids = topo.add_hosts(3, spec);
+  EXPECT_EQ(ids, (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(topo.host(0).name(), "node0");
+  EXPECT_EQ(topo.host(2).name(), "node2");
+}
+
+TEST(Topology, HostsInClassFilters) {
+  Simulation sim;
+  Topology topo(sim);
+  topo.add_hosts(2, testbed::rogue_node());
+  topo.add_hosts(3, testbed::blue_node());
+  EXPECT_EQ(topo.hosts_in_class("rogue"), (std::vector<int>{0, 1}));
+  EXPECT_EQ(topo.hosts_in_class("blue"), (std::vector<int>{2, 3, 4}));
+  EXPECT_TRUE(topo.hosts_in_class("red").empty());
+}
+
+TEST(Testbed, PresetsMatchPaperHardware) {
+  const HostSpec red = testbed::red_node();
+  EXPECT_EQ(red.cores, 2);
+  EXPECT_DOUBLE_EQ(red.cpu_mhz, 450.0);
+  EXPECT_EQ(red.num_disks, 1);
+
+  const HostSpec blue = testbed::blue_node();
+  EXPECT_EQ(blue.cores, 2);
+  EXPECT_DOUBLE_EQ(blue.cpu_mhz, 550.0);
+  EXPECT_EQ(blue.num_disks, 2);
+  EXPECT_DOUBLE_EQ(blue.nic_bandwidth, 125e6);  // Gigabit
+
+  const HostSpec rogue = testbed::rogue_node();
+  EXPECT_EQ(rogue.cores, 1);
+  EXPECT_DOUBLE_EQ(rogue.cpu_mhz, 650.0);
+  EXPECT_EQ(rogue.num_disks, 2);
+  EXPECT_DOUBLE_EQ(rogue.nic_bandwidth, 12.5e6);  // Fast Ethernet
+
+  const HostSpec ds = testbed::deathstar_node();
+  EXPECT_EQ(ds.cores, 8);
+  EXPECT_DOUBLE_EQ(ds.cpu_mhz, 550.0);
+  EXPECT_DOUBLE_EQ(ds.nic_bandwidth, 12.5e6);
+}
+
+TEST(Topology, HostResourcesWired) {
+  Simulation sim;
+  Topology topo(sim);
+  const int id = topo.add_host(testbed::blue_node());
+  Host& h = topo.host(id);
+  EXPECT_EQ(h.cpu().cores(), 2);
+  EXPECT_DOUBLE_EQ(h.cpu().ops_per_sec(), 550e6);
+  EXPECT_EQ(h.num_disks(), 2);
+  // The NIC is registered: a self-send works and counts.
+  bool delivered = false;
+  topo.network().send(id, id, 10, [&] { delivered = true; });
+  sim.run();
+  EXPECT_TRUE(delivered);
+}
+
+}  // namespace
+}  // namespace dc::sim

@@ -1,0 +1,162 @@
+#include "sim/cpu.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulation.hpp"
+
+namespace dc::sim {
+namespace {
+
+TEST(Cpu, SingleJobTakesOpsOverSpeed) {
+  Simulation sim;
+  Cpu cpu(sim, 1, 100.0);
+  SimTime done = -1.0;
+  cpu.submit(50.0, [&] { done = sim.now(); });
+  sim.run();
+  EXPECT_NEAR(done, 0.5, 1e-9);
+}
+
+TEST(Cpu, TwoJobsShareOneCore) {
+  Simulation sim;
+  Cpu cpu(sim, 1, 100.0);
+  SimTime d1 = -1.0, d2 = -1.0;
+  cpu.submit(50.0, [&] { d1 = sim.now(); });
+  cpu.submit(50.0, [&] { d2 = sim.now(); });
+  sim.run();
+  // Processor sharing: both progress at half speed and finish together.
+  EXPECT_NEAR(d1, 1.0, 1e-9);
+  EXPECT_NEAR(d2, 1.0, 1e-9);
+}
+
+TEST(Cpu, TwoJobsRunInParallelOnTwoCores) {
+  Simulation sim;
+  Cpu cpu(sim, 2, 100.0);
+  SimTime d1 = -1.0, d2 = -1.0;
+  cpu.submit(50.0, [&] { d1 = sim.now(); });
+  cpu.submit(50.0, [&] { d2 = sim.now(); });
+  sim.run();
+  EXPECT_NEAR(d1, 0.5, 1e-9);
+  EXPECT_NEAR(d2, 0.5, 1e-9);
+}
+
+TEST(Cpu, UnequalJobsFinishAtPsTimes) {
+  Simulation sim;
+  Cpu cpu(sim, 1, 100.0);
+  SimTime d_small = -1.0, d_big = -1.0;
+  cpu.submit(10.0, [&] { d_small = sim.now(); });
+  cpu.submit(100.0, [&] { d_big = sim.now(); });
+  sim.run();
+  // Shared until the small job finishes at t=0.2 (10 ops at 50 ops/s); the
+  // big one then has 90 ops left at full speed: 0.2 + 0.9 = 1.1.
+  EXPECT_NEAR(d_small, 0.2, 1e-9);
+  EXPECT_NEAR(d_big, 1.1, 1e-9);
+}
+
+TEST(Cpu, BackgroundJobsStealShare) {
+  Simulation sim;
+  Cpu cpu(sim, 1, 100.0);
+  cpu.set_background_jobs(1);
+  SimTime done = -1.0;
+  cpu.submit(50.0, [&] { done = sim.now(); });
+  sim.run();
+  // One background competitor at equal priority: half speed.
+  EXPECT_NEAR(done, 1.0, 1e-9);
+}
+
+TEST(Cpu, SixteenBackgroundJobsOnOneCore) {
+  Simulation sim;
+  Cpu cpu(sim, 1, 100.0);
+  cpu.set_background_jobs(16);
+  SimTime done = -1.0;
+  cpu.submit(10.0, [&] { done = sim.now(); });
+  sim.run();
+  // 17 runnable, 1 core: rate = 100/17.
+  EXPECT_NEAR(done, 10.0 / (100.0 / 17.0), 1e-9);
+}
+
+TEST(Cpu, BackgroundJobsBelowCoreCountDoNotSlow) {
+  Simulation sim;
+  Cpu cpu(sim, 4, 100.0);
+  cpu.set_background_jobs(3);
+  SimTime done = -1.0;
+  cpu.submit(100.0, [&] { done = sim.now(); });
+  sim.run();
+  // 4 runnable, 4 cores: full speed.
+  EXPECT_NEAR(done, 1.0, 1e-9);
+}
+
+TEST(Cpu, MidFlightBackgroundChangeReRates) {
+  Simulation sim;
+  Cpu cpu(sim, 1, 100.0);
+  SimTime done = -1.0;
+  cpu.submit(100.0, [&] { done = sim.now(); });
+  sim.after(0.5, [&] { cpu.set_background_jobs(1); });
+  sim.run();
+  // 50 ops at full speed by t=0.5, remaining 50 at half speed: 0.5 + 1.0.
+  EXPECT_NEAR(done, 1.5, 1e-9);
+}
+
+TEST(Cpu, ZeroOpJobCompletesImmediately) {
+  Simulation sim;
+  Cpu cpu(sim, 1, 100.0);
+  SimTime done = -1.0;
+  cpu.submit(0.0, [&] { done = sim.now(); });
+  sim.run();
+  EXPECT_DOUBLE_EQ(done, 0.0);
+}
+
+TEST(Cpu, InvalidArgumentsThrow) {
+  Simulation sim;
+  EXPECT_THROW(Cpu(sim, 0, 100.0), std::invalid_argument);
+  EXPECT_THROW(Cpu(sim, 1, 0.0), std::invalid_argument);
+  Cpu cpu(sim, 1, 100.0);
+  EXPECT_THROW(cpu.submit(-1.0, [] {}), std::invalid_argument);
+  EXPECT_THROW(cpu.set_background_jobs(-1), std::invalid_argument);
+}
+
+TEST(Cpu, CompletionOrderFollowsRemainingWork) {
+  Simulation sim;
+  Cpu cpu(sim, 1, 100.0);
+  std::vector<int> order;
+  cpu.submit(30.0, [&] { order.push_back(1); });
+  cpu.submit(20.0, [&] { order.push_back(2); });
+  cpu.submit(10.0, [&] { order.push_back(3); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{3, 2, 1}));
+}
+
+/// Work conservation: with n concurrent jobs on c cores, total throughput is
+/// min(n, c) * speed, so the last completion is total_ops / throughput.
+class CpuConservation : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(CpuConservation, LastCompletionMatchesAggregateThroughput) {
+  const auto [cores, jobs] = GetParam();
+  Simulation sim;
+  Cpu cpu(sim, cores, 100.0);
+  SimTime last = 0.0;
+  const double ops = 60.0;
+  for (int j = 0; j < jobs; ++j) {
+    cpu.submit(ops, [&] { last = sim.now(); });
+  }
+  sim.run();
+  const double throughput = 100.0 * std::min(cores, jobs);
+  EXPECT_NEAR(last, ops * jobs / throughput, 1e-7);
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, CpuConservation,
+                         ::testing::Combine(::testing::Values(1, 2, 4, 8),
+                                            ::testing::Values(1, 2, 3, 7, 16)));
+
+TEST(Cpu, BusyCoreSecondsTracksUtilization) {
+  Simulation sim;
+  Cpu cpu(sim, 2, 100.0);
+  cpu.submit(100.0, [] {});
+  sim.run();
+  EXPECT_NEAR(cpu.busy_core_seconds(), 1.0, 1e-9);
+  EXPECT_NEAR(cpu.ops_completed(), 100.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace dc::sim

@@ -1,0 +1,80 @@
+#include "data/decluster.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace dc::data {
+namespace {
+
+TEST(Decluster, RanksAreAPermutation) {
+  ChunkLayout layout(GridDims{8, 8, 8}, 4, 4, 4);
+  const auto ranks = hilbert_ranks(layout);
+  std::set<int> seen(ranks.begin(), ranks.end());
+  EXPECT_EQ(static_cast<int>(seen.size()), layout.num_chunks());
+  EXPECT_EQ(*seen.begin(), 0);
+  EXPECT_EQ(*seen.rbegin(), layout.num_chunks() - 1);
+}
+
+TEST(Decluster, FilesAreBalanced) {
+  ChunkLayout layout(GridDims{16, 16, 16}, 4, 4, 4);  // 64 chunks
+  for (int files : {2, 3, 7, 16}) {
+    const auto file = hilbert_decluster(layout, files);
+    std::map<int, int> count;
+    for (int f : file) ++count[f];
+    int lo = 1 << 30, hi = 0;
+    for (const auto& [id, n] : count) {
+      EXPECT_GE(id, 0);
+      EXPECT_LT(id, files);
+      lo = std::min(lo, n);
+      hi = std::max(hi, n);
+    }
+    EXPECT_EQ(static_cast<int>(count.size()), files);
+    EXPECT_LE(hi - lo, 1) << files << " files";
+  }
+}
+
+TEST(Decluster, RejectsBadFileCount) {
+  ChunkLayout layout(GridDims{4, 4, 4}, 2, 2, 2);
+  EXPECT_THROW((void)hilbert_decluster(layout, 0), std::invalid_argument);
+}
+
+TEST(Decluster, SpatialRegionsSpreadAcrossFiles) {
+  // Declustering quality: a contiguous sub-region (range query) should touch
+  // almost all files rather than hammering a few — the Faloutsos-Bhagwat
+  // criterion the paper relies on.
+  ChunkLayout layout(GridDims{32, 32, 32}, 8, 8, 8);  // 512 chunks
+  const int files = 16;
+  const auto file = hilbert_decluster(layout, files);
+  // Query: the central 4x4x4 chunk sub-cube (64 chunks).
+  std::set<int> touched;
+  for (int z = 2; z < 6; ++z) {
+    for (int y = 2; y < 6; ++y) {
+      for (int x = 2; x < 6; ++x) {
+        touched.insert(file[static_cast<std::size_t>(layout.chunk_id({x, y, z}))]);
+      }
+    }
+  }
+  EXPECT_GE(static_cast<int>(touched.size()), files - 2);
+}
+
+TEST(Decluster, NonCubicLayoutsWork) {
+  ChunkLayout layout(GridDims{24, 12, 6}, 8, 4, 2);
+  const auto file = hilbert_decluster(layout, 5);
+  EXPECT_EQ(static_cast<int>(file.size()), layout.num_chunks());
+  for (int f : file) {
+    EXPECT_GE(f, 0);
+    EXPECT_LT(f, 5);
+  }
+}
+
+TEST(Decluster, SingleFileGetsEverything) {
+  ChunkLayout layout(GridDims{4, 4, 4}, 2, 2, 2);
+  const auto file = hilbert_decluster(layout, 1);
+  for (int f : file) EXPECT_EQ(f, 0);
+}
+
+}  // namespace
+}  // namespace dc::data

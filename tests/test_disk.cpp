@@ -1,0 +1,70 @@
+#include "sim/disk.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulation.hpp"
+
+namespace dc::sim {
+namespace {
+
+TEST(Disk, SingleReadTakesSeekPlusTransfer) {
+  Simulation sim;
+  Disk disk(sim, 100.0, 0.01);  // 100 B/s, 10 ms seek
+  SimTime done = -1.0;
+  disk.read(50, [&] { done = sim.now(); });
+  sim.run();
+  EXPECT_NEAR(done, 0.01 + 0.5, 1e-9);
+}
+
+TEST(Disk, RequestsServeFifo) {
+  Simulation sim;
+  Disk disk(sim, 100.0, 0.0);
+  std::vector<int> order;
+  SimTime d1 = 0, d2 = 0;
+  disk.read(100, [&] { order.push_back(1); d1 = sim.now(); });
+  disk.read(100, [&] { order.push_back(2); d2 = sim.now(); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_NEAR(d1, 1.0, 1e-9);
+  EXPECT_NEAR(d2, 2.0, 1e-9);  // queued behind the first
+}
+
+TEST(Disk, SeekChargedPerRequest) {
+  Simulation sim;
+  Disk disk(sim, 1e6, 0.008);
+  SimTime last = 0;
+  for (int i = 0; i < 5; ++i) disk.read(0, [&] { last = sim.now(); });
+  sim.run();
+  EXPECT_NEAR(last, 5 * 0.008, 1e-9);
+}
+
+TEST(Disk, LateArrivalDoesNotWaitIfIdle) {
+  Simulation sim;
+  Disk disk(sim, 100.0, 0.0);
+  SimTime done = -1;
+  disk.read(100, [] {});
+  sim.after(5.0, [&] { disk.read(100, [&] { done = sim.now(); }); });
+  sim.run();
+  EXPECT_NEAR(done, 6.0, 1e-9);
+}
+
+TEST(Disk, MetricsAccumulate) {
+  Simulation sim;
+  Disk disk(sim, 100.0, 0.0);
+  disk.read(30, [] {});
+  disk.write(70, [] {});
+  sim.run();
+  EXPECT_EQ(disk.bytes_transferred(), 100u);
+  EXPECT_EQ(disk.requests(), 2u);
+}
+
+TEST(Disk, InvalidArgumentsThrow) {
+  Simulation sim;
+  EXPECT_THROW(Disk(sim, 0.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(Disk(sim, 1.0, -1.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dc::sim

@@ -1,0 +1,96 @@
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace dc::sim {
+namespace {
+
+TEST(EventQueue, StartsEmpty) {
+  EventQueue q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> fired;
+  q.push(3.0, [&] { fired.push_back(3); });
+  q.push(1.0, [&] { fired.push_back(1); });
+  q.push(2.0, [&] { fired.push_back(2); });
+  while (!q.empty()) q.pop().fn();
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, TiesBreakByInsertionOrder) {
+  EventQueue q;
+  std::vector<int> fired;
+  for (int i = 0; i < 10; ++i) {
+    q.push(5.0, [&fired, i] { fired.push_back(i); });
+  }
+  while (!q.empty()) q.pop().fn();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(fired[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, NextTimeReportsEarliest) {
+  EventQueue q;
+  q.push(7.5, [] {});
+  q.push(2.5, [] {});
+  EXPECT_DOUBLE_EQ(q.next_time(), 2.5);
+}
+
+TEST(EventQueue, CancelRemovesEvent) {
+  EventQueue q;
+  bool fired = false;
+  const EventId id = q.push(1.0, [&] { fired = true; });
+  q.push(2.0, [] {});
+  q.cancel(id);
+  EXPECT_EQ(q.size(), 1u);
+  while (!q.empty()) q.pop().fn();
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventQueue, CancelUnknownIdIsNoOp) {
+  EventQueue q;
+  q.push(1.0, [] {});
+  q.cancel(0);
+  q.cancel(999);
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(EventQueue, CancelledHeadIsSkipped) {
+  EventQueue q;
+  std::vector<int> fired;
+  const EventId a = q.push(1.0, [&] { fired.push_back(1); });
+  q.push(2.0, [&] { fired.push_back(2); });
+  q.cancel(a);
+  EXPECT_FALSE(q.empty());
+  EXPECT_DOUBLE_EQ(q.next_time(), 2.0);
+  q.pop().fn();
+  EXPECT_EQ(fired, (std::vector<int>{2}));
+}
+
+TEST(EventQueue, DoubleCancelCountsOnce) {
+  EventQueue q;
+  const EventId a = q.push(1.0, [] {});
+  q.push(2.0, [] {});
+  q.cancel(a);
+  q.cancel(a);
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(EventQueue, ManyInterleavedOperations) {
+  EventQueue q;
+  std::vector<EventId> ids;
+  int fired = 0;
+  for (int i = 0; i < 100; ++i) {
+    ids.push_back(q.push(static_cast<SimTime>(i % 17), [&] { ++fired; }));
+  }
+  for (std::size_t i = 0; i < ids.size(); i += 3) q.cancel(ids[i]);
+  while (!q.empty()) q.pop().fn();
+  EXPECT_EQ(fired, 100 - 34);
+}
+
+}  // namespace
+}  // namespace dc::sim

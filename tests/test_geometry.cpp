@@ -1,0 +1,82 @@
+#include "viz/geometry.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dc::viz {
+namespace {
+
+TEST(Vec3, Arithmetic) {
+  const Vec3 a{1, 2, 3}, b{4, 5, 6};
+  const Vec3 sum = a + b;
+  EXPECT_FLOAT_EQ(sum.x, 5);
+  EXPECT_FLOAT_EQ(sum.y, 7);
+  EXPECT_FLOAT_EQ(sum.z, 9);
+  const Vec3 diff = b - a;
+  EXPECT_FLOAT_EQ(diff.x, 3);
+  const Vec3 scaled = a * 2.f;
+  EXPECT_FLOAT_EQ(scaled.z, 6);
+  const Vec3 divided = b / 2.f;
+  EXPECT_FLOAT_EQ(divided.x, 2);
+}
+
+TEST(Vec3, DotAndCross) {
+  const Vec3 x{1, 0, 0}, y{0, 1, 0}, z{0, 0, 1};
+  EXPECT_FLOAT_EQ(x.dot(y), 0.f);
+  EXPECT_FLOAT_EQ(x.dot(x), 1.f);
+  const Vec3 c = x.cross(y);
+  EXPECT_FLOAT_EQ(c.x, z.x);
+  EXPECT_FLOAT_EQ(c.y, z.y);
+  EXPECT_FLOAT_EQ(c.z, z.z);
+  // Anticommutative.
+  const Vec3 c2 = y.cross(x);
+  EXPECT_FLOAT_EQ(c2.z, -1.f);
+}
+
+TEST(Vec3, LengthAndNormalize) {
+  const Vec3 v{3, 4, 0};
+  EXPECT_FLOAT_EQ(v.length(), 5.f);
+  const Vec3 n = v.normalized();
+  EXPECT_NEAR(n.length(), 1.f, 1e-6f);
+  EXPECT_FLOAT_EQ(Vec3{}.normalized().length(), 0.f);  // zero-safe
+}
+
+TEST(Triangle, FaceNormalIsPerpendicular) {
+  Triangle t;
+  t.v0 = {0, 0, 0};
+  t.v1 = {1, 0, 0};
+  t.v2 = {0, 1, 0};
+  const Vec3 n = t.face_normal();
+  EXPECT_NEAR(n.z, 1.f, 1e-6f);
+  EXPECT_NEAR(n.dot(t.v1 - t.v0), 0.f, 1e-6f);
+}
+
+TEST(Triangle, AreaOfUnitRightTriangle) {
+  Triangle t;
+  t.v0 = {0, 0, 0};
+  t.v1 = {2, 0, 0};
+  t.v2 = {0, 2, 0};
+  EXPECT_FLOAT_EQ(t.area(), 2.f);
+}
+
+TEST(Mat4, IdentityTransformIsNoOp) {
+  const Mat4 id = Mat4::identity();
+  const auto r = id.transform(Vec3{1, 2, 3});
+  EXPECT_FLOAT_EQ(r[0], 1);
+  EXPECT_FLOAT_EQ(r[1], 2);
+  EXPECT_FLOAT_EQ(r[2], 3);
+  EXPECT_FLOAT_EQ(r[3], 1);
+}
+
+TEST(Mat4, MultiplicationComposes) {
+  Mat4 scale = Mat4::identity();
+  scale.m[0][0] = 2.f;
+  Mat4 shift = Mat4::identity();
+  shift.m[3][0] = 5.f;
+  // shift * scale: scale first, then shift.
+  const Mat4 comp = shift * scale;
+  const auto r = comp.transform(Vec3{1, 0, 0});
+  EXPECT_FLOAT_EQ(r[0], 7.f);
+}
+
+}  // namespace
+}  // namespace dc::viz

@@ -1,0 +1,115 @@
+#include "core/graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/filter.hpp"
+
+namespace dc::core {
+namespace {
+
+class NullFilter : public Filter {
+ public:
+  void process_buffer(FilterContext&, int, const Buffer&) override {}
+};
+
+class NullSource : public SourceFilter {
+ public:
+  bool step(FilterContext&) override { return false; }
+};
+
+FilterFactory null_filter() {
+  return [] { return std::make_unique<NullFilter>(); };
+}
+FilterFactory null_source() {
+  return [] { return std::make_unique<NullSource>(); };
+}
+
+TEST(Graph, AddFilterReturnsDenseIds) {
+  Graph g;
+  EXPECT_EQ(g.add_source("a", null_source()), 0);
+  EXPECT_EQ(g.add_filter("b", null_filter()), 1);
+  EXPECT_EQ(g.num_filters(), 2);
+}
+
+TEST(Graph, ConnectCreatesStreamAndPorts) {
+  Graph g;
+  const int a = g.add_source("a", null_source());
+  const int b = g.add_filter("b", null_filter());
+  const int s = g.connect(a, 0, b, 0);
+  EXPECT_EQ(g.num_streams(), 1);
+  EXPECT_EQ(g.stream(s).name, "a->b");
+  EXPECT_EQ(g.filter(a).num_output_ports, 1);
+  EXPECT_EQ(g.filter(b).num_input_ports, 1);
+  g.validate();
+}
+
+TEST(Graph, ConnectRejectsBadIds) {
+  Graph g;
+  const int a = g.add_source("a", null_source());
+  EXPECT_THROW(g.connect(a, 0, 5, 0), std::invalid_argument);
+  EXPECT_THROW(g.connect(-1, 0, a, 0), std::invalid_argument);
+}
+
+TEST(Graph, ConnectRejectsInputToSource) {
+  Graph g;
+  const int a = g.add_source("a", null_source());
+  const int b = g.add_filter("b", null_filter());
+  g.connect(a, 0, b, 0);
+  EXPECT_THROW(g.connect(b, 0, a, 0), std::invalid_argument);
+}
+
+TEST(Graph, InputPortAcceptsOneStream) {
+  Graph g;
+  const int a = g.add_source("a", null_source());
+  const int b = g.add_source("b", null_source());
+  const int c = g.add_filter("c", null_filter());
+  g.connect(a, 0, c, 0);
+  EXPECT_THROW(g.connect(b, 0, c, 0), std::invalid_argument);
+  g.connect(b, 0, c, 1);  // second port is fine
+  g.validate();
+}
+
+TEST(Graph, ValidateDetectsCycle) {
+  Graph g;
+  const int a = g.add_filter("a", null_filter());
+  const int b = g.add_filter("b", null_filter());
+  g.connect(a, 0, b, 0);
+  g.connect(b, 0, a, 0);
+  EXPECT_THROW(g.validate(), std::invalid_argument);
+}
+
+TEST(Graph, ValidateDetectsPortGap) {
+  Graph g;
+  const int a = g.add_source("a", null_source());
+  const int b = g.add_filter("b", null_filter());
+  g.connect(a, 0, b, 1);  // port 0 left unconnected
+  EXPECT_THROW(g.validate(), std::invalid_argument);
+}
+
+TEST(Graph, ValidateDetectsMissingFactory) {
+  Graph g;
+  g.add_filter("a", FilterFactory{});
+  EXPECT_THROW(g.validate(), std::invalid_argument);
+}
+
+TEST(Graph, BufferSizeBoundsChecked) {
+  Graph g;
+  const int a = g.add_source("a", null_source());
+  const int b = g.add_filter("b", null_filter());
+  EXPECT_THROW(g.connect(a, 0, b, 0, 0, 10), std::invalid_argument);
+  EXPECT_THROW(g.connect(a, 0, b, 0, 100, 10), std::invalid_argument);
+}
+
+TEST(Graph, StreamQueriesOrderedByPort) {
+  Graph g;
+  const int a = g.add_source("a", null_source());
+  const int b = g.add_filter("b", null_filter());
+  const int c = g.add_filter("c", null_filter());
+  const int s0 = g.connect(a, 0, b, 0);
+  const int s1 = g.connect(a, 1, c, 0);
+  EXPECT_EQ(g.out_streams(a), (std::vector<int>{s0, s1}));
+  EXPECT_EQ(g.in_streams(b), (std::vector<int>{s0}));
+}
+
+}  // namespace
+}  // namespace dc::core

@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include "adr/adr.hpp"
+#include "test_util.hpp"
+#include "viz/app.hpp"
+
+namespace dc {
+namespace {
+
+/// End-to-end scenarios on the paper's testbed presets, checking the
+/// qualitative claims of the evaluation section at test scale.
+struct Testbed : ::testing::Test {
+  sim::Simulation simulation;
+  sim::Topology topo{simulation};
+  test::TestDataset ds = test::make_dataset(32, 4, 32);
+
+  std::vector<int> rogue, blue;
+
+  void build(int n_rogue, int n_blue) {
+    rogue = topo.add_hosts(n_rogue, sim::testbed::rogue_node());
+    blue = topo.add_hosts(n_blue, sim::testbed::blue_node());
+  }
+
+  void place_data(const std::vector<int>& hosts) {
+    std::vector<data::FileLocation> locs;
+    for (int h : hosts) {
+      locs.push_back(data::FileLocation{h, 0});
+      locs.push_back(data::FileLocation{h, 1});
+    }
+    ds.store->place_uniform(locs);
+  }
+
+  viz::IsoAppSpec spec(viz::PipelineConfig config, const std::vector<int>& data,
+                       const std::vector<int>& raster, int merge) {
+    viz::IsoAppSpec s;
+    s.workload = test::make_workload(ds, 96, 96);
+    s.config = config;
+    s.hsr = viz::HsrAlgorithm::kActivePixel;
+    s.data_hosts = viz::one_each(data);
+    s.raster_hosts = viz::one_each(raster);
+    s.merge_host = merge;
+    return s;
+  }
+};
+
+TEST_F(Testbed, HeterogeneousNodesStillProduceReferenceImage) {
+  build(2, 2);
+  place_data({rogue[0], rogue[1], blue[0], blue[1]});
+  auto s = spec(viz::PipelineConfig::kRE_Ra_M, {0, 1, 2, 3}, {0, 1, 2, 3}, 3);
+  const viz::RenderRun run = run_iso_app(topo, s, {}, 1);
+  EXPECT_EQ(run.sink->digests[0],
+            test::direct_render(s.workload).digest());
+}
+
+TEST_F(Testbed, BackgroundJobsShiftBuffersToUnloadedClass) {
+  // Table 3's mechanism: with background jobs on the Rogue nodes, DD sends
+  // the E->Ra buffers to the Blue copies instead.
+  build(2, 2);
+  ds = test::make_dataset(40, 8, 32);  // 512 chunks -> plenty of buffers
+  place_data({rogue[0], rogue[1], blue[0], blue[1]});
+  auto s = spec(viz::PipelineConfig::kRE_Ra_M, {0, 1, 2, 3}, {0, 1, 2, 3},
+                blue[1]);
+  test::make_raster_bound(s.workload);
+  core::RuntimeConfig dd;
+  dd.policy = core::Policy::kDemandDriven;
+  // A tight window bounds how many buffers can sit parked at stuck copies —
+  // at test scale (tens of buffers) the window tail would otherwise mask
+  // the shift that Table 3 shows over thousands of buffers.
+  dd.window = 1;
+
+  auto buffers_by_class = [&](int bg) {
+    for (int h : rogue) topo.host(h).cpu().set_background_jobs(bg);
+    const viz::RenderRun run = run_iso_app(topo, s, dd, 1);
+    for (int h : rogue) topo.host(h).cpu().set_background_jobs(0);
+    return run.metrics.buffers_in_by_class(run.raster_filter);
+  };
+
+  const auto balanced = buffers_by_class(0);
+  const auto loaded = buffers_by_class(16);
+  // Unloaded: roughly even split. Loaded: blue dominates.
+  EXPECT_GT(static_cast<double>(loaded.at("blue")),
+            1.5 * static_cast<double>(loaded.at("rogue")));
+  EXPECT_LT(static_cast<double>(balanced.at("blue")),
+            1.5 * static_cast<double>(balanced.at("rogue")));
+}
+
+TEST_F(Testbed, SkewMakesFusedConfigurationSlowest) {
+  // Figure 7's mechanism: with data skewed to the slow Rogue nodes, the
+  // fully fused RERa-M is bound by the slowest node, while decoupled
+  // configurations offload the processing.
+  build(2, 2);
+  place_data({rogue[0], rogue[1], blue[0], blue[1]});
+  ds.store->move_fraction(
+      {blue[0], blue[1]},
+      {data::FileLocation{rogue[0], 0}, data::FileLocation{rogue[0], 1},
+       data::FileLocation{rogue[1], 0}, data::FileLocation{rogue[1], 1}},
+      0.75);
+
+  auto fused = spec(viz::PipelineConfig::kRERa_M, {0, 1, 2, 3}, {}, blue[1]);
+  auto decoupled =
+      spec(viz::PipelineConfig::kRE_Ra_M, {0, 1, 2, 3}, {0, 1, 2, 3}, blue[1]);
+  core::RuntimeConfig dd;
+  dd.policy = core::Policy::kDemandDriven;
+  const viz::RenderRun t_fused = run_iso_app(topo, fused, dd, 1);
+  const viz::RenderRun t_dec = run_iso_app(topo, decoupled, dd, 1);
+  EXPECT_LT(t_dec.avg, t_fused.avg);
+  EXPECT_EQ(t_fused.sink->digests, t_dec.sink->digests);
+}
+
+TEST_F(Testbed, AdrAndAllDataCutterConfigsAgreeOnEveryTimestep) {
+  build(2, 2);
+  place_data({0, 1, 2, 3});
+  auto s = spec(viz::PipelineConfig::kR_ERa_M, {0, 1, 2, 3}, {0, 1, 2, 3}, 2);
+  const viz::RenderRun dc = run_iso_app(topo, s, {}, 3);
+  const adr::AdrResult adr =
+      adr::run_adr_isosurface(topo, s.workload, {0, 1, 2, 3}, 2, {}, 3);
+  EXPECT_EQ(dc.sink->digests, adr.digests);
+}
+
+TEST_F(Testbed, SlowNetworkMakesDemandDrivenAcksCostly) {
+  // Table 5's mechanism: acks over a Fast Ethernet (Deathstar-like) link add
+  // overhead; WRR avoids it. We check DD is not dramatically better than
+  // WRR when the raster node sits behind a slow NIC and there is no load
+  // imbalance to exploit.
+  rogue = topo.add_hosts(2, sim::testbed::red_node());
+  const int smp = topo.add_host(sim::testbed::deathstar_node());
+  // Red nodes have a single disk.
+  ds.store->place_uniform(
+      {data::FileLocation{0, 0}, data::FileLocation{1, 0}});
+  auto s = spec(viz::PipelineConfig::kRE_Ra_M, {0, 1}, {smp}, smp);
+  s.raster_hosts = {{smp, 8}};
+
+  core::RuntimeConfig wrr;
+  wrr.policy = core::Policy::kWeightedRoundRobin;
+  core::RuntimeConfig dd;
+  dd.policy = core::Policy::kDemandDriven;
+  const viz::RenderRun run_wrr = run_iso_app(topo, s, wrr, 1);
+  const viz::RenderRun run_dd = run_iso_app(topo, s, dd, 1);
+  EXPECT_LE(run_wrr.avg, run_dd.avg * 1.05);
+  EXPECT_EQ(run_wrr.sink->digests, run_dd.sink->digests);
+}
+
+}  // namespace
+}  // namespace dc

@@ -1,0 +1,63 @@
+#include "core/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dc::core {
+namespace {
+
+InstanceMetrics instance(int filter, int host, const std::string& cls,
+                         double busy, std::uint64_t buffers_in) {
+  InstanceMetrics m;
+  m.filter = filter;
+  m.host = host;
+  m.host_class = cls;
+  m.busy_time = busy;
+  m.buffers_in = buffers_in;
+  m.work_ops = busy * 100.0;
+  return m;
+}
+
+TEST(Metrics, AggregateFilterMinAvgMax) {
+  Metrics m;
+  m.instances.push_back(instance(0, 0, "a", 1.0, 5));
+  m.instances.push_back(instance(0, 1, "a", 3.0, 5));
+  m.instances.push_back(instance(1, 0, "a", 9.0, 5));  // other filter
+  const FilterAggregate agg = m.aggregate_filter(0, "f0");
+  EXPECT_EQ(agg.instances, 2);
+  EXPECT_DOUBLE_EQ(agg.busy_min, 1.0);
+  EXPECT_DOUBLE_EQ(agg.busy_avg, 2.0);
+  EXPECT_DOUBLE_EQ(agg.busy_max, 3.0);
+  EXPECT_DOUBLE_EQ(agg.work_ops, 400.0);
+  EXPECT_EQ(agg.name, "f0");
+}
+
+TEST(Metrics, AggregateOfAbsentFilterIsEmpty) {
+  Metrics m;
+  const FilterAggregate agg = m.aggregate_filter(7, "x");
+  EXPECT_EQ(agg.instances, 0);
+  EXPECT_DOUBLE_EQ(agg.busy_avg, 0.0);
+}
+
+TEST(Metrics, BuffersInByClassGroups) {
+  Metrics m;
+  m.instances.push_back(instance(2, 0, "rogue", 1.0, 10));
+  m.instances.push_back(instance(2, 1, "rogue", 1.0, 20));
+  m.instances.push_back(instance(2, 2, "blue", 1.0, 40));
+  m.instances.push_back(instance(3, 2, "blue", 1.0, 99));  // other filter
+  const auto by_class = m.buffers_in_by_class(2);
+  EXPECT_EQ(by_class.at("rogue"), 30u);
+  EXPECT_EQ(by_class.at("blue"), 40u);
+  EXPECT_EQ(by_class.size(), 2u);
+}
+
+TEST(Metrics, SingleInstanceAggregateDegenerates) {
+  Metrics m;
+  m.instances.push_back(instance(0, 0, "a", 4.5, 1));
+  const FilterAggregate agg = m.aggregate_filter(0, "f");
+  EXPECT_DOUBLE_EQ(agg.busy_min, 4.5);
+  EXPECT_DOUBLE_EQ(agg.busy_max, 4.5);
+  EXPECT_DOUBLE_EQ(agg.busy_avg, 4.5);
+}
+
+}  // namespace
+}  // namespace dc::core

@@ -1,0 +1,104 @@
+#include "viz/partitioned.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace dc::viz {
+namespace {
+
+struct PartitionedFixture : ::testing::Test {
+  sim::Simulation simulation;
+  sim::Topology topo{simulation};
+  test::TestDataset ds = test::make_dataset();
+
+  IsoAppSpec spec_on(const std::vector<int>& data, const std::vector<int>& raster) {
+    std::vector<data::FileLocation> locs;
+    for (int h : data) locs.push_back(data::FileLocation{h, 0});
+    ds.store->place_uniform(locs);
+    IsoAppSpec spec;
+    spec.workload = test::make_workload(ds);
+    spec.config = PipelineConfig::kRE_Ra_M;
+    spec.data_hosts = one_each(data);
+    spec.raster_hosts = one_each(raster);
+    return spec;
+  }
+};
+
+TEST_F(PartitionedFixture, RejectsBadArguments) {
+  test::add_plain_nodes(topo, 2);
+  IsoAppSpec spec = spec_on({0}, {1});
+  EXPECT_THROW((void)build_partitioned_iso_app(spec, 0, {0}), std::invalid_argument);
+  EXPECT_THROW((void)build_partitioned_iso_app(spec, 2, {}), std::invalid_argument);
+  spec.config = PipelineConfig::kRERa_M;
+  EXPECT_THROW((void)build_partitioned_iso_app(spec, 2, {0}), std::invalid_argument);
+}
+
+TEST_F(PartitionedFixture, StripedImageMatchesReference) {
+  test::add_plain_nodes(topo, 4);
+  IsoAppSpec spec = spec_on({0, 1}, {1, 2});
+  const Image reference = test::direct_render(spec.workload);
+  for (int stripes : {1, 2, 3, 4, 7}) {
+    for (HsrAlgorithm hsr : {HsrAlgorithm::kZBuffer, HsrAlgorithm::kActivePixel}) {
+      spec.hsr = hsr;
+      const RenderRun run =
+          run_partitioned_iso_app(topo, spec, stripes, {2, 3}, {}, 1);
+      ASSERT_EQ(run.sink->digests.size(), 1u);
+      EXPECT_EQ(run.sink->digests[0], reference.digest())
+          << stripes << " stripes / " << to_string(hsr);
+    }
+  }
+}
+
+TEST_F(PartitionedFixture, UnevenStripeHeightsStillExact) {
+  test::add_plain_nodes(topo, 2);
+  IsoAppSpec spec = spec_on({0}, {1});
+  spec.workload.height = 50;  // 50 rows over 4 stripes -> 13/13/13/11
+  spec.workload.width = 64;
+  const Image reference = test::direct_render(spec.workload);
+  const RenderRun run = run_partitioned_iso_app(topo, spec, 4, {0, 1}, {}, 1);
+  EXPECT_EQ(run.sink->digests.at(0), reference.digest());
+}
+
+TEST_F(PartitionedFixture, MultipleUowsAssembleInOrder) {
+  test::add_plain_nodes(topo, 3);
+  IsoAppSpec spec = spec_on({0}, {1, 2});
+  const RenderRun run = run_partitioned_iso_app(topo, spec, 3, {0, 1, 2}, {}, 3);
+  ASSERT_EQ(run.sink->digests.size(), 3u);
+  for (int u = 0; u < 3; ++u) {
+    EXPECT_EQ(run.sink->digests[static_cast<std::size_t>(u)],
+              test::direct_render(spec.workload, u).digest());
+  }
+}
+
+TEST_F(PartitionedFixture, RemovesMergeBottleneck) {
+  // With many raster copies feeding one merge host, partitioning the image
+  // across merge copies on distinct hosts must cut the makespan.
+  test::add_plain_nodes(topo, 8);
+  IsoAppSpec spec = spec_on({0}, {1, 2, 3});
+  test::make_raster_bound(spec.workload, 50.0);
+  spec.workload.cost.merge_per_entry *= 200.0;  // force the merge bottleneck
+  spec.hsr = HsrAlgorithm::kActivePixel;
+
+  spec.merge_host = 4;
+  const RenderRun single = run_iso_app(topo, spec, {}, 1);
+  const RenderRun striped =
+      run_partitioned_iso_app(topo, spec, 4, {4, 5, 6, 7}, {}, 1);
+  EXPECT_LT(striped.avg, single.avg);
+  EXPECT_EQ(striped.sink->digests, single.sink->digests);
+}
+
+TEST(StripeAssemblerTest, AssemblesOutOfOrderStripes) {
+  auto sink = std::make_shared<RenderSink>();
+  StripeAssembler asm2(4, 4, 2, sink);
+  Image top(4, 2, 1), bottom(4, 2, 2);
+  asm2.add_stripe(0, 2, bottom);  // bottom first
+  EXPECT_TRUE(sink->digests.empty());
+  asm2.add_stripe(0, 0, top);
+  ASSERT_EQ(sink->images.size(), 1u);
+  EXPECT_EQ(sink->images[0].at(0, 0), 1u);
+  EXPECT_EQ(sink->images[0].at(0, 3), 2u);
+}
+
+}  // namespace
+}  // namespace dc::viz

@@ -1,0 +1,46 @@
+#include "core/placement.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dc::core {
+namespace {
+
+TEST(Placement, PlaceAccumulatesEntries) {
+  Placement p;
+  p.place(0, 3, 2).place(0, 4, 1);
+  ASSERT_EQ(p.entries(0).size(), 2u);
+  EXPECT_EQ(p.entries(0)[0].host, 3);
+  EXPECT_EQ(p.entries(0)[0].copies, 2);
+  EXPECT_EQ(p.total_copies(0), 3);
+}
+
+TEST(Placement, PlaceEachPutsOneCopyPerHost) {
+  Placement p;
+  p.place_each(1, {5, 6, 7});
+  EXPECT_EQ(p.total_copies(1), 3);
+  EXPECT_EQ(p.entries(1)[2].host, 7);
+}
+
+TEST(Placement, PlaceEachWithMultipleCopies) {
+  Placement p;
+  p.place_each(0, {1, 2}, 4);
+  EXPECT_EQ(p.total_copies(0), 8);
+}
+
+TEST(Placement, UnplacedFilterIsEmpty) {
+  Placement p;
+  p.place(2, 0);
+  EXPECT_TRUE(p.entries(0).empty());
+  EXPECT_EQ(p.total_copies(0), 0);
+  EXPECT_TRUE(p.entries(99).empty());
+}
+
+TEST(Placement, InvalidArgumentsThrow) {
+  Placement p;
+  EXPECT_THROW(p.place(0, 1, 0), std::invalid_argument);
+  EXPECT_THROW(p.place(0, -1, 1), std::invalid_argument);
+  EXPECT_THROW(p.place(-1, 0, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dc::core

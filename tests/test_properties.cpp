@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "test_util.hpp"
+#include "viz/app.hpp"
+
+namespace dc {
+namespace {
+
+/// Property sweep: the rendered image is a pure function of the workload —
+/// never of decomposition, policy, HSR algorithm, copy count, flow-control
+/// window, or buffer size. One TEST_P instantiation per combination.
+using Combo = std::tuple<viz::PipelineConfig, viz::HsrAlgorithm, core::Policy,
+                         int /*copies*/, int /*window*/>;
+
+class ImageInvariance : public ::testing::TestWithParam<Combo> {};
+
+TEST_P(ImageInvariance, MatchesReference) {
+  const auto [config, hsr, policy, copies, window] = GetParam();
+
+  sim::Simulation simulation;
+  sim::Topology topo(simulation);
+  test::add_plain_nodes(topo, 4);
+  test::TestDataset ds = test::make_dataset(16, 2, 8);
+  ds.store->place_uniform({data::FileLocation{0, 0}, data::FileLocation{1, 0}});
+
+  const viz::VizWorkload w = test::make_workload(ds, 48, 48);
+  static std::uint64_t reference = 0;
+  if (reference == 0) reference = test::direct_render(w).digest();
+
+  viz::IsoAppSpec spec;
+  spec.workload = w;
+  spec.config = config;
+  spec.hsr = hsr;
+  spec.data_hosts = viz::one_each({0, 1});
+  spec.raster_hosts = {{2, copies}, {3, copies}};
+  spec.merge_host = 3;
+  core::RuntimeConfig cfg;
+  cfg.policy = policy;
+  cfg.window = window;
+  const viz::RenderRun run = run_iso_app(topo, spec, cfg, 1);
+  EXPECT_EQ(run.sink->digests.at(0), reference);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ImageInvariance,
+    ::testing::Combine(
+        ::testing::Values(viz::PipelineConfig::kRERa_M,
+                          viz::PipelineConfig::kRE_Ra_M,
+                          viz::PipelineConfig::kR_ERa_M),
+        ::testing::Values(viz::HsrAlgorithm::kZBuffer,
+                          viz::HsrAlgorithm::kActivePixel),
+        ::testing::Values(core::Policy::kRoundRobin, core::Policy::kDemandDriven),
+        ::testing::Values(1, 3), ::testing::Values(1, 4)));
+
+/// Buffer-size sweep: stream buffer sizes change timing, never content.
+class BufferSizeInvariance : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BufferSizeInvariance, MatchesReference) {
+  const std::size_t bytes = GetParam();
+  sim::Simulation simulation;
+  sim::Topology topo(simulation);
+  test::add_plain_nodes(topo, 2);
+  test::TestDataset ds = test::make_dataset(16, 2, 8);
+  ds.store->place_uniform({data::FileLocation{0, 0}});
+  const viz::VizWorkload w = test::make_workload(ds, 48, 48);
+
+  viz::IsoAppSpec spec;
+  spec.workload = w;
+  spec.config = viz::PipelineConfig::kR_ERa_M;
+  spec.hsr = viz::HsrAlgorithm::kActivePixel;
+  spec.data_hosts = viz::one_each({0});
+  spec.raster_hosts = viz::one_each({1});
+  spec.merge_host = 1;
+  spec.block_buffer_bytes = bytes;
+  spec.tri_buffer_bytes = bytes;
+  spec.pix_buffer_bytes = bytes;
+  const viz::RenderRun run = run_iso_app(topo, spec, {}, 1);
+  EXPECT_EQ(run.sink->digests.at(0), test::direct_render(w).digest());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BufferSizeInvariance,
+                         ::testing::Values(1024, 4096, 64 * 1024, 512 * 1024));
+
+/// Makespan monotonicity-ish: adding background jobs never speeds things up.
+class BackgroundMonotonic : public ::testing::TestWithParam<int> {};
+
+TEST_P(BackgroundMonotonic, MoreLoadNeverFaster) {
+  const int bg = GetParam();
+  sim::Simulation simulation;
+  sim::Topology topo(simulation);
+  test::add_plain_nodes(topo, 3);
+  test::TestDataset ds = test::make_dataset(16, 2, 8);
+  ds.store->place_uniform({data::FileLocation{0, 0}});
+  viz::IsoAppSpec spec;
+  spec.workload = test::make_workload(ds, 48, 48);
+  spec.config = viz::PipelineConfig::kRE_Ra_M;
+  spec.data_hosts = viz::one_each({0});
+  spec.raster_hosts = viz::one_each({1, 2});
+  spec.merge_host = 2;
+
+  const viz::RenderRun clean = run_iso_app(topo, spec, {}, 1);
+  topo.host(1).cpu().set_background_jobs(bg);
+  const viz::RenderRun loaded = run_iso_app(topo, spec, {}, 1);
+  topo.host(1).cpu().set_background_jobs(0);
+  EXPECT_GE(loaded.avg, clean.avg * 0.999);
+  EXPECT_EQ(loaded.sink->digests, clean.sink->digests);
+}
+
+INSTANTIATE_TEST_SUITE_P(Load, BackgroundMonotonic, ::testing::Values(1, 4, 16));
+
+}  // namespace
+}  // namespace dc

@@ -1,0 +1,119 @@
+#include "viz/raster.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace dc::viz {
+namespace {
+
+ScreenTriangle tri(float x0, float y0, float d0, float x1, float y1, float d1,
+                   float x2, float y2, float d2) {
+  ScreenTriangle t;
+  t.v0 = {x0, y0, d0};
+  t.v1 = {x1, y1, d1};
+  t.v2 = {x2, y2, d2};
+  return t;
+}
+
+TEST(Rasterize, CoversApproximatelyTheArea) {
+  const auto t = tri(10, 10, 1, 60, 10, 1, 10, 60, 1);
+  std::size_t n = 0;
+  rasterize(t, 100, 100, [&](int, int, float) { ++n; });
+  EXPECT_NEAR(static_cast<double>(n), 0.5 * 50 * 50, 60.0);
+}
+
+TEST(Rasterize, WindingDoesNotMatter) {
+  const auto a = tri(10, 10, 1, 60, 10, 1, 10, 60, 1);
+  const auto b = tri(10, 10, 1, 10, 60, 1, 60, 10, 1);  // reversed
+  std::vector<std::tuple<int, int>> pa, pb;
+  rasterize(a, 100, 100, [&](int x, int y, float) { pa.emplace_back(x, y); });
+  rasterize(b, 100, 100, [&](int x, int y, float) { pb.emplace_back(x, y); });
+  EXPECT_EQ(pa, pb);
+}
+
+TEST(Rasterize, DegenerateTriangleEmitsNothing) {
+  const auto t = tri(10, 10, 1, 20, 20, 1, 30, 30, 1);  // collinear
+  std::size_t n = 0;
+  rasterize(t, 100, 100, [&](int, int, float) { ++n; });
+  EXPECT_EQ(n, 0u);
+}
+
+TEST(Rasterize, ClipsToViewport) {
+  const auto t = tri(-50, -50, 1, 50, -50, 1, -50, 50, 1);
+  rasterize(t, 32, 32, [&](int x, int y, float) {
+    ASSERT_GE(x, 0);
+    ASSERT_LT(x, 32);
+    ASSERT_GE(y, 0);
+    ASSERT_LT(y, 32);
+  });
+}
+
+TEST(Rasterize, ConstantDepthInterpolatesExactly) {
+  const auto t = tri(5, 5, 7.5f, 25, 5, 7.5f, 5, 25, 7.5f);
+  rasterize(t, 64, 64,
+            [&](int, int, float d) { ASSERT_NEAR(d, 7.5f, 1e-4f); });
+}
+
+TEST(Rasterize, DepthGradientFollowsVertices) {
+  // Depth 0 at left edge, 10 at right vertex: pixels near the right have
+  // larger depth.
+  const auto t = tri(0, 0, 0, 40, 0, 10, 0, 40, 0);
+  float left = -1.f, right = -1.f;
+  rasterize(t, 64, 64, [&](int x, int y, float d) {
+    if (x <= 1 && y <= 1) left = d;
+    if (x >= 30) right = std::max(right, d);
+  });
+  ASSERT_GE(left, 0.f);
+  EXPECT_LT(left, 1.f);
+  EXPECT_GT(right, 6.f);
+}
+
+TEST(Rasterize, DeterministicOrder) {
+  const auto t = tri(3, 3, 1, 20, 5, 2, 8, 22, 3);
+  std::vector<std::tuple<int, int, float>> a, b;
+  rasterize(t, 64, 64, [&](int x, int y, float d) { a.emplace_back(x, y, d); });
+  rasterize(t, 64, 64, [&](int x, int y, float d) { b.emplace_back(x, y, d); });
+  EXPECT_EQ(a, b);
+  // y-major order.
+  for (std::size_t i = 1; i < a.size(); ++i) {
+    EXPECT_GE(std::get<1>(a[i]), std::get<1>(a[i - 1]));
+  }
+}
+
+TEST(Rasterize, ReturnsEmittedCount) {
+  const auto t = tri(0, 0, 1, 10, 0, 1, 0, 10, 1);
+  std::size_t n = 0;
+  const std::size_t returned = rasterize(t, 64, 64, [&](int, int, float) { ++n; });
+  EXPECT_EQ(returned, n);
+  EXPECT_GT(n, 0u);
+}
+
+TEST(ShadeFlat, DeterministicAndInRange) {
+  const Vec3 n{0.5f, 0.5f, 0.7071f};
+  const Vec3 view{0, 0, 1};
+  const std::uint32_t c1 = shade_flat(n, view, 0.4f);
+  const std::uint32_t c2 = shade_flat(n, view, 0.4f);
+  EXPECT_EQ(c1, c2);
+}
+
+TEST(ShadeFlat, FacingSurfaceIsBrighter) {
+  const Vec3 view{0, 0, 1};
+  const std::uint32_t facing = shade_flat({0, 0, -1}, view, 0.5f);
+  const std::uint32_t grazing = shade_flat({1, 0, 0}, view, 0.5f);
+  const int bright_facing = red(facing) + green(facing) + blue(facing);
+  const int bright_grazing = red(grazing) + green(grazing) + blue(grazing);
+  EXPECT_GT(bright_facing, bright_grazing);
+}
+
+TEST(ShadeFlat, ScalarControlsHue) {
+  const Vec3 n{0, 0, -1};
+  const Vec3 view{0, 0, 1};
+  const std::uint32_t cold = shade_flat(n, view, 0.0f);
+  const std::uint32_t hot = shade_flat(n, view, 1.0f);
+  EXPECT_GT(blue(cold), red(cold));
+  EXPECT_GT(red(hot), blue(hot));
+}
+
+}  // namespace
+}  // namespace dc::viz

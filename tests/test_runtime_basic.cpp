@@ -1,0 +1,282 @@
+#include "core/runtime.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "test_util.hpp"
+
+namespace dc::core {
+namespace {
+
+/// Emits `count` buffers, each holding `per_buffer` uint32 values 0..n-1.
+class IntSource : public SourceFilter {
+ public:
+  IntSource(int count, int per_buffer, double ops_per_step = 100.0,
+            std::uint64_t disk_bytes = 0)
+      : count_(count),
+        per_buffer_(per_buffer),
+        ops_(ops_per_step),
+        disk_bytes_(disk_bytes) {}
+
+  bool step(FilterContext& ctx) override {
+    if (emitted_ >= count_) return false;
+    if (disk_bytes_ > 0) ctx.read_disk(0, disk_bytes_);
+    ctx.charge(ops_);
+    Buffer b = ctx.make_buffer(0);
+    for (int i = 0; i < per_buffer_; ++i) {
+      b.push(static_cast<std::uint32_t>(emitted_ * per_buffer_ + i));
+    }
+    ctx.write(0, b);
+    ++emitted_;
+    return emitted_ < count_;
+  }
+
+ private:
+  int count_, per_buffer_;
+  double ops_;
+  std::uint64_t disk_bytes_;
+  int emitted_ = 0;
+};
+
+/// Sums everything it sees; at EOW adds the sum to a shared accumulator.
+struct SinkState {
+  std::uint64_t total = 0;
+  std::uint64_t buffers = 0;
+  int eow_calls = 0;
+  int init_calls = 0;
+  int finalize_calls = 0;
+};
+
+class SumSink : public Filter {
+ public:
+  SumSink(std::shared_ptr<SinkState> st, double ops_per_buffer = 50.0)
+      : st_(std::move(st)), ops_(ops_per_buffer) {}
+
+  void init(FilterContext& ctx) override {
+    ctx.charge(10.0);
+    ++st_->init_calls;
+  }
+  void process_buffer(FilterContext& ctx, int, const Buffer& buf) override {
+    ctx.charge(ops_);
+    for (std::uint32_t v : buf.records<std::uint32_t>()) local_ += v;
+    ++st_->buffers;
+  }
+  void process_eow(FilterContext&) override {
+    st_->total += local_;
+    ++st_->eow_calls;
+  }
+  void finalize(FilterContext&) override { ++st_->finalize_calls; }
+
+ private:
+  std::shared_ptr<SinkState> st_;
+  double ops_;
+  std::uint64_t local_ = 0;
+};
+
+struct RuntimeBasic : ::testing::Test {
+  sim::Simulation simulation;
+  sim::Topology topo{simulation};
+  std::shared_ptr<SinkState> sink_state = std::make_shared<SinkState>();
+
+  Graph two_stage(int buffers, int per_buffer) {
+    Graph g;
+    const int src = g.add_source("src", [=] {
+      return std::make_unique<IntSource>(buffers, per_buffer);
+    });
+    const int snk = g.add_filter(
+        "sink", [this] { return std::make_unique<SumSink>(sink_state); });
+    g.connect(src, 0, snk, 0);
+    return g;
+  }
+};
+
+TEST_F(RuntimeBasic, DeliversEveryValueExactlyOnce) {
+  test::add_plain_nodes(topo, 2);
+  Graph g = two_stage(20, 8);
+  Placement p;
+  p.place(0, 0).place(1, 1);
+  Runtime rt(topo, g, p, {});
+  const sim::SimTime makespan = rt.run_uow();
+  const std::uint64_t n = 20 * 8;
+  EXPECT_EQ(sink_state->total, n * (n - 1) / 2);
+  EXPECT_EQ(sink_state->buffers, 20u);
+  EXPECT_EQ(sink_state->eow_calls, 1);
+  EXPECT_EQ(sink_state->init_calls, 1);
+  EXPECT_EQ(sink_state->finalize_calls, 1);
+  EXPECT_GT(makespan, 0.0);
+}
+
+TEST_F(RuntimeBasic, StreamMetricsCountBuffersAndBytes) {
+  test::add_plain_nodes(topo, 2);
+  Graph g = two_stage(10, 4);
+  Placement p;
+  p.place(0, 0).place(1, 1);
+  Runtime rt(topo, g, p, {});
+  rt.run_uow();
+  const auto& sm = rt.metrics().streams.at(0);
+  EXPECT_EQ(sm.buffers, 10u);
+  EXPECT_EQ(sm.payload_bytes, 10u * 4u * sizeof(std::uint32_t));
+  EXPECT_GT(sm.message_bytes, sm.payload_bytes);
+}
+
+TEST_F(RuntimeBasic, InstanceMetricsTrackWork) {
+  test::add_plain_nodes(topo, 2);
+  Graph g = two_stage(10, 4);
+  Placement p;
+  p.place(0, 0).place(1, 1);
+  Runtime rt(topo, g, p, {});
+  rt.run_uow();
+  const auto& inst = rt.metrics().instances;
+  ASSERT_EQ(inst.size(), 2u);
+  // Source charged 100 ops x 10 steps.
+  EXPECT_NEAR(inst[0].work_ops, 1000.0, 1e-9);
+  EXPECT_GT(inst[0].busy_time, 0.0);
+  EXPECT_EQ(inst[1].buffers_in, 10u);
+  EXPECT_GT(inst[1].bytes_in, 0u);
+}
+
+TEST_F(RuntimeBasic, DiskReadsDelaySource) {
+  test::add_plain_nodes(topo, 2);
+  Graph fast, slow;
+  {
+    const int s = fast.add_source(
+        "src", [] { return std::make_unique<IntSource>(5, 1, 10.0, 0); });
+    const int k = fast.add_filter(
+        "sink", [this] { return std::make_unique<SumSink>(sink_state); });
+    fast.connect(s, 0, k, 0);
+  }
+  {
+    const int s = slow.add_source("src", [] {
+      return std::make_unique<IntSource>(5, 1, 10.0, 10'000'000);
+    });
+    const int k = slow.add_filter(
+        "sink", [this] { return std::make_unique<SumSink>(sink_state); });
+    slow.connect(s, 0, k, 0);
+  }
+  Placement p;
+  p.place(0, 0).place(1, 1);
+  sim::Simulation sim2;
+  sim::Topology topo2(sim2);
+  test::add_plain_nodes(topo, 0);
+  test::add_plain_nodes(topo2, 2);
+  Runtime rt_fast(topo, fast, p, {});
+  Runtime rt_slow(topo2, slow, p, {});
+  const sim::SimTime t_fast = rt_fast.run_uow();
+  const sim::SimTime t_slow = rt_slow.run_uow();
+  EXPECT_GT(t_slow, t_fast + 0.5);  // 5 x 10 MB at 50 MB/s = 1 s of disk
+}
+
+TEST_F(RuntimeBasic, MultipleUowsRerunFreshFilters) {
+  test::add_plain_nodes(topo, 2);
+  Graph g = two_stage(5, 2);
+  Placement p;
+  p.place(0, 0).place(1, 1);
+  Runtime rt(topo, g, p, {});
+  const sim::SimTime t1 = rt.run_uow();
+  const sim::SimTime t2 = rt.run_uow();
+  EXPECT_EQ(sink_state->eow_calls, 2);
+  EXPECT_EQ(sink_state->init_calls, 2);
+  // Deterministic simulation: identical UOWs take identical virtual time.
+  EXPECT_NEAR(t1, t2, 1e-9);
+}
+
+TEST_F(RuntimeBasic, UnplacedFilterRejected) {
+  test::add_plain_nodes(topo, 2);
+  Graph g = two_stage(1, 1);
+  Placement p;
+  p.place(0, 0);
+  EXPECT_THROW(Runtime(topo, g, p, {}), std::invalid_argument);
+}
+
+TEST_F(RuntimeBasic, PlacementHostOutOfRangeRejected) {
+  test::add_plain_nodes(topo, 2);
+  Graph g = two_stage(1, 1);
+  Placement p;
+  p.place(0, 0).place(1, 9);
+  EXPECT_THROW(Runtime(topo, g, p, {}), std::invalid_argument);
+}
+
+TEST_F(RuntimeBasic, NonSourceWithoutInputRejected) {
+  test::add_plain_nodes(topo, 1);
+  Graph g;
+  g.add_filter("orphan",
+               [this] { return std::make_unique<SumSink>(sink_state); });
+  Placement p;
+  p.place(0, 0);
+  EXPECT_THROW(Runtime(topo, g, p, {}), std::invalid_argument);
+}
+
+TEST_F(RuntimeBasic, BadWindowRejected) {
+  test::add_plain_nodes(topo, 2);
+  Graph g = two_stage(1, 1);
+  Placement p;
+  p.place(0, 0).place(1, 1);
+  RuntimeConfig cfg;
+  cfg.window = 0;
+  EXPECT_THROW(Runtime(topo, g, p, cfg), std::invalid_argument);
+}
+
+class WriterInInit : public Filter {
+ public:
+  void init(FilterContext& ctx) override { ctx.write(0, ctx.make_buffer(0)); }
+  void process_buffer(FilterContext&, int, const Buffer&) override {}
+};
+
+TEST_F(RuntimeBasic, WriteInInitThrows) {
+  test::add_plain_nodes(topo, 2);
+  Graph g;
+  const int src =
+      g.add_source("src", [] { return std::make_unique<IntSource>(1, 1); });
+  const int bad = g.add_filter("bad", [] { return std::make_unique<WriterInInit>(); });
+  const int snk = g.add_filter(
+      "sink", [this] { return std::make_unique<SumSink>(sink_state); });
+  g.connect(src, 0, bad, 0);
+  g.connect(bad, 0, snk, 0);
+  Placement p;
+  p.place(0, 0).place(1, 0).place(2, 1);
+  Runtime rt(topo, g, p, {});
+  EXPECT_THROW(rt.run_uow(), std::logic_error);
+}
+
+TEST_F(RuntimeBasic, ThreeStagePipelineDelivers) {
+  test::add_plain_nodes(topo, 3);
+  Graph g;
+  const int src =
+      g.add_source("src", [] { return std::make_unique<IntSource>(12, 3); });
+  // Pass-through middle filter doubling each value.
+  class Doubler : public Filter {
+   public:
+    void process_buffer(FilterContext& ctx, int, const Buffer& buf) override {
+      ctx.charge(20.0);
+      Buffer out = ctx.make_buffer(0);
+      for (std::uint32_t v : buf.records<std::uint32_t>()) out.push(2 * v);
+      ctx.write(0, out);
+    }
+  };
+  const int mid = g.add_filter("mid", [] { return std::make_unique<Doubler>(); });
+  const int snk = g.add_filter(
+      "sink", [this] { return std::make_unique<SumSink>(sink_state); });
+  g.connect(src, 0, mid, 0);
+  g.connect(mid, 0, snk, 0);
+  Placement p;
+  p.place(0, 0).place(1, 1).place(2, 2);
+  Runtime rt(topo, g, p, {});
+  rt.run_uow();
+  const std::uint64_t n = 36;
+  EXPECT_EQ(sink_state->total, n * (n - 1));  // doubled sum
+}
+
+TEST_F(RuntimeBasic, EmptySourceStillCompletes) {
+  test::add_plain_nodes(topo, 2);
+  Graph g = two_stage(0, 1);
+  Placement p;
+  p.place(0, 0).place(1, 1);
+  Runtime rt(topo, g, p, {});
+  rt.run_uow();
+  EXPECT_EQ(sink_state->total, 0u);
+  EXPECT_EQ(sink_state->eow_calls, 1);
+}
+
+}  // namespace
+}  // namespace dc::core

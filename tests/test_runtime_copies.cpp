@@ -1,0 +1,179 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/runtime.hpp"
+#include "test_util.hpp"
+
+namespace dc::core {
+namespace {
+
+class CountingSource : public SourceFilter {
+ public:
+  explicit CountingSource(int count) : count_(count) {}
+  bool step(FilterContext& ctx) override {
+    if (i_ >= count_) return false;
+    ctx.charge(100.0);
+    Buffer b = ctx.make_buffer(0);
+    b.push(static_cast<std::uint32_t>(i_));
+    ctx.write(0, b);
+    ++i_;
+    return i_ < count_;
+  }
+
+ private:
+  int count_;
+  int i_ = 0;
+};
+
+struct CopyStats {
+  std::uint64_t sum = 0;
+  int eow_calls = 0;
+  std::uint64_t max_single_copy = 0;
+};
+
+/// Accumulates values (internal state) and contributes its partial sum at
+/// end of work — the accumulator pattern that needs a combine filter.
+class AccumWorker : public Filter {
+ public:
+  AccumWorker(std::shared_ptr<CopyStats> st, double ops) : st_(std::move(st)), ops_(ops) {}
+  void process_buffer(FilterContext& ctx, int, const Buffer& buf) override {
+    ctx.charge(ops_);
+    for (std::uint32_t v : buf.records<std::uint32_t>()) local_ += v;
+    ++count_;
+  }
+  void process_eow(FilterContext&) override {
+    st_->sum += local_;
+    ++st_->eow_calls;
+    st_->max_single_copy = std::max(st_->max_single_copy, count_);
+  }
+
+ private:
+  std::shared_ptr<CopyStats> st_;
+  double ops_;
+  std::uint64_t local_ = 0;
+  std::uint64_t count_ = 0;
+};
+
+/// Standalone harness: source on host 0, worker copies on hosts 1..hosts.
+struct CopyHarness {
+  sim::Simulation simulation;
+  sim::Topology topo{simulation};
+  std::shared_ptr<CopyStats> stats = std::make_shared<CopyStats>();
+
+  sim::SimTime run(int buffers, int hosts, int copies_per_host, int cores = 1,
+                   double worker_ops = 1e5) {
+    test::add_plain_nodes(topo, hosts + 1, "plain", cores);
+    Graph g;
+    const int src = g.add_source(
+        "src", [=] { return std::make_unique<CountingSource>(buffers); });
+    const int wrk = g.add_filter("work", [this, worker_ops] {
+      return std::make_unique<AccumWorker>(stats, worker_ops);
+    });
+    g.connect(src, 0, wrk, 0);
+    Placement p;
+    p.place(src, 0);
+    for (int h = 1; h <= hosts; ++h) p.place(wrk, h, copies_per_host);
+    Runtime rt(topo, g, p, {});
+    return rt.run_uow();
+  }
+};
+
+TEST(RuntimeCopies, SumPreservedWithOneCopy) {
+  CopyHarness h;
+  h.run(40, 1, 1);
+  EXPECT_EQ(h.stats->sum, 40u * 39u / 2u);
+  EXPECT_EQ(h.stats->eow_calls, 1);
+}
+
+TEST(RuntimeCopies, SumPreservedWithManyCopies) {
+  CopyHarness h;
+  h.run(40, 2, 3);
+  EXPECT_EQ(h.stats->sum, 40u * 39u / 2u);
+  EXPECT_EQ(h.stats->eow_calls, 6);  // every transparent copy flushes once
+}
+
+TEST(RuntimeCopies, CopySetSharesWorkWithinHost) {
+  // One 4-core host with 4 copies: demand-based balance inside the copy set
+  // means no copy hogs the queue.
+  CopyHarness h;
+  h.run(64, 1, 4, /*cores=*/4);
+  EXPECT_EQ(h.stats->sum, 64u * 63u / 2u);
+  EXPECT_LT(h.stats->max_single_copy, 40u);  // roughly 16 each, never all 64
+}
+
+TEST(RuntimeCopies, CopiesSpeedUpComputeBoundStage) {
+  CopyHarness one;
+  const sim::SimTime t1 = one.run(32, 1, 1, 4);
+  CopyHarness four;
+  const sim::SimTime t4 = four.run(32, 1, 4, 4);
+  // 4 copies on a 4-core SMP: close to 4x on the compute-dominated stage.
+  EXPECT_LT(t4, t1 * 0.45);
+}
+
+TEST(RuntimeCopies, TransparentCopiesAcrossHostsScale) {
+  CopyHarness one;
+  const sim::SimTime t1 = one.run(32, 1, 1);
+  CopyHarness two;
+  const sim::SimTime t2 = two.run(32, 2, 1);
+  EXPECT_LT(t2, t1 * 0.7);
+}
+
+TEST(RuntimeCopies, SmallWindowStillDeliversAll) {
+  CopyHarness h;
+  test::add_plain_nodes(h.topo, 2);
+  Graph g;
+  const int src =
+      g.add_source("src", [] { return std::make_unique<CountingSource>(50); });
+  const int wrk = g.add_filter(
+      "work", [&h] { return std::make_unique<AccumWorker>(h.stats, 5000.0); });
+  g.connect(src, 0, wrk, 0);
+  Placement p;
+  p.place(src, 0).place(wrk, 1);
+  RuntimeConfig cfg;
+  cfg.window = 1;  // maximum backpressure
+  Runtime rt(h.topo, g, p, cfg);
+  rt.run_uow();
+  EXPECT_EQ(h.stats->sum, 50u * 49u / 2u);
+}
+
+TEST(RuntimeCopies, BackpressureStallsProducer) {
+  CopyHarness h;
+  test::add_plain_nodes(h.topo, 2);
+  Graph g;
+  const int src =
+      g.add_source("src", [] { return std::make_unique<CountingSource>(20); });
+  const int wrk = g.add_filter(
+      "work", [&h] { return std::make_unique<AccumWorker>(h.stats, 1e6); });
+  g.connect(src, 0, wrk, 0);
+  Placement p;
+  p.place(src, 0).place(wrk, 1);
+  RuntimeConfig cfg;
+  cfg.window = 1;
+  Runtime rt(h.topo, g, p, cfg);
+  rt.run_uow();
+  // The slow consumer forces the producer to wait on the window.
+  ASSERT_FALSE(rt.metrics().instances.empty());
+  EXPECT_GT(rt.metrics().instances[0].stall_time, 0.0);
+}
+
+TEST(RuntimeCopies, MultipleProducersFanIntoOneConsumer) {
+  CopyHarness h;
+  test::add_plain_nodes(h.topo, 3);
+  Graph g;
+  const int src =
+      g.add_source("src", [] { return std::make_unique<CountingSource>(10); });
+  const int wrk = g.add_filter(
+      "work", [&h] { return std::make_unique<AccumWorker>(h.stats, 10.0); });
+  g.connect(src, 0, wrk, 0);
+  Placement p;
+  p.place(src, 0).place(src, 1).place(wrk, 2);
+  Runtime rt(h.topo, g, p, {});
+  rt.run_uow();
+  // Two source copies each produce 10 buffers of 0..9.
+  EXPECT_EQ(h.stats->sum, 2u * 45u);
+  EXPECT_EQ(h.stats->eow_calls, 1);
+}
+
+}  // namespace
+}  // namespace dc::core

@@ -1,0 +1,207 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+
+#include "core/runtime.hpp"
+#include "test_util.hpp"
+
+namespace dc::core {
+namespace {
+
+/// Emits `count` buffers of fixed payload with a per-step CPU cost.
+class LoadSource : public SourceFilter {
+ public:
+  explicit LoadSource(int count) : count_(count) {}
+  bool step(FilterContext& ctx) override {
+    if (i_ >= count_) return false;
+    ctx.charge(1000.0);
+    Buffer b = ctx.make_buffer(0);
+    for (int k = 0; k < 64; ++k) b.push(static_cast<std::uint32_t>(i_ * 64 + k));
+    ctx.write(0, b);
+    ++i_;
+    return i_ < count_;
+  }
+
+ private:
+  int count_;
+  int i_ = 0;
+};
+
+/// CPU-heavy consumer; records nothing, charge dominates.
+class Worker : public Filter {
+ public:
+  explicit Worker(double ops) : ops_(ops) {}
+  void process_buffer(FilterContext& ctx, int, const Buffer&) override {
+    ctx.charge(ops_);
+  }
+
+ private:
+  double ops_;
+};
+
+struct PolicyFixture : ::testing::Test {
+  sim::Simulation simulation;
+  sim::Topology topo{simulation};
+
+  /// host0: producer. host1, host2: consumers.
+  void build_hosts() { test::add_plain_nodes(topo, 3, "plain", 1, 500.0); }
+
+  /// Runs `buffers` through the pipeline; returns buffers_in per host.
+  std::map<int, std::uint64_t> run(Policy policy, int buffers,
+                                   int copies_h1 = 1, int copies_h2 = 1,
+                                   double worker_ops = 1e6) {
+    Graph g;
+    const int src = g.add_source(
+        "src", [=] { return std::make_unique<LoadSource>(buffers); });
+    const int wrk = g.add_filter(
+        "work", [=] { return std::make_unique<Worker>(worker_ops); });
+    g.connect(src, 0, wrk, 0);
+    Placement p;
+    p.place(src, 0);
+    p.place(wrk, 1, copies_h1).place(wrk, 2, copies_h2);
+    RuntimeConfig cfg;
+    cfg.policy = policy;
+    Runtime rt(topo, g, p, cfg);
+    rt.run_uow();
+    last_metrics = rt.metrics();
+    std::map<int, std::uint64_t> per_host;
+    for (const auto& m : last_metrics.instances) {
+      if (m.filter == wrk) per_host[m.host] += m.buffers_in;
+    }
+    return per_host;
+  }
+
+  Metrics last_metrics;
+};
+
+TEST_F(PolicyFixture, RoundRobinSplitsEvenly) {
+  build_hosts();
+  const auto per_host = run(Policy::kRoundRobin, 100);
+  EXPECT_EQ(per_host.at(1), 50u);
+  EXPECT_EQ(per_host.at(2), 50u);
+  EXPECT_EQ(last_metrics.acks_total, 0u);
+}
+
+TEST_F(PolicyFixture, WeightedRoundRobinFollowsCopyCounts) {
+  build_hosts();
+  const auto per_host = run(Policy::kWeightedRoundRobin, 100, 1, 3);
+  EXPECT_EQ(per_host.at(1), 25u);
+  EXPECT_EQ(per_host.at(2), 75u);
+}
+
+TEST_F(PolicyFixture, RoundRobinIgnoresCopyCounts) {
+  build_hosts();
+  const auto per_host = run(Policy::kRoundRobin, 100, 1, 3);
+  EXPECT_EQ(per_host.at(1), 50u);
+  EXPECT_EQ(per_host.at(2), 50u);
+}
+
+TEST_F(PolicyFixture, DemandDrivenSendsAcks) {
+  build_hosts();
+  run(Policy::kDemandDriven, 40);
+  EXPECT_EQ(last_metrics.acks_total, 40u);
+  EXPECT_GT(last_metrics.ack_bytes_total, 0u);
+}
+
+TEST_F(PolicyFixture, DemandDrivenShiftsLoadAwayFromLoadedHost) {
+  build_hosts();
+  topo.host(1).cpu().set_background_jobs(8);
+  const auto per_host = run(Policy::kDemandDriven, 120);
+  // Host 1 computes at 1/9 speed; demand-driven should route most buffers
+  // to the unloaded host 2.
+  EXPECT_GT(per_host.at(2), 2 * per_host.at(1));
+  EXPECT_EQ(per_host.at(1) + per_host.at(2), 120u);
+}
+
+TEST_F(PolicyFixture, RoundRobinCannotAdaptToLoad) {
+  build_hosts();
+  topo.host(1).cpu().set_background_jobs(8);
+  const auto per_host = run(Policy::kRoundRobin, 120);
+  EXPECT_EQ(per_host.at(1), 60u);
+  EXPECT_EQ(per_host.at(2), 60u);
+}
+
+TEST_F(PolicyFixture, DemandDrivenBeatsRoundRobinUnderImbalance) {
+  build_hosts();
+  topo.host(1).cpu().set_background_jobs(8);
+  Graph g;
+  const int src =
+      g.add_source("src", [] { return std::make_unique<LoadSource>(60); });
+  const int wrk =
+      g.add_filter("work", [] { return std::make_unique<Worker>(1e6); });
+  g.connect(src, 0, wrk, 0);
+  Placement p;
+  p.place(src, 0).place(wrk, 1).place(wrk, 2);
+
+  RuntimeConfig rr;
+  rr.policy = Policy::kRoundRobin;
+  RuntimeConfig dd;
+  dd.policy = Policy::kDemandDriven;
+  Runtime rt_rr(topo, g, p, rr);
+  const sim::SimTime t_rr = rt_rr.run_uow();
+  Runtime rt_dd(topo, g, p, dd);
+  const sim::SimTime t_dd = rt_dd.run_uow();
+  EXPECT_LT(t_dd, t_rr);
+}
+
+TEST_F(PolicyFixture, DemandDrivenPrefersColocatedOnTies) {
+  // Producer on host 0 that ALSO runs a consumer copy; second consumer on
+  // host 1. With equal demand, ties go to the co-located copy, and local
+  // acks return faster, so most buffers stay local.
+  build_hosts();
+  Graph g;
+  const int src =
+      g.add_source("src", [] { return std::make_unique<LoadSource>(80); });
+  const int wrk =
+      g.add_filter("work", [] { return std::make_unique<Worker>(500.0); });
+  g.connect(src, 0, wrk, 0);
+  Placement p;
+  p.place(src, 0).place(wrk, 0).place(wrk, 1);
+  RuntimeConfig cfg;
+  cfg.policy = Policy::kDemandDriven;
+  Runtime rt(topo, g, p, cfg);
+  rt.run_uow();
+  std::map<int, std::uint64_t> per_host;
+  for (const auto& m : rt.metrics().instances) {
+    if (m.filter == wrk) per_host[m.host] += m.buffers_in;
+  }
+  EXPECT_GT(per_host[0], per_host[1]);
+}
+
+TEST_F(PolicyFixture, AllPoliciesDeliverEverything) {
+  for (const Policy pol :
+       {Policy::kRoundRobin, Policy::kWeightedRoundRobin, Policy::kDemandDriven}) {
+    sim::Simulation s2;
+    sim::Topology t2(s2);
+    test::add_plain_nodes(t2, 3);
+    Graph g;
+    const int src =
+        g.add_source("src", [] { return std::make_unique<LoadSource>(37); });
+    const int wrk =
+        g.add_filter("work", [] { return std::make_unique<Worker>(100.0); });
+    g.connect(src, 0, wrk, 0);
+    Placement p;
+    p.place(src, 0).place(wrk, 1, 2).place(wrk, 2);
+    RuntimeConfig cfg;
+    cfg.policy = pol;
+    Runtime rt(t2, g, p, cfg);
+    rt.run_uow();
+    std::uint64_t total = 0;
+    for (const auto& m : rt.metrics().instances) {
+      if (m.filter == wrk) total += m.buffers_in;
+    }
+    EXPECT_EQ(total, 37u) << to_string(pol);
+  }
+}
+
+TEST(Policy, ParseAndPrintRoundTrip) {
+  EXPECT_EQ(parse_policy("RR"), Policy::kRoundRobin);
+  EXPECT_EQ(parse_policy("wrr"), Policy::kWeightedRoundRobin);
+  EXPECT_EQ(parse_policy("DD"), Policy::kDemandDriven);
+  EXPECT_EQ(to_string(Policy::kDemandDriven), "DD");
+  EXPECT_THROW((void)parse_policy("bogus"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dc::core

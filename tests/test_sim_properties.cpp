@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "sim/cpu.hpp"
+#include "sim/disk.hpp"
+#include "sim/network.hpp"
+#include "sim/rng.hpp"
+#include "sim/simulation.hpp"
+
+namespace dc::sim {
+namespace {
+
+/// Work conservation under random arrivals: while at least `cores` jobs are
+/// runnable, the CPU retires cores*speed ops/s, so the last completion time
+/// equals total_ops / (cores*speed) when the system never goes idle.
+class CpuRandomLoad : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CpuRandomLoad, SaturatedCpuConservesWork) {
+  Rng rng(GetParam());
+  Simulation sim;
+  const int cores = 2;
+  const double speed = 1000.0;
+  Cpu cpu(sim, cores, speed);
+  double total_ops = 0.0;
+  SimTime last = 0.0;
+  // Submit everything at t=0 with plenty of jobs: never idle, never below
+  // `cores` runnable until the very end.
+  const int jobs = 50;
+  double max_ops = 0.0;
+  for (int j = 0; j < jobs; ++j) {
+    const double ops = rng.uniform(500.0, 5000.0);
+    total_ops += ops;
+    max_ops = std::max(max_ops, ops);
+    cpu.submit(ops, [&] { last = sim.now(); });
+  }
+  sim.run();
+  // Ideal completion plus at most the tail where < cores jobs remain and
+  // the straggler runs below aggregate speed.
+  const double ideal = total_ops / (cores * speed);
+  EXPECT_GE(last, ideal - 1e-9);
+  EXPECT_LE(last, ideal + max_ops / speed);
+  EXPECT_NEAR(cpu.busy_core_seconds(), total_ops / speed, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CpuRandomLoad, ::testing::Values(1, 2, 3, 5, 8));
+
+/// Under any interleaving of submissions and background-job changes, every
+/// job eventually completes and completions are ordered by remaining work
+/// at each instant (no starvation, no lost jobs).
+class CpuChurn : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CpuChurn, AllJobsCompleteUnderChurn) {
+  Rng rng(GetParam());
+  Simulation sim;
+  Cpu cpu(sim, 1, 1000.0);
+  int completed = 0;
+  const int jobs = 40;
+  for (int j = 0; j < jobs; ++j) {
+    const SimTime at = rng.uniform(0.0, 1.0);
+    const double ops = rng.uniform(1.0, 300.0);
+    sim.at(at, [&cpu, ops, &completed] { cpu.submit(ops, [&] { ++completed; }); });
+  }
+  for (int k = 0; k < 10; ++k) {
+    const SimTime at = rng.uniform(0.0, 2.0);
+    const int bg = static_cast<int>(rng.below(8));
+    sim.at(at, [&cpu, bg] { cpu.set_background_jobs(bg); });
+  }
+  sim.run();
+  EXPECT_EQ(completed, jobs);
+  EXPECT_EQ(cpu.active_jobs(), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CpuChurn, ::testing::Values(11, 22, 33));
+
+/// Disk requests complete in submission order with non-decreasing times and
+/// total busy time equal to the sum of service demands.
+class DiskFifoProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DiskFifoProperty, CompletionsAreFifoAndWorkConserving) {
+  Rng rng(GetParam());
+  Simulation sim;
+  const double bw = 1e6;
+  const SimTime seek = 0.002;
+  Disk disk(sim, bw, seek);
+  std::vector<int> completions;
+  double total_service = 0.0;
+  SimTime last = 0.0;
+  const int requests = 30;
+  for (int r = 0; r < requests; ++r) {
+    const auto bytes = static_cast<std::uint64_t>(rng.below(100000) + 1);
+    total_service += seek + static_cast<double>(bytes) / bw;
+    disk.read(bytes, [&completions, r, &sim, &last] {
+      completions.push_back(r);
+      EXPECT_GE(sim.now(), last);
+      last = sim.now();
+    });
+  }
+  sim.run();
+  ASSERT_EQ(completions.size(), static_cast<std::size_t>(requests));
+  EXPECT_TRUE(std::is_sorted(completions.begin(), completions.end()));
+  // All submitted at t=0: the last completion is the sum of services.
+  EXPECT_NEAR(last, total_service, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DiskFifoProperty, ::testing::Values(7, 17, 27));
+
+/// Per-(src,dst) delivery order is FIFO regardless of message sizes — the
+/// property end-of-work correctness rests on.
+class NetworkFifoProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(NetworkFifoProperty, DeliveriesPreservePerPairOrder) {
+  Rng rng(GetParam());
+  Simulation sim;
+  Network net(sim);
+  std::vector<std::unique_ptr<Nic>> nics;
+  const int hosts = 4;
+  for (int h = 0; h < hosts; ++h) {
+    nics.push_back(std::make_unique<Nic>(sim, rng.uniform(1e6, 1e8), 1e-4));
+    net.register_nic(nics.back().get());
+  }
+  std::vector<std::vector<int>> delivered(
+      static_cast<std::size_t>(hosts * hosts));
+  const int messages = 200;
+  for (int m = 0; m < messages; ++m) {
+    const int src = static_cast<int>(rng.below(hosts));
+    const int dst = static_cast<int>(rng.below(hosts));
+    const auto bytes = static_cast<std::uint64_t>(rng.below(1 << 18) + 1);
+    const auto pair = static_cast<std::size_t>(src * hosts + dst);
+    net.send(src, dst, bytes, [&delivered, pair, m] {
+      delivered[pair].push_back(m);
+    });
+  }
+  sim.run();
+  std::size_t total = 0;
+  for (const auto& seq : delivered) {
+    EXPECT_TRUE(std::is_sorted(seq.begin(), seq.end()));
+    total += seq.size();
+  }
+  EXPECT_EQ(total, static_cast<std::size_t>(messages));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NetworkFifoProperty,
+                         ::testing::Values(3, 13, 23, 43));
+
+/// The whole simulation is deterministic: two identical runs produce
+/// identical event counts and final clocks.
+TEST(SimDeterminism, IdenticalRunsMatchExactly) {
+  auto run_once = [] {
+    Rng rng(99);
+    Simulation sim;
+    Cpu cpu(sim, 2, 500.0);
+    Disk disk(sim, 1e6, 0.001);
+    for (int i = 0; i < 25; ++i) {
+      cpu.submit(rng.uniform(1, 100), [] {});
+      disk.read(rng.below(10000) + 1, [] {});
+    }
+    sim.run();
+    return std::pair<std::uint64_t, SimTime>(sim.events_fired(), sim.now());
+  };
+  const auto a = run_once();
+  const auto b = run_once();
+  EXPECT_EQ(a.first, b.first);
+  EXPECT_DOUBLE_EQ(a.second, b.second);
+}
+
+}  // namespace
+}  // namespace dc::sim

@@ -1,0 +1,104 @@
+#include "sim/simulation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace dc::sim {
+namespace {
+
+TEST(Simulation, ClockStartsAtZero) {
+  Simulation sim;
+  EXPECT_DOUBLE_EQ(sim.now(), 0.0);
+  EXPECT_TRUE(sim.idle());
+}
+
+TEST(Simulation, AfterAdvancesClock) {
+  Simulation sim;
+  SimTime seen = -1.0;
+  sim.after(2.5, [&] { seen = sim.now(); });
+  sim.run();
+  EXPECT_DOUBLE_EQ(seen, 2.5);
+  EXPECT_DOUBLE_EQ(sim.now(), 2.5);
+}
+
+TEST(Simulation, EventsFireInOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  sim.after(3.0, [&] { order.push_back(3); });
+  sim.after(1.0, [&] { order.push_back(1); });
+  sim.after(2.0, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.events_fired(), 3u);
+}
+
+TEST(Simulation, EventsCanScheduleEvents) {
+  Simulation sim;
+  std::vector<SimTime> times;
+  sim.after(1.0, [&] {
+    times.push_back(sim.now());
+    sim.after(1.0, [&] { times.push_back(sim.now()); });
+  });
+  sim.run();
+  ASSERT_EQ(times.size(), 2u);
+  EXPECT_DOUBLE_EQ(times[0], 1.0);
+  EXPECT_DOUBLE_EQ(times[1], 2.0);
+}
+
+TEST(Simulation, AtInPastThrows) {
+  Simulation sim;
+  sim.after(5.0, [] {});
+  sim.run();
+  EXPECT_THROW(sim.at(1.0, [] {}), std::invalid_argument);
+}
+
+TEST(Simulation, NegativeDelayThrows) {
+  Simulation sim;
+  EXPECT_THROW(sim.after(-0.1, [] {}), std::invalid_argument);
+}
+
+TEST(Simulation, RunHorizonStopsEarly) {
+  Simulation sim;
+  bool late_fired = false;
+  sim.after(1.0, [] {});
+  sim.after(10.0, [&] { late_fired = true; });
+  sim.run(5.0);
+  EXPECT_FALSE(late_fired);
+  EXPECT_DOUBLE_EQ(sim.now(), 5.0);
+  sim.run();
+  EXPECT_TRUE(late_fired);
+}
+
+TEST(Simulation, StepFiresOneEvent) {
+  Simulation sim;
+  int count = 0;
+  sim.after(1.0, [&] { ++count; });
+  sim.after(2.0, [&] { ++count; });
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(count, 1);
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(count, 2);
+  EXPECT_FALSE(sim.step());
+}
+
+TEST(Simulation, CancelPreventsFiring) {
+  Simulation sim;
+  bool fired = false;
+  const EventId id = sim.after(1.0, [&] { fired = true; });
+  sim.cancel(id);
+  sim.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Simulation, ZeroDelayFiresAtCurrentTime) {
+  Simulation sim;
+  sim.after(4.0, [&] {
+    sim.after(0.0, [&] { EXPECT_DOUBLE_EQ(sim.now(), 4.0); });
+  });
+  sim.run();
+  EXPECT_EQ(sim.events_fired(), 2u);
+}
+
+}  // namespace
+}  // namespace dc::sim

@@ -1,0 +1,80 @@
+#include "sort/external_sort.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace dc::sort {
+namespace {
+
+struct SortFixture : ::testing::Test {
+  sim::Simulation simulation;
+  sim::Topology topo{simulation};
+
+  SortAppSpec spec_for(const std::vector<int>& readers,
+                       const std::vector<std::pair<int, int>>& sorters,
+                       int merge) {
+    SortAppSpec spec;
+    spec.workload.runs_per_reader = 4;
+    spec.workload.records_per_run = 512;
+    spec.reader_hosts.clear();
+    for (int h : readers) spec.reader_hosts.emplace_back(h, 1);
+    spec.sorter_hosts = sorters;
+    spec.merge_host = merge;
+    return spec;
+  }
+};
+
+TEST_F(SortFixture, SortsEverythingOnce) {
+  test::add_plain_nodes(topo, 3);
+  const SortRun run = run_sort_app(topo, spec_for({0}, {{1, 1}}, 2), {});
+  EXPECT_EQ(run.outcome.count, 4u * 512u);
+  EXPECT_TRUE(run.outcome.sorted);
+  EXPECT_LE(run.outcome.min_key, run.outcome.max_key);
+  EXPECT_GT(run.makespan, 0.0);
+}
+
+TEST_F(SortFixture, ChecksumInvariantAcrossPoliciesAndCopies) {
+  test::add_plain_nodes(topo, 4);
+  const SortRun base = run_sort_app(topo, spec_for({0}, {{1, 1}}, 3), {});
+  for (core::Policy pol :
+       {core::Policy::kRoundRobin, core::Policy::kWeightedRoundRobin,
+        core::Policy::kDemandDriven}) {
+    core::RuntimeConfig cfg;
+    cfg.policy = pol;
+    const SortRun run =
+        run_sort_app(topo, spec_for({0}, {{1, 2}, {2, 3}}, 3), cfg);
+    EXPECT_EQ(run.outcome.count, base.outcome.count) << core::to_string(pol);
+    EXPECT_EQ(run.outcome.key_xor, base.outcome.key_xor) << core::to_string(pol);
+    EXPECT_EQ(run.outcome.key_sum, base.outcome.key_sum) << core::to_string(pol);
+    EXPECT_TRUE(run.outcome.sorted);
+  }
+}
+
+TEST_F(SortFixture, MultipleReadersContribute) {
+  test::add_plain_nodes(topo, 4);
+  const SortRun run = run_sort_app(topo, spec_for({0, 1}, {{2, 2}}, 3), {});
+  EXPECT_EQ(run.outcome.count, 2u * 4u * 512u);
+  EXPECT_TRUE(run.outcome.sorted);
+}
+
+TEST_F(SortFixture, MoreSortersSpeedUpUnderLoad) {
+  test::add_plain_nodes(topo, 5);
+  SortAppSpec narrow_spec = spec_for({0}, {{1, 1}}, 4);
+  narrow_spec.workload.runs_per_reader = 6;
+  narrow_spec.workload.sort_per_record = 2000.0;  // make the sort stage dominate
+  SortAppSpec wide_spec = spec_for({0}, {{1, 1}, {2, 1}, {3, 1}}, 4);
+  wide_spec.workload.runs_per_reader = 6;
+  wide_spec.workload.sort_per_record = 2000.0;
+  // Round robin guarantees the runs spread over the sorters even though the
+  // reader produces slowly (DD would see all-zero demand and keep one target).
+  core::RuntimeConfig rr;
+  rr.policy = core::Policy::kRoundRobin;
+  const SortRun narrow = run_sort_app(topo, narrow_spec, rr);
+  const SortRun wide = run_sort_app(topo, wide_spec, rr);
+  EXPECT_LT(wide.makespan, narrow.makespan);
+  EXPECT_EQ(wide.outcome.key_xor, narrow.outcome.key_xor);
+}
+
+}  // namespace
+}  // namespace dc::sort

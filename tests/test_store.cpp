@@ -1,0 +1,124 @@
+#include "data/store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "data/decluster.hpp"
+
+namespace dc::data {
+namespace {
+
+DatasetStore make_store(int grid = 16, int chunks = 4, int files = 16) {
+  ChunkLayout layout(GridDims{grid, grid, grid}, chunks, chunks, chunks);
+  return DatasetStore(layout, hilbert_decluster(layout, files), files);
+}
+
+std::vector<FileLocation> locations(const std::vector<int>& hosts, int disks = 1) {
+  std::vector<FileLocation> locs;
+  for (int h : hosts) {
+    for (int d = 0; d < disks; ++d) locs.push_back(FileLocation{h, d});
+  }
+  return locs;
+}
+
+TEST(DatasetStore, RejectsBadConstruction) {
+  ChunkLayout layout(GridDims{8, 8, 8}, 2, 2, 2);
+  EXPECT_THROW(DatasetStore(layout, {}, 4), std::invalid_argument);
+  std::vector<int> bad(static_cast<std::size_t>(layout.num_chunks()), 99);
+  EXPECT_THROW(DatasetStore(layout, bad, 4), std::invalid_argument);
+}
+
+TEST(DatasetStore, UniformPlacementBalancesBytes) {
+  DatasetStore store = make_store();
+  store.place_uniform(locations({0, 1, 2, 3}));
+  std::uint64_t total = 0;
+  std::uint64_t lo = ~0ull, hi = 0;
+  for (int h = 0; h < 4; ++h) {
+    const auto b = store.bytes_on_host(h);
+    total += b;
+    lo = std::min(lo, b);
+    hi = std::max(hi, b);
+  }
+  EXPECT_EQ(total, store.total_bytes());
+  EXPECT_LT(static_cast<double>(hi - lo), 0.2 * static_cast<double>(hi));
+}
+
+TEST(DatasetStore, ChunksPartitionAcrossHosts) {
+  DatasetStore store = make_store();
+  store.place_uniform(locations({0, 1, 2}));
+  std::set<int> seen;
+  for (int h = 0; h < 3; ++h) {
+    for (const auto& ref : store.chunks_on_host(h)) {
+      EXPECT_TRUE(seen.insert(ref.chunk).second) << "chunk on two hosts";
+      EXPECT_EQ(store.file_of_chunk(ref.chunk), ref.file);
+      EXPECT_GT(ref.bytes, 0u);
+    }
+  }
+  EXPECT_EQ(static_cast<int>(seen.size()), store.layout().num_chunks());
+}
+
+TEST(DatasetStore, MultiDiskPlacementUsesAllDisks) {
+  DatasetStore store = make_store();
+  store.place_uniform(locations({0, 1}, /*disks=*/2));
+  std::set<int> disks;
+  for (const auto& ref : store.chunks_on_host(0)) disks.insert(ref.disk);
+  EXPECT_EQ(disks, (std::set<int>{0, 1}));
+}
+
+TEST(DatasetStore, MoveFractionMovesFiles) {
+  DatasetStore store = make_store();
+  store.place_uniform(locations({0, 1}));
+  const auto before_h0 = store.bytes_on_host(0);
+  store.move_fraction({0}, locations({2, 3}), 0.5);
+  EXPECT_LT(store.bytes_on_host(0), before_h0);
+  EXPECT_GT(store.bytes_on_host(2) + store.bytes_on_host(3), 0u);
+  // Conservation.
+  std::uint64_t total = 0;
+  for (int h = 0; h < 4; ++h) total += store.bytes_on_host(h);
+  EXPECT_EQ(total, store.total_bytes());
+}
+
+TEST(DatasetStore, MoveFractionZeroAndOne) {
+  DatasetStore store = make_store();
+  store.place_uniform(locations({0, 1}));
+  store.move_fraction({0}, locations({2}), 0.0);
+  EXPECT_EQ(store.bytes_on_host(2), 0u);
+  store.move_fraction({0}, locations({2}), 1.0);
+  EXPECT_EQ(store.bytes_on_host(0), 0u);
+}
+
+TEST(DatasetStore, MoveFractionValidatesArguments) {
+  DatasetStore store = make_store();
+  store.place_uniform(locations({0}));
+  EXPECT_THROW(store.move_fraction({0}, {}, 0.5), std::invalid_argument);
+  EXPECT_THROW(store.move_fraction({0}, locations({1}), 1.5), std::invalid_argument);
+}
+
+TEST(DatasetStore, DataHostsListsCurrentHolders) {
+  DatasetStore store = make_store();
+  store.place_uniform(locations({3, 1}));
+  EXPECT_EQ(store.data_hosts(), (std::vector<int>{1, 3}));
+}
+
+TEST(DatasetStore, SkewedDistributionMatchesPaperSetup) {
+  // Section 4.5: move P% of the files from the Blue nodes to the Rogue
+  // nodes, distributed evenly across the Rogue nodes.
+  DatasetStore store = make_store(16, 4, 64);
+  store.place_uniform(locations({0, 1, 2, 3}));  // 0,1 = blue; 2,3 = rogue
+  const auto blue_before = store.bytes_on_host(0) + store.bytes_on_host(1);
+  store.move_fraction({0, 1}, locations({2, 3}), 0.75);
+  const auto blue_after = store.bytes_on_host(0) + store.bytes_on_host(1);
+  EXPECT_NEAR(static_cast<double>(blue_after),
+              0.25 * static_cast<double>(blue_before),
+              0.1 * static_cast<double>(blue_before));
+  // Rogue nodes got roughly equal shares of the moved files.
+  const auto r2 = store.bytes_on_host(2) - store.total_bytes() / 4;
+  const auto r3 = store.bytes_on_host(3) - store.total_bytes() / 4;
+  EXPECT_NEAR(static_cast<double>(r2), static_cast<double>(r3),
+              0.3 * static_cast<double>(r2 + 1));
+}
+
+}  // namespace
+}  // namespace dc::data

@@ -1,0 +1,62 @@
+#include "sim/trace.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dc::sim {
+namespace {
+
+TEST(Trace, DisabledByDefault) {
+  Trace t;
+  EXPECT_FALSE(t.enabled());
+  t.emit(1.0, "tag", "detail");
+  EXPECT_TRUE(t.records().empty());
+}
+
+TEST(Trace, RecordsWhenEnabled) {
+  Trace t;
+  t.enable();
+  t.emit(1.5, "send", "a->b");
+  t.emit(2.5, "recv", "b");
+  ASSERT_EQ(t.records().size(), 2u);
+  EXPECT_DOUBLE_EQ(t.records()[0].time, 1.5);
+  EXPECT_EQ(t.records()[1].tag, "recv");
+}
+
+TEST(Trace, CountByTag) {
+  Trace t;
+  t.enable();
+  t.emit(1, "a", "");
+  t.emit(2, "b", "");
+  t.emit(3, "a", "");
+  EXPECT_EQ(t.count("a"), 2u);
+  EXPECT_EQ(t.count("b"), 1u);
+  EXPECT_EQ(t.count("c"), 0u);
+}
+
+TEST(Trace, DumpFormatsLines) {
+  Trace t;
+  t.enable();
+  t.emit(0.5, "x", "y");
+  const std::string dump = t.dump();
+  EXPECT_NE(dump.find("0.500000 x y"), std::string::npos);
+}
+
+TEST(Trace, ClearEmpties) {
+  Trace t;
+  t.enable();
+  t.emit(1, "a", "");
+  t.clear();
+  EXPECT_TRUE(t.records().empty());
+}
+
+TEST(Trace, CanBeReDisabled) {
+  Trace t;
+  t.enable();
+  t.emit(1, "a", "");
+  t.enable(false);
+  t.emit(2, "b", "");
+  EXPECT_EQ(t.records().size(), 1u);
+}
+
+}  // namespace
+}  // namespace dc::sim

@@ -1,0 +1,151 @@
+#include "vm/virtual_microscope.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "test_util.hpp"
+
+namespace dc::vm {
+namespace {
+
+Slide::Spec small_spec() {
+  Slide::Spec s;
+  s.tiles_x = 8;
+  s.tiles_y = 8;
+  s.tile_px = 32;
+  s.seed = 11;
+  s.files = 8;
+  return s;
+}
+
+TEST(Slide, RejectsBadSpec) {
+  Slide::Spec s = small_spec();
+  s.tiles_x = 0;
+  EXPECT_THROW(Slide{s}, std::invalid_argument);
+}
+
+TEST(Slide, PixelsAreDeterministic) {
+  Slide a(small_spec()), b(small_spec());
+  Slide::Spec other = small_spec();
+  other.seed = 12;
+  Slide c(other);
+  int diff = 0;
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(a.pixel(i, 2 * i % 97), b.pixel(i, 2 * i % 97));
+    if (a.pixel(i, 2 * i % 97) != c.pixel(i, 2 * i % 97)) ++diff;
+  }
+  EXPECT_GT(diff, 50);
+}
+
+TEST(Slide, FillTileMatchesPixel) {
+  Slide slide(small_spec());
+  std::vector<std::uint8_t> tile;
+  slide.fill_tile(2, 3, tile);
+  ASSERT_EQ(tile.size(), 32u * 32u);
+  EXPECT_EQ(tile[0], slide.pixel(64, 96));
+  EXPECT_EQ(tile[33], slide.pixel(65, 97));
+}
+
+TEST(Slide, TilesOnHostCoverTheViewportExactly) {
+  Slide slide(small_spec());
+  slide.place_uniform({{0, 0}, {1, 0}, {2, 1}});
+  // Viewport spanning tiles (1..4, 1..2).
+  std::set<std::pair<int, int>> seen;
+  for (int h = 0; h < 3; ++h) {
+    for (const auto& ref : slide.tiles_on_host(h, 40, 40, 100, 60)) {
+      EXPECT_TRUE(seen.emplace(ref.tx, ref.ty).second) << "duplicate tile";
+      EXPECT_GE(ref.tx, 1);
+      EXPECT_LE(ref.tx, 4);
+      EXPECT_GE(ref.ty, 1);
+      EXPECT_LE(ref.ty, 3);
+      EXPECT_GT(ref.bytes, 0u);
+    }
+  }
+  EXPECT_EQ(seen.size(), 4u * 3u);  // tiles 1..4 x 1..3
+}
+
+TEST(Viewport, ValidationCatchesBadRequests) {
+  Slide slide(small_spec());
+  VmWorkload w;
+  w.slide = &slide;
+  w.base_view = Viewport{0, 0, 64, 64, 3};  // zoom not a power of two
+  EXPECT_THROW((void)build_vm_app(w, {0}, {{0, 1}}, 0), std::invalid_argument);
+  w.base_view = Viewport{1, 0, 64, 64, 2};  // misaligned origin
+  EXPECT_THROW((void)build_vm_app(w, {0}, {{0, 1}}, 0), std::invalid_argument);
+  w.base_view = Viewport{0, 0, 1024, 64, 2};  // off the slide
+  EXPECT_THROW((void)build_vm_app(w, {0}, {{0, 1}}, 0), std::invalid_argument);
+}
+
+struct VmFixture : ::testing::Test {
+  sim::Simulation simulation;
+  sim::Topology topo{simulation};
+  Slide slide{small_spec()};
+
+  VmWorkload workload(Viewport v) {
+    VmWorkload w;
+    w.slide = &slide;
+    w.base_view = v;
+    w.pan_step = 32;
+    return w;
+  }
+};
+
+TEST_F(VmFixture, PipelineMatchesDirectViewport) {
+  test::add_plain_nodes(topo, 3);
+  slide.place_uniform({{0, 0}, {1, 0}});
+  const VmWorkload w = workload(Viewport{32, 32, 128, 96, 2});
+  const auto reference = direct_viewport(slide, w.base_view);
+
+  const VmRun run = run_vm_app(topo, w, {0, 1}, {{2, 2}}, 2, {}, 1);
+  ASSERT_EQ(run.sink->frames.size(), 1u);
+  EXPECT_EQ(run.sink->out_w, 64);
+  EXPECT_EQ(run.sink->out_h, 48);
+  EXPECT_EQ(run.sink->frames[0], reference);
+}
+
+TEST_F(VmFixture, InvariantAcrossPoliciesCopiesAndZoom) {
+  test::add_plain_nodes(topo, 4);
+  slide.place_uniform({{0, 0}, {1, 0}, {2, 0}});
+  for (int zoom : {1, 2, 4}) {
+    const VmWorkload w = workload(Viewport{0, 0, 128, 128, zoom});
+    const auto reference = direct_viewport(slide, w.base_view);
+    for (core::Policy policy :
+         {core::Policy::kRoundRobin, core::Policy::kWeightedRoundRobin,
+          core::Policy::kDemandDriven}) {
+      core::RuntimeConfig cfg;
+      cfg.policy = policy;
+      const VmRun run =
+          run_vm_app(topo, w, {0, 1, 2}, {{1, 2}, {3, 3}}, 3, cfg, 1);
+      EXPECT_EQ(frame_digest(run.sink->frames.at(0)), frame_digest(reference))
+          << "zoom " << zoom << " policy " << core::to_string(policy);
+    }
+  }
+}
+
+TEST_F(VmFixture, PanningProducesDistinctCorrectFrames) {
+  test::add_plain_nodes(topo, 2);
+  slide.place_uniform({{0, 0}});
+  const VmWorkload w = workload(Viewport{0, 0, 96, 96, 2});
+  const VmRun run = run_vm_app(topo, w, {0}, {{1, 1}}, 1, {}, 3);
+  ASSERT_EQ(run.sink->digests.size(), 3u);
+  EXPECT_NE(run.sink->digests[0], run.sink->digests[1]);
+  for (int u = 0; u < 3; ++u) {
+    EXPECT_EQ(run.sink->digests[static_cast<std::size_t>(u)],
+              frame_digest(direct_viewport(slide, w.view(u))));
+  }
+}
+
+TEST_F(VmFixture, ZoomCopiesSpeedUpTheLoadedStage) {
+  test::add_plain_nodes(topo, 3, "plain", 4);
+  slide.place_uniform({{0, 0}});
+  VmWorkload w = workload(Viewport{0, 0, 256, 256, 1});
+  w.cost.zoom_per_input_pixel *= 50.0;  // make zoom the bottleneck
+  const VmRun narrow = run_vm_app(topo, w, {0}, {{1, 1}}, 2, {}, 1);
+  const VmRun wide = run_vm_app(topo, w, {0}, {{1, 4}}, 2, {}, 1);
+  EXPECT_LT(wide.avg, narrow.avg * 0.7);
+  EXPECT_EQ(narrow.sink->digests, wide.sink->digests);
+}
+
+}  // namespace
+}  // namespace dc::vm

@@ -1,0 +1,141 @@
+#include "viz/app.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace dc::viz {
+namespace {
+
+struct AppFixture : ::testing::Test {
+  sim::Simulation simulation;
+  sim::Topology topo{simulation};
+  test::TestDataset ds = test::make_dataset();
+
+  void place_data(const std::vector<int>& hosts) {
+    std::vector<data::FileLocation> locs;
+    for (int h : hosts) locs.push_back(data::FileLocation{h, 0});
+    ds.store->place_uniform(locs);
+  }
+
+  IsoAppSpec base_spec(const std::vector<int>& data_hosts,
+                       const std::vector<int>& raster_hosts, int merge) {
+    IsoAppSpec spec;
+    spec.workload = test::make_workload(ds);
+    spec.data_hosts = one_each(data_hosts);
+    spec.raster_hosts = one_each(raster_hosts);
+    spec.merge_host = merge;
+    return spec;
+  }
+};
+
+TEST_F(AppFixture, BuildRejectsMissingWorkload) {
+  IsoAppSpec spec;
+  EXPECT_THROW((void)build_iso_app(spec), std::invalid_argument);
+}
+
+TEST_F(AppFixture, BuildRejectsEmptyPlacement) {
+  IsoAppSpec spec;
+  spec.workload = test::make_workload(ds);
+  spec.data_hosts = {};
+  EXPECT_THROW((void)build_iso_app(spec), std::invalid_argument);
+}
+
+TEST_F(AppFixture, ImageInvariantAcrossConfigsPoliciesAndHsr) {
+  // THE paper invariant: "the final output is consistent regardless of how
+  // many copies of various filters are instantiated" — and regardless of
+  // decomposition and scheduling policy.
+  test::add_plain_nodes(topo, 4);
+  place_data({0, 1});
+  const Image reference = test::direct_render(test::make_workload(ds));
+
+  for (PipelineConfig config : {PipelineConfig::kRERa_M, PipelineConfig::kRE_Ra_M,
+                                PipelineConfig::kR_ERa_M}) {
+    for (HsrAlgorithm hsr :
+         {HsrAlgorithm::kZBuffer, HsrAlgorithm::kActivePixel}) {
+      for (core::Policy policy :
+           {core::Policy::kRoundRobin, core::Policy::kWeightedRoundRobin,
+            core::Policy::kDemandDriven}) {
+        IsoAppSpec spec = base_spec({0, 1}, {2, 3}, 3);
+        spec.config = config;
+        spec.hsr = hsr;
+        core::RuntimeConfig cfg;
+        cfg.policy = policy;
+        const RenderRun run = run_iso_app(topo, spec, cfg, 1);
+        ASSERT_EQ(run.sink->digests.size(), 1u);
+        EXPECT_EQ(run.sink->digests[0], reference.digest())
+            << to_string(config) << " / " << to_string(hsr) << " / "
+            << core::to_string(policy);
+      }
+    }
+  }
+}
+
+TEST_F(AppFixture, ImageInvariantAcrossCopyCounts) {
+  test::add_plain_nodes(topo, 3);
+  place_data({0});
+  const Image reference = test::direct_render(test::make_workload(ds));
+  for (int copies : {1, 2, 5}) {
+    IsoAppSpec spec = base_spec({0}, {}, 2);
+    spec.config = PipelineConfig::kRE_Ra_M;
+    spec.raster_hosts = {{1, copies}, {2, copies}};
+    const RenderRun run = run_iso_app(topo, spec, {}, 1);
+    EXPECT_EQ(run.sink->digests[0], reference.digest()) << copies << " copies";
+  }
+}
+
+TEST_F(AppFixture, MoreRasterHostsReduceMakespan) {
+  test::add_plain_nodes(topo, 5);
+  place_data({0});
+  IsoAppSpec narrow = base_spec({0}, {1}, 0);
+  test::make_raster_bound(narrow.workload);
+  narrow.config = PipelineConfig::kRE_Ra_M;
+  const RenderRun slow = run_iso_app(topo, narrow, {}, 1);
+  IsoAppSpec wide = base_spec({0}, {1, 2, 3, 4}, 0);
+  test::make_raster_bound(wide.workload);
+  wide.config = PipelineConfig::kRE_Ra_M;
+  const RenderRun fast = run_iso_app(topo, wide, {}, 1);
+  EXPECT_LT(fast.avg, slow.avg);
+  EXPECT_EQ(fast.sink->digests[0], slow.sink->digests[0]);
+}
+
+TEST_F(AppFixture, DeterministicAcrossRepeatedRuns) {
+  test::add_plain_nodes(topo, 3);
+  place_data({0, 1});
+  IsoAppSpec spec = base_spec({0, 1}, {0, 1}, 2);
+  const RenderRun a = run_iso_app(topo, spec, {}, 2);
+  // Fresh topology, same parameters: identical virtual times and images.
+  sim::Simulation sim2;
+  sim::Topology topo2(sim2);
+  test::add_plain_nodes(topo2, 3);
+  const RenderRun b = run_iso_app(topo2, spec, {}, 2);
+  ASSERT_EQ(a.per_uow.size(), b.per_uow.size());
+  for (std::size_t i = 0; i < a.per_uow.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.per_uow[i], b.per_uow[i]);
+  }
+  EXPECT_EQ(a.sink->digests, b.sink->digests);
+}
+
+TEST_F(AppFixture, RasterFilterIdExposedForBufferAccounting) {
+  test::add_plain_nodes(topo, 2);
+  place_data({0});
+  IsoAppSpec spec = base_spec({0}, {1}, 0);
+  spec.config = PipelineConfig::kRE_Ra_M;
+  const RenderRun run = run_iso_app(topo, spec, {}, 1);
+  ASSERT_GE(run.raster_filter, 0);
+  std::uint64_t ra_buffers = 0;
+  for (const auto& m : run.metrics.instances) {
+    if (m.filter == run.raster_filter) ra_buffers += m.buffers_in;
+  }
+  EXPECT_GT(ra_buffers, 0u);
+}
+
+TEST_F(AppFixture, ConfigNamesPrint) {
+  EXPECT_STREQ(to_string(PipelineConfig::kRERa_M), "RERa-M");
+  EXPECT_STREQ(to_string(PipelineConfig::kRE_Ra_M), "RE-Ra-M");
+  EXPECT_STREQ(to_string(PipelineConfig::kR_ERa_M), "R-ERa-M");
+  EXPECT_STREQ(to_string(HsrAlgorithm::kZBuffer), "Z-buffer");
+}
+
+}  // namespace
+}  // namespace dc::viz

@@ -1,0 +1,77 @@
+#include "data/volume.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace dc::data {
+namespace {
+
+TEST(GridDims, CountsCellsAndPoints) {
+  GridDims g{4, 5, 6};
+  EXPECT_EQ(g.cells(), 120);
+  EXPECT_EQ(g.points(), 5 * 6 * 7);
+}
+
+TEST(ChunkLayout, RejectsBadArguments) {
+  EXPECT_THROW(ChunkLayout(GridDims{0, 4, 4}, 1, 1, 1), std::invalid_argument);
+  EXPECT_THROW(ChunkLayout(GridDims{4, 4, 4}, 0, 1, 1), std::invalid_argument);
+  EXPECT_THROW(ChunkLayout(GridDims{4, 4, 4}, 5, 1, 1), std::invalid_argument);
+}
+
+TEST(ChunkLayout, IdCoordRoundTrip) {
+  ChunkLayout layout(GridDims{12, 12, 12}, 3, 2, 4);
+  EXPECT_EQ(layout.num_chunks(), 24);
+  for (int c = 0; c < layout.num_chunks(); ++c) {
+    EXPECT_EQ(layout.chunk_id(layout.chunk_coords(c)), c);
+  }
+  EXPECT_THROW((void)layout.chunk_coords(24), std::out_of_range);
+  EXPECT_THROW((void)layout.chunk_id({3, 0, 0}), std::out_of_range);
+}
+
+TEST(ChunkLayout, BoxesPartitionTheGridExactly) {
+  ChunkLayout layout(GridDims{13, 7, 5}, 4, 3, 2);  // uneven split
+  std::vector<int> covered(13 * 7 * 5, 0);
+  for (int c = 0; c < layout.num_chunks(); ++c) {
+    const CellBox box = layout.chunk_box(c);
+    for (int z = box.lo[2]; z < box.hi[2]; ++z) {
+      for (int y = box.lo[1]; y < box.hi[1]; ++y) {
+        for (int x = box.lo[0]; x < box.hi[0]; ++x) {
+          ++covered[static_cast<std::size_t>(x + 13 * (y + 7 * z))];
+        }
+      }
+    }
+  }
+  for (int v : covered) EXPECT_EQ(v, 1);  // every cell exactly once
+}
+
+TEST(ChunkLayout, EqualSplitGivesEqualBoxes) {
+  ChunkLayout layout(GridDims{16, 16, 16}, 4, 4, 4);
+  for (int c = 0; c < layout.num_chunks(); ++c) {
+    EXPECT_EQ(layout.chunk_box(c).cells(), 64);
+  }
+}
+
+TEST(ChunkLayout, ChunkSizesDifferByAtMostOnePerAxis) {
+  ChunkLayout layout(GridDims{10, 10, 10}, 3, 3, 3);
+  std::int64_t min_cells = 1 << 30, max_cells = 0;
+  for (int c = 0; c < layout.num_chunks(); ++c) {
+    const auto cells = layout.chunk_box(c).cells();
+    min_cells = std::min(min_cells, cells);
+    max_cells = std::max(max_cells, cells);
+  }
+  // 10 = 4+3+3 per axis: cell counts range [27, 64].
+  EXPECT_GE(min_cells, 27);
+  EXPECT_LE(max_cells, 64);
+}
+
+TEST(ChunkLayout, BytesIncludeHaloAndSpecies) {
+  ChunkLayout layout(GridDims{8, 8, 8}, 2, 2, 2);
+  // 4 cells/axis -> 5 points/axis -> 125 floats.
+  EXPECT_EQ(layout.chunk_bytes(0), 125u * 4u);
+  EXPECT_EQ(layout.chunk_bytes(0, 4), 125u * 16u);
+  EXPECT_EQ(layout.total_bytes(), 8u * 125u * 4u);
+}
+
+}  // namespace
+}  // namespace dc::data

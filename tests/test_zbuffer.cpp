@@ -1,0 +1,141 @@
+#include "viz/zbuffer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "sim/rng.hpp"
+
+namespace dc::viz {
+namespace {
+
+TEST(ZBuffer, StartsEmpty) {
+  ZBuffer zb(4, 4);
+  EXPECT_EQ(zb.size(), 16u);
+  EXPECT_EQ(zb.active_pixels(), 0u);
+  EXPECT_FALSE(zb.active(0));
+}
+
+TEST(ZBuffer, RejectsBadDimensions) {
+  EXPECT_THROW(ZBuffer(0, 4), std::invalid_argument);
+  EXPECT_THROW(ZBuffer(4, -1), std::invalid_argument);
+}
+
+TEST(ZBuffer, CloserFragmentWins) {
+  ZBuffer zb(2, 2);
+  EXPECT_TRUE(zb.apply(0, 5.f, 111));
+  EXPECT_FALSE(zb.apply(0, 7.f, 222));  // farther: rejected
+  EXPECT_TRUE(zb.apply(0, 3.f, 333));   // closer: wins
+  EXPECT_EQ(zb.rgba_at(0), 333u);
+  EXPECT_FLOAT_EQ(zb.depth_at(0), 3.f);
+  EXPECT_EQ(zb.active_pixels(), 1u);
+}
+
+TEST(ZBuffer, EqualDepthTieBreaksOnColor) {
+  ZBuffer zb(1, 1);
+  zb.apply(0, 5.f, 200);
+  EXPECT_TRUE(zb.apply(0, 5.f, 100));   // same depth, smaller color wins
+  EXPECT_FALSE(zb.apply(0, 5.f, 150));  // larger color loses
+  EXPECT_EQ(zb.rgba_at(0), 100u);
+}
+
+TEST(ZBuffer, OutOfRangeIndexIgnored) {
+  ZBuffer zb(2, 2);
+  EXPECT_FALSE(zb.apply(100, 1.f, 1));
+  EXPECT_EQ(zb.active_pixels(), 0u);
+}
+
+TEST(ZBuffer, InfiniteDepthEntriesAreNoOps) {
+  // Dense z-buffer transfers include inactive pixels as (inf, 0); applying
+  // them must not activate anything.
+  ZBuffer zb(2, 2);
+  EXPECT_FALSE(zb.apply(0, ZBuffer::kEmptyDepth, 0));
+  EXPECT_EQ(zb.active_pixels(), 0u);
+}
+
+TEST(ZBuffer, ToImageUsesBackgroundForInactive) {
+  ZBuffer zb(2, 1);
+  zb.apply(1, 2.f, pack_rgb(10, 20, 30));
+  const Image img = zb.to_image(pack_rgb(1, 1, 1));
+  EXPECT_EQ(img.at(0, 0), pack_rgb(1, 1, 1));
+  EXPECT_EQ(img.at(1, 0), pack_rgb(10, 20, 30));
+}
+
+TEST(ZBuffer, ClearResets) {
+  ZBuffer zb(2, 2);
+  zb.apply(0, 1.f, 5);
+  zb.clear();
+  EXPECT_EQ(zb.active_pixels(), 0u);
+}
+
+TEST(FragmentWins, IsAStrictTotalOrderRelation) {
+  // Irreflexive and asymmetric on distinct values.
+  EXPECT_FALSE(fragment_wins(1.f, 5, 1.f, 5));
+  EXPECT_TRUE(fragment_wins(1.f, 4, 1.f, 5));
+  EXPECT_FALSE(fragment_wins(1.f, 5, 1.f, 4));
+  EXPECT_TRUE(fragment_wins(0.5f, 9, 1.f, 1));
+}
+
+/// Order-independence: applying any permutation of a fragment multiset gives
+/// the same z-buffer — the invariant transparent copies rely on.
+class ZBufferCommutativity : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ZBufferCommutativity, ShuffledApplicationMatches) {
+  sim::Rng rng(GetParam());
+  std::vector<PixEntry> entries;
+  for (int i = 0; i < 500; ++i) {
+    PixEntry e;
+    e.index = static_cast<std::uint32_t>(rng.below(64));
+    // Coarse depths force plenty of exact ties.
+    e.depth = static_cast<float>(rng.below(8));
+    e.rgba = static_cast<std::uint32_t>(rng.below(16));
+    entries.push_back(e);
+  }
+  ZBuffer reference(8, 8);
+  for (const auto& e : entries) reference.apply(e);
+
+  for (int trial = 0; trial < 5; ++trial) {
+    // Deterministic shuffle.
+    for (std::size_t i = entries.size(); i > 1; --i) {
+      std::swap(entries[i - 1], entries[rng.below(i)]);
+    }
+    ZBuffer shuffled(8, 8);
+    for (const auto& e : entries) shuffled.apply(e);
+    for (std::uint32_t p = 0; p < 64; ++p) {
+      ASSERT_EQ(shuffled.depth_at(p), reference.depth_at(p));
+      ASSERT_EQ(shuffled.rgba_at(p), reference.rgba_at(p));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ZBufferCommutativity,
+                         ::testing::Values(1, 2, 3, 42, 1234));
+
+TEST(ZBuffer, MergeOfPartialsEqualsDirect) {
+  // Split fragments across two "raster copies", merge their buffers:
+  // identical to applying everything to one buffer.
+  sim::Rng rng(99);
+  std::vector<PixEntry> entries;
+  for (int i = 0; i < 300; ++i) {
+    entries.push_back(PixEntry{static_cast<std::uint32_t>(rng.below(16)),
+                               static_cast<float>(rng.uniform(0.0, 10.0)),
+                               static_cast<std::uint32_t>(rng.below(1000))});
+  }
+  ZBuffer direct(4, 4), a(4, 4), b(4, 4), merged(4, 4);
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    direct.apply(entries[i]);
+    (i % 2 ? a : b).apply(entries[i]);
+  }
+  for (std::uint32_t p = 0; p < 16; ++p) {
+    merged.apply(p, a.depth_at(p), a.rgba_at(p));
+    merged.apply(p, b.depth_at(p), b.rgba_at(p));
+  }
+  for (std::uint32_t p = 0; p < 16; ++p) {
+    ASSERT_EQ(merged.depth_at(p), direct.depth_at(p));
+    ASSERT_EQ(merged.rgba_at(p), direct.rgba_at(p));
+  }
+}
+
+}  // namespace
+}  // namespace dc::viz
