@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_ablation_buffer_size.dir/exp_ablation_buffer_size.cpp.o"
+  "CMakeFiles/exp_ablation_buffer_size.dir/exp_ablation_buffer_size.cpp.o.d"
+  "CMakeFiles/exp_ablation_buffer_size.dir/exp_common.cpp.o"
+  "CMakeFiles/exp_ablation_buffer_size.dir/exp_common.cpp.o.d"
+  "exp_ablation_buffer_size"
+  "exp_ablation_buffer_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_ablation_buffer_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

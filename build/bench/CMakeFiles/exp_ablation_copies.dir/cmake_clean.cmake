@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_ablation_copies.dir/exp_ablation_copies.cpp.o"
+  "CMakeFiles/exp_ablation_copies.dir/exp_ablation_copies.cpp.o.d"
+  "CMakeFiles/exp_ablation_copies.dir/exp_common.cpp.o"
+  "CMakeFiles/exp_ablation_copies.dir/exp_common.cpp.o.d"
+  "exp_ablation_copies"
+  "exp_ablation_copies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_ablation_copies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_ablation_merge.dir/exp_ablation_merge.cpp.o"
+  "CMakeFiles/exp_ablation_merge.dir/exp_ablation_merge.cpp.o.d"
+  "CMakeFiles/exp_ablation_merge.dir/exp_common.cpp.o"
+  "CMakeFiles/exp_ablation_merge.dir/exp_common.cpp.o.d"
+  "exp_ablation_merge"
+  "exp_ablation_merge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_ablation_merge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_ablation_window.dir/exp_ablation_window.cpp.o"
+  "CMakeFiles/exp_ablation_window.dir/exp_ablation_window.cpp.o.d"
+  "CMakeFiles/exp_ablation_window.dir/exp_common.cpp.o"
+  "CMakeFiles/exp_ablation_window.dir/exp_common.cpp.o.d"
+  "exp_ablation_window"
+  "exp_ablation_window.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_ablation_window.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/exp_common.cpp" "bench/CMakeFiles/exp_fig4_homogeneous.dir/exp_common.cpp.o" "gcc" "bench/CMakeFiles/exp_fig4_homogeneous.dir/exp_common.cpp.o.d"
+  "/root/repo/bench/exp_fig4_homogeneous.cpp" "bench/CMakeFiles/exp_fig4_homogeneous.dir/exp_fig4_homogeneous.cpp.o" "gcc" "bench/CMakeFiles/exp_fig4_homogeneous.dir/exp_fig4_homogeneous.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/dc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/dc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/dc_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/viz/CMakeFiles/dc_viz.dir/DependInfo.cmake"
+  "/root/repo/build/src/adr/CMakeFiles/dc_adr.dir/DependInfo.cmake"
+  "/root/repo/build/src/sort/CMakeFiles/dc_sort.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/dc_vm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

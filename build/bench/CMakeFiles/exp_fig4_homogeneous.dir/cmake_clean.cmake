@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_fig4_homogeneous.dir/exp_common.cpp.o"
+  "CMakeFiles/exp_fig4_homogeneous.dir/exp_common.cpp.o.d"
+  "CMakeFiles/exp_fig4_homogeneous.dir/exp_fig4_homogeneous.cpp.o"
+  "CMakeFiles/exp_fig4_homogeneous.dir/exp_fig4_homogeneous.cpp.o.d"
+  "exp_fig4_homogeneous"
+  "exp_fig4_homogeneous.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_fig4_homogeneous.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_fig5_heterogeneous.dir/exp_common.cpp.o"
+  "CMakeFiles/exp_fig5_heterogeneous.dir/exp_common.cpp.o.d"
+  "CMakeFiles/exp_fig5_heterogeneous.dir/exp_fig5_heterogeneous.cpp.o"
+  "CMakeFiles/exp_fig5_heterogeneous.dir/exp_fig5_heterogeneous.cpp.o.d"
+  "exp_fig5_heterogeneous"
+  "exp_fig5_heterogeneous.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_fig5_heterogeneous.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

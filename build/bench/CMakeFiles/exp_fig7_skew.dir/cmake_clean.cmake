@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_fig7_skew.dir/exp_common.cpp.o"
+  "CMakeFiles/exp_fig7_skew.dir/exp_common.cpp.o.d"
+  "CMakeFiles/exp_fig7_skew.dir/exp_fig7_skew.cpp.o"
+  "CMakeFiles/exp_fig7_skew.dir/exp_fig7_skew.cpp.o.d"
+  "exp_fig7_skew"
+  "exp_fig7_skew.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_fig7_skew.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_table1_2_baseline.dir/exp_common.cpp.o"
+  "CMakeFiles/exp_table1_2_baseline.dir/exp_common.cpp.o.d"
+  "CMakeFiles/exp_table1_2_baseline.dir/exp_table1_2_baseline.cpp.o"
+  "CMakeFiles/exp_table1_2_baseline.dir/exp_table1_2_baseline.cpp.o.d"
+  "exp_table1_2_baseline"
+  "exp_table1_2_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_table1_2_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for exp_table1_2_baseline.
+# This may be replaced when dependencies are built.

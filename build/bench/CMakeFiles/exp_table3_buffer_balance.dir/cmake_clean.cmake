@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_table3_buffer_balance.dir/exp_common.cpp.o"
+  "CMakeFiles/exp_table3_buffer_balance.dir/exp_common.cpp.o.d"
+  "CMakeFiles/exp_table3_buffer_balance.dir/exp_table3_buffer_balance.cpp.o"
+  "CMakeFiles/exp_table3_buffer_balance.dir/exp_table3_buffer_balance.cpp.o.d"
+  "exp_table3_buffer_balance"
+  "exp_table3_buffer_balance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_table3_buffer_balance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

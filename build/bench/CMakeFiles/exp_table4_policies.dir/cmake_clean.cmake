@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_table4_policies.dir/exp_common.cpp.o"
+  "CMakeFiles/exp_table4_policies.dir/exp_common.cpp.o.d"
+  "CMakeFiles/exp_table4_policies.dir/exp_table4_policies.cpp.o"
+  "CMakeFiles/exp_table4_policies.dir/exp_table4_policies.cpp.o.d"
+  "exp_table4_policies"
+  "exp_table4_policies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_table4_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_table5_compute_node.dir/exp_common.cpp.o"
+  "CMakeFiles/exp_table5_compute_node.dir/exp_common.cpp.o.d"
+  "CMakeFiles/exp_table5_compute_node.dir/exp_table5_compute_node.cpp.o"
+  "CMakeFiles/exp_table5_compute_node.dir/exp_table5_compute_node.cpp.o.d"
+  "exp_table5_compute_node"
+  "exp_table5_compute_node.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_table5_compute_node.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isosurface_render.dir/isosurface_render.cpp.o"
+  "CMakeFiles/isosurface_render.dir/isosurface_render.cpp.o.d"
+  "isosurface_render"
+  "isosurface_render.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isosurface_render.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/microscope_browser.dir/microscope_browser.cpp.o"
+  "CMakeFiles/microscope_browser.dir/microscope_browser.cpp.o.d"
+  "microscope_browser"
+  "microscope_browser.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/microscope_browser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dc_adr.dir/adr.cpp.o"
+  "CMakeFiles/dc_adr.dir/adr.cpp.o.d"
+  "libdc_adr.a"
+  "libdc_adr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dc_adr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/autoplace.cpp" "src/core/CMakeFiles/dc_core.dir/autoplace.cpp.o" "gcc" "src/core/CMakeFiles/dc_core.dir/autoplace.cpp.o.d"
+  "/root/repo/src/core/graph.cpp" "src/core/CMakeFiles/dc_core.dir/graph.cpp.o" "gcc" "src/core/CMakeFiles/dc_core.dir/graph.cpp.o.d"
+  "/root/repo/src/core/runtime.cpp" "src/core/CMakeFiles/dc_core.dir/runtime.cpp.o" "gcc" "src/core/CMakeFiles/dc_core.dir/runtime.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/dc_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

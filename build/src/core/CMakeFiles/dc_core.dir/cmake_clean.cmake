@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dc_core.dir/autoplace.cpp.o"
+  "CMakeFiles/dc_core.dir/autoplace.cpp.o.d"
+  "CMakeFiles/dc_core.dir/graph.cpp.o"
+  "CMakeFiles/dc_core.dir/graph.cpp.o.d"
+  "CMakeFiles/dc_core.dir/runtime.cpp.o"
+  "CMakeFiles/dc_core.dir/runtime.cpp.o.d"
+  "libdc_core.a"
+  "libdc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/decluster.cpp" "src/data/CMakeFiles/dc_data.dir/decluster.cpp.o" "gcc" "src/data/CMakeFiles/dc_data.dir/decluster.cpp.o.d"
+  "/root/repo/src/data/hilbert.cpp" "src/data/CMakeFiles/dc_data.dir/hilbert.cpp.o" "gcc" "src/data/CMakeFiles/dc_data.dir/hilbert.cpp.o.d"
+  "/root/repo/src/data/store.cpp" "src/data/CMakeFiles/dc_data.dir/store.cpp.o" "gcc" "src/data/CMakeFiles/dc_data.dir/store.cpp.o.d"
+  "/root/repo/src/data/synth.cpp" "src/data/CMakeFiles/dc_data.dir/synth.cpp.o" "gcc" "src/data/CMakeFiles/dc_data.dir/synth.cpp.o.d"
+  "/root/repo/src/data/volume.cpp" "src/data/CMakeFiles/dc_data.dir/volume.cpp.o" "gcc" "src/data/CMakeFiles/dc_data.dir/volume.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/dc_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

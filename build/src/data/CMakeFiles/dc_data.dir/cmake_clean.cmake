@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dc_data.dir/decluster.cpp.o"
+  "CMakeFiles/dc_data.dir/decluster.cpp.o.d"
+  "CMakeFiles/dc_data.dir/hilbert.cpp.o"
+  "CMakeFiles/dc_data.dir/hilbert.cpp.o.d"
+  "CMakeFiles/dc_data.dir/store.cpp.o"
+  "CMakeFiles/dc_data.dir/store.cpp.o.d"
+  "CMakeFiles/dc_data.dir/synth.cpp.o"
+  "CMakeFiles/dc_data.dir/synth.cpp.o.d"
+  "CMakeFiles/dc_data.dir/volume.cpp.o"
+  "CMakeFiles/dc_data.dir/volume.cpp.o.d"
+  "libdc_data.a"
+  "libdc_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dc_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dc_sim.dir/cluster.cpp.o"
+  "CMakeFiles/dc_sim.dir/cluster.cpp.o.d"
+  "CMakeFiles/dc_sim.dir/cpu.cpp.o"
+  "CMakeFiles/dc_sim.dir/cpu.cpp.o.d"
+  "CMakeFiles/dc_sim.dir/disk.cpp.o"
+  "CMakeFiles/dc_sim.dir/disk.cpp.o.d"
+  "CMakeFiles/dc_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/dc_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/dc_sim.dir/network.cpp.o"
+  "CMakeFiles/dc_sim.dir/network.cpp.o.d"
+  "CMakeFiles/dc_sim.dir/simulation.cpp.o"
+  "CMakeFiles/dc_sim.dir/simulation.cpp.o.d"
+  "CMakeFiles/dc_sim.dir/trace.cpp.o"
+  "CMakeFiles/dc_sim.dir/trace.cpp.o.d"
+  "libdc_sim.a"
+  "libdc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dc_sort.dir/external_sort.cpp.o"
+  "CMakeFiles/dc_sort.dir/external_sort.cpp.o.d"
+  "libdc_sort.a"
+  "libdc_sort.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dc_sort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

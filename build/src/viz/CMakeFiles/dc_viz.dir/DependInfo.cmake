@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/viz/active_pixel.cpp" "src/viz/CMakeFiles/dc_viz.dir/active_pixel.cpp.o" "gcc" "src/viz/CMakeFiles/dc_viz.dir/active_pixel.cpp.o.d"
+  "/root/repo/src/viz/app.cpp" "src/viz/CMakeFiles/dc_viz.dir/app.cpp.o" "gcc" "src/viz/CMakeFiles/dc_viz.dir/app.cpp.o.d"
+  "/root/repo/src/viz/camera.cpp" "src/viz/CMakeFiles/dc_viz.dir/camera.cpp.o" "gcc" "src/viz/CMakeFiles/dc_viz.dir/camera.cpp.o.d"
+  "/root/repo/src/viz/filters.cpp" "src/viz/CMakeFiles/dc_viz.dir/filters.cpp.o" "gcc" "src/viz/CMakeFiles/dc_viz.dir/filters.cpp.o.d"
+  "/root/repo/src/viz/image.cpp" "src/viz/CMakeFiles/dc_viz.dir/image.cpp.o" "gcc" "src/viz/CMakeFiles/dc_viz.dir/image.cpp.o.d"
+  "/root/repo/src/viz/marching_cubes.cpp" "src/viz/CMakeFiles/dc_viz.dir/marching_cubes.cpp.o" "gcc" "src/viz/CMakeFiles/dc_viz.dir/marching_cubes.cpp.o.d"
+  "/root/repo/src/viz/mc_tables.cpp" "src/viz/CMakeFiles/dc_viz.dir/mc_tables.cpp.o" "gcc" "src/viz/CMakeFiles/dc_viz.dir/mc_tables.cpp.o.d"
+  "/root/repo/src/viz/partitioned.cpp" "src/viz/CMakeFiles/dc_viz.dir/partitioned.cpp.o" "gcc" "src/viz/CMakeFiles/dc_viz.dir/partitioned.cpp.o.d"
+  "/root/repo/src/viz/raster.cpp" "src/viz/CMakeFiles/dc_viz.dir/raster.cpp.o" "gcc" "src/viz/CMakeFiles/dc_viz.dir/raster.cpp.o.d"
+  "/root/repo/src/viz/zbuffer.cpp" "src/viz/CMakeFiles/dc_viz.dir/zbuffer.cpp.o" "gcc" "src/viz/CMakeFiles/dc_viz.dir/zbuffer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/dc_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dc_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

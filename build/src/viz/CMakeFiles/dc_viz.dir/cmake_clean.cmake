@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dc_viz.dir/active_pixel.cpp.o"
+  "CMakeFiles/dc_viz.dir/active_pixel.cpp.o.d"
+  "CMakeFiles/dc_viz.dir/app.cpp.o"
+  "CMakeFiles/dc_viz.dir/app.cpp.o.d"
+  "CMakeFiles/dc_viz.dir/camera.cpp.o"
+  "CMakeFiles/dc_viz.dir/camera.cpp.o.d"
+  "CMakeFiles/dc_viz.dir/filters.cpp.o"
+  "CMakeFiles/dc_viz.dir/filters.cpp.o.d"
+  "CMakeFiles/dc_viz.dir/image.cpp.o"
+  "CMakeFiles/dc_viz.dir/image.cpp.o.d"
+  "CMakeFiles/dc_viz.dir/marching_cubes.cpp.o"
+  "CMakeFiles/dc_viz.dir/marching_cubes.cpp.o.d"
+  "CMakeFiles/dc_viz.dir/mc_tables.cpp.o"
+  "CMakeFiles/dc_viz.dir/mc_tables.cpp.o.d"
+  "CMakeFiles/dc_viz.dir/partitioned.cpp.o"
+  "CMakeFiles/dc_viz.dir/partitioned.cpp.o.d"
+  "CMakeFiles/dc_viz.dir/raster.cpp.o"
+  "CMakeFiles/dc_viz.dir/raster.cpp.o.d"
+  "CMakeFiles/dc_viz.dir/zbuffer.cpp.o"
+  "CMakeFiles/dc_viz.dir/zbuffer.cpp.o.d"
+  "libdc_viz.a"
+  "libdc_viz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dc_viz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dc_vm.dir/virtual_microscope.cpp.o"
+  "CMakeFiles/dc_vm.dir/virtual_microscope.cpp.o.d"
+  "libdc_vm.a"
+  "libdc_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dc_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_active_pixel.dir/test_active_pixel.cpp.o"
+  "CMakeFiles/test_active_pixel.dir/test_active_pixel.cpp.o.d"
+  "test_active_pixel"
+  "test_active_pixel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_active_pixel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

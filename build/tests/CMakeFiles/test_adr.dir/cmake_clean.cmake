@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_adr.dir/test_adr.cpp.o"
+  "CMakeFiles/test_adr.dir/test_adr.cpp.o.d"
+  "test_adr"
+  "test_adr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_adr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_autoplace.dir/test_autoplace.cpp.o"
+  "CMakeFiles/test_autoplace.dir/test_autoplace.cpp.o.d"
+  "test_autoplace"
+  "test_autoplace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_autoplace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

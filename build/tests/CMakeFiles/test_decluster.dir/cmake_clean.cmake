@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_decluster.dir/test_decluster.cpp.o"
+  "CMakeFiles/test_decluster.dir/test_decluster.cpp.o.d"
+  "test_decluster"
+  "test_decluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_decluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_marching_cubes.dir/test_marching_cubes.cpp.o"
+  "CMakeFiles/test_marching_cubes.dir/test_marching_cubes.cpp.o.d"
+  "test_marching_cubes"
+  "test_marching_cubes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_marching_cubes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

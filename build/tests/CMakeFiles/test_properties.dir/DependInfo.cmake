@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_properties.cpp" "tests/CMakeFiles/test_properties.dir/test_properties.cpp.o" "gcc" "tests/CMakeFiles/test_properties.dir/test_properties.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/dc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/dc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/dc_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/viz/CMakeFiles/dc_viz.dir/DependInfo.cmake"
+  "/root/repo/build/src/adr/CMakeFiles/dc_adr.dir/DependInfo.cmake"
+  "/root/repo/build/src/sort/CMakeFiles/dc_sort.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/dc_vm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_runtime_basic.dir/test_runtime_basic.cpp.o"
+  "CMakeFiles/test_runtime_basic.dir/test_runtime_basic.cpp.o.d"
+  "test_runtime_basic"
+  "test_runtime_basic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_runtime_basic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

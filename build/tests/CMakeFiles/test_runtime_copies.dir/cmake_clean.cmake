@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_runtime_copies.dir/test_runtime_copies.cpp.o"
+  "CMakeFiles/test_runtime_copies.dir/test_runtime_copies.cpp.o.d"
+  "test_runtime_copies"
+  "test_runtime_copies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_runtime_copies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

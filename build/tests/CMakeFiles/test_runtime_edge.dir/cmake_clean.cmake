@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_runtime_edge.dir/test_runtime_edge.cpp.o"
+  "CMakeFiles/test_runtime_edge.dir/test_runtime_edge.cpp.o.d"
+  "test_runtime_edge"
+  "test_runtime_edge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_runtime_edge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_virtual_microscope.dir/test_virtual_microscope.cpp.o"
+  "CMakeFiles/test_virtual_microscope.dir/test_virtual_microscope.cpp.o.d"
+  "test_virtual_microscope"
+  "test_virtual_microscope.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_virtual_microscope.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_viz_filters.dir/test_viz_filters.cpp.o"
+  "CMakeFiles/test_viz_filters.dir/test_viz_filters.cpp.o.d"
+  "test_viz_filters"
+  "test_viz_filters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_viz_filters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_zbuffer.dir/test_zbuffer.cpp.o"
+  "CMakeFiles/test_zbuffer.dir/test_zbuffer.cpp.o.d"
+  "test_zbuffer"
+  "test_zbuffer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_zbuffer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
