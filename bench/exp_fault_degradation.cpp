@@ -1,0 +1,164 @@
+// Fault-injection experiment: graceful degradation of the writer policies
+// when a consumer host fail-stops mid-UOW.
+//
+// A source on one host streams stamped buffers to worker copies on four
+// hosts. One worker host crashes at a chosen fraction of the clean-run
+// makespan; the runtime detects the failure (cluster membership, or DD ack
+// timeouts), reroutes the in-flight window to the survivors, and finishes
+// the UOW in degraded mode. The tables report the degradation cost and the
+// failover bookkeeping per policy and crash time, plus the detection-latency
+// price of end-to-end (ack-timeout) detection relative to the membership
+// oracle.
+//
+//   build/bench/exp_fault_degradation [--quick]
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "core/runtime.hpp"
+#include "exp_common.hpp"
+#include "sim/fault.hpp"
+
+using namespace dc;
+
+namespace {
+
+class StampedSource final : public core::SourceFilter {
+ public:
+  explicit StampedSource(int count) : count_(count) {}
+  bool step(core::FilterContext& ctx) override {
+    if (i_ >= count_) return false;
+    ctx.charge(1000.0);
+    core::Buffer b = ctx.make_buffer(0);
+    for (int k = 0; k < 256; ++k) b.push(static_cast<std::uint32_t>(i_));
+    ctx.write(0, b);
+    ++i_;
+    return i_ < count_;
+  }
+
+ private:
+  int count_;
+  int i_ = 0;
+};
+
+class Worker final : public core::Filter {
+ public:
+  explicit Worker(double ops) : ops_(ops) {}
+  void process_buffer(core::FilterContext& ctx, int, const core::Buffer&) override {
+    ctx.charge(ops_);
+  }
+
+ private:
+  double ops_;
+};
+
+struct FaultRun {
+  core::UowOutcome outcome;
+  core::FaultMetrics faults;
+};
+
+/// src on host 0, one worker copy on each of hosts 1..4.
+FaultRun run_once(core::Policy pol, core::FailureDetection det, int buffers,
+                  const sim::FaultPlan* plan) {
+  sim::Simulation s;
+  sim::Topology topo(s);
+  sim::HostSpec spec;
+  spec.name = "node";
+  spec.host_class = "node";
+  spec.cores = 1;
+  spec.cpu_mhz = 500.0;
+  spec.num_disks = 1;
+  spec.disk_bandwidth = 50e6;
+  spec.nic_bandwidth = 125e6;
+  topo.add_hosts(5, spec);
+
+  core::Graph g;
+  const int src = g.add_source(
+      "src", [=] { return std::make_unique<StampedSource>(buffers); });
+  const int wrk =
+      g.add_filter("work", [] { return std::make_unique<Worker>(1e6); });
+  g.connect(src, 0, wrk, 0);
+  core::Placement p;
+  p.place(src, 0);
+  for (int h = 1; h <= 4; ++h) p.place(wrk, h);
+
+  core::RuntimeConfig cfg;
+  cfg.policy = pol;
+  cfg.detection = det;
+  core::Runtime rt(topo, g, p, cfg);
+  if (plan) plan->arm(topo);
+  FaultRun r;
+  r.outcome = rt.run_uow_outcome();
+  r.faults = rt.metrics().faults;
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const exp ::Args args = exp ::Args::parse(argc, argv);
+  const int buffers = args.quick ? 200 : 800;
+
+  exp ::print_title(
+      "Fault degradation: crash 1 of 4 worker hosts mid-UOW",
+      "membership detection; slowdown vs clean run; " +
+          std::to_string(buffers) + " buffers");
+  exp ::Table t({"policy", "crash@", "makespan", "slowdown", "failover",
+                 "retrans", "lost", "dup"},
+                10);
+  for (const core::Policy pol :
+       {core::Policy::kRoundRobin, core::Policy::kWeightedRoundRobin,
+        core::Policy::kDemandDriven}) {
+    const FaultRun clean = run_once(pol, core::FailureDetection::kMembership,
+                                    buffers, nullptr);
+    const double mk0 = clean.outcome.makespan;
+    t.row({std::string(to_string(pol)), "-", exp ::Table::num(mk0, 4),
+           exp ::Table::num(1.0), "0", "0", "0", "0"});
+    for (const double frac : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+      sim::FaultPlan plan;
+      plan.crash_host(frac * mk0, 1);
+      const FaultRun r =
+          run_once(pol, core::FailureDetection::kMembership, buffers, &plan);
+      t.row({std::string(to_string(pol)), exp ::Table::num(frac, 1),
+             exp ::Table::num(r.outcome.makespan, 4),
+             exp ::Table::num(r.outcome.makespan / mk0),
+             std::to_string(r.outcome.failovers),
+             std::to_string(r.outcome.retransmits),
+             std::to_string(r.outcome.buffers_lost),
+             std::to_string(r.outcome.buffers_duplicated)});
+    }
+  }
+  std::printf(
+      "\nExpected shape: an early crash costs ~4/3 of the clean makespan\n"
+      "(3 survivors do 4 hosts' work); a late crash costs little because\n"
+      "most buffers already landed. DD reroutes the backlog smoothly; RR\n"
+      "keeps its fixed rotation over the survivors.\n");
+
+  exp ::print_title(
+      "Detection latency: membership oracle vs DD ack timeouts",
+      "crash at 0.5 of clean makespan; recovery = crash -> failover");
+  exp ::Table d({"detection", "makespan", "slowdown", "recovery", "retrans"},
+                11);
+  const FaultRun base = run_once(core::Policy::kDemandDriven,
+                                 core::FailureDetection::kMembership, buffers,
+                                 nullptr);
+  for (const core::FailureDetection det :
+       {core::FailureDetection::kMembership,
+        core::FailureDetection::kAckTimeout}) {
+    sim::FaultPlan plan;
+    plan.crash_host(0.5 * base.outcome.makespan, 1);
+    const FaultRun r =
+        run_once(core::Policy::kDemandDriven, det, buffers, &plan);
+    d.row({std::string(to_string(det)),
+           exp ::Table::num(r.outcome.makespan, 4),
+           exp ::Table::num(r.outcome.makespan / base.outcome.makespan),
+           exp ::Table::num(r.faults.recovery_latency_max, 4),
+           std::to_string(r.outcome.retransmits)});
+  }
+  std::printf(
+      "\nThe oracle fails over instantly; ack-timeout detection pays the\n"
+      "configured timeout strikes in recovery latency but needs no cluster\n"
+      "membership service and also fences unreachable-but-alive hosts.\n");
+  return 0;
+}

@@ -34,6 +34,64 @@ struct StreamMetrics {
   std::uint64_t message_bytes = 0;  ///< payload + headers
 };
 
+/// Fault-tolerance counters (cumulative, like the rest of Metrics).
+struct FaultMetrics {
+  std::uint64_t hosts_failed = 0;  ///< fail-stop crashes observed mid-UOW
+  /// Copy sets declared dead and routed around (one per copy set).
+  std::uint64_t failovers = 0;
+  /// Buffers re-dispatched to a surviving copy set after a failover.
+  std::uint64_t retransmits = 0;
+  /// Buffer copies that never reached a live consumer: in flight to a dead
+  /// copy set at failover, queued on the dead host, produced by a copy that
+  /// died before dispatching, or dropped because every target copy set of
+  /// the stream is dead. Retransmits recover all but the last category.
+  std::uint64_t buffers_lost = 0;
+  /// Acknowledgments for buffers the producer had already reclaimed (the
+  /// ack raced the failover) — each one marks a potential duplicate delivery.
+  std::uint64_t buffers_duplicated = 0;
+  /// Virtual time from the instant a copy set's host crashed (or, for a
+  /// fenced-but-alive host, from first suspicion) to its failover.
+  sim::SimTime recovery_latency_total = 0.0;
+  sim::SimTime recovery_latency_max = 0.0;
+
+  void reset() { *this = FaultMetrics{}; }
+};
+
+/// Outcome classification of one unit of work.
+enum class UowStatus {
+  kComplete,     ///< no faults perturbed this UOW
+  kDegraded,     ///< failovers happened, but every filter kept >= 1 copy:
+                 ///< all payload was delivered at least once
+  kPartialLoss,  ///< some filter lost every copy; the surviving pipeline ran
+                 ///< to completion but its output is incomplete
+};
+
+[[nodiscard]] inline const char* to_string(UowStatus s) {
+  switch (s) {
+    case UowStatus::kComplete: return "complete";
+    case UowStatus::kDegraded: return "degraded";
+    case UowStatus::kPartialLoss: return "partial-loss";
+  }
+  return "?";
+}
+
+/// Structured result of Runtime::run_uow_outcome(): what happened, not just
+/// how long it took. Fault counters are the deltas for this UOW only.
+struct UowOutcome {
+  UowStatus status = UowStatus::kComplete;
+  sim::SimTime makespan = 0.0;
+  std::vector<int> dead_filters;  ///< filters whose every copy died
+  std::uint64_t failovers = 0;
+  std::uint64_t retransmits = 0;
+  std::uint64_t buffers_lost = 0;
+  std::uint64_t buffers_duplicated = 0;
+
+  /// True when every filter still had at least one live copy at the end.
+  [[nodiscard]] bool data_complete() const {
+    return status != UowStatus::kPartialLoss;
+  }
+};
+
 /// Aggregate of one filter over all its instances (Table 2 reports min /
 /// avg / max processing time per filter).
 struct FilterAggregate {
@@ -52,6 +110,7 @@ struct Metrics {
   sim::SimTime makespan = 0.0;  ///< last UOW duration
   std::uint64_t acks_total = 0;
   std::uint64_t ack_bytes_total = 0;
+  FaultMetrics faults;
 
   /// Aggregates instance metrics by filter id.
   [[nodiscard]] FilterAggregate aggregate_filter(int filter,

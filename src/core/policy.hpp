@@ -38,4 +38,33 @@ enum class Policy {
   throw std::invalid_argument("unknown policy: " + std::string(s));
 }
 
+/// How the runtime learns that a consumer copy set is gone, enabling
+/// failover (retransmission of in-flight buffers to surviving copy sets):
+///
+///  - None: the seed behavior — faults are not tolerated; a crash mid-UOW
+///    deadlocks the pipeline. Zero overhead on the data path.
+///  - Membership: a cluster membership service reports fail-stop crashes and
+///    partitions at the instant they happen (works for every policy; the
+///    only option for RR/WRR, which have no acknowledgment traffic to time
+///    out). Detection latency is zero.
+///  - AckTimeout: end-to-end detection for the demand-driven policy — a
+///    producer that sees no acknowledgment progress from a copy set within
+///    the (exponentially backed-off, capped) timeout declares it dead and
+///    fails over. No oracle: unreachable-but-alive hosts (partitions) are
+///    fenced exactly like crashed ones. Requires Policy::kDemandDriven.
+enum class FailureDetection {
+  kNone,
+  kMembership,
+  kAckTimeout,
+};
+
+[[nodiscard]] inline std::string_view to_string(FailureDetection d) {
+  switch (d) {
+    case FailureDetection::kNone: return "none";
+    case FailureDetection::kMembership: return "membership";
+    case FailureDetection::kAckTimeout: return "ack-timeout";
+  }
+  return "?";
+}
+
 }  // namespace dc::core

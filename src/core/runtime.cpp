@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <deque>
@@ -34,6 +35,15 @@ struct Runtime::CopySet {
   std::vector<int> eow_pending;              ///< producer copies yet to EOW, per port
   int rr_port = 0;                           ///< fair rotation across ports
 
+  // Fault state. `down` is ground truth (the host crashed, set by the
+  // membership callback); `declared_dead` is the routing decision (set at
+  // failover — by the membership sweep, or by ack-timeout detection, which
+  // may also fence an unreachable-but-alive copy set).
+  bool down = false;
+  bool declared_dead = false;
+  sim::SimTime down_since = -1.0;
+  sim::SimTime suspected_since = -1.0;
+
   [[nodiscard]] bool all_eow() const {
     for (int e : eow_pending) {
       if (e > 0) return false;
@@ -62,6 +72,20 @@ struct WriterState {
   std::vector<int> in_flight;  ///< per target: sent, not yet dequeued
   std::vector<int> unacked;    ///< per target: sent, not yet acknowledged (DD)
   int rr_next = 0;
+
+  /// Per-target fault-tolerance state (sized only when detection != kNone).
+  /// `outstanding` retains a copy of every dispatched buffer until the
+  /// consumer takes responsibility for it — dequeue for RR/WRR, ack for DD.
+  /// Retention is cheap: Buffer payloads are shared and immutable. The
+  /// deque is FIFO because per-target deliveries (and thus their releases /
+  /// acks) travel FIFO links.
+  struct TargetFt {
+    std::deque<Buffer> outstanding;
+    sim::EventId timer = 0;        ///< armed ack-progress timer (DD)
+    int strikes = 0;               ///< consecutive silent timeouts
+    std::uint64_t acks_seen = 0;   ///< progress counter for timer snapshots
+  };
+  std::vector<TargetFt> ft;
 };
 
 struct PendingOut {
@@ -87,6 +111,7 @@ struct Runtime::Instance {
   std::vector<WriterState> writers;  ///< per output port
 
   State state = State::kCreated;
+  bool dead = false;  ///< crashed with its host, or fenced after a failover
   bool eow_executed = false;
   bool source_exhausted = false;
   std::deque<PendingOut> pending;
@@ -189,6 +214,24 @@ Runtime::Runtime(sim::Topology& topo, const Graph& graph,
   if (config_.window <= 0) {
     throw std::invalid_argument("RuntimeConfig: window must be positive");
   }
+  if (config_.detection == FailureDetection::kAckTimeout) {
+    if (config_.policy != Policy::kDemandDriven) {
+      throw std::invalid_argument(
+          "RuntimeConfig: ack-timeout detection needs the demand-driven "
+          "policy (RR/WRR have no acks; use kMembership)");
+    }
+    if (config_.ack_timeout <= 0.0 || config_.ack_timeout_backoff < 1.0 ||
+        config_.ack_timeout_max < config_.ack_timeout ||
+        config_.ack_timeout_strikes < 1) {
+      throw std::invalid_argument("RuntimeConfig: bad ack-timeout parameters");
+    }
+  }
+  if (fault_tolerant()) {
+    failure_listener_ =
+        topo_.add_host_failure_listener([this](int h) { on_host_failed(h); });
+    partition_listener_ = topo_.add_partition_listener(
+        [this](int h, bool p) { on_host_partitioned(h, p); });
+  }
   // Negotiate buffer sizes: prefer the default, clamped to [min, max].
   buffer_bytes_.resize(static_cast<std::size_t>(graph_.num_streams()));
   for (int s = 0; s < graph_.num_streams(); ++s) {
@@ -220,7 +263,10 @@ Runtime::Runtime(sim::Topology& topo, const Graph& graph,
   }
 }
 
-Runtime::~Runtime() = default;
+Runtime::~Runtime() {
+  if (failure_listener_ != 0) topo_.remove_listener(failure_listener_);
+  if (partition_listener_ != 0) topo_.remove_listener(partition_listener_);
+}
 
 int Runtime::total_copies(int filter) const {
   return placement_.total_copies(filter);
@@ -241,6 +287,7 @@ void Runtime::reset_metrics() {
   metrics_.acks_total = 0;
   metrics_.ack_bytes_total = 0;
   metrics_.makespan = 0.0;
+  metrics_.faults.reset();
   for (auto& s : metrics_.streams) {
     s.buffers = 0;
     s.payload_bytes = 0;
@@ -317,6 +364,7 @@ void Runtime::build_uow() {
           w.stream = stream_rt_[static_cast<std::size_t>(out)].get();
           w.in_flight.assign(w.stream->targets.size(), 0);
           w.unacked.assign(w.stream->targets.size(), 0);
+          if (fault_tolerant()) w.ft.resize(w.stream->targets.size());
           inst->writers.push_back(std::move(w));
         }
         inst->m.filter = f;
@@ -345,6 +393,12 @@ void Runtime::build_uow() {
   }
 
   remaining_instances_ = static_cast<int>(instances_.size());
+
+  live_copies_.assign(static_cast<std::size_t>(graph_.num_filters()), 0);
+  for (int f = 0; f < graph_.num_filters(); ++f) {
+    live_copies_[static_cast<std::size_t>(f)] = placement_.total_copies(f);
+  }
+  dead_filters_.clear();
 }
 
 void Runtime::teardown_uow() {
@@ -356,11 +410,31 @@ void Runtime::teardown_uow() {
   stream_rt_.clear();
 }
 
-sim::SimTime Runtime::run_uow() {
+sim::SimTime Runtime::run_uow() { return run_uow_outcome().makespan; }
+
+UowOutcome Runtime::run_uow_outcome() {
   auto& sim = topo_.sim();
   const sim::SimTime t0 = sim.now();
+  const FaultMetrics faults_before = metrics_.faults;
   build_uow();
-  for (auto& inst : instances_) start_instance(*inst);
+  in_uow_ = true;
+
+  // Hosts that died before this UOW began: their copies never join. The
+  // copy sets are declared dead up front (stale members are known at UOW
+  // admission), so routing excludes them from the first buffer on.
+  if (fault_tolerant()) {
+    for (auto& cs : copysets_) {
+      if (topo_.host(cs->host).alive() || cs->down) continue;
+      cs->down = true;
+      cs->down_since = sim.now();
+      for (Instance* c : cs->copies) kill_instance(*c);
+      fail_copyset(*cs);
+    }
+  }
+
+  for (auto& inst : instances_) {
+    if (!inst->dead) start_instance(*inst);
+  }
   const std::uint64_t event_limit = sim.events_fired() + config_.max_events_per_uow;
   while (remaining_instances_ > 0 && sim.step()) {
     static const bool debug = std::getenv("DC_DEBUG") != nullptr;
@@ -376,16 +450,38 @@ sim::SimTime Runtime::run_uow() {
     }
   }
   if (remaining_instances_ > 0) {
-    throw std::runtime_error("Runtime: UOW deadlocked (no events, instances pending)");
+    throw std::runtime_error(
+        "Runtime: UOW deadlocked (no events, instances pending)" +
+        std::string(fault_tolerant()
+                        ? ""
+                        : " — a fault without RuntimeConfig::detection?"));
   }
   const sim::SimTime makespan = uow_done_at_ - t0;
   metrics_.makespan = makespan;
-  // Drain stragglers (acks / markers still in flight) so the virtual clock
-  // is quiescent before the next UOW.
+  // Disarm any surviving failure-detection timers, then drain stragglers
+  // (acks / markers still in flight) so the virtual clock is quiescent
+  // before the next UOW.
+  for (auto& inst : instances_) cancel_ack_timers(*inst);
   sim.run();
+  in_uow_ = false;
+
+  UowOutcome out;
+  out.makespan = makespan;
+  out.dead_filters = dead_filters_;
+  out.failovers = metrics_.faults.failovers - faults_before.failovers;
+  out.retransmits = metrics_.faults.retransmits - faults_before.retransmits;
+  out.buffers_lost = metrics_.faults.buffers_lost - faults_before.buffers_lost;
+  out.buffers_duplicated =
+      metrics_.faults.buffers_duplicated - faults_before.buffers_duplicated;
+  const bool perturbed =
+      out.failovers > 0 || out.retransmits > 0 || out.buffers_lost > 0 ||
+      metrics_.faults.hosts_failed > faults_before.hosts_failed;
+  out.status = !dead_filters_.empty() ? UowStatus::kPartialLoss
+               : perturbed            ? UowStatus::kDegraded
+                                      : UowStatus::kComplete;
   teardown_uow();
   ++uow_index_;
-  return makespan;
+  return out;
 }
 
 // ---------------------------------------------------------------------------
@@ -408,6 +504,7 @@ void Runtime::start_instance(Instance& inst) {
 }
 
 void Runtime::on_init_done(Instance& inst) {
+  if (inst.dead) return;
   inst.state = Instance::State::kIdle;
   if (graph_.filter(inst.filter).is_source) {
     source_step(inst);
@@ -417,6 +514,7 @@ void Runtime::on_init_done(Instance& inst) {
 }
 
 void Runtime::source_step(Instance& inst) {
+  if (inst.dead) return;
   if (inst.state != Instance::State::kIdle) return;
   if (inst.source_exhausted) {
     begin_eow(inst);
@@ -449,6 +547,7 @@ void Runtime::run_source_io_then_compute(Instance& inst) {
 }
 
 void Runtime::submit_compute(Instance& inst) {
+  if (inst.dead) return;  // e.g. a disk read completing after the host died
   const double ops = inst.charged_ops;
   inst.charged_ops = 0.0;
   inst.m.work_ops += ops;
@@ -457,6 +556,7 @@ void Runtime::submit_compute(Instance& inst) {
 }
 
 void Runtime::try_consume(Instance& inst) {
+  if (inst.dead) return;
   if (inst.state != Instance::State::kIdle) return;
   CopySet& cset = *inst.cset;
   const int ports = static_cast<int>(cset.queues.size());
@@ -520,6 +620,7 @@ void Runtime::begin_eow(Instance& inst) {
 }
 
 void Runtime::on_compute_done(Instance& inst) {
+  if (inst.dead) return;
   inst.m.busy_time += topo_.sim().now() - inst.busy_start;
   inst.state = Instance::State::kDraining;
   inst.drain_start = topo_.sim().now();
@@ -527,6 +628,7 @@ void Runtime::on_compute_done(Instance& inst) {
 }
 
 void Runtime::drain(Instance& inst) {
+  if (inst.dead) return;
   if (inst.state != Instance::State::kDraining) return;
   while (!inst.pending.empty()) {
     if (!dispatch_one(inst)) {
@@ -536,7 +638,13 @@ void Runtime::drain(Instance& inst) {
     }
   }
   inst.m.stall_time += topo_.sim().now() - inst.drain_start;
+  inst.drain_start = topo_.sim().now();  // re-entries must not double-count
   if (inst.eow_executed) {
+    // Finish-flush: a fault-tolerant producer stays responsible for its
+    // dispatched buffers until consumers take them over; finishing earlier
+    // would orphan them if a target dies. Re-entered by release / ack /
+    // reclaim until the retention windows are empty.
+    if (fault_tolerant() && has_outstanding(inst)) return;
     finish_instance(inst);
     return;
   }
@@ -555,22 +663,36 @@ int Runtime::pick_target(Instance& inst, int out_port) {
 
   switch (config_.policy) {
     case Policy::kRoundRobin: {
-      const int t = w.rr_next % n;
-      if (w.in_flight[static_cast<std::size_t>(t)] >= config_.window) return -1;
-      w.rr_next = (t + 1) % n;
-      return t;
+      // Rotate past declared-dead copy sets; stall (-1) only when the first
+      // live candidate's window is full — skipping a merely-full target
+      // would break the cyclic order.
+      for (int i = 0; i < n; ++i) {
+        const int t = (w.rr_next + i) % n;
+        if (w.stream->targets[static_cast<std::size_t>(t)]->declared_dead) continue;
+        if (w.in_flight[static_cast<std::size_t>(t)] >= config_.window) return -1;
+        w.rr_next = (t + 1) % n;
+        return t;
+      }
+      return -1;  // every target dead; dispatch_one blackholes
     }
     case Policy::kWeightedRoundRobin: {
       const auto& order = w.stream->wrr_order;
-      const int t = order[static_cast<std::size_t>(w.rr_next) % order.size()];
-      if (w.in_flight[static_cast<std::size_t>(t)] >= config_.window) return -1;
-      w.rr_next = (w.rr_next + 1) % static_cast<int>(order.size());
-      return t;
+      const int m = static_cast<int>(order.size());
+      for (int i = 0; i < m; ++i) {
+        const int slot = (w.rr_next + i) % m;
+        const int t = order[static_cast<std::size_t>(slot)];
+        if (w.stream->targets[static_cast<std::size_t>(t)]->declared_dead) continue;
+        if (w.in_flight[static_cast<std::size_t>(t)] >= config_.window) return -1;
+        w.rr_next = (slot + 1) % m;
+        return t;
+      }
+      return -1;
     }
     case Policy::kDemandDriven: {
       int best = -1;
       bool best_local = false;
       for (int t = 0; t < n; ++t) {
+        if (w.stream->targets[static_cast<std::size_t>(t)]->declared_dead) continue;
         if (w.unacked[static_cast<std::size_t>(t)] >= config_.window) continue;
         const bool local = w.stream->targets[static_cast<std::size_t>(t)]->host ==
                            inst.cset->host;
@@ -592,6 +714,24 @@ int Runtime::pick_target(Instance& inst, int out_port) {
 
 bool Runtime::dispatch_one(Instance& inst) {
   PendingOut& out = inst.pending.front();
+  WriterState& wq = inst.writers[static_cast<std::size_t>(out.port)];
+  if (fault_tolerant()) {
+    // Every target copy set of this stream is dead: nothing can ever take
+    // the buffer. Drop it (counted) so the producer — and the UOW — can
+    // still terminate in degraded mode.
+    bool any_live = false;
+    for (CopySet* t : wq.stream->targets) {
+      if (!t->declared_dead) { any_live = true; break; }
+    }
+    if (!any_live) {
+      metrics_.faults.buffers_lost++;
+      emit_trace("drop", inst,
+                 wq.stream->spec->name + " all targets dead, " +
+                     std::to_string(out.buf.size()) + "B");
+      inst.pending.pop_front();
+      return true;
+    }
+  }
   const int target = pick_target(inst, out.port);
   if (target < 0) return false;
 
@@ -600,6 +740,11 @@ bool Runtime::dispatch_one(Instance& inst) {
 
   w.in_flight[static_cast<std::size_t>(target)]++;
   w.unacked[static_cast<std::size_t>(target)]++;
+  // Retain a copy until the consumer takes responsibility (payload is
+  // shared, so this costs an envelope, not a data copy).
+  if (fault_tolerant()) {
+    w.ft[static_cast<std::size_t>(target)].outstanding.push_back(out.buf);
+  }
 
   auto& sm = metrics_.streams[static_cast<std::size_t>(w.stream->id)];
   sm.buffers++;
@@ -613,7 +758,8 @@ bool Runtime::dispatch_one(Instance& inst) {
   d.producer = &inst;
   d.out_port = out.port;
   d.target = target;
-  inst.pending.pop_front();
+  const int out_port = out.port;
+  inst.pending.pop_front();  // `out` is dangling from here on
 
   emit_trace("dispatch", inst,
              w.stream->spec->name + " -> h" + std::to_string(cset->host));
@@ -623,10 +769,22 @@ bool Runtime::dispatch_one(Instance& inst) {
   auto shared = std::make_shared<Delivery>(std::move(d));
   topo_.network().send(inst.cset->host, cset->host, msg_bytes,
                        [this, cset, shared] { deliver(*cset, std::move(*shared)); });
+  arm_ack_timer(inst, out_port, target);
   return true;
 }
 
 void Runtime::deliver(CopySet& cset, Delivery d) {
+  if (cset.down || cset.declared_dead) {
+    // A delivery that raced the failure (sent before the crash was seen, or
+    // to a fenced set). Drop it without releasing the producer's window —
+    // the failover reclaim settles the accounting exactly once.
+    if (trace_.enabled()) {
+      trace_.emit(topo_.sim().now(), "drop",
+                  "h" + std::to_string(cset.host) + " dead, " +
+                      std::to_string(d.buf.size()) + "B");
+    }
+    return;
+  }
   const int port = graph_.stream(d.producer
                                       ->writers[static_cast<std::size_t>(d.out_port)]
                                       .stream->id)
@@ -637,14 +795,16 @@ void Runtime::deliver(CopySet& cset, Delivery d) {
 
 void Runtime::wake_copies(CopySet& cset) {
   for (Instance* copy : cset.copies) {
+    if (copy->dead) continue;
     if (copy->state == Instance::State::kIdle) try_consume(*copy);
   }
 }
 
 void Runtime::on_eow_marker(CopySet& cset, int in_port) {
   auto& pending = cset.eow_pending[static_cast<std::size_t>(in_port)];
-  assert(pending > 0);
-  --pending;
+  // kill_instance settles dead producers' markers eagerly; a marker that was
+  // already in flight then arrives over-complete — ignore it.
+  if (pending > 0) --pending;
   wake_copies(cset);
 }
 
@@ -670,19 +830,257 @@ void Runtime::finish_instance(Instance& inst) {
 }
 
 void Runtime::on_window_release(Instance& producer, int out_port, int target) {
+  if (producer.dead) return;
   WriterState& w = producer.writers[static_cast<std::size_t>(out_port)];
   auto& slot = w.in_flight[static_cast<std::size_t>(target)];
+  assert(slot > 0);
+  --slot;
+  if (fault_tolerant() && config_.policy != Policy::kDemandDriven) {
+    // RR/WRR: the dequeue is where the consumer takes responsibility — the
+    // oldest retained buffer for this target is now safe to release.
+    auto& ft = w.ft[static_cast<std::size_t>(target)];
+    assert(!ft.outstanding.empty());
+    ft.outstanding.pop_front();
+  }
+  if (producer.state == Instance::State::kDraining) drain(producer);
+}
+
+void Runtime::on_ack(Instance& producer, int out_port, int target) {
+  if (producer.dead) return;
+  WriterState& w = producer.writers[static_cast<std::size_t>(out_port)];
+  if (fault_tolerant()) {
+    auto& ft = w.ft[static_cast<std::size_t>(target)];
+    CopySet& cs = *w.stream->targets[static_cast<std::size_t>(target)];
+    if (cs.declared_dead || ft.outstanding.empty()) {
+      // The ack raced the failover: its buffer was already reclaimed and
+      // retransmitted elsewhere, so a consumer may process it twice.
+      metrics_.faults.buffers_duplicated++;
+      if (trace_.enabled()) {
+        trace_.emit(topo_.sim().now(), "dup-ack",
+                    graph_.filter(producer.filter).name + "#" +
+                        std::to_string(producer.index) + " <- h" +
+                        std::to_string(cs.host));
+      }
+      return;
+    }
+    ft.outstanding.pop_front();
+    ft.acks_seen++;
+    ft.strikes = 0;
+    cs.suspected_since = -1.0;
+    auto& slot = w.unacked[static_cast<std::size_t>(target)];
+    assert(slot > 0);
+    --slot;
+    if (ft.outstanding.empty() && ft.timer != 0) {
+      topo_.sim().cancel(ft.timer);
+      ft.timer = 0;
+    }
+    if (producer.state == Instance::State::kDraining) drain(producer);
+    return;
+  }
+  auto& slot = w.unacked[static_cast<std::size_t>(target)];
   assert(slot > 0);
   --slot;
   if (producer.state == Instance::State::kDraining) drain(producer);
 }
 
-void Runtime::on_ack(Instance& producer, int out_port, int target) {
-  WriterState& w = producer.writers[static_cast<std::size_t>(out_port)];
-  auto& slot = w.unacked[static_cast<std::size_t>(target)];
-  assert(slot > 0);
-  --slot;
-  if (producer.state == Instance::State::kDraining) drain(producer);
+// ---------------------------------------------------------------------------
+// Fault handling
+// ---------------------------------------------------------------------------
+
+void Runtime::on_host_failed(int host) {
+  if (!in_uow_ || !fault_tolerant()) return;
+  metrics_.faults.hosts_failed++;
+  const sim::SimTime now = topo_.sim().now();
+  for (auto& cs : copysets_) {
+    if (cs->host != host || cs->down) continue;
+    cs->down = true;
+    cs->down_since = now;
+    for (Instance* c : cs->copies) kill_instance(*c);
+    // Membership mode learns of the crash instantly and fails over now;
+    // ack-timeout mode waits for producers to notice the silence.
+    if (config_.detection == FailureDetection::kMembership) fail_copyset(*cs);
+  }
+}
+
+void Runtime::on_host_partitioned(int host, bool partitioned) {
+  if (!in_uow_ || !fault_tolerant() || !partitioned) return;
+  if (config_.detection != FailureDetection::kMembership) return;
+  // The membership service reports the partition; fence the unreachable
+  // copy sets exactly like crashed ones (their hosts stay alive, but no
+  // message can reach them). Ack-timeout mode detects this on its own.
+  for (auto& cs : copysets_) {
+    if (cs->host != host || cs->down || cs->declared_dead) continue;
+    if (cs->suspected_since < 0.0) cs->suspected_since = topo_.sim().now();
+    for (Instance* c : cs->copies) kill_instance(*c);
+    fail_copyset(*cs);
+  }
+}
+
+void Runtime::fail_copyset(CopySet& cset) {
+  if (cset.declared_dead) return;
+  cset.declared_dead = true;
+  const sim::SimTime now = topo_.sim().now();
+  metrics_.faults.failovers++;
+  const sim::SimTime since =
+      cset.down_since >= 0.0 ? cset.down_since : cset.suspected_since;
+  if (since >= 0.0) {
+    const sim::SimTime lat = now - since;
+    metrics_.faults.recovery_latency_total += lat;
+    metrics_.faults.recovery_latency_max =
+        std::max(metrics_.faults.recovery_latency_max, lat);
+  }
+  if (trace_.enabled()) {
+    trace_.emit(now, "failover",
+                graph_.filter(cset.filter).name + "@h" +
+                    std::to_string(cset.host));
+  }
+  // Fence any copies that are still nominally alive (partition case).
+  for (Instance* c : cset.copies) kill_instance(*c);
+  // Undelivered queue contents die with the set; the producers' reclaim
+  // below re-counts them through in_flight, so just drop here.
+  for (auto& q : cset.queues) q.clear();
+  // Reclaim + retransmit from every live producer that was feeding this set.
+  for (auto& inst : instances_) {
+    if (inst->dead) continue;
+    for (std::size_t p = 0; p < inst->writers.size(); ++p) {
+      WriterState& w = inst->writers[p];
+      const auto& targets = w.stream->targets;
+      for (std::size_t t = 0; t < targets.size(); ++t) {
+        if (targets[t] == &cset) {
+          reclaim_outstanding(*inst, static_cast<int>(p), static_cast<int>(t));
+        }
+      }
+    }
+  }
+  // Reclaimed buffers sit at the producers' queue fronts; get them moving.
+  for (auto& inst : instances_) {
+    if (!inst->dead) kick_dispatch(*inst);
+  }
+}
+
+void Runtime::kill_instance(Instance& inst) {
+  if (inst.dead || inst.state == Instance::State::kFinished) return;
+  inst.dead = true;
+  cancel_ack_timers(inst);
+  const sim::SimTime now = topo_.sim().now();
+  // Outputs it produced but never dispatched are gone for good.
+  metrics_.faults.buffers_lost += inst.pending.size();
+  inst.pending.clear();
+  emit_trace("copy-dead", inst, "");
+  int& live = live_copies_[static_cast<std::size_t>(inst.filter)];
+  if (--live == 0) dead_filters_.push_back(inst.filter);
+  // Settle its end-of-work obligations: every consumer copy set was
+  // expecting one marker from this copy and will never get it.
+  for (auto& w : inst.writers) {
+    const int in_port = w.stream->spec->to_port;
+    for (CopySet* t : w.stream->targets) {
+      auto& pending = t->eow_pending[static_cast<std::size_t>(in_port)];
+      if (pending > 0) --pending;
+    }
+    for (CopySet* t : w.stream->targets) {
+      if (!t->declared_dead && !t->down) wake_copies(*t);
+    }
+  }
+  if (--remaining_instances_ == 0) uow_done_at_ = now;
+}
+
+void Runtime::reclaim_outstanding(Instance& inst, int out_port, int target) {
+  WriterState& w = inst.writers[static_cast<std::size_t>(out_port)];
+  auto& ft = w.ft[static_cast<std::size_t>(target)];
+  if (ft.timer != 0) {
+    topo_.sim().cancel(ft.timer);
+    ft.timer = 0;
+  }
+  ft.strikes = 0;
+  // Buffers sent but never dequeued (queued at the dead set, or still in the
+  // network) are lost copies; everything retained is re-dispatched, so the
+  // payload still reaches a live consumer at least once.
+  metrics_.faults.buffers_lost +=
+      static_cast<std::uint64_t>(w.in_flight[static_cast<std::size_t>(target)]);
+  if (!ft.outstanding.empty()) {
+    metrics_.faults.retransmits += ft.outstanding.size();
+    emit_trace("retransmit", inst,
+               std::to_string(ft.outstanding.size()) + " to " +
+                   w.stream->spec->name);
+    // Requeue at the front, oldest first, so retransmissions precede any
+    // fresh output the copy produces later.
+    for (auto it = ft.outstanding.rbegin(); it != ft.outstanding.rend(); ++it) {
+      inst.pending.push_front(PendingOut{out_port, std::move(*it)});
+    }
+    ft.outstanding.clear();
+  }
+  w.in_flight[static_cast<std::size_t>(target)] = 0;
+  w.unacked[static_cast<std::size_t>(target)] = 0;
+}
+
+void Runtime::arm_ack_timer(Instance& inst, int out_port, int target) {
+  if (config_.detection != FailureDetection::kAckTimeout) return;
+  WriterState& w = inst.writers[static_cast<std::size_t>(out_port)];
+  auto& ft = w.ft[static_cast<std::size_t>(target)];
+  if (ft.timer != 0 || ft.outstanding.empty()) return;
+  if (w.stream->targets[static_cast<std::size_t>(target)]->declared_dead) return;
+  const sim::SimTime delay =
+      std::min(config_.ack_timeout *
+                   std::pow(config_.ack_timeout_backoff, ft.strikes),
+               config_.ack_timeout_max);
+  const std::uint64_t snapshot = ft.acks_seen;
+  Instance* ip = &inst;
+  ft.timer = topo_.sim().after(delay, [this, ip, out_port, target, snapshot] {
+    on_ack_timeout(*ip, out_port, target, snapshot);
+  });
+}
+
+void Runtime::on_ack_timeout(Instance& inst, int out_port, int target,
+                             std::uint64_t acks_snapshot) {
+  WriterState& w = inst.writers[static_cast<std::size_t>(out_port)];
+  auto& ft = w.ft[static_cast<std::size_t>(target)];
+  ft.timer = 0;
+  if (inst.dead || !in_uow_) return;
+  CopySet& cs = *w.stream->targets[static_cast<std::size_t>(target)];
+  if (cs.declared_dead || ft.outstanding.empty()) return;
+  if (ft.acks_seen != acks_snapshot) {
+    // Progress since the timer was armed — the set is slow, not dead.
+    ft.strikes = 0;
+    arm_ack_timer(inst, out_port, target);
+    return;
+  }
+  if (cs.suspected_since < 0.0) cs.suspected_since = topo_.sim().now();
+  if (++ft.strikes >= config_.ack_timeout_strikes) {
+    fail_copyset(cs);
+    return;
+  }
+  arm_ack_timer(inst, out_port, target);
+}
+
+void Runtime::cancel_ack_timers(Instance& inst) {
+  for (auto& w : inst.writers) {
+    for (auto& ft : w.ft) {
+      if (ft.timer != 0) {
+        topo_.sim().cancel(ft.timer);
+        ft.timer = 0;
+      }
+    }
+  }
+}
+
+bool Runtime::has_outstanding(const Instance& inst) const {
+  for (const auto& w : inst.writers) {
+    for (const auto& ft : w.ft) {
+      if (!ft.outstanding.empty()) return true;
+    }
+  }
+  return false;
+}
+
+void Runtime::kick_dispatch(Instance& inst) {
+  if (inst.dead || inst.pending.empty()) return;
+  if (inst.state == Instance::State::kDraining) {
+    drain(inst);
+  } else if (inst.state == Instance::State::kIdle) {
+    inst.state = Instance::State::kDraining;
+    inst.drain_start = topo_.sim().now();
+    drain(inst);
+  }
 }
 
 }  // namespace dc::core

@@ -28,6 +28,23 @@ struct RuntimeConfig {
   std::uint64_t rng_seed = 42;
   /// Livelock guard: a UOW firing more events than this throws.
   std::uint64_t max_events_per_uow = 2'000'000'000ULL;
+
+  // ---- fault tolerance -----------------------------------------------------
+  /// kNone reproduces the seed behavior exactly (no retention, no timers —
+  /// and no survival of faults). kMembership / kAckTimeout enable graceful
+  /// degradation: producers retain dispatched buffers until the consumer
+  /// takes responsibility for them (dequeue for RR/WRR, ack for DD) and
+  /// retransmit them to surviving copy sets when a copy set dies.
+  FailureDetection detection = FailureDetection::kNone;
+  /// kAckTimeout only: base no-ack-progress timeout before a copy set is
+  /// suspected. Each consecutive silent timeout multiplies the next one by
+  /// `ack_timeout_backoff` (capped at `ack_timeout_max`); after
+  /// `ack_timeout_strikes` consecutive silent timeouts the copy set is
+  /// declared dead and fenced.
+  sim::SimTime ack_timeout = 0.05;
+  double ack_timeout_backoff = 2.0;
+  sim::SimTime ack_timeout_max = 1.0;
+  int ack_timeout_strikes = 3;
 };
 
 /// The filtering service: instantiates a filter graph onto a simulated
@@ -56,6 +73,13 @@ class Runtime {
   /// per UOW (init / process / finalize cycle). Returns the UOW makespan in
   /// virtual seconds.
   sim::SimTime run_uow();
+
+  /// Like run_uow(), but reports what happened: whether the UOW ran clean,
+  /// completed in degraded mode (failovers, but every filter kept at least
+  /// one live copy), or lost a filter entirely (partial output). With fault
+  /// tolerance enabled the UOW never hangs on a crash — it always returns a
+  /// structured outcome.
+  UowOutcome run_uow_outcome();
 
   /// Cumulative metrics across all UOWs run so far.
   [[nodiscard]] const Metrics& metrics() const { return metrics_; }
@@ -99,6 +123,26 @@ class Runtime {
   void on_ack(Instance& producer, int out_port, int target);
   [[nodiscard]] int pick_target(Instance& inst, int out_port);
 
+  // ---- fault handling ------------------------------------------------------
+  [[nodiscard]] bool fault_tolerant() const {
+    return config_.detection != FailureDetection::kNone;
+  }
+  void on_host_failed(int host);
+  void on_host_partitioned(int host, bool partitioned);
+  /// Declares a copy set dead: fences its copies, drops its queues, reclaims
+  /// every producer's outstanding buffers to it and retransmits them.
+  void fail_copyset(CopySet& cset);
+  /// Removes one copy from the UOW (crash or fencing): cancels its timers,
+  /// drops its undelivered outputs, settles its end-of-work obligations.
+  void kill_instance(Instance& inst);
+  void reclaim_outstanding(Instance& inst, int out_port, int target);
+  void arm_ack_timer(Instance& inst, int out_port, int target);
+  void on_ack_timeout(Instance& inst, int out_port, int target,
+                      std::uint64_t acks_snapshot);
+  void cancel_ack_timers(Instance& inst);
+  [[nodiscard]] bool has_outstanding(const Instance& inst) const;
+  void kick_dispatch(Instance& inst);
+
   sim::Topology& topo_;
   const Graph& graph_;
   const Placement& placement_;
@@ -112,6 +156,12 @@ class Runtime {
   int remaining_instances_ = 0;
   sim::SimTime uow_done_at_ = 0.0;
   int uow_index_ = 0;
+  bool in_uow_ = false;
+  std::vector<int> live_copies_;   ///< per filter, current UOW
+  std::vector<int> dead_filters_;  ///< filters that lost every copy, this UOW
+
+  sim::Topology::ListenerId failure_listener_ = 0;
+  sim::Topology::ListenerId partition_listener_ = 0;
 
   Metrics metrics_;
   sim::Rng base_rng_;

@@ -30,6 +30,51 @@ std::vector<int> Topology::hosts_in_class(const std::string& cls) const {
   return ids;
 }
 
+void Topology::fail_host(int host) {
+  Host& h = this->host(host);
+  if (!h.alive()) return;
+  h.fail(sim_.now());
+  network_.fail_host(host);
+  // Snapshot: a listener may add/remove listeners while being notified.
+  const auto listeners = failure_listeners_;
+  for (const auto& [id, fn] : listeners) fn(host);
+}
+
+void Topology::partition_host(int host, bool partitioned) {
+  Host& h = this->host(host);
+  if (!h.alive()) return;
+  network_.set_partitioned(host, partitioned);
+  const auto listeners = partition_listeners_;
+  for (const auto& [id, fn] : listeners) fn(host, partitioned);
+}
+
+Topology::ListenerId Topology::add_host_failure_listener(
+    std::function<void(int)> fn) {
+  const ListenerId id = next_listener_id_++;
+  failure_listeners_.emplace_back(id, std::move(fn));
+  return id;
+}
+
+Topology::ListenerId Topology::add_partition_listener(
+    std::function<void(int, bool)> fn) {
+  const ListenerId id = next_listener_id_++;
+  partition_listeners_.emplace_back(id, std::move(fn));
+  return id;
+}
+
+void Topology::remove_listener(ListenerId id) {
+  auto drop = [id](auto& vec) {
+    for (auto it = vec.begin(); it != vec.end(); ++it) {
+      if (it->first == id) {
+        vec.erase(it);
+        return;
+      }
+    }
+  };
+  drop(failure_listeners_);
+  drop(partition_listeners_);
+}
+
 namespace testbed {
 
 // Bandwidths: Gigabit Ethernet ~125 MB/s line rate, Fast Ethernet 12.5 MB/s.

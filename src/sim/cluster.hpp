@@ -1,7 +1,10 @@
 #pragma once
 
+#include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "sim/host.hpp"
@@ -37,10 +40,36 @@ class Topology {
   /// All host ids whose host_class equals `cls`.
   [[nodiscard]] std::vector<int> hosts_in_class(const std::string& cls) const;
 
+  // ---- fault injection -----------------------------------------------------
+  // These are the authoritative entry points used by FaultPlan; calling them
+  // directly is fine too. Listener callbacks model a cluster membership
+  // service: subscribers (the filter runtime) hear about fail-stop crashes
+  // and partition transitions at the virtual instant they happen.
+
+  /// Opaque handle for removing a previously added listener.
+  using ListenerId = std::uint64_t;
+
+  /// Fail-stop crash of `host` at the current virtual time: the host is
+  /// marked dead, the network drops its traffic, and failure listeners fire.
+  /// Idempotent; crashes are permanent.
+  void fail_host(int host);
+
+  /// Partitions (or heals) `host` from the network; partition listeners fire
+  /// with the new state. Healing a crashed host has no effect.
+  void partition_host(int host, bool partitioned);
+
+  ListenerId add_host_failure_listener(std::function<void(int)> fn);
+  ListenerId add_partition_listener(std::function<void(int, bool)> fn);
+  void remove_listener(ListenerId id);
+
  private:
   Simulation& sim_;
   Network network_;
   std::vector<std::unique_ptr<Host>> hosts_;
+  std::vector<std::pair<ListenerId, std::function<void(int)>>> failure_listeners_;
+  std::vector<std::pair<ListenerId, std::function<void(int, bool)>>>
+      partition_listeners_;
+  ListenerId next_listener_id_ = 1;
 };
 
 /// Presets matching the University of Maryland testbed in the paper

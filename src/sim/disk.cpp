@@ -14,11 +14,23 @@ Disk::Disk(Simulation& sim, double bandwidth_bytes_per_sec, SimTime seek_seconds
 
 void Disk::request(std::uint64_t bytes, std::function<void()> done) {
   const SimTime start = std::max(sim_.now(), busy_until_);
-  const SimTime service = seek_ + static_cast<double>(bytes) / bandwidth_;
+  const SimTime service =
+      (seek_ + static_cast<double>(bytes) / bandwidth_) * slowdown_;
   busy_until_ = start + service;
   bytes_ += bytes;
   ++requests_;
   sim_.at(busy_until_, std::move(done));
+}
+
+void Disk::set_slowdown(double factor) {
+  if (factor <= 0.0) throw std::invalid_argument("Disk: slowdown must be positive");
+  slowdown_ = factor;
+}
+
+void Disk::stall(SimTime duration) {
+  if (duration < 0.0) throw std::invalid_argument("Disk: negative stall");
+  busy_until_ = std::max(busy_until_, sim_.now() + duration);
+  ++stalls_;
 }
 
 void Disk::read(std::uint64_t bytes, std::function<void()> done) {

@@ -26,11 +26,23 @@ class Disk {
   /// Enqueues a write (same service model as read for this drive class).
   void write(std::uint64_t bytes, std::function<void()> done);
 
+  /// Fault injection: scales the service time (seek + transfer) of every
+  /// request issued from now on by `factor` (>= 1 slows the drive down,
+  /// e.g. a dying disk retrying sectors; 1 restores nominal service).
+  void set_slowdown(double factor);
+
+  /// Fault injection: the drive stops servicing new requests for
+  /// `duration` virtual seconds (firmware hiccup / bus reset). Requests
+  /// already queued complete on schedule; new ones queue behind the stall.
+  void stall(SimTime duration);
+
   [[nodiscard]] double bandwidth() const { return bandwidth_; }
   [[nodiscard]] SimTime seek_time() const { return seek_; }
+  [[nodiscard]] double slowdown() const { return slowdown_; }
   [[nodiscard]] SimTime busy_until() const { return busy_until_; }
   [[nodiscard]] std::uint64_t bytes_transferred() const { return bytes_; }
   [[nodiscard]] std::uint64_t requests() const { return requests_; }
+  [[nodiscard]] std::uint64_t stalls() const { return stalls_; }
 
  private:
   void request(std::uint64_t bytes, std::function<void()> done);
@@ -38,9 +50,11 @@ class Disk {
   Simulation& sim_;
   double bandwidth_;
   SimTime seek_;
+  double slowdown_ = 1.0;
   SimTime busy_until_ = 0.0;
   std::uint64_t bytes_ = 0;
   std::uint64_t requests_ = 0;
+  std::uint64_t stalls_ = 0;
 };
 
 }  // namespace dc::sim

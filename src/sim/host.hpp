@@ -47,6 +47,19 @@ class Host {
   [[nodiscard]] const std::string& host_class() const { return spec_.host_class; }
   [[nodiscard]] const HostSpec& spec() const { return spec_; }
 
+  /// Fail-stop crash at virtual time `now`. The host's resources keep
+  /// retiring already-scheduled events (callers must ignore them); new
+  /// traffic to or from a dead host is dropped by the Network. Crashes are
+  /// permanent for the lifetime of the topology.
+  void fail(SimTime now) {
+    if (!alive_) return;
+    alive_ = false;
+    failed_at_ = now;
+  }
+  [[nodiscard]] bool alive() const { return alive_; }
+  /// Crash instant; meaningful only when !alive().
+  [[nodiscard]] SimTime failed_at() const { return failed_at_; }
+
   [[nodiscard]] Cpu& cpu() { return cpu_; }
   [[nodiscard]] const Cpu& cpu() const { return cpu_; }
   [[nodiscard]] Nic& nic() { return nic_; }
@@ -59,6 +72,8 @@ class Host {
   Cpu cpu_;
   Nic nic_;
   std::vector<std::unique_ptr<Disk>> disks_;
+  bool alive_ = true;
+  SimTime failed_at_ = -1.0;
 };
 
 }  // namespace dc::sim

@@ -15,16 +15,29 @@ Link::Link(Simulation& sim, double bandwidth_bytes_per_sec, SimTime latency_seco
 
 Link::Reservation Link::reserve(std::uint64_t bytes, SimTime earliest) {
   const SimTime start = std::max({sim_.now(), busy_until_, earliest});
-  const SimTime end = start + static_cast<double>(bytes) / bandwidth_;
+  const SimTime end =
+      start + static_cast<double>(bytes) / (bandwidth_ * degrade_);
   busy_until_ = end;
   bytes_ += bytes;
   return Reservation{start, end};
+}
+
+void Link::set_degrade_factor(double factor) {
+  if (factor <= 0.0 || factor > 1.0) {
+    throw std::invalid_argument("Link: degrade factor must be in (0, 1]");
+  }
+  degrade_ = factor;
 }
 
 void Network::send(int src, int dst, std::uint64_t bytes,
                    std::function<void()> delivered) {
   assert(src >= 0 && static_cast<std::size_t>(src) < nics_.size());
   assert(dst >= 0 && static_cast<std::size_t>(dst) < nics_.size());
+  if (unreachable_[static_cast<std::size_t>(src)] != 0 ||
+      unreachable_[static_cast<std::size_t>(dst)] != 0) {
+    ++dropped_;
+    return;  // fail-stop: the message silently disappears
+  }
   ++messages_;
   total_bytes_ += bytes;
 

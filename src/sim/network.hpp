@@ -25,7 +25,13 @@ class Link {
   };
   Reservation reserve(std::uint64_t bytes, SimTime earliest);
 
+  /// Fault injection: scales the effective bandwidth by `factor` in (0, 1]
+  /// for all reservations made from now on (flaky cable / duplex mismatch);
+  /// 1 restores line rate. Latency is unchanged.
+  void set_degrade_factor(double factor);
+
   [[nodiscard]] double bandwidth() const { return bandwidth_; }
+  [[nodiscard]] double degrade_factor() const { return degrade_; }
   [[nodiscard]] SimTime latency() const { return latency_; }
   [[nodiscard]] SimTime busy_until() const { return busy_until_; }
   [[nodiscard]] std::uint64_t bytes_transferred() const { return bytes_; }
@@ -33,6 +39,7 @@ class Link {
  private:
   Simulation& sim_;
   double bandwidth_;
+  double degrade_ = 1.0;
   SimTime latency_;
   SimTime busy_until_ = 0.0;
   std::uint64_t bytes_ = 0;
@@ -70,16 +77,33 @@ class Network {
   void register_nic(Nic* nic) {
     nics_.push_back(nic);
     loopback_busy_until_.push_back(0.0);
+    unreachable_.push_back(0);
   }
 
   /// Sends `bytes` from host `src` to host `dst`; `delivered` fires when the
-  /// last byte reaches the destination.
+  /// last byte reaches the destination. Messages to or from a dead or
+  /// partitioned host are dropped: `delivered` never fires (fail-stop
+  /// semantics — there is no error path, exactly like a lost datagram).
+  /// Messages already in flight when an endpoint dies still arrive.
   void send(int src, int dst, std::uint64_t bytes,
             std::function<void()> delivered);
+
+  /// Fault injection: permanently drops traffic to/from `host` (crash).
+  void fail_host(int host) { unreachable_.at(static_cast<std::size_t>(host)) = 1; }
+  /// Fault injection: drops traffic to/from `host` while partitioned; a
+  /// healed partition restores connectivity (unlike a crash).
+  void set_partitioned(int host, bool partitioned) {
+    auto& u = unreachable_.at(static_cast<std::size_t>(host));
+    if (u != 1) u = partitioned ? 2 : 0;  // a crash is never healed
+  }
+  [[nodiscard]] bool reachable(int host) const {
+    return unreachable_.at(static_cast<std::size_t>(host)) == 0;
+  }
 
   [[nodiscard]] std::uint64_t messages_sent() const { return messages_; }
   [[nodiscard]] std::uint64_t bytes_sent() const { return total_bytes_; }
   [[nodiscard]] std::uint64_t local_messages() const { return local_messages_; }
+  [[nodiscard]] std::uint64_t messages_dropped() const { return dropped_; }
 
  private:
   Simulation& sim_;
@@ -89,9 +113,11 @@ class Network {
   // Per-host loopback "link": same-host messages serialize on the memory
   // bus so they stay FIFO (an end-of-work marker must never overtake data).
   std::vector<SimTime> loopback_busy_until_;
+  std::vector<char> unreachable_;  ///< 0 = up, 1 = crashed, 2 = partitioned
   std::uint64_t messages_ = 0;
   std::uint64_t total_bytes_ = 0;
   std::uint64_t local_messages_ = 0;
+  std::uint64_t dropped_ = 0;
 };
 
 }  // namespace dc::sim

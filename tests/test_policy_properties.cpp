@@ -1,0 +1,239 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <set>
+
+#include "core/runtime.hpp"
+#include "sim/fault.hpp"
+#include "sim/rng.hpp"
+#include "test_util.hpp"
+
+// Property tests: randomized pipeline shapes over >= 20 seeds per property,
+// checking invariants the writer policies must hold regardless of shape —
+// buffer conservation, no consumer starvation, WRR proportionality — and,
+// with faults injected, at-least-once payload coverage and bit-identical
+// deterministic replay.
+
+namespace dc::core {
+namespace {
+
+class StampedSource : public SourceFilter {
+ public:
+  explicit StampedSource(int count) : count_(count) {}
+  bool step(FilterContext& ctx) override {
+    if (i_ >= count_) return false;
+    ctx.charge(1000.0);
+    Buffer b = ctx.make_buffer(0);
+    b.push(static_cast<std::uint32_t>(i_));
+    ctx.write(0, b);
+    ++i_;
+    return i_ < count_;
+  }
+
+ private:
+  int count_;
+  int i_ = 0;
+};
+
+class RecordingWorker : public Filter {
+ public:
+  RecordingWorker(std::shared_ptr<std::set<std::uint32_t>> seen, double ops)
+      : seen_(std::move(seen)), ops_(ops) {}
+  void process_buffer(FilterContext& ctx, int, const Buffer& buf) override {
+    ctx.charge(ops_);
+    seen_->insert(buf.records<std::uint32_t>()[0]);
+  }
+
+ private:
+  std::shared_ptr<std::set<std::uint32_t>> seen_;
+  double ops_;
+};
+
+struct Shape {
+  int buffers = 0;
+  double worker_ops = 0.0;
+  std::vector<int> copies;  ///< worker copies on hosts 1..n
+};
+
+/// Randomizes a pipeline shape from `seed`: 2-4 consumer hosts, 1-3 copies
+/// each, 40-120 buffers, worker cost spanning ~20x.
+Shape make_shape(std::uint64_t seed) {
+  sim::Rng rng(seed * 7919 + 13);
+  Shape s;
+  const int consumer_hosts = 2 + static_cast<int>(rng.below(3));
+  for (int h = 0; h < consumer_hosts; ++h) {
+    s.copies.push_back(1 + static_cast<int>(rng.below(3)));
+  }
+  s.buffers = 40 + static_cast<int>(rng.below(81));
+  s.worker_ops = 1e5 * (1.0 + 19.0 * rng.uniform());
+  return s;
+}
+
+struct PropertyResult {
+  UowOutcome outcome;
+  Metrics metrics;
+  std::set<std::uint32_t> seen;
+  std::map<int, std::uint64_t> per_host;  ///< worker buffers_in by host
+};
+
+PropertyResult run_shape(const Shape& s, Policy pol, FailureDetection det,
+                         std::uint64_t rng_seed,
+                         const sim::FaultPlan* plan = nullptr) {
+  sim::Simulation sim;
+  sim::Topology topo(sim);
+  test::add_plain_nodes(topo, 1 + static_cast<int>(s.copies.size()));
+  auto seen = std::make_shared<std::set<std::uint32_t>>();
+  Graph g;
+  const int buffers = s.buffers;
+  const double ops = s.worker_ops;
+  const int src = g.add_source(
+      "src", [=] { return std::make_unique<StampedSource>(buffers); });
+  const int wrk = g.add_filter(
+      "work", [=] { return std::make_unique<RecordingWorker>(seen, ops); });
+  g.connect(src, 0, wrk, 0);
+  Placement p;
+  p.place(src, 0);
+  for (std::size_t h = 0; h < s.copies.size(); ++h) {
+    p.place(wrk, static_cast<int>(h) + 1, s.copies[h]);
+  }
+  RuntimeConfig cfg;
+  cfg.policy = pol;
+  cfg.detection = det;
+  cfg.rng_seed = rng_seed;
+  Runtime rt(topo, g, p, cfg);
+  if (plan) plan->arm(topo);
+  PropertyResult r;
+  r.outcome = rt.run_uow_outcome();
+  r.metrics = rt.metrics();
+  r.seen = *seen;
+  for (const auto& m : r.metrics.instances) {
+    if (m.filter == wrk) r.per_host[m.host] += m.buffers_in;
+  }
+  return r;
+}
+
+std::set<std::uint32_t> all_stamps(int buffers) {
+  std::set<std::uint32_t> s;
+  for (int i = 0; i < buffers; ++i) s.insert(static_cast<std::uint32_t>(i));
+  return s;
+}
+
+constexpr std::uint64_t kSeeds = 20;
+
+TEST(PolicyProperties, BuffersAreConservedWithoutFaults) {
+  // Every buffer the source emits is consumed exactly once, under every
+  // policy and every random shape; the stream ledger agrees.
+  for (const Policy pol : {Policy::kRoundRobin, Policy::kWeightedRoundRobin,
+                           Policy::kDemandDriven}) {
+    for (std::uint64_t seed = 0; seed < kSeeds; ++seed) {
+      const Shape s = make_shape(seed);
+      const PropertyResult r =
+          run_shape(s, pol, FailureDetection::kNone, seed);
+      std::uint64_t consumed = 0;
+      std::uint64_t produced = 0;
+      for (const auto& m : r.metrics.instances) {
+        if (m.filter == 1) consumed += m.buffers_in;
+        if (m.filter == 0) produced += m.buffers_out;
+      }
+      SCOPED_TRACE(std::string(to_string(pol)) + " seed=" +
+                   std::to_string(seed));
+      EXPECT_EQ(produced, static_cast<std::uint64_t>(s.buffers));
+      EXPECT_EQ(consumed, produced);
+      EXPECT_EQ(r.metrics.streams[0].buffers, produced);
+      EXPECT_EQ(r.seen, all_stamps(s.buffers));
+      if (pol == Policy::kDemandDriven) {
+        EXPECT_EQ(r.metrics.acks_total, produced);
+      }
+      EXPECT_EQ(r.outcome.status, UowStatus::kComplete);
+    }
+  }
+}
+
+TEST(PolicyProperties, NoConsumerHostStarves) {
+  // With identical hosts and far more buffers than window slots, every
+  // consumer host receives at least one buffer under every policy.
+  for (const Policy pol : {Policy::kRoundRobin, Policy::kWeightedRoundRobin,
+                           Policy::kDemandDriven}) {
+    for (std::uint64_t seed = 0; seed < kSeeds; ++seed) {
+      Shape s = make_shape(seed);
+      s.buffers = 96;  // >= hosts * copies * window for every shape
+      const PropertyResult r =
+          run_shape(s, pol, FailureDetection::kNone, seed);
+      SCOPED_TRACE(std::string(to_string(pol)) + " seed=" +
+                   std::to_string(seed));
+      ASSERT_EQ(r.per_host.size(), s.copies.size());
+      for (const auto& [host, buffers_in] : r.per_host) {
+        EXPECT_GE(buffers_in, 1u) << "host " << host << " starved";
+      }
+    }
+  }
+}
+
+TEST(PolicyProperties, WrrSplitsProportionallyToCopyCounts) {
+  for (std::uint64_t seed = 0; seed < kSeeds; ++seed) {
+    Shape s = make_shape(seed);
+    int total_copies = 0;
+    for (int c : s.copies) total_copies += c;
+    s.buffers = 24 * total_copies;  // whole number of WRR cycles
+    const PropertyResult r =
+        run_shape(s, Policy::kWeightedRoundRobin, FailureDetection::kNone, seed);
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    for (std::size_t h = 0; h < s.copies.size(); ++h) {
+      EXPECT_EQ(r.per_host.at(static_cast<int>(h) + 1),
+                static_cast<std::uint64_t>(24 * s.copies[h]))
+          << "host " << h + 1;
+    }
+  }
+}
+
+TEST(PolicyProperties, KillOneHostKeepsAtLeastOnceCoverage) {
+  // Crash a random consumer host at a random mid-run instant: with >= 2
+  // consumer hosts and membership detection, every stamp still reaches a
+  // live consumer at least once, under every policy.
+  for (const Policy pol : {Policy::kRoundRobin, Policy::kWeightedRoundRobin,
+                           Policy::kDemandDriven}) {
+    for (std::uint64_t seed = 0; seed < kSeeds; ++seed) {
+      const Shape s = make_shape(seed);
+      const sim::SimTime mk =
+          run_shape(s, pol, FailureDetection::kMembership, seed)
+              .outcome.makespan;
+      sim::Rng rng(seed * 31 + 5);
+      const int victim = 1 + static_cast<int>(rng.below(s.copies.size()));
+      const sim::SimTime at = rng.uniform(0.1, 0.9) * mk;
+      sim::FaultPlan plan;
+      plan.crash_host(at, victim);
+      const PropertyResult r =
+          run_shape(s, pol, FailureDetection::kMembership, seed, &plan);
+      SCOPED_TRACE(std::string(to_string(pol)) + " seed=" +
+                   std::to_string(seed) + " victim=h" + std::to_string(victim));
+      EXPECT_EQ(r.outcome.status, UowStatus::kDegraded);
+      EXPECT_EQ(r.seen, all_stamps(s.buffers));
+      EXPECT_GE(r.outcome.failovers, 1u);
+    }
+  }
+}
+
+TEST(PolicyProperties, FaultedRunsReplayBitIdentically) {
+  for (std::uint64_t seed = 0; seed < kSeeds; ++seed) {
+    const Shape s = make_shape(seed);
+    const sim::SimTime mk =
+        run_shape(s, Policy::kDemandDriven, FailureDetection::kMembership, seed)
+            .outcome.makespan;
+    sim::FaultPlan plan;
+    plan.crash_host(0.5 * mk, 1);
+    const PropertyResult a = run_shape(s, Policy::kDemandDriven,
+                                       FailureDetection::kMembership, seed, &plan);
+    const PropertyResult b = run_shape(s, Policy::kDemandDriven,
+                                       FailureDetection::kMembership, seed, &plan);
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    EXPECT_EQ(a.outcome.makespan, b.outcome.makespan);
+    EXPECT_EQ(a.outcome.retransmits, b.outcome.retransmits);
+    EXPECT_EQ(a.outcome.buffers_lost, b.outcome.buffers_lost);
+    EXPECT_EQ(a.seen, b.seen);
+    EXPECT_EQ(a.per_host, b.per_host);
+  }
+}
+
+}  // namespace
+}  // namespace dc::core
