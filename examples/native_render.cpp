@@ -1,0 +1,105 @@
+// Native threaded rendering: the same isosurface pipelines that run on the
+// discrete-event simulator, executed on real OS threads with exec::Engine.
+//
+// Two pipelines render the same timestep: RE-Ra-M with the dense z-buffer
+// Raster and RE-Ra-M with the Active Pixel raster (paper Section 3.1.2),
+// each with replicated Ra copies fed through bounded buffer queues by the
+// demand-driven writer policy. Both merged images must equal the
+// non-distributed reference render bit for bit — the transparent copies and
+// the thread scheduling are invisible in the output.
+//
+//   build/examples/native_render
+
+#include <cstdio>
+#include <vector>
+
+#include "data/decluster.hpp"
+#include "data/store.hpp"
+#include "data/synth.hpp"
+#include "viz/app.hpp"
+#include "viz/camera.hpp"
+#include "viz/raster.hpp"
+#include "viz/zbuffer.hpp"
+
+using namespace dc;
+
+namespace {
+
+viz::Image reference_render(const viz::VizWorkload& w) {
+  const viz::Camera cam = w.make_camera(0);
+  viz::ZBuffer zb(w.width, w.height);
+  std::vector<float> scratch;
+  std::vector<viz::Triangle> tris;
+  for (int c = 0; c < w.store->layout().num_chunks(); ++c) {
+    tris.clear();
+    const data::CellBox box = w.store->layout().chunk_box(c);
+    w.field->fill_chunk(w.store->layout(), c, w.timestep(0), scratch);
+    viz::marching_cubes(scratch.data(), box.hi[0] - box.lo[0],
+                        box.hi[1] - box.lo[1], box.hi[2] - box.lo[2],
+                        static_cast<float>(box.lo[0]),
+                        static_cast<float>(box.lo[1]),
+                        static_cast<float>(box.lo[2]), w.iso_value, tris);
+    for (const viz::Triangle& t : tris) {
+      viz::ScreenTriangle st;
+      if (!cam.project(t, st)) continue;
+      const std::uint32_t rgba = viz::shade_flat(
+          st.world_normal, cam.view_dir(), w.iso_value / w.field_max);
+      viz::rasterize(st, w.width, w.height, [&](int x, int y, float depth) {
+        zb.apply(static_cast<std::uint32_t>(y) *
+                     static_cast<std::uint32_t>(w.width) +
+                     static_cast<std::uint32_t>(x),
+                 depth, rgba);
+      });
+    }
+  }
+  return zb.to_image(viz::RenderSink{}.background);
+}
+
+}  // namespace
+
+int main() {
+  // Synthetic plume dataset on two "hosts" (placement labels — the native
+  // engine maps copies to threads, and data locality to the labels).
+  const data::ChunkLayout layout(data::GridDims{48, 48, 48}, 4, 4, 4);
+  data::DatasetStore store(layout, data::hilbert_decluster(layout, 16), 16);
+  const data::PlumeField field(7);
+  store.place_uniform({data::FileLocation{0, 0}, data::FileLocation{1, 0}});
+
+  viz::VizWorkload w;
+  w.store = &store;
+  w.field = &field;
+  w.iso_value = 0.8f;
+  w.width = 256;
+  w.height = 256;
+
+  const std::uint64_t reference = reference_render(w).digest();
+
+  core::RuntimeConfig cfg;
+  cfg.policy = core::Policy::kDemandDriven;
+
+  std::printf("%14s %10s %12s %10s %8s\n", "pipeline", "hsr", "wall s/uow",
+              "buffers", "image");
+  for (viz::HsrAlgorithm hsr :
+       {viz::HsrAlgorithm::kZBuffer, viz::HsrAlgorithm::kActivePixel}) {
+    viz::IsoAppSpec spec;
+    spec.workload = w;
+    spec.config = viz::PipelineConfig::kRE_Ra_M;
+    spec.hsr = hsr;
+    spec.data_hosts = viz::one_each({0, 1});
+    spec.raster_hosts = {{2, 2}, {3, 2}};  // 4 Ra worker threads
+    spec.merge_host = 3;
+
+    const viz::NativeRenderRun run = viz::run_iso_app_native(spec, cfg, 1);
+    std::uint64_t buffers = 0;
+    for (const auto& s : run.metrics.streams) buffers += s.buffers;
+    std::printf("%14s %10s %12.4f %10llu %8s\n", "RE-Ra-M",
+                viz::to_string(hsr), run.avg,
+                static_cast<unsigned long long>(buffers),
+                run.sink->digests[0] == reference ? "ok" : "MISMATCH");
+  }
+  std::printf(
+      "\nBoth native runs reproduce the reference image bit for bit:\n"
+      "the threaded engine and the simulator execute the same filters\n"
+      "with the same RNG streams, and the merge is order-independent.\n");
+  return 0;
+}

@@ -9,7 +9,31 @@
 #include <stdexcept>
 #include <utility>
 
+#include "core/writer_state.hpp"
+
 namespace dc::core {
+
+void validate(const RuntimeConfig& config) {
+  if (config.window <= 0) {
+    throw std::invalid_argument("RuntimeConfig: window must be positive");
+  }
+  if (config.default_buffer_bytes == 0) {
+    throw std::invalid_argument(
+        "RuntimeConfig: default_buffer_bytes must be nonzero");
+  }
+  if (config.detection == FailureDetection::kAckTimeout) {
+    if (config.policy != Policy::kDemandDriven) {
+      throw std::invalid_argument(
+          "RuntimeConfig: ack-timeout detection needs the demand-driven "
+          "policy (RR/WRR have no acks; use kMembership)");
+    }
+    if (config.ack_timeout <= 0.0 || config.ack_timeout_backoff < 1.0 ||
+        config.ack_timeout_max < config.ack_timeout ||
+        config.ack_timeout_strikes < 1) {
+      throw std::invalid_argument("RuntimeConfig: bad ack-timeout parameters");
+    }
+  }
+}
 
 // ---------------------------------------------------------------------------
 // Internal structures
@@ -66,12 +90,11 @@ struct Runtime::StreamRt {
   std::vector<int> wrr_order;  ///< target indices, one entry per consumer copy
 };
 
-/// Writer-side state of one producer copy for one output port.
-struct WriterState {
+/// Writer-side state of one producer copy for one output port: the shared
+/// flow-control / policy state machine plus the simulator-only stream
+/// binding and fault-tolerance retention.
+struct SimWriter : WriterState {
   Runtime::StreamRt* stream = nullptr;
-  std::vector<int> in_flight;  ///< per target: sent, not yet dequeued
-  std::vector<int> unacked;    ///< per target: sent, not yet acknowledged (DD)
-  int rr_next = 0;
 
   /// Per-target fault-tolerance state (sized only when detection != kNone).
   /// `outstanding` retains a copy of every dispatched buffer until the
@@ -108,7 +131,7 @@ struct Runtime::Instance {
   int copy_in_host = -1;  ///< index within the copy set
   CopySet* cset = nullptr;
   std::unique_ptr<Filter> user;
-  std::vector<WriterState> writers;  ///< per output port
+  std::vector<SimWriter> writers;  ///< per output port
 
   State state = State::kCreated;
   bool dead = false;  ///< crashed with its host, or fenced after a failover
@@ -211,21 +234,7 @@ Runtime::Runtime(sim::Topology& topo, const Graph& graph,
       config_(std::move(config)),
       base_rng_(config_.rng_seed) {
   graph_.validate();
-  if (config_.window <= 0) {
-    throw std::invalid_argument("RuntimeConfig: window must be positive");
-  }
-  if (config_.detection == FailureDetection::kAckTimeout) {
-    if (config_.policy != Policy::kDemandDriven) {
-      throw std::invalid_argument(
-          "RuntimeConfig: ack-timeout detection needs the demand-driven "
-          "policy (RR/WRR have no acks; use kMembership)");
-    }
-    if (config_.ack_timeout <= 0.0 || config_.ack_timeout_backoff < 1.0 ||
-        config_.ack_timeout_max < config_.ack_timeout ||
-        config_.ack_timeout_strikes < 1) {
-      throw std::invalid_argument("RuntimeConfig: bad ack-timeout parameters");
-    }
-  }
+  validate(config_);
   if (fault_tolerant()) {
     failure_listener_ =
         topo_.add_host_failure_listener([this](int h) { on_host_failed(h); });
@@ -360,10 +369,9 @@ void Runtime::build_uow() {
                                    "' does not derive from SourceFilter");
         }
         for (int out : outs) {
-          WriterState w;
+          SimWriter w;
           w.stream = stream_rt_[static_cast<std::size_t>(out)].get();
-          w.in_flight.assign(w.stream->targets.size(), 0);
-          w.unacked.assign(w.stream->targets.size(), 0);
+          w.reset(w.stream->targets.size());
           if (fault_tolerant()) w.ft.resize(w.stream->targets.size());
           inst->writers.push_back(std::move(w));
         }
@@ -657,64 +665,19 @@ void Runtime::drain(Instance& inst) {
 }
 
 int Runtime::pick_target(Instance& inst, int out_port) {
-  WriterState& w = inst.writers[static_cast<std::size_t>(out_port)];
-  const auto n = static_cast<int>(w.stream->targets.size());
-  assert(n > 0);
-
-  switch (config_.policy) {
-    case Policy::kRoundRobin: {
-      // Rotate past declared-dead copy sets; stall (-1) only when the first
-      // live candidate's window is full — skipping a merely-full target
-      // would break the cyclic order.
-      for (int i = 0; i < n; ++i) {
-        const int t = (w.rr_next + i) % n;
-        if (w.stream->targets[static_cast<std::size_t>(t)]->declared_dead) continue;
-        if (w.in_flight[static_cast<std::size_t>(t)] >= config_.window) return -1;
-        w.rr_next = (t + 1) % n;
-        return t;
-      }
-      return -1;  // every target dead; dispatch_one blackholes
-    }
-    case Policy::kWeightedRoundRobin: {
-      const auto& order = w.stream->wrr_order;
-      const int m = static_cast<int>(order.size());
-      for (int i = 0; i < m; ++i) {
-        const int slot = (w.rr_next + i) % m;
-        const int t = order[static_cast<std::size_t>(slot)];
-        if (w.stream->targets[static_cast<std::size_t>(t)]->declared_dead) continue;
-        if (w.in_flight[static_cast<std::size_t>(t)] >= config_.window) return -1;
-        w.rr_next = (slot + 1) % m;
-        return t;
-      }
-      return -1;
-    }
-    case Policy::kDemandDriven: {
-      int best = -1;
-      bool best_local = false;
-      for (int t = 0; t < n; ++t) {
-        if (w.stream->targets[static_cast<std::size_t>(t)]->declared_dead) continue;
-        if (w.unacked[static_cast<std::size_t>(t)] >= config_.window) continue;
-        const bool local = w.stream->targets[static_cast<std::size_t>(t)]->host ==
-                           inst.cset->host;
-        if (best < 0 ||
-            w.unacked[static_cast<std::size_t>(t)] <
-                w.unacked[static_cast<std::size_t>(best)] ||
-            (w.unacked[static_cast<std::size_t>(t)] ==
-                 w.unacked[static_cast<std::size_t>(best)] &&
-             local && !best_local)) {
-          best = t;
-          best_local = local;
-        }
-      }
-      return best;
-    }
-  }
-  return -1;
+  SimWriter& w = inst.writers[static_cast<std::size_t>(out_port)];
+  const auto& targets = w.stream->targets;
+  return w.pick(
+      config_.policy, config_.window, w.stream->wrr_order,
+      [&](int t) { return targets[static_cast<std::size_t>(t)]->declared_dead; },
+      [&](int t) {
+        return targets[static_cast<std::size_t>(t)]->host == inst.cset->host;
+      });
 }
 
 bool Runtime::dispatch_one(Instance& inst) {
   PendingOut& out = inst.pending.front();
-  WriterState& wq = inst.writers[static_cast<std::size_t>(out.port)];
+  SimWriter& wq = inst.writers[static_cast<std::size_t>(out.port)];
   if (fault_tolerant()) {
     // Every target copy set of this stream is dead: nothing can ever take
     // the buffer. Drop it (counted) so the producer — and the UOW — can
@@ -735,11 +698,10 @@ bool Runtime::dispatch_one(Instance& inst) {
   const int target = pick_target(inst, out.port);
   if (target < 0) return false;
 
-  WriterState& w = inst.writers[static_cast<std::size_t>(out.port)];
+  SimWriter& w = inst.writers[static_cast<std::size_t>(out.port)];
   CopySet* cset = w.stream->targets[static_cast<std::size_t>(target)];
 
-  w.in_flight[static_cast<std::size_t>(target)]++;
-  w.unacked[static_cast<std::size_t>(target)]++;
+  w.on_dispatch(target);
   // Retain a copy until the consumer takes responsibility (payload is
   // shared, so this costs an envelope, not a data copy).
   if (fault_tolerant()) {
@@ -831,10 +793,8 @@ void Runtime::finish_instance(Instance& inst) {
 
 void Runtime::on_window_release(Instance& producer, int out_port, int target) {
   if (producer.dead) return;
-  WriterState& w = producer.writers[static_cast<std::size_t>(out_port)];
-  auto& slot = w.in_flight[static_cast<std::size_t>(target)];
-  assert(slot > 0);
-  --slot;
+  SimWriter& w = producer.writers[static_cast<std::size_t>(out_port)];
+  w.on_dequeue(target);
   if (fault_tolerant() && config_.policy != Policy::kDemandDriven) {
     // RR/WRR: the dequeue is where the consumer takes responsibility — the
     // oldest retained buffer for this target is now safe to release.
@@ -847,7 +807,7 @@ void Runtime::on_window_release(Instance& producer, int out_port, int target) {
 
 void Runtime::on_ack(Instance& producer, int out_port, int target) {
   if (producer.dead) return;
-  WriterState& w = producer.writers[static_cast<std::size_t>(out_port)];
+  SimWriter& w = producer.writers[static_cast<std::size_t>(out_port)];
   if (fault_tolerant()) {
     auto& ft = w.ft[static_cast<std::size_t>(target)];
     CopySet& cs = *w.stream->targets[static_cast<std::size_t>(target)];
@@ -867,9 +827,7 @@ void Runtime::on_ack(Instance& producer, int out_port, int target) {
     ft.acks_seen++;
     ft.strikes = 0;
     cs.suspected_since = -1.0;
-    auto& slot = w.unacked[static_cast<std::size_t>(target)];
-    assert(slot > 0);
-    --slot;
+    w.on_ack(target);
     if (ft.outstanding.empty() && ft.timer != 0) {
       topo_.sim().cancel(ft.timer);
       ft.timer = 0;
@@ -877,9 +835,7 @@ void Runtime::on_ack(Instance& producer, int out_port, int target) {
     if (producer.state == Instance::State::kDraining) drain(producer);
     return;
   }
-  auto& slot = w.unacked[static_cast<std::size_t>(target)];
-  assert(slot > 0);
-  --slot;
+  w.on_ack(target);
   if (producer.state == Instance::State::kDraining) drain(producer);
 }
 
@@ -943,7 +899,7 @@ void Runtime::fail_copyset(CopySet& cset) {
   for (auto& inst : instances_) {
     if (inst->dead) continue;
     for (std::size_t p = 0; p < inst->writers.size(); ++p) {
-      WriterState& w = inst->writers[p];
+      SimWriter& w = inst->writers[p];
       const auto& targets = w.stream->targets;
       for (std::size_t t = 0; t < targets.size(); ++t) {
         if (targets[t] == &cset) {
@@ -985,7 +941,7 @@ void Runtime::kill_instance(Instance& inst) {
 }
 
 void Runtime::reclaim_outstanding(Instance& inst, int out_port, int target) {
-  WriterState& w = inst.writers[static_cast<std::size_t>(out_port)];
+  SimWriter& w = inst.writers[static_cast<std::size_t>(out_port)];
   auto& ft = w.ft[static_cast<std::size_t>(target)];
   if (ft.timer != 0) {
     topo_.sim().cancel(ft.timer);
@@ -1015,7 +971,7 @@ void Runtime::reclaim_outstanding(Instance& inst, int out_port, int target) {
 
 void Runtime::arm_ack_timer(Instance& inst, int out_port, int target) {
   if (config_.detection != FailureDetection::kAckTimeout) return;
-  WriterState& w = inst.writers[static_cast<std::size_t>(out_port)];
+  SimWriter& w = inst.writers[static_cast<std::size_t>(out_port)];
   auto& ft = w.ft[static_cast<std::size_t>(target)];
   if (ft.timer != 0 || ft.outstanding.empty()) return;
   if (w.stream->targets[static_cast<std::size_t>(target)]->declared_dead) return;
@@ -1032,7 +988,7 @@ void Runtime::arm_ack_timer(Instance& inst, int out_port, int target) {
 
 void Runtime::on_ack_timeout(Instance& inst, int out_port, int target,
                              std::uint64_t acks_snapshot) {
-  WriterState& w = inst.writers[static_cast<std::size_t>(out_port)];
+  SimWriter& w = inst.writers[static_cast<std::size_t>(out_port)];
   auto& ft = w.ft[static_cast<std::size_t>(target)];
   ft.timer = 0;
   if (inst.dead || !in_uow_) return;

@@ -47,6 +47,14 @@ struct RuntimeConfig {
   int ack_timeout_strikes = 3;
 };
 
+/// Validates the engine-agnostic knobs of `config`: positive window, nonzero
+/// buffer size, consistent ack-timeout parameters. Throws
+/// std::invalid_argument with a field-specific message on violation. Both
+/// execution engines (the simulator Runtime and the native exec::Engine) call
+/// this before instantiating anything, so a bad config fails loudly instead
+/// of deadlocking or dividing by zero mid-UOW.
+void validate(const RuntimeConfig& config);
+
 /// The filtering service: instantiates a filter graph onto a simulated
 /// topology according to a Placement, runs units of work, and collects
 /// metrics.

@@ -1,0 +1,122 @@
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+#include "core/policy.hpp"
+
+namespace dc::core {
+
+/// Writer-side flow-control state of one (producer copy, output port): the
+/// per-target in-flight / unacknowledged counters and the target-selection
+/// logic for all three buffer-distribution policies.
+///
+/// This is the single, engine-agnostic implementation of RR / WRR / DD. The
+/// discrete-event simulator runtime (core::Runtime) and the native threaded
+/// engine (exec::Engine) both drive this state machine; each supplies its own
+/// notion of dead targets and co-location through the `dead` / `local`
+/// predicates, and its own synchronization around the calls (the simulator is
+/// single-threaded; the native engine serializes access per producer copy).
+///
+/// Window semantics (paper Section 2): RR / WRR cap `in_flight` (sent but not
+/// yet dequeued) buffers per target; DD caps `unacked` buffers and sends each
+/// new buffer to the least-loaded target, ties preferring co-located copies.
+struct WriterState {
+  std::vector<int> in_flight;  ///< per target: sent, not yet dequeued
+  std::vector<int> unacked;    ///< per target: sent, not yet acknowledged (DD)
+  int rr_next = 0;             ///< RR: next target; WRR: next wrr_order slot
+
+  void reset(std::size_t num_targets) {
+    in_flight.assign(num_targets, 0);
+    unacked.assign(num_targets, 0);
+    rr_next = 0;
+  }
+
+  [[nodiscard]] int num_targets() const {
+    return static_cast<int>(in_flight.size());
+  }
+
+  void on_dispatch(int target) {
+    ++in_flight[st(target)];
+    ++unacked[st(target)];
+  }
+
+  /// The consumer dequeued one buffer: the flow-control slot frees.
+  void on_dequeue(int target) {
+    assert(in_flight[st(target)] > 0);
+    --in_flight[st(target)];
+  }
+
+  /// A DD acknowledgment arrived for `target`.
+  void on_ack(int target) {
+    assert(unacked[st(target)] > 0);
+    --unacked[st(target)];
+  }
+
+  /// Picks the destination copy set for the next buffer, or -1 to stall
+  /// until a window slot frees.
+  ///
+  ///  - RoundRobin: cyclic over targets, rotating past dead ones; stalls when
+  ///    the first live candidate's window is full (skipping a merely-full
+  ///    target would break the cyclic order).
+  ///  - WeightedRoundRobin: cyclic over `wrr_order` (one slot per consumer
+  ///    copy), same stall rule.
+  ///  - DemandDriven: the live target with the fewest unacknowledged buffers
+  ///    whose window has room; ties prefer co-located targets.
+  ///
+  /// `pick` mutates `rr_next` only on success, so an engine may re-evaluate
+  /// it after every window release until it yields a target.
+  template <typename DeadFn, typename LocalFn>
+  [[nodiscard]] int pick(Policy policy, int window,
+                         const std::vector<int>& wrr_order, DeadFn&& dead,
+                         LocalFn&& local) {
+    const int n = num_targets();
+    assert(n > 0);
+    switch (policy) {
+      case Policy::kRoundRobin: {
+        for (int i = 0; i < n; ++i) {
+          const int t = (rr_next + i) % n;
+          if (dead(t)) continue;
+          if (in_flight[st(t)] >= window) return -1;
+          rr_next = (t + 1) % n;
+          return t;
+        }
+        return -1;  // every target dead
+      }
+      case Policy::kWeightedRoundRobin: {
+        const int m = static_cast<int>(wrr_order.size());
+        for (int i = 0; i < m; ++i) {
+          const int slot = (rr_next + i) % m;
+          const int t = wrr_order[st(slot)];
+          if (dead(t)) continue;
+          if (in_flight[st(t)] >= window) return -1;
+          rr_next = (slot + 1) % m;
+          return t;
+        }
+        return -1;
+      }
+      case Policy::kDemandDriven: {
+        int best = -1;
+        bool best_local = false;
+        for (int t = 0; t < n; ++t) {
+          if (dead(t)) continue;
+          if (unacked[st(t)] >= window) continue;
+          const bool loc = local(t);
+          if (best < 0 || unacked[st(t)] < unacked[st(best)] ||
+              (unacked[st(t)] == unacked[st(best)] && loc && !best_local)) {
+            best = t;
+            best_local = loc;
+          }
+        }
+        return best;
+      }
+    }
+    return -1;
+  }
+
+ private:
+  static std::size_t st(int t) { return static_cast<std::size_t>(t); }
+};
+
+}  // namespace dc::core

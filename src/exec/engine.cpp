@@ -1,0 +1,557 @@
+#include "exec/engine.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "core/buffer.hpp"
+#include "core/filter.hpp"
+#include "core/writer_state.hpp"
+#include "exec/queue.hpp"
+
+namespace dc::exec {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+struct PendingOut {
+  int port;
+  core::Buffer buf;
+};
+
+/// Per-stream counters private to one worker thread; summed into the shared
+/// exec::Metrics after the UOW's threads joined (the joins provide the
+/// happens-before, so no atomics are needed anywhere in the hot path).
+struct StreamDelta {
+  std::uint64_t buffers = 0;
+  std::uint64_t payload_bytes = 0;
+  std::uint64_t message_bytes = 0;
+};
+
+}  // namespace
+
+/// A buffer in flight from one producer copy to one target copy set. Carries
+/// the producer identity so the dequeuing consumer can settle the producer's
+/// flow-control window (and, under DD, acknowledge).
+struct Engine::Delivery {
+  core::Buffer buf;
+  Instance* producer = nullptr;
+  int out_port = 0;
+  int target = 0;  ///< index into the stream's target list
+};
+
+/// All transparent copies of one filter on one host. The copies share the
+/// bounded input channel, demand-balancing within the host exactly like the
+/// simulator's copy sets share their queues.
+struct Engine::CopySetRt {
+  int filter = -1;
+  int host = -1;
+  std::vector<Instance*> copies;
+  PortChannel<Delivery> channel;
+};
+
+/// Runtime view of one logical stream: the consumer copy sets it fans out to.
+struct Engine::StreamRt {
+  const core::StreamSpec* spec = nullptr;
+  int id = -1;
+  std::vector<CopySetRt*> targets;
+  std::vector<int> wrr_order;  ///< target indices, one entry per consumer copy
+};
+
+/// Writer-side state of one producer copy for one output port: the shared
+/// flow-control / policy state machine plus the stream binding. Synchronized
+/// by the owning Instance's writer mutex (one mutex guards all of a copy's
+/// writers: the owner thread dispatches, consumer threads release windows).
+struct Engine::Writer : core::WriterState {
+  StreamRt* stream = nullptr;
+};
+
+/// One transparent copy of a filter for the current UOW, bound to one worker
+/// thread. Everything except `writers` (guarded by wmu) and the copy set
+/// channel is touched only by the owning thread.
+struct Engine::Instance {
+  Engine* eng = nullptr;
+  int filter = -1;
+  int index = -1;         ///< global index among the filter's copies
+  int copy_in_host = -1;  ///< index within the copy set
+  CopySetRt* cset = nullptr;
+  std::unique_ptr<core::Filter> user;
+  std::vector<Writer> writers;  ///< per output port
+
+  std::mutex wmu;               ///< guards every writer's WriterState
+  std::condition_variable wcv;  ///< signalled when a window slot frees
+
+  bool in_init = false;
+  std::deque<PendingOut> pending;  ///< writes deferred until the callback ends
+
+  InstanceMetrics m;
+  std::vector<StreamDelta> stream_local;  ///< per stream, owner thread only
+  sim::Rng rng;
+  std::unique_ptr<ContextImpl> ctx;
+};
+
+/// FilterContext implementation bound to one Instance. Mirrors the
+/// simulator's context so filters run unmodified; charge() / read_disk() only
+/// account demand here — real time is whatever the hardware takes.
+struct Engine::ContextImpl final : core::FilterContext {
+  Instance* inst = nullptr;
+  Clock::time_point epoch;
+
+  [[nodiscard]] int instance_index() const override { return inst->index; }
+  [[nodiscard]] int num_instances() const override {
+    return inst->eng->total_copies(inst->filter);
+  }
+  [[nodiscard]] int copy_in_host() const override { return inst->copy_in_host; }
+  [[nodiscard]] int copies_on_host() const override {
+    return static_cast<int>(inst->cset->copies.size());
+  }
+  [[nodiscard]] int host() const override { return inst->cset->host; }
+  [[nodiscard]] const std::string& host_class() const override {
+    return inst->eng->host_class(inst->cset->host);
+  }
+  [[nodiscard]] int uow_index() const override { return inst->eng->uow_index_; }
+  [[nodiscard]] sim::SimTime now() const override {
+    return seconds_since(epoch);  // wall seconds since the engine was built
+  }
+  [[nodiscard]] sim::Rng& rng() override { return inst->rng; }
+
+  void charge(double ops) override {
+    if (ops < 0.0) throw std::invalid_argument("charge: negative ops");
+    inst->m.work_ops += ops;
+  }
+
+  void read_disk(int local_disk, std::uint64_t bytes) override {
+    if (!inst->eng->graph_.filter(inst->filter).is_source) {
+      throw std::logic_error("read_disk is only available to source filters");
+    }
+    if (local_disk < 0) {
+      throw std::out_of_range("read_disk: no such local disk");
+    }
+    inst->m.disk_bytes += bytes;
+  }
+
+  void write(int port, core::Buffer buf) override {
+    if (inst->in_init) {
+      throw std::logic_error("write() is not allowed in init()");
+    }
+    if (port < 0 || port >= num_output_ports()) {
+      throw std::out_of_range("write: bad output port");
+    }
+    inst->pending.push_back(PendingOut{port, std::move(buf)});
+  }
+
+  [[nodiscard]] core::Buffer make_buffer(int port) const override {
+    return core::Buffer(buffer_bytes(port));
+  }
+
+  [[nodiscard]] int num_input_ports() const override {
+    return inst->eng->graph_.filter(inst->filter).num_input_ports;
+  }
+  [[nodiscard]] int num_output_ports() const override {
+    return inst->eng->graph_.filter(inst->filter).num_output_ports;
+  }
+  [[nodiscard]] std::size_t buffer_bytes(int out_port) const override {
+    if (out_port < 0 || out_port >= num_output_ports()) {
+      throw std::out_of_range("buffer_bytes: bad output port");
+    }
+    const int stream =
+        inst->writers[static_cast<std::size_t>(out_port)].stream->id;
+    return inst->eng->buffer_bytes_[static_cast<std::size_t>(stream)];
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Construction
+// ---------------------------------------------------------------------------
+
+Engine::Engine(const core::Graph& graph, const core::Placement& placement,
+               core::RuntimeConfig config, HostInfo hosts)
+    : graph_(graph),
+      placement_(placement),
+      config_(std::move(config)),
+      hosts_(std::move(hosts)),
+      base_rng_(config_.rng_seed) {
+  graph_.validate();
+  core::validate(config_);
+  if (config_.detection != core::FailureDetection::kNone) {
+    throw std::invalid_argument(
+        "exec::Engine: fault injection requires the simulator; "
+        "RuntimeConfig::detection must be kNone");
+  }
+  // Negotiate buffer sizes exactly like the simulator: prefer the default,
+  // clamped to [min, max]. Identical sizes are a precondition for
+  // bit-comparable outputs between the two engines.
+  buffer_bytes_.resize(static_cast<std::size_t>(graph_.num_streams()));
+  for (int s = 0; s < graph_.num_streams(); ++s) {
+    const auto& spec = graph_.stream(s);
+    buffer_bytes_[static_cast<std::size_t>(s)] = std::clamp(
+        config_.default_buffer_bytes, spec.min_buffer_bytes, spec.max_buffer_bytes);
+  }
+  // Placement sanity.
+  for (int f = 0; f < graph_.num_filters(); ++f) {
+    if (placement_.entries(f).empty()) {
+      throw std::invalid_argument("exec::Engine: filter '" +
+                                  graph_.filter(f).name + "' has no placement");
+    }
+    if (!graph_.filter(f).is_source && graph_.in_streams(f).empty()) {
+      throw std::invalid_argument("exec::Engine: non-source filter '" +
+                                  graph_.filter(f).name + "' has no inputs");
+    }
+  }
+  // Stream metrics slots.
+  metrics_.streams.resize(static_cast<std::size_t>(graph_.num_streams()));
+  for (int s = 0; s < graph_.num_streams(); ++s) {
+    metrics_.streams[static_cast<std::size_t>(s)].name = graph_.stream(s).name;
+  }
+}
+
+Engine::~Engine() = default;
+
+int Engine::total_copies(int filter) const {
+  return placement_.total_copies(filter);
+}
+
+const std::string& Engine::host_class(int host) const {
+  static const std::string kNative = "native";
+  if (host >= 0 &&
+      static_cast<std::size_t>(host) < hosts_.host_classes.size()) {
+    return hosts_.host_classes[static_cast<std::size_t>(host)];
+  }
+  return kNative;
+}
+
+void Engine::reset_metrics() {
+  metrics_.instances.clear();
+  metrics_.acks_total = 0;
+  metrics_.ack_bytes_total = 0;
+  metrics_.makespan = 0.0;
+  for (auto& s : metrics_.streams) {
+    s.buffers = 0;
+    s.payload_bytes = 0;
+    s.message_bytes = 0;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// UOW setup / teardown
+// ---------------------------------------------------------------------------
+
+void Engine::build_uow() {
+  // Copy sets: one per (filter, host) with at least one copy. The creation
+  // order (and, below, the instance order and RNG split salts) replicates the
+  // simulator exactly so both engines hand filters the same random streams.
+  std::vector<std::vector<CopySetRt*>> csets_by_filter(
+      static_cast<std::size_t>(graph_.num_filters()));
+  for (int f = 0; f < graph_.num_filters(); ++f) {
+    const int in_ports = graph_.filter(f).num_input_ports;
+    for (const auto& e : placement_.entries(f)) {
+      auto cset = std::make_unique<CopySetRt>();
+      cset->filter = f;
+      cset->host = e.host;
+      cset->channel.init(in_ports, static_cast<std::size_t>(config_.window),
+                         &aborted_);
+      csets_by_filter[static_cast<std::size_t>(f)].push_back(cset.get());
+      copysets_.push_back(std::move(cset));
+    }
+  }
+
+  // Stream runtime: target copy sets and the WRR expansion.
+  stream_rt_.clear();
+  for (int s = 0; s < graph_.num_streams(); ++s) {
+    auto rt = std::make_unique<StreamRt>();
+    rt->spec = &graph_.stream(s);
+    rt->id = s;
+    const int consumer = rt->spec->to_filter;
+    const auto& consumer_entries = placement_.entries(consumer);
+    const auto& consumer_sets = csets_by_filter[static_cast<std::size_t>(consumer)];
+    for (std::size_t i = 0; i < consumer_sets.size(); ++i) {
+      rt->targets.push_back(consumer_sets[i]);
+      for (int c = 0; c < consumer_entries[i].copies; ++c) {
+        rt->wrr_order.push_back(static_cast<int>(i));
+      }
+    }
+    stream_rt_.push_back(std::move(rt));
+  }
+
+  // Instances.
+  for (int f = 0; f < graph_.num_filters(); ++f) {
+    const auto& entries = placement_.entries(f);
+    const auto& sets = csets_by_filter[static_cast<std::size_t>(f)];
+    const auto outs = graph_.out_streams(f);
+    int global = 0;
+    for (std::size_t p = 0; p < entries.size(); ++p) {
+      for (int c = 0; c < entries[p].copies; ++c) {
+        auto inst = std::make_unique<Instance>();
+        inst->eng = this;
+        inst->filter = f;
+        inst->index = global++;
+        inst->copy_in_host = c;
+        inst->cset = sets[p];
+        inst->user = graph_.filter(f).factory();
+        if (!inst->user) {
+          throw std::runtime_error("exec::Engine: factory for '" +
+                                   graph_.filter(f).name + "' returned null");
+        }
+        if (graph_.filter(f).is_source &&
+            dynamic_cast<core::SourceFilter*>(inst->user.get()) == nullptr) {
+          throw std::runtime_error("exec::Engine: source filter '" +
+                                   graph_.filter(f).name +
+                                   "' does not derive from SourceFilter");
+        }
+        for (int out : outs) {
+          Writer w;
+          w.stream = stream_rt_[static_cast<std::size_t>(out)].get();
+          w.reset(w.stream->targets.size());
+          inst->writers.push_back(std::move(w));
+        }
+        inst->m.filter = f;
+        inst->m.instance = inst->index;
+        inst->m.host = entries[p].host;
+        inst->m.host_class = host_class(entries[p].host);
+        inst->stream_local.resize(
+            static_cast<std::size_t>(graph_.num_streams()));
+        inst->rng = base_rng_.split(
+            static_cast<std::uint64_t>(f) * 1000003ULL +
+            static_cast<std::uint64_t>(inst->index) * 257ULL +
+            static_cast<std::uint64_t>(uow_index_));
+        inst->ctx = std::make_unique<ContextImpl>();
+        inst->ctx->inst = inst.get();
+        sets[p]->copies.push_back(inst.get());
+        instances_.push_back(std::move(inst));
+      }
+    }
+  }
+
+  // EOW bookkeeping: each consumer port expects one marker per producer copy.
+  for (int s = 0; s < graph_.num_streams(); ++s) {
+    const auto& spec = graph_.stream(s);
+    const int producers = placement_.total_copies(spec.from_filter);
+    for (CopySetRt* t : stream_rt_[static_cast<std::size_t>(s)]->targets) {
+      t->channel.expect_eow(spec.to_port, producers);
+    }
+  }
+}
+
+void Engine::teardown_uow() {
+  for (auto& inst : instances_) {
+    metrics_.instances.push_back(inst->m);
+    metrics_.acks_total += inst->m.acks_sent;
+    metrics_.ack_bytes_total += inst->m.acks_sent * config_.ack_bytes;
+    for (std::size_t s = 0; s < inst->stream_local.size(); ++s) {
+      const StreamDelta& d = inst->stream_local[s];
+      auto& sm = metrics_.streams[s];
+      sm.buffers += d.buffers;
+      sm.payload_bytes += d.payload_bytes;
+      sm.message_bytes += d.message_bytes;
+    }
+  }
+  instances_.clear();
+  copysets_.clear();
+  stream_rt_.clear();
+}
+
+// ---------------------------------------------------------------------------
+// Execution
+// ---------------------------------------------------------------------------
+
+double Engine::run_uow() {
+  aborted_.store(false, std::memory_order_relaxed);
+  build_uow();
+
+  const auto t0 = Clock::now();
+  for (auto& inst : instances_) inst->ctx->epoch = t0;
+
+  std::mutex error_mu;
+  std::exception_ptr first_error;
+  std::vector<std::thread> threads;
+  threads.reserve(instances_.size());
+  for (auto& inst : instances_) {
+    Instance* p = inst.get();
+    threads.emplace_back([this, p, &error_mu, &first_error] {
+      try {
+        worker_main(*p);
+      } catch (const Aborted&) {
+        // Another worker failed; this one unwound cleanly.
+      } catch (...) {
+        {
+          std::lock_guard<std::mutex> lk(error_mu);
+          if (!first_error) first_error = std::current_exception();
+        }
+        abort_uow();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  const double makespan = seconds_since(t0);
+  metrics_.makespan = makespan;
+  teardown_uow();
+  ++uow_index_;
+  if (first_error) std::rethrow_exception(first_error);
+  return makespan;
+}
+
+void Engine::abort_uow() {
+  aborted_.store(true, std::memory_order_relaxed);
+  // Wake everything under the respective mutexes so no blocked thread misses
+  // the flag between its predicate check and its wait.
+  for (auto& cs : copysets_) cs->channel.notify_abort();
+  for (auto& inst : instances_) {
+    std::lock_guard<std::mutex> lk(inst->wmu);
+    inst->wcv.notify_all();
+  }
+}
+
+void Engine::worker_main(Instance& inst) {
+  ContextImpl& ctx = *inst.ctx;
+
+  inst.in_init = true;
+  auto t0 = Clock::now();
+  inst.user->init(ctx);
+  inst.m.busy_time += seconds_since(t0);
+  inst.in_init = false;
+
+  if (graph_.filter(inst.filter).is_source) {
+    source_loop(inst, ctx);
+  } else {
+    consume_loop(inst, ctx);
+  }
+
+  t0 = Clock::now();
+  inst.user->process_eow(ctx);
+  inst.m.busy_time += seconds_since(t0);
+  drain(inst);
+
+  // Like the simulator, finalize() runs after the last drain; anything it
+  // writes is not dispatched in either engine.
+  t0 = Clock::now();
+  inst.user->finalize(ctx);
+  inst.m.busy_time += seconds_since(t0);
+
+  // End-of-work markers to every consumer copy set, after all data buffers
+  // (the channel mutex serializes them behind this copy's pushes).
+  for (auto& w : inst.writers) {
+    const int in_port = w.stream->spec->to_port;
+    for (CopySetRt* t : w.stream->targets) {
+      t->channel.producer_eow(in_port);
+    }
+  }
+}
+
+void Engine::source_loop(Instance& inst, ContextImpl& ctx) {
+  auto* src = static_cast<core::SourceFilter*>(inst.user.get());
+  bool more = true;
+  while (more) {
+    const auto t0 = Clock::now();
+    more = src->step(ctx);
+    inst.m.busy_time += seconds_since(t0);
+    drain(inst);
+  }
+}
+
+void Engine::consume_loop(Instance& inst, ContextImpl& ctx) {
+  PortChannel<Delivery>& channel = inst.cset->channel;
+  for (;;) {
+    Delivery d;
+    int port = -1;
+    double waited = 0.0;
+    if (channel.pop(d, port, waited) == PortChannel<Delivery>::Pop::kEow) {
+      inst.m.queue_wait_time += waited;
+      return;
+    }
+    inst.m.queue_wait_time += waited;
+    inst.m.buffers_in++;
+    inst.m.bytes_in += d.buf.size();
+
+    // Receiver-side dequeue frees the producer's flow-control slot; under DD
+    // it also acknowledges (the native ack is this direct state update —
+    // the counters match the simulator, which models it as a message).
+    settle_dequeue(d);
+    if (config_.policy == core::Policy::kDemandDriven) inst.m.acks_sent++;
+
+    const auto t0 = Clock::now();
+    inst.user->process_buffer(ctx, port, d.buf);
+    inst.m.busy_time += seconds_since(t0);
+    drain(inst);
+  }
+}
+
+void Engine::settle_dequeue(const Delivery& d) {
+  Instance& producer = *d.producer;
+  {
+    std::lock_guard<std::mutex> lk(producer.wmu);
+    Writer& w = producer.writers[static_cast<std::size_t>(d.out_port)];
+    w.on_dequeue(d.target);
+    if (config_.policy == core::Policy::kDemandDriven) w.on_ack(d.target);
+  }
+  producer.wcv.notify_all();
+}
+
+void Engine::drain(Instance& inst) {
+  while (!inst.pending.empty()) {
+    PendingOut out = std::move(inst.pending.front());
+    inst.pending.pop_front();
+    dispatch(inst, out.port, std::move(out.buf));
+  }
+}
+
+void Engine::dispatch(Instance& inst, int port, core::Buffer buf) {
+  Writer& w = inst.writers[static_cast<std::size_t>(port)];
+  const auto local = [&](int t) {
+    return w.stream->targets[static_cast<std::size_t>(t)]->host ==
+           inst.cset->host;
+  };
+  const auto dead = [](int) { return false; };
+
+  int target = -1;
+  {
+    std::unique_lock<std::mutex> lk(inst.wmu);
+    target = w.pick(config_.policy, config_.window, w.stream->wrr_order, dead,
+                    local);
+    if (target < 0) {
+      // Stalled on the windows; re-evaluate after every release. pick()
+      // mutates rr_next only on success, so retrying it is safe.
+      const auto t0 = Clock::now();
+      inst.wcv.wait(lk, [&] {
+        if (aborted_.load(std::memory_order_relaxed)) return true;
+        target = w.pick(config_.policy, config_.window, w.stream->wrr_order,
+                        dead, local);
+        return target >= 0;
+      });
+      inst.m.stall_time += seconds_since(t0);
+      if (aborted_.load(std::memory_order_relaxed)) throw Aborted{};
+    }
+    w.on_dispatch(target);
+  }
+
+  StreamDelta& sd = inst.stream_local[static_cast<std::size_t>(w.stream->id)];
+  sd.buffers++;
+  sd.payload_bytes += buf.size();
+  sd.message_bytes += buf.size() + config_.header_bytes;
+  inst.m.buffers_out++;
+  inst.m.bytes_out += buf.size();
+
+  CopySetRt* cset = w.stream->targets[static_cast<std::size_t>(target)];
+  Delivery d;
+  d.buf = std::move(buf);
+  d.producer = &inst;
+  d.out_port = port;
+  d.target = target;
+  // Blocking bounded push: capacity backpressure beyond the writer windows.
+  inst.m.stall_time += cset->channel.push(w.stream->spec->to_port, std::move(d));
+}
+
+}  // namespace dc::exec

@@ -1,0 +1,106 @@
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/graph.hpp"
+#include "core/metrics.hpp"
+#include "core/placement.hpp"
+#include "core/runtime.hpp"
+#include "exec/metrics.hpp"
+#include "sim/rng.hpp"
+
+namespace dc::exec {
+
+/// Optional description of the machine the native engine maps the Placement
+/// onto. Host ids are the Placement's; only the class labels matter here
+/// (for exec::Metrics::buffers_in_by_class and FilterContext::host_class).
+/// Hosts without an entry are labelled "native".
+struct HostInfo {
+  std::vector<std::string> host_classes;  ///< indexed by host id
+};
+
+/// The native threaded execution engine: instantiates a core::FilterGraph +
+/// Placement on real OS threads — one worker thread per transparent copy,
+/// bounded MPMC buffer queues per copy set, and the same writer policies
+/// (RR / WRR / DD) as the simulator runtime, driven through the shared
+/// core::WriterState so both engines run one policy implementation.
+///
+/// Execution model per UOW: fresh Filter objects are created per copy
+/// (init / process / finalize cycle, identical to the simulator). Source
+/// copies loop step() and dispatch their outputs through per-target flow
+/// control windows (RR/WRR cap in-flight buffers; DD caps unacknowledged
+/// ones — a consumer acknowledges a buffer when it dequeues it, and ties
+/// prefer co-located copies). Consumer copies of one (filter, host) pair
+/// share the copy set's input queues, demand-balancing within the host.
+/// End-of-work markers propagate per producer copy; every consumer copy runs
+/// process_eow after all markers arrived and the shared queues drained.
+///
+/// Differences from the simulator: time is wall-clock, charge()/read_disk()
+/// only account demand (nothing is retired on a virtual CPU or disk), and
+/// fault injection is not supported (RuntimeConfig::detection must be
+/// kNone). Per-copy RNG streams are seeded exactly like the simulator's, so
+/// for the same graph, placement, and seed the two engines feed identical
+/// random sequences to the filters.
+class Engine {
+ public:
+  Engine(const core::Graph& graph, const core::Placement& placement,
+         core::RuntimeConfig config = {}, HostInfo hosts = {});
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Runs one unit of work to completion on real threads; returns the UOW
+  /// wall-clock makespan in seconds. Exceptions raised by filter callbacks
+  /// abort the UOW (all threads unwind and join) and rethrow here.
+  double run_uow();
+
+  /// Cumulative metrics across all UOWs run so far.
+  [[nodiscard]] const Metrics& metrics() const { return metrics_; }
+  void reset_metrics();
+
+  [[nodiscard]] const core::RuntimeConfig& config() const { return config_; }
+  [[nodiscard]] int total_copies(int filter) const;
+  [[nodiscard]] const std::string& host_class(int host) const;
+
+  // Implementation types, public only so that helper structs in the
+  // translation unit can reference them; not part of the stable API.
+  struct Instance;
+  struct CopySetRt;
+  struct StreamRt;
+  struct ContextImpl;
+  struct Delivery;
+  struct Writer;
+
+ private:
+  void build_uow();
+  void teardown_uow();
+  void worker_main(Instance& inst);
+  void consume_loop(Instance& inst, ContextImpl& ctx);
+  void source_loop(Instance& inst, ContextImpl& ctx);
+  void drain(Instance& inst);
+  void dispatch(Instance& inst, int port, core::Buffer buf);
+  void settle_dequeue(const Delivery& d);
+  void abort_uow();
+
+  const core::Graph& graph_;
+  const core::Placement& placement_;
+  core::RuntimeConfig config_;
+  HostInfo hosts_;
+  std::vector<std::size_t> buffer_bytes_;  ///< negotiated, per stream
+
+  // Live only between build_uow() and teardown_uow().
+  std::vector<std::unique_ptr<Instance>> instances_;
+  std::vector<std::unique_ptr<CopySetRt>> copysets_;
+  std::vector<std::unique_ptr<StreamRt>> stream_rt_;
+  std::atomic<bool> aborted_{false};
+  int uow_index_ = 0;
+
+  Metrics metrics_;
+  sim::Rng base_rng_;
+};
+
+}  // namespace dc::exec

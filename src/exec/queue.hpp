@@ -1,0 +1,138 @@
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace dc::exec {
+
+/// Thrown out of blocking channel operations when the engine aborts a UOW
+/// (a filter callback raised); worker threads unwind without producing more.
+struct Aborted {};
+
+/// Bounded MPMC channel feeding one copy set: one FIFO queue per input port
+/// behind a single mutex + condvar pair, plus the end-of-work bookkeeping
+/// and the port-fair rotation — the native-thread equivalent of the
+/// simulator's CopySet queues.
+///
+/// Capacity is per port. Producers block in push() while the port is full
+/// (backpressure beyond the writer windows); consumers block in pop() until
+/// a delivery is available or, once every producer copy has signalled
+/// end-of-work on every port and the queues drained, receive kEow — each
+/// consumer copy observes kEow exactly once per call, so every copy of the
+/// set gets to run its own process_eow.
+template <typename T>
+class PortChannel {
+ public:
+  enum class Pop { kItem, kEow };
+
+  void init(int ports, std::size_t capacity,
+            const std::atomic<bool>* aborted) {
+    queues_.assign(static_cast<std::size_t>(ports), {});
+    eow_pending_.assign(static_cast<std::size_t>(ports), 0);
+    rr_port_ = 0;
+    capacity_ = capacity;
+    aborted_ = aborted;
+  }
+
+  /// One marker expected per producer copy of the stream entering `port`.
+  void expect_eow(int port, int producers) {
+    eow_pending_[static_cast<std::size_t>(port)] = producers;
+  }
+
+  /// Blocking bounded push; returns seconds spent blocked on capacity.
+  double push(int port, T item) {
+    std::unique_lock<std::mutex> lk(mu_);
+    auto& q = queues_[static_cast<std::size_t>(port)];
+    double waited = 0.0;
+    if (q.size() >= capacity_) {
+      const auto t0 = std::chrono::steady_clock::now();
+      space_.wait(lk, [&] { return q.size() < capacity_ || aborted(); });
+      waited = seconds_since(t0);
+      if (aborted()) throw Aborted{};
+    }
+    q.push_back(std::move(item));
+    data_.notify_all();
+    return waited;
+  }
+
+  /// Blocks until a delivery or end-of-work; `waited` reports the seconds
+  /// spent blocked with nothing to do.
+  Pop pop(T& out, int& port, double& waited) {
+    std::unique_lock<std::mutex> lk(mu_);
+    waited = 0.0;
+    if (!ready_locked()) {
+      const auto t0 = std::chrono::steady_clock::now();
+      data_.wait(lk, [&] { return ready_locked() || aborted(); });
+      waited = seconds_since(t0);
+    }
+    if (aborted()) throw Aborted{};
+    const int ports = static_cast<int>(queues_.size());
+    for (int i = 0; i < ports; ++i) {
+      const int p = (rr_port_ + i) % ports;
+      auto& q = queues_[static_cast<std::size_t>(p)];
+      if (q.empty()) continue;
+      rr_port_ = (p + 1) % ports;
+      out = std::move(q.front());
+      q.pop_front();
+      port = p;
+      space_.notify_all();
+      return Pop::kItem;
+    }
+    return Pop::kEow;  // all queues empty and every marker arrived
+  }
+
+  /// One producer copy finished the stream entering `port`. Markers cannot
+  /// overtake data: the producer's pushes completed before this call, so the
+  /// consumer drains them before pop() ever reports kEow.
+  void producer_eow(int port) {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto& pending = eow_pending_[static_cast<std::size_t>(port)];
+    if (pending > 0) --pending;
+    data_.notify_all();
+  }
+
+  /// Wakes every blocked producer and consumer so they observe the abort
+  /// flag. The caller must have set the flag before calling.
+  void notify_abort() {
+    std::lock_guard<std::mutex> lk(mu_);
+    data_.notify_all();
+    space_.notify_all();
+  }
+
+ private:
+  [[nodiscard]] bool aborted() const {
+    return aborted_ != nullptr && aborted_->load(std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] bool ready_locked() const {
+    for (const auto& q : queues_) {
+      if (!q.empty()) return true;
+    }
+    for (int e : eow_pending_) {
+      if (e > 0) return false;
+    }
+    return true;  // end of work
+  }
+
+  static double seconds_since(std::chrono::steady_clock::time_point t0) {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+        .count();
+  }
+
+  std::mutex mu_;
+  std::condition_variable data_;   ///< consumers: delivery or EOW progress
+  std::condition_variable space_;  ///< producers: queue capacity
+  std::vector<std::deque<T>> queues_;
+  std::vector<int> eow_pending_;
+  int rr_port_ = 0;
+  std::size_t capacity_ = 1;
+  const std::atomic<bool>* aborted_ = nullptr;
+};
+
+}  // namespace dc::exec

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+
+namespace dc::exec {
+
+/// Converts a hang into a loud failure: if the guarded scope has not
+/// disarmed the watchdog (by destroying it) within `timeout`, the watchdog
+/// prints `what` to stderr and aborts the process. A crashed test is
+/// reported by ctest; a wedged one blocks the whole suite. The concurrency
+/// stress tests wrap every engine run in one of these.
+class Watchdog {
+ public:
+  Watchdog(std::chrono::seconds timeout, std::string what)
+      : what_(std::move(what)), thread_([this, timeout] {
+          std::unique_lock<std::mutex> lk(mu_);
+          if (!cv_.wait_for(lk, timeout, [this] { return disarmed_; })) {
+            std::fprintf(stderr, "[watchdog] TIMED OUT: %s\n", what_.c_str());
+            std::fflush(stderr);
+            std::abort();
+          }
+        }) {}
+
+  Watchdog(const Watchdog&) = delete;
+  Watchdog& operator=(const Watchdog&) = delete;
+
+  ~Watchdog() {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      disarmed_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool disarmed_ = false;
+  std::string what_;
+  std::thread thread_;
+};
+
+}  // namespace dc::exec

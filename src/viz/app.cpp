@@ -115,4 +115,23 @@ RenderRun run_iso_app(sim::Topology& topo, const IsoAppSpec& spec,
   return run;
 }
 
+NativeRenderRun run_iso_app_native(const IsoAppSpec& spec,
+                                   const core::RuntimeConfig& rt_config,
+                                   int uows, exec::HostInfo hosts) {
+  IsoApp app = build_iso_app(spec);
+  exec::Engine eng(app.graph, app.placement, rt_config, std::move(hosts));
+
+  NativeRenderRun run;
+  run.sink = app.sink;
+  run.raster_filter = app.raster_filter;
+  for (int u = 0; u < uows; ++u) {
+    run.per_uow.push_back(eng.run_uow());
+  }
+  double sum = 0.0;
+  for (double t : run.per_uow) sum += t;
+  run.avg = run.per_uow.empty() ? 0.0 : sum / static_cast<double>(run.per_uow.size());
+  run.metrics = eng.metrics();
+  return run;
+}
+
 }  // namespace dc::viz

@@ -5,6 +5,8 @@
 #include <vector>
 
 #include "core/runtime.hpp"
+#include "exec/engine.hpp"
+#include "exec/metrics.hpp"
 #include "viz/filters.hpp"
 
 namespace dc::viz {
@@ -71,5 +73,22 @@ struct RenderRun {
 /// Convenience: build, run `uows` units of work, collect results.
 RenderRun run_iso_app(sim::Topology& topo, const IsoAppSpec& spec,
                       const core::RuntimeConfig& rt_config, int uows);
+
+/// Outcome of rendering `uows` timesteps on the native threaded engine
+/// (exec::Engine): same pipelines, real OS threads, wall-clock seconds.
+struct NativeRenderRun {
+  std::vector<double> per_uow;  ///< wall-clock makespan per timestep
+  double avg = 0.0;
+  exec::Metrics metrics;
+  std::shared_ptr<RenderSink> sink;
+  int raster_filter = -1;
+};
+
+/// Convenience: build, run `uows` units of work on real threads. For the
+/// same spec, config, and seed the merged images are bit-identical to
+/// run_iso_app's (same filters, same RNG streams, order-independent merge).
+NativeRenderRun run_iso_app_native(const IsoAppSpec& spec,
+                                   const core::RuntimeConfig& rt_config,
+                                   int uows, exec::HostInfo hosts = {});
 
 }  // namespace dc::viz

@@ -45,6 +45,39 @@ TEST(RuntimeEdge, UserExceptionPropagatesOutOfRunUow) {
   EXPECT_THROW(rt.run_uow(), std::runtime_error);
 }
 
+TEST(RuntimeEdge, RejectsInvalidRuntimeConfig) {
+  sim::Simulation simulation;
+  sim::Topology topo(simulation);
+  test::add_plain_nodes(topo, 1);
+  Graph g;
+  g.add_source("s", [] { return std::make_unique<OneShotSource>(); });
+  class Sink : public Filter {
+   public:
+    void process_buffer(FilterContext&, int, const Buffer&) override {}
+  };
+  g.add_filter("t", [] { return std::make_unique<Sink>(); });
+  g.connect(0, 0, 1, 0);
+  Placement p;
+  p.place(0, 0).place(1, 0);
+
+  RuntimeConfig zero_window;
+  zero_window.window = 0;
+  EXPECT_THROW(Runtime(topo, g, p, zero_window), std::invalid_argument);
+
+  RuntimeConfig negative_window;
+  negative_window.window = -1;
+  EXPECT_THROW(Runtime(topo, g, p, negative_window), std::invalid_argument);
+
+  RuntimeConfig zero_buffer;
+  zero_buffer.default_buffer_bytes = 0;
+  EXPECT_THROW(Runtime(topo, g, p, zero_buffer), std::invalid_argument);
+
+  // validate() is also callable on its own (shared with the native engine).
+  EXPECT_NO_THROW(validate(RuntimeConfig{}));
+  EXPECT_THROW(validate(zero_window), std::invalid_argument);
+  EXPECT_THROW(validate(zero_buffer), std::invalid_argument);
+}
+
 TEST(RuntimeEdge, LivelockGuardCatchesZeroCostSpinningSource) {
   class Spinner : public SourceFilter {
    public:
