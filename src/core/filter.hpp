@@ -47,6 +47,12 @@ class FilterContext {
   /// (source filters only; the read completes before this step's compute).
   virtual void read_disk(int local_disk, std::uint64_t bytes) = 0;
 
+  /// Reports wall seconds this copy just spent blocked on real storage I/O
+  /// (the out-of-core io::ChunkReader path). The native engine accounts it
+  /// in exec::InstanceMetrics::io_wait_time; the simulator ignores it — its
+  /// disks are virtual and already charged through read_disk().
+  virtual void note_io_wait(double seconds) { (void)seconds; }
+
   // ---- stream output -------------------------------------------------------
   /// Emits a buffer on output port `port`. Buffers are released downstream
   /// when the current callback's virtual compute completes; the copy does not

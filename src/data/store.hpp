@@ -39,8 +39,19 @@ class DatasetStore {
   /// Deals all files round-robin across `locations`.
   void place_uniform(const std::vector<FileLocation>& locations);
 
-  /// Moves ceil(fraction * |files on from_hosts|) files (lowest file ids
+  /// Moves llround(fraction * |files on from_hosts|) files (lowest file ids
   /// first, deterministically) to `to_locations`, dealt round-robin.
+  ///
+  /// Edge cases, all deliberate:
+  ///  - fraction 0.0 moves nothing; fraction 1.0 moves every candidate file.
+  ///  - an empty `from_hosts` selects no candidates, so nothing moves (this
+  ///    is not an error — "move from nowhere" is a vacuous request).
+  ///  - `to_locations` may overlap `from_hosts`: a file can land back on a
+  ///    source host (e.g. on another disk). It still consumes a round-robin
+  ///    slot — the skew experiment (Section 4.5) specifies placement, not
+  ///    traffic, so a self-move is a valid placement.
+  /// Throws std::invalid_argument if fraction is outside [0, 1] or
+  /// `to_locations` is empty.
   void move_fraction(const std::vector<int>& from_hosts,
                      const std::vector<FileLocation>& to_locations,
                      double fraction);

@@ -143,6 +143,10 @@ struct Engine::ContextImpl final : core::FilterContext {
     inst->m.disk_bytes += bytes;
   }
 
+  void note_io_wait(double seconds) override {
+    inst->m.io_wait_time += seconds;
+  }
+
   void write(int port, core::Buffer buf) override {
     if (inst->in_init) {
       throw std::logic_error("write() is not allowed in init()");

@@ -20,6 +20,7 @@ struct InstanceMetrics {
   double busy_time = 0.0;       ///< wall seconds inside filter callbacks
   double stall_time = 0.0;      ///< wall seconds blocked on output windows/queues
   double queue_wait_time = 0.0; ///< wall seconds blocked waiting for input
+  double io_wait_time = 0.0;    ///< wall seconds blocked on real storage I/O
   std::uint64_t buffers_in = 0;
   std::uint64_t buffers_out = 0;
   std::uint64_t bytes_in = 0;

@@ -1,0 +1,75 @@
+#include "io/cache.hpp"
+
+#include <stdexcept>
+
+namespace dc::io {
+
+BlockCache::BlockCache(std::size_t capacity_bytes) : capacity_(capacity_bytes) {
+  if (capacity_ == 0) {
+    throw std::invalid_argument("BlockCache: capacity must be > 0");
+  }
+}
+
+std::shared_ptr<const std::vector<std::byte>> BlockCache::get(
+    std::uint64_t key, bool* from_prefetch) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (from_prefetch != nullptr) *from_prefetch = false;
+  const auto it = map_.find(key);
+  if (it == map_.end()) {
+    ++metrics_.misses;
+    return nullptr;
+  }
+  ++metrics_.hits;
+  Entry& e = *it->second;
+  if (e.from_prefetch) {
+    // First demand hit on a prefetched block: the readahead paid off once.
+    e.from_prefetch = false;
+    ++metrics_.readahead_hits;
+    if (from_prefetch != nullptr) *from_prefetch = true;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return e.data;
+}
+
+void BlockCache::put(std::uint64_t key,
+                     std::shared_ptr<const std::vector<std::byte>> data,
+                     bool from_prefetch) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (map_.find(key) != map_.end()) return;
+  bytes_ += data->size();
+  lru_.push_front(Entry{key, std::move(data), from_prefetch});
+  map_[key] = lru_.begin();
+  ++metrics_.insertions;
+  evict_locked();
+  metrics_.bytes_cached = bytes_;
+}
+
+void BlockCache::evict_locked() {
+  while (bytes_ > capacity_ && lru_.size() > 1) {
+    const Entry& victim = lru_.back();
+    bytes_ -= victim.data->size();
+    map_.erase(victim.key);
+    lru_.pop_back();
+    ++metrics_.evictions;
+  }
+}
+
+bool BlockCache::contains(std::uint64_t key) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return map_.find(key) != map_.end();
+}
+
+void BlockCache::clear() {
+  std::lock_guard<std::mutex> lk(mu_);
+  lru_.clear();
+  map_.clear();
+  bytes_ = 0;
+  metrics_.bytes_cached = 0;
+}
+
+CacheMetrics BlockCache::metrics() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return metrics_;
+}
+
+}  // namespace dc::io

@@ -1,0 +1,60 @@
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "io/metrics.hpp"
+
+namespace dc::io {
+
+/// Thread-safe LRU block cache keyed by (chunk, timestep), holding shared
+/// immutable payloads. Capacity is in payload bytes; inserting past capacity
+/// evicts from the cold end. A single oversized block is still admitted
+/// (the cache then holds just that block) so readers never spin on an
+/// uncacheable chunk.
+class BlockCache {
+ public:
+  explicit BlockCache(std::size_t capacity_bytes);
+
+  /// nullptr on miss. `from_prefetch` (when non-null) reports whether this
+  /// block was brought in by a prefetch and this is the first demand hit on
+  /// it — the signal IoMetrics counts as a readahead hit.
+  std::shared_ptr<const std::vector<std::byte>> get(std::uint64_t key,
+                                                    bool* from_prefetch = nullptr);
+
+  /// Inserts (or refreshes) a block. No-op if the key is already resident.
+  void put(std::uint64_t key, std::shared_ptr<const std::vector<std::byte>> data,
+           bool from_prefetch);
+
+  /// Residency probe that does not touch the hit/miss counters or the LRU
+  /// order (used to avoid issuing redundant prefetches).
+  [[nodiscard]] bool contains(std::uint64_t key) const;
+
+  /// Drops every block (for cold-cache benchmarking).
+  void clear();
+
+  [[nodiscard]] CacheMetrics metrics() const;
+  [[nodiscard]] std::size_t capacity_bytes() const { return capacity_; }
+
+ private:
+  struct Entry {
+    std::uint64_t key = 0;
+    std::shared_ptr<const std::vector<std::byte>> data;
+    bool from_prefetch = false;
+  };
+
+  void evict_locked();
+
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::list<Entry> lru_;  ///< front = hottest
+  std::unordered_map<std::uint64_t, std::list<Entry>::iterator> map_;
+  std::size_t bytes_ = 0;
+  CacheMetrics metrics_;
+};
+
+}  // namespace dc::io

@@ -1,0 +1,79 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+
+namespace dc::io {
+
+/// On-disk chunk-store format (".dcc" files).
+///
+/// One file per dataset file id, under a per-(host, disk) directory tree:
+///
+///   <root>/h<host>/d<disk>/f<file_id>.dcc
+///
+/// mirroring how data::DatasetStore maps dataset files onto the disks of the
+/// cluster — a Read filter on host H only ever opens files below h<H>/.
+///
+/// File layout:
+///
+///   [FileHeader (64 B)] [chunk payloads, back to back] [ChunkIndexEntry...]
+///
+/// The header is written last (the writer seeks back), so a crash mid-write
+/// leaves a file with a zeroed magic that open() rejects. Every payload and
+/// the header itself carry FNV-1a checksums; the index entries are covered by
+/// the header's index_checksum.
+inline constexpr std::uint32_t kMagic = 0x31534344;  // "DCS1" little-endian
+inline constexpr std::uint32_t kFormatVersion = 1;
+inline constexpr const char* kFileExtension = ".dcc";
+
+/// FNV-1a over a byte range; the same digest primitive viz::Image uses.
+[[nodiscard]] inline std::uint64_t fnv1a(std::span<const std::byte> bytes,
+                                         std::uint64_t h = 0xcbf29ce484222325ULL) {
+  for (std::byte b : bytes) {
+    h ^= static_cast<std::uint64_t>(b);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// Fixed-size file header. All fields little-endian (the toolchain targets
+/// little-endian hosts; static_asserts keep the layout honest).
+struct FileHeader {
+  std::uint32_t magic = 0;
+  std::uint32_t version = 0;
+  std::int32_t file_id = -1;
+  std::int32_t host = -1;
+  std::int32_t disk = 0;
+  std::uint32_t num_entries = 0;
+  std::uint64_t index_offset = 0;    ///< byte offset of the index region
+  std::uint64_t payload_bytes = 0;   ///< total chunk payload bytes
+  std::uint64_t index_checksum = 0;  ///< fnv1a over the index entries
+  std::uint64_t header_checksum = 0; ///< fnv1a over all preceding fields
+  std::uint8_t reserved[8] = {};
+
+  [[nodiscard]] std::uint64_t compute_checksum() const {
+    return fnv1a({reinterpret_cast<const std::byte*>(this),
+                  offsetof(FileHeader, header_checksum)});
+  }
+};
+static_assert(sizeof(FileHeader) == 64);
+
+/// One chunk payload within a file, keyed by (chunk, timestep).
+struct ChunkIndexEntry {
+  std::int32_t chunk = -1;
+  std::int32_t timestep = 0;
+  std::uint64_t offset = 0;  ///< absolute byte offset of the payload
+  std::uint64_t bytes = 0;
+  std::uint64_t checksum = 0;  ///< fnv1a over the payload
+};
+static_assert(sizeof(ChunkIndexEntry) == 32);
+
+/// Relative path of one store file below the root.
+[[nodiscard]] inline std::string file_relpath(int host, int disk, int file_id) {
+  return "h" + std::to_string(host) + "/d" + std::to_string(disk) + "/f" +
+         std::to_string(file_id) + kFileExtension;
+}
+
+}  // namespace dc::io

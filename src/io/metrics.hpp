@@ -1,0 +1,68 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dc::io {
+
+/// Counters of one per-disk I/O scheduler thread. Durations are wall-clock
+/// seconds, in the style of exec::InstanceMetrics: queue_wait is the time
+/// requests sat enqueued before the disk thread picked them up, service is
+/// the time spent inside pread (plus any simulated device latency).
+struct DiskMetrics {
+  int host = -1;
+  int disk = 0;
+  std::uint64_t requests = 0;
+  std::uint64_t bytes = 0;
+  double queue_wait_s = 0.0;
+  double service_s = 0.0;
+  std::size_t max_queue_depth = 0;
+
+  [[nodiscard]] double avg_queue_wait_s() const {
+    return requests ? queue_wait_s / static_cast<double>(requests) : 0.0;
+  }
+};
+
+/// Block-cache counters. A readahead hit is a read() satisfied by a block
+/// that a prefetch brought in (still in flight or already cached) — the
+/// number of disk waits the readahead window actually hid.
+struct CacheMetrics {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t insertions = 0;
+  std::uint64_t readahead_hits = 0;
+  std::uint64_t prefetch_issued = 0;
+  std::uint64_t prefetch_dropped = 0;  ///< queue full / already cached
+  std::uint64_t bytes_cached = 0;      ///< current resident payload bytes
+
+  [[nodiscard]] double hit_rate() const {
+    const std::uint64_t lookups = hits + misses;
+    return lookups ? static_cast<double>(hits) / static_cast<double>(lookups)
+                   : 0.0;
+  }
+};
+
+/// Everything a ChunkReader measured: one DiskMetrics per scheduler thread
+/// plus the shared cache, mirroring how exec::Metrics aggregates per-instance
+/// counters.
+struct IoMetrics {
+  std::vector<DiskMetrics> disks;
+  CacheMetrics cache;
+  std::uint64_t read_calls = 0;
+  double read_wait_s = 0.0;  ///< wall seconds read() spent blocked on I/O
+
+  [[nodiscard]] std::uint64_t total_disk_bytes() const {
+    std::uint64_t total = 0;
+    for (const auto& d : disks) total += d.bytes;
+    return total;
+  }
+  [[nodiscard]] double total_queue_wait_s() const {
+    double total = 0.0;
+    for (const auto& d : disks) total += d.queue_wait_s;
+    return total;
+  }
+};
+
+}  // namespace dc::io

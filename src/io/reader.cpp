@@ -1,0 +1,163 @@
+#include "io/reader.hpp"
+
+namespace dc::io {
+
+namespace {
+
+[[nodiscard]] std::uint64_t key_of(int chunk, int timestep) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(chunk)) << 32) |
+         static_cast<std::uint32_t>(timestep);
+}
+
+}  // namespace
+
+ChunkReader::ChunkReader(const ChunkStore& store, ReaderOptions opts)
+    : store_(store), opts_(opts) {
+  cache_ = std::make_unique<BlockCache>(opts_.cache_bytes);
+  SchedulerOptions sched;
+  sched.queue_capacity = opts_.queue_capacity;
+  sched.simulated_latency = opts_.simulated_latency;
+  schedulers_.reserve(store_.disks().size());
+  for (const DiskId& d : store_.disks()) {
+    schedulers_.push_back(std::make_unique<DiskScheduler>(d, sched));
+  }
+}
+
+ChunkReader::~ChunkReader() {
+  // Join the scheduler threads before any other member dies: a straggling
+  // on_complete callback touches mu_, in_flight_, and cache_.
+  schedulers_.clear();
+}
+
+IoRequest ChunkReader::make_request(const ChunkStore::ChunkHandle& h,
+                                    std::uint64_t key,
+                                    std::shared_ptr<IoSlot> slot) {
+  IoRequest req;
+  req.fd = h.fd;
+  req.offset = h.offset;
+  req.bytes = h.bytes;
+  req.checksum = h.checksum;
+  req.verify = opts_.verify_checksums;
+  req.slot = slot;
+  req.on_complete =
+      [this, key, slot](std::shared_ptr<const std::vector<std::byte>> data) {
+        std::lock_guard<std::mutex> lk(mu_);
+        const auto it = in_flight_.find(key);
+        // Publish only while retiring our own flight. If the entry is gone
+        // (a demand waiter already published and retired it) or belongs to
+        // a newer flight for the same key, inserting here would resurrect
+        // the block into a cache the owner may since have evicted from or
+        // dropped entirely.
+        if (it == in_flight_.end() || it->second.slot != slot) return;
+        if (data) {
+          cache_->put(key, std::move(data), it->second.prefetch);
+        }
+        in_flight_.erase(it);
+      };
+  return req;
+}
+
+std::shared_ptr<const std::vector<std::byte>> ChunkReader::read(
+    int chunk, int timestep, double* io_wait_s) {
+  if (io_wait_s != nullptr) *io_wait_s = 0.0;
+  const std::uint64_t key = key_of(chunk, timestep);
+  const ChunkStore::ChunkHandle& h = store_.handle(chunk, timestep);
+
+  std::shared_ptr<IoSlot> slot;
+  bool joined_prefetch = false;
+  bool creator = false;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    ++read_calls_;
+    if (auto data = cache_->get(key)) {
+      return data;
+    }
+    const auto it = in_flight_.find(key);
+    if (it != in_flight_.end()) {
+      // Coalesce: join the in-flight prefetch / concurrent demand read. The
+      // join is counted via inflight_joins_, so demote the flight to a
+      // demand read — the block must not ALSO enter the cache flagged as
+      // prefetched (that would count the same readahead success twice).
+      slot = it->second.slot;
+      joined_prefetch = it->second.prefetch;
+      it->second.prefetch = false;
+    } else {
+      slot = std::make_shared<IoSlot>();
+      in_flight_.emplace(key, Flight{slot, /*prefetch=*/false});
+      creator = true;
+    }
+  }
+  if (creator) {
+    // Demand reads block when the disk queue is full (backpressure).
+    schedulers_[static_cast<std::size_t>(h.disk_index)]->submit(
+        make_request(h, key, slot), /*drop_if_full=*/false);
+  }
+
+  double waited = 0.0;
+  auto data = slot->wait(waited);
+
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    read_wait_s_ += waited;
+    if (joined_prefetch) ++inflight_joins_;
+    // Publish + retire eagerly instead of waiting for on_complete to run on
+    // the scheduler thread: a caller that sequences read(a); read(b) must
+    // see read(a)'s effect on the cache (and its eviction) before read(b).
+    // on_complete then finds the block resident / the flight gone and
+    // no-ops. from_prefetch=false: a joined prefetch is already counted via
+    // inflight_joins_.
+    cache_->put(key, data, /*from_prefetch=*/false);
+    const auto it = in_flight_.find(key);
+    if (it != in_flight_.end() && it->second.slot == slot) {
+      in_flight_.erase(it);
+    }
+  }
+  if (io_wait_s != nullptr) *io_wait_s = waited;
+  return data;
+}
+
+void ChunkReader::prefetch(int chunk, int timestep) {
+  // Hints are best-effort and must never throw mid-pipeline: a hint past the
+  // end of the dataset is simply ignored.
+  if (!store_.contains(chunk, timestep)) return;
+  const std::uint64_t key = key_of(chunk, timestep);
+  const ChunkStore::ChunkHandle& h = store_.handle(chunk, timestep);
+
+  std::shared_ptr<IoSlot> slot;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (cache_->contains(key) || in_flight_.find(key) != in_flight_.end()) {
+      ++prefetch_dropped_;
+      return;
+    }
+    slot = std::make_shared<IoSlot>();
+    in_flight_.emplace(key, Flight{slot, /*prefetch=*/true});
+  }
+  IoRequest req = make_request(h, key, slot);
+  if (schedulers_[static_cast<std::size_t>(h.disk_index)]->submit(
+          std::move(req), /*drop_if_full=*/true)) {
+    std::lock_guard<std::mutex> lk(mu_);
+    ++prefetch_issued_;
+  } else {
+    std::lock_guard<std::mutex> lk(mu_);
+    ++prefetch_dropped_;
+    in_flight_.erase(key);
+  }
+}
+
+void ChunkReader::drop_cache() { cache_->clear(); }
+
+IoMetrics ChunkReader::metrics() const {
+  IoMetrics m;
+  for (const auto& s : schedulers_) m.disks.push_back(s->metrics());
+  m.cache = cache_->metrics();
+  std::lock_guard<std::mutex> lk(mu_);
+  m.cache.readahead_hits += inflight_joins_;
+  m.cache.prefetch_issued = prefetch_issued_;
+  m.cache.prefetch_dropped = prefetch_dropped_;
+  m.read_calls = read_calls_;
+  m.read_wait_s = read_wait_s_;
+  return m;
+}
+
+}  // namespace dc::io

@@ -1,0 +1,105 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "io/cache.hpp"
+#include "io/chunk_store.hpp"
+#include "io/metrics.hpp"
+#include "io/scheduler.hpp"
+
+namespace dc::io {
+
+/// Tuning of one ChunkReader.
+struct ReaderOptions {
+  std::size_t cache_bytes = 256 * 1024 * 1024;
+  std::size_t queue_capacity = 64;  ///< per-disk bounded request queue
+  bool verify_checksums = true;
+  /// See SchedulerOptions::simulated_latency (benchmarks only).
+  std::chrono::microseconds simulated_latency{0};
+};
+
+/// The read path of the storage subsystem: resolves (chunk, timestep)
+/// through an opened ChunkStore, schedules preads on the owning disk's
+/// scheduler thread, caches blocks in a shared LRU, and coalesces duplicate
+/// requests (a demand read joins an in-flight prefetch of the same block
+/// instead of re-reading it).
+///
+/// Thread-safe: any number of filter copies may call read()/prefetch()
+/// concurrently — exactly the situation under exec::Engine, where every
+/// transparent copy runs on its own OS thread.
+class ChunkReader {
+ public:
+  explicit ChunkReader(const ChunkStore& store, ReaderOptions opts = {});
+  ~ChunkReader();
+
+  ChunkReader(const ChunkReader&) = delete;
+  ChunkReader& operator=(const ChunkReader&) = delete;
+
+  /// Blocking read of one chunk payload. `io_wait_s` (when non-null)
+  /// receives the wall seconds this call spent blocked on I/O (0 on a cache
+  /// hit). Throws on unknown chunk or a failed/corrupt read.
+  std::shared_ptr<const std::vector<std::byte>> read(int chunk, int timestep,
+                                                     double* io_wait_s = nullptr);
+
+  /// Asynchronous readahead hint: enqueue the block on its disk's scheduler
+  /// unless it is already cached, already in flight, or the disk queue is
+  /// full (prefetches are droppable; demand reads are not). Never blocks.
+  void prefetch(int chunk, int timestep);
+
+  /// Hints entries [from, from + count) of a planned read sequence — the
+  /// sliding readahead window the sequential Read filters maintain (count =
+  /// prefetch depth at init, then 1 per consumed chunk to keep the window
+  /// full). Accepts plain chunk ids or anything with a `.chunk` member.
+  template <typename ChunkId>
+  void prefetch_range(const std::vector<ChunkId>& chunks, std::size_t from,
+                      int count, int timestep) {
+    for (int k = 0; k < count; ++k) {
+      const std::size_t i = from + static_cast<std::size_t>(k);
+      if (i >= chunks.size()) break;
+      prefetch(chunk_id_of(chunks[i]), timestep);
+    }
+  }
+
+  /// Drops the block cache (cold-cache benchmarking). In-flight requests
+  /// are unaffected.
+  void drop_cache();
+
+  [[nodiscard]] IoMetrics metrics() const;
+  [[nodiscard]] const ChunkStore& store() const { return store_; }
+  [[nodiscard]] const ReaderOptions& options() const { return opts_; }
+
+ private:
+  struct Flight {
+    std::shared_ptr<IoSlot> slot;
+    bool prefetch = false;
+  };
+
+  static int chunk_id_of(int chunk) { return chunk; }
+  template <typename T>
+  static auto chunk_id_of(const T& ref) -> decltype(ref.chunk) {
+    return ref.chunk;
+  }
+
+  IoRequest make_request(const ChunkStore::ChunkHandle& h, std::uint64_t key,
+                         std::shared_ptr<IoSlot> slot);
+
+  const ChunkStore& store_;
+  ReaderOptions opts_;
+  std::unique_ptr<BlockCache> cache_;
+  std::vector<std::unique_ptr<DiskScheduler>> schedulers_;  ///< per disk
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::uint64_t, Flight> in_flight_;
+  std::uint64_t read_calls_ = 0;
+  std::uint64_t prefetch_issued_ = 0;
+  std::uint64_t prefetch_dropped_ = 0;
+  std::uint64_t inflight_joins_ = 0;  ///< demand reads that joined a prefetch
+  double read_wait_s_ = 0.0;
+};
+
+}  // namespace dc::io

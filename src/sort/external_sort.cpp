@@ -2,35 +2,88 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
+#include <stdexcept>
 
 #include "core/filter.hpp"
+#include "io/chunk_store.hpp"
+#include "io/reader.hpp"
 
 namespace dc::sort {
 
 namespace {
 
+/// splitmix64: the record-key generator of the materialized runs. Chosen so
+/// write_sort_runs() and nothing else defines the dataset — the filters just
+/// move bytes.
+std::uint64_t next_key(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
 /// Source: scans `runs_per_reader` runs from the host-local disk, producing
-/// key/payload records (synthesized deterministically — the stand-in for a
-/// stored input file).
+/// key/payload records. Two modes: synthesized deterministically from
+/// ctx.rng() (the stand-in for a stored input file), or — when `reader` is
+/// set — streamed from the on-disk chunk store written by write_sort_runs()
+/// (genuinely out-of-core).
 class ReadRecordsFilter final : public core::SourceFilter {
  public:
-  explicit ReadRecordsFilter(SortWorkload w) : w_(w) {}
+  ReadRecordsFilter(SortWorkload w, io::ChunkReader* reader, int prefetch_depth)
+      : w_(w), reader_(reader), prefetch_depth_(prefetch_depth) {}
+
+  void init(core::FilterContext& ctx) override {
+    run_ = 0;
+    if (reader_ == nullptr) return;
+    const int base = ctx.instance_index() * w_.runs_per_reader;
+    for (int k = 0; k < prefetch_depth_ && k < w_.runs_per_reader; ++k) {
+      reader_->prefetch(base + k, /*timestep=*/0);
+    }
+  }
 
   bool step(core::FilterContext& ctx) override {
     if (run_ >= w_.runs_per_reader) return false;
+    const int global_run = ctx.instance_index() * w_.runs_per_reader + run_;
     ++run_;
     ctx.read_disk(0, w_.records_per_run * w_.stored_record_bytes);
     ctx.charge(w_.gen_per_record * static_cast<double>(w_.records_per_run));
-    auto& rng = ctx.rng();
     core::Buffer out = ctx.make_buffer(0);
-    for (std::uint64_t i = 0; i < w_.records_per_run; ++i) {
-      SortRecord r;
-      r.key = rng.next_u64();
-      r.payload = (static_cast<std::uint64_t>(ctx.instance_index()) << 32) | i;
-      if (!out.push(r)) {
-        ctx.write(0, out);
-        out = ctx.make_buffer(0);
-        out.push(r);
+    if (reader_ != nullptr) {
+      double waited = 0.0;
+      const auto data = reader_->read(global_run, /*timestep=*/0, &waited);
+      ctx.note_io_wait(waited);
+      if (data->size() % sizeof(SortRecord) != 0) {
+        throw std::runtime_error("sort: run payload is not whole records");
+      }
+      const std::size_t n = data->size() / sizeof(SortRecord);
+      for (std::size_t i = 0; i < n; ++i) {
+        SortRecord r;
+        std::memcpy(&r, data->data() + i * sizeof(SortRecord), sizeof(r));
+        if (!out.push(r)) {
+          ctx.write(0, out);
+          out = ctx.make_buffer(0);
+          out.push(r);
+        }
+      }
+      // Slide the readahead window: one new run per run consumed.
+      const int ahead = global_run + prefetch_depth_;
+      if (prefetch_depth_ > 0 &&
+          ahead < (ctx.instance_index() + 1) * w_.runs_per_reader) {
+        reader_->prefetch(ahead, /*timestep=*/0);
+      }
+    } else {
+      auto& rng = ctx.rng();
+      for (std::uint64_t i = 0; i < w_.records_per_run; ++i) {
+        SortRecord r;
+        r.key = rng.next_u64();
+        r.payload = (static_cast<std::uint64_t>(ctx.instance_index()) << 32) | i;
+        if (!out.push(r)) {
+          ctx.write(0, out);
+          out = ctx.make_buffer(0);
+          out.push(r);
+        }
       }
     }
     if (out.size() > 0) ctx.write(0, out);
@@ -39,6 +92,8 @@ class ReadRecordsFilter final : public core::SourceFilter {
 
  private:
   SortWorkload w_;
+  io::ChunkReader* reader_;
+  int prefetch_depth_;
   int run_ = 0;
 };
 
@@ -127,6 +182,48 @@ class MergeRunsFilter final : public core::Filter {
 
 }  // namespace
 
+MaterializedRuns write_sort_runs(
+    const std::filesystem::path& root, const SortWorkload& w,
+    const std::vector<std::pair<int, int>>& reader_hosts, int disks_per_host) {
+  if (disks_per_host < 1) {
+    throw std::invalid_argument("write_sort_runs: disks_per_host must be >= 1");
+  }
+  io::ChunkStoreWriter writer(root);
+  MaterializedRuns out;
+  SortOutcome& e = out.expected;
+  e.sorted = true;  // what a correct sort of these records must report
+  bool first = true;
+  std::vector<std::byte> payload(w.records_per_run * sizeof(SortRecord));
+  int reader_index = 0;
+  for (const auto& [host, copies] : reader_hosts) {
+    for (int c = 0; c < copies; ++c, ++reader_index) {
+      for (int j = 0; j < w.runs_per_reader; ++j) {
+        const int run = reader_index * w.runs_per_reader + j;
+        std::uint64_t state =
+            w.seed ^ (0xd6e8feb86659fd93ULL * static_cast<std::uint64_t>(run + 1));
+        for (std::uint64_t i = 0; i < w.records_per_run; ++i) {
+          SortRecord r;
+          r.key = next_key(state);
+          r.payload = (static_cast<std::uint64_t>(run) << 32) | i;
+          std::memcpy(payload.data() + i * sizeof(SortRecord), &r, sizeof(r));
+          ++e.count;
+          e.key_xor ^= r.key;
+          e.key_sum += r.key;
+          if (first || r.key < e.min_key) e.min_key = r.key;
+          if (first || r.key > e.max_key) e.max_key = r.key;
+          first = false;
+        }
+        writer.put_chunk({host, j % disks_per_host}, /*file_id=*/run,
+                         /*chunk=*/run, /*timestep=*/0, payload);
+        out.total_bytes += payload.size();
+      }
+    }
+  }
+  writer.finish();
+  out.total_runs = reader_index * w.runs_per_reader;
+  return out;
+}
+
 SortRun run_sort_app(sim::Topology& topo, const SortAppSpec& spec,
                      const core::RuntimeConfig& rt_config) {
   core::Graph graph;
@@ -140,8 +237,13 @@ SortRun run_sort_app(sim::Topology& topo, const SortAppSpec& spec,
     total_sorters += copies;
   }
 
-  const int reader = graph.add_source(
-      "ReadRecords", [w] { return std::make_unique<ReadRecordsFilter>(w); });
+  io::ChunkReader* chunk_reader = spec.reader;
+  const int prefetch_depth = spec.prefetch_depth;
+  const int reader =
+      graph.add_source("ReadRecords", [w, chunk_reader, prefetch_depth] {
+        return std::make_unique<ReadRecordsFilter>(w, chunk_reader,
+                                                   prefetch_depth);
+      });
   const int sorter = graph.add_filter(
       "SortRun", [w] { return std::make_unique<SortRunFilter>(w); });
   const int merger = graph.add_filter("MergeRuns", [w, outcome, total_sorters] {

@@ -1,11 +1,17 @@
 #pragma once
 
 #include <cstdint>
+#include <filesystem>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "core/runtime.hpp"
 #include "sim/cluster.hpp"
+
+namespace dc::io {
+class ChunkReader;
+}
 
 namespace dc::sort {
 
@@ -47,7 +53,33 @@ struct SortAppSpec {
   std::vector<std::pair<int, int>> sorter_hosts;  ///< (host, copies)
   int merge_host = 0;
   std::size_t buffer_bytes = 32 * 1024;
+  /// When set, the readers stream their runs from an on-disk chunk store
+  /// (fully out-of-core) instead of synthesizing records: reader instance r
+  /// scans store chunks [r * runs_per_reader, (r+1) * runs_per_reader) at
+  /// timestep 0 — the layout write_sort_runs() materializes. The reader is
+  /// shared across all copies (it is thread-safe).
+  io::ChunkReader* reader = nullptr;
+  int prefetch_depth = 2;  ///< readahead window per reader copy
 };
+
+/// What write_sort_runs() put on disk, plus the outcome any correct sort of
+/// those records must report (count / key checksums / min / max).
+struct MaterializedRuns {
+  SortOutcome expected;
+  int total_runs = 0;
+  std::uint64_t total_bytes = 0;
+};
+
+/// Materializes the input of an out-of-core sort under `root`: one store
+/// file per run, records generated deterministically from `w.seed` (so the
+/// expected outcome is known without sorting). Reader instances are numbered
+/// in `reader_hosts` order and each owns `w.runs_per_reader` consecutive run
+/// ids; a reader's runs land in its own host's directory, spread over
+/// `disks_per_host` disk subdirectories.
+MaterializedRuns write_sort_runs(
+    const std::filesystem::path& root, const SortWorkload& w,
+    const std::vector<std::pair<int, int>>& reader_hosts,
+    int disks_per_host = 1);
 
 struct SortRun {
   SortOutcome outcome;

@@ -64,11 +64,33 @@ std::vector<data::ChunkRef> local_chunks(const VizWorkload& w, int host, int cop
   return mine;
 }
 
+double load_chunk_samples(const VizWorkload& w, const data::ChunkRef& ref,
+                          float timestep, std::vector<float>& out) {
+  if (w.reader == nullptr) {
+    w.field->fill_chunk(w.store->layout(), ref.chunk, timestep, out);
+    return 0.0;
+  }
+  double waited = 0.0;
+  const auto data =
+      w.reader->read(ref.chunk, static_cast<int>(timestep), &waited);
+  const auto expected = static_cast<std::size_t>(
+                            w.store->layout().chunk_box(ref.chunk).points()) *
+                        sizeof(float);
+  if (data->size() != expected) {
+    throw std::runtime_error(
+        "load_chunk_samples: on-disk chunk size mismatch (stale store?)");
+  }
+  out.resize(data->size() / sizeof(float));
+  std::memcpy(out.data(), data->data(), data->size());
+  return waited;
+}
+
 McStats extract_chunk(const VizWorkload& w, const data::ChunkRef& ref,
                       float timestep, std::vector<float>& scratch,
-                      std::vector<Triangle>& tris) {
+                      std::vector<Triangle>& tris, double* io_wait_s) {
   const auto& layout = w.store->layout();
-  w.field->fill_chunk(layout, ref.chunk, timestep, scratch);
+  const double waited = load_chunk_samples(w, ref, timestep, scratch);
+  if (io_wait_s != nullptr) *io_wait_s = waited;
   const data::CellBox box = layout.chunk_box(ref.chunk);
   return marching_cubes(scratch.data(), box.hi[0] - box.lo[0],
                         box.hi[1] - box.lo[1], box.hi[2] - box.lo[2],
@@ -91,17 +113,43 @@ void ReadFilter::init(core::FilterContext& ctx) {
   chunks_ = local_chunks(w_, ctx.host(), ctx.copy_in_host(), ctx.copies_on_host());
   next_ = 0;
   out_ = core::Buffer();
+  if (w_.reader != nullptr) {
+    w_.reader->prefetch_range(chunks_, 0, w_.prefetch_depth,
+                              static_cast<int>(w_.timestep(ctx.uow_index())));
+  }
 }
 
 namespace {
 
-/// Samples the grid points of a cell box [x0, x0+nx] x ... directly from the
-/// field (used when a chunk must be split to fit the stream buffer).
+/// Samples the grid points of a cell box [x0, x0+nx] x ...: sliced out of
+/// the already-loaded chunk samples in the out-of-core mode, else evaluated
+/// directly from the field (used when a chunk must be split to fit the
+/// stream buffer). Both paths produce bit-identical floats: the on-disk
+/// payload is the same fill_chunk sampling of the same field.
 void sample_box(const VizWorkload& w, float timestep, const BlockHeader& h,
+                const float* chunk_samples, const data::CellBox& chunk_box,
                 std::vector<float>& out) {
-  const auto& g = w.store->layout().grid();
   out.clear();
   out.reserve(h.sample_count());
+  if (chunk_samples != nullptr) {
+    const int px = chunk_box.hi[0] - chunk_box.lo[0] + 1;
+    const int py = chunk_box.hi[1] - chunk_box.lo[1] + 1;
+    for (int z = h.z0; z <= h.z0 + h.nz; ++z) {
+      for (int y = h.y0; y <= h.y0 + h.ny; ++y) {
+        for (int x = h.x0; x <= h.x0 + h.nx; ++x) {
+          const std::size_t idx =
+              (static_cast<std::size_t>(z - chunk_box.lo[2]) *
+                   static_cast<std::size_t>(py) +
+               static_cast<std::size_t>(y - chunk_box.lo[1])) *
+                  static_cast<std::size_t>(px) +
+              static_cast<std::size_t>(x - chunk_box.lo[0]);
+          out.push_back(chunk_samples[idx]);
+        }
+      }
+    }
+    return;
+  }
+  const auto& g = w.store->layout().grid();
   const float ix = 1.0f / static_cast<float>(g.nx);
   const float iy = 1.0f / static_cast<float>(g.ny);
   const float iz = 1.0f / static_cast<float>(g.nz);
@@ -118,7 +166,9 @@ void sample_box(const VizWorkload& w, float timestep, const BlockHeader& h,
 
 /// Emits the box, splitting along the longest axis until it fits one buffer.
 void emit_box(const VizWorkload& w, core::FilterContext& ctx, float timestep,
-              core::Buffer& out, std::vector<float>& scratch, BlockHeader h) {
+              core::Buffer& out, std::vector<float>& scratch,
+              const float* chunk_samples, const data::CellBox& chunk_box,
+              BlockHeader h) {
   const std::size_t cap = ctx.buffer_bytes(0);
   if (h.packed_bytes() > cap) {
     if (h.nx <= 1 && h.ny <= 1 && h.nz <= 1) {
@@ -138,11 +188,11 @@ void emit_box(const VizWorkload& w, core::FilterContext& ctx, float timestep,
       b.x0 = h.x0 + a.nx;
       b.nx = h.nx - a.nx;
     }
-    emit_box(w, ctx, timestep, out, scratch, a);
-    emit_box(w, ctx, timestep, out, scratch, b);
+    emit_box(w, ctx, timestep, out, scratch, chunk_samples, chunk_box, a);
+    emit_box(w, ctx, timestep, out, scratch, chunk_samples, chunk_box, b);
     return;
   }
-  sample_box(w, timestep, h, scratch);
+  sample_box(w, timestep, h, chunk_samples, chunk_box, scratch);
   if (out.capacity() == 0) out = ctx.make_buffer(0);
   if (out.remaining() < h.packed_bytes()) {
     ctx.write(0, out);
@@ -158,7 +208,13 @@ void emit_box(const VizWorkload& w, core::FilterContext& ctx, float timestep,
 }  // namespace
 
 void ReadFilter::emit_chunk(core::FilterContext& ctx, const data::ChunkRef& ref) {
+  const float timestep = w_.timestep(ctx.uow_index());
   const data::CellBox box = w_.store->layout().chunk_box(ref.chunk);
+  const float* samples = nullptr;
+  if (w_.reader != nullptr) {
+    ctx.note_io_wait(load_chunk_samples(w_, ref, timestep, chunk_samples_));
+    samples = chunk_samples_.data();
+  }
   BlockHeader h;
   h.x0 = box.lo[0];
   h.y0 = box.lo[1];
@@ -166,7 +222,7 @@ void ReadFilter::emit_chunk(core::FilterContext& ctx, const data::ChunkRef& ref)
   h.nx = box.hi[0] - box.lo[0];
   h.ny = box.hi[1] - box.lo[1];
   h.nz = box.hi[2] - box.lo[2];
-  emit_box(w_, ctx, w_.timestep(ctx.uow_index()), out_, scratch_, h);
+  emit_box(w_, ctx, timestep, out_, scratch_, samples, box, h);
 }
 
 bool ReadFilter::step(core::FilterContext& ctx) {
@@ -175,6 +231,12 @@ bool ReadFilter::step(core::FilterContext& ctx) {
   ctx.read_disk(ref.disk, ref.bytes);
   ctx.charge(w_.cost.read_per_byte * static_cast<double>(ref.bytes));
   emit_chunk(ctx, ref);
+  if (w_.reader != nullptr && w_.prefetch_depth > 0) {
+    // Keep the readahead window prefetch_depth chunks ahead of consumption.
+    w_.reader->prefetch_range(
+        chunks_, next_ - 1 + static_cast<std::size_t>(w_.prefetch_depth), 1,
+        static_cast<int>(w_.timestep(ctx.uow_index())));
+  }
   return next_ < chunks_.size();
 }
 
@@ -383,6 +445,10 @@ void MergeFilter::process_eow(core::FilterContext& ctx) {
 void ReadExtractFilter::init(core::FilterContext& ctx) {
   chunks_ = local_chunks(w_, ctx.host(), ctx.copy_in_host(), ctx.copies_on_host());
   next_ = 0;
+  if (w_.reader != nullptr) {
+    w_.reader->prefetch_range(chunks_, 0, w_.prefetch_depth,
+                              static_cast<int>(w_.timestep(ctx.uow_index())));
+  }
 }
 
 bool ReadExtractFilter::step(core::FilterContext& ctx) {
@@ -390,8 +456,15 @@ bool ReadExtractFilter::step(core::FilterContext& ctx) {
   const data::ChunkRef ref = chunks_[next_++];
   ctx.read_disk(ref.disk, ref.bytes);
   tris_.clear();
-  const McStats s =
-      extract_chunk(w_, ref, w_.timestep(ctx.uow_index()), scratch_, tris_);
+  double io_wait = 0.0;
+  const McStats s = extract_chunk(w_, ref, w_.timestep(ctx.uow_index()),
+                                  scratch_, tris_, &io_wait);
+  ctx.note_io_wait(io_wait);
+  if (w_.reader != nullptr && w_.prefetch_depth > 0) {
+    w_.reader->prefetch_range(
+        chunks_, next_ - 1 + static_cast<std::size_t>(w_.prefetch_depth), 1,
+        static_cast<int>(w_.timestep(ctx.uow_index())));
+  }
   ctx.charge(w_.cost.read_per_byte * static_cast<double>(ref.bytes) +
              extract_ops(w_.cost, s));
   core::Buffer out = ctx.make_buffer(0);
@@ -427,6 +500,10 @@ void ReadExtractRasterFilter::init(core::FilterContext& ctx) {
   engine_.init(ctx);
   chunks_ = local_chunks(w_, ctx.host(), ctx.copy_in_host(), ctx.copies_on_host());
   next_ = 0;
+  if (w_.reader != nullptr) {
+    w_.reader->prefetch_range(chunks_, 0, w_.prefetch_depth,
+                              static_cast<int>(w_.timestep(ctx.uow_index())));
+  }
 }
 
 bool ReadExtractRasterFilter::step(core::FilterContext& ctx) {
@@ -434,8 +511,15 @@ bool ReadExtractRasterFilter::step(core::FilterContext& ctx) {
   const data::ChunkRef ref = chunks_[next_++];
   ctx.read_disk(ref.disk, ref.bytes);
   tris_.clear();
-  const McStats s =
-      extract_chunk(w_, ref, w_.timestep(ctx.uow_index()), scratch_, tris_);
+  double io_wait = 0.0;
+  const McStats s = extract_chunk(w_, ref, w_.timestep(ctx.uow_index()),
+                                  scratch_, tris_, &io_wait);
+  ctx.note_io_wait(io_wait);
+  if (w_.reader != nullptr && w_.prefetch_depth > 0) {
+    w_.reader->prefetch_range(
+        chunks_, next_ - 1 + static_cast<std::size_t>(w_.prefetch_depth), 1,
+        static_cast<int>(w_.timestep(ctx.uow_index())));
+  }
   ctx.charge(w_.cost.read_per_byte * static_cast<double>(ref.bytes) +
              extract_ops(w_.cost, s));
   engine_.raster(ctx, tris_.data(), tris_.size());

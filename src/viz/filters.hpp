@@ -7,6 +7,7 @@
 #include "core/filter.hpp"
 #include "data/store.hpp"
 #include "data/synth.hpp"
+#include "io/reader.hpp"
 #include "viz/active_pixel.hpp"
 #include "viz/camera.hpp"
 #include "viz/cost.hpp"
@@ -30,6 +31,12 @@ enum class HsrAlgorithm {
 struct VizWorkload {
   const data::DatasetStore* store = nullptr;
   const data::PlumeField* field = nullptr;
+  /// When set, the Read-side filters stream chunk payloads from the on-disk
+  /// chunk store (fully out-of-core) instead of synthesizing them from
+  /// `field`. The reader is shared by every filter copy — it is thread-safe,
+  /// and the store must cover timesteps [base_timestep, base_timestep+uows).
+  io::ChunkReader* reader = nullptr;
+  int prefetch_depth = 2;  ///< readahead window per Read-side filter copy
   float iso_value = 1.0f;
   float field_max = 2.0f;  ///< normalizes iso_value for coloring
   int width = 512;
@@ -97,6 +104,7 @@ class ReadFilter final : public core::SourceFilter {
   std::size_t next_ = 0;
   core::Buffer out_;
   std::vector<float> scratch_;
+  std::vector<float> chunk_samples_;  ///< whole-chunk load (out-of-core mode)
 };
 
 /// E: marching cubes over incoming voxel blocks, streaming triangles.
@@ -238,11 +246,20 @@ class ReadExtractRasterFilter final : public core::SourceFilter {
                                                        int host, int copy,
                                                        int copies);
 
+/// Loads one chunk's grid-point samples (cells + one-point halo, x-fastest)
+/// into `out`: streamed from the on-disk store when `w.reader` is set
+/// (bit-identical to the synthesized samples, which is what the writer
+/// materialized), else synthesized from `w.field`. Returns the wall seconds
+/// spent blocked on I/O (0 in the in-memory mode) for ctx.note_io_wait().
+double load_chunk_samples(const VizWorkload& w, const data::ChunkRef& ref,
+                          float timestep, std::vector<float>& out);
+
 /// Extracts triangles from one chunk's samples; appends to `tris` and
 /// returns the marching-cubes statistics. Shared by all read-side filters.
+/// `io_wait_s` (when non-null) receives load_chunk_samples' blocked time.
 McStats extract_chunk(const VizWorkload& w, const data::ChunkRef& ref,
                       float timestep, std::vector<float>& scratch,
-                      std::vector<Triangle>& tris);
+                      std::vector<Triangle>& tris, double* io_wait_s = nullptr);
 
 /// CPU demand of extracting per `extract_chunk` stats.
 [[nodiscard]] double extract_ops(const CostModel& c, const McStats& s);

@@ -50,6 +50,9 @@ bool Image::write_ppm(const std::string& path) const {
                          static_cast<char>(blue(p))};
     out.write(rgb, 3);
   }
+  // Flush before checking: a write error surfacing only at close (ENOSPC on
+  // buffered data, /dev/full) would otherwise escape the stream-state check.
+  out.flush();
   return static_cast<bool>(out);
 }
 

@@ -90,5 +90,15 @@ TEST(Image, WritePpmFailsOnBadPath) {
   EXPECT_FALSE(img.write_ppm("/nonexistent_dir_zz/x.ppm"));
 }
 
+TEST(Image, WritePpmDetectsWriteFailure) {
+  // /dev/full opens fine but every flush fails with ENOSPC — the error only
+  // surfaces when buffered data is pushed out, which is exactly the case the
+  // explicit flush in write_ppm exists to catch.
+  std::ifstream probe("/dev/full");
+  if (!probe.good()) GTEST_SKIP() << "/dev/full not available";
+  Image img(64, 64);
+  EXPECT_FALSE(img.write_ppm("/dev/full"));
+}
+
 }  // namespace
 }  // namespace dc::viz

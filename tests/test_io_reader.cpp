@@ -1,0 +1,251 @@
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstring>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "io/cache.hpp"
+#include "io/chunk_store.hpp"
+#include "io/reader.hpp"
+
+// ChunkReader behavior: concurrency, the LRU block cache, readahead
+// accounting, request coalescing, and the bounded per-disk queues.
+
+namespace dc::io {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr std::size_t kChunkBytes = 4096;
+
+/// A store of `n` single-chunk payloads (chunk c filled with pattern c),
+/// spread over `disks` disk directories on one host.
+fs::path write_pattern_store(const std::string& name, int n, int disks = 2) {
+  const fs::path root = fs::temp_directory_path() / ("dc_io_reader_" + name);
+  fs::remove_all(root);
+  ChunkStoreWriter w(root);
+  std::vector<std::byte> payload(kChunkBytes);
+  for (int c = 0; c < n; ++c) {
+    for (std::size_t i = 0; i < payload.size(); ++i) {
+      payload[i] = static_cast<std::byte>((c * 31 + static_cast<int>(i)) & 0xff);
+    }
+    w.put_chunk({0, c % disks}, /*file_id=*/c, c, /*timestep=*/0, payload);
+  }
+  w.finish();
+  return root;
+}
+
+bool payload_matches(const std::vector<std::byte>& got, int c) {
+  if (got.size() != kChunkBytes) return false;
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    if (got[i] != static_cast<std::byte>((c * 31 + static_cast<int>(i)) & 0xff)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+TEST(BlockCacheTest, LruEvictsLeastRecentlyUsed) {
+  BlockCache cache(2 * kChunkBytes);
+  auto block = [] {
+    return std::make_shared<const std::vector<std::byte>>(kChunkBytes);
+  };
+  cache.put(1, block(), /*from_prefetch=*/false);
+  cache.put(2, block(), false);
+  EXPECT_NE(cache.get(1), nullptr);   // 1 is now more recent than 2
+  cache.put(3, block(), false);       // evicts 2
+  EXPECT_EQ(cache.get(2), nullptr);
+  EXPECT_NE(cache.get(1), nullptr);
+  EXPECT_NE(cache.get(3), nullptr);
+  const CacheMetrics m = cache.metrics();
+  EXPECT_EQ(m.evictions, 1u);
+  EXPECT_EQ(m.insertions, 3u);
+  EXPECT_EQ(m.hits, 3u);
+  EXPECT_EQ(m.misses, 1u);
+  EXPECT_LE(m.bytes_cached, 2 * kChunkBytes);
+}
+
+TEST(BlockCacheTest, KeepsAtLeastOneEntryAndRejectsZeroCapacity) {
+  EXPECT_THROW(BlockCache{0}, std::invalid_argument);
+  BlockCache cache(16);  // smaller than any block
+  cache.put(1, std::make_shared<const std::vector<std::byte>>(1024), false);
+  EXPECT_NE(cache.get(1), nullptr);  // oversized blocks still cache (1 entry)
+  cache.put(2, std::make_shared<const std::vector<std::byte>>(1024), false);
+  EXPECT_EQ(cache.get(1), nullptr);
+  EXPECT_NE(cache.get(2), nullptr);
+}
+
+TEST(ChunkReaderTest, ConcurrentReadersSeeCorrectBytes) {
+  const fs::path root = write_pattern_store("concurrent", 16, /*disks=*/4);
+  ChunkStore store(root);
+  ChunkReader reader(store);
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  std::vector<int> bad(kThreads, 0);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < 16; ++i) {
+        // Different orders per thread: exercises coalescing + cache races.
+        const int c = (t % 2 == 0) ? i : 15 - i;
+        const auto data = reader.read(c, 0);
+        if (!payload_matches(*data, c)) ++bad[static_cast<std::size_t>(t)];
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (int t = 0; t < kThreads; ++t) EXPECT_EQ(bad[static_cast<std::size_t>(t)], 0);
+
+  const IoMetrics m = reader.metrics();
+  EXPECT_EQ(m.read_calls, static_cast<std::uint64_t>(kThreads) * 16u);
+  // Every block hits disk at least once and at most... once per demand call;
+  // with the cache, far fewer than read_calls reads reach the disk.
+  EXPECT_GE(m.cache.insertions, 16u);
+  EXPECT_GT(m.cache.hits, 0u);
+  EXPECT_EQ(m.cache.hits + m.cache.misses, m.read_calls);
+  fs::remove_all(root);
+}
+
+TEST(ChunkReaderTest, PrefetchedBlocksCountAsReadaheadHits) {
+  const fs::path root = write_pattern_store("readahead", 8);
+  ChunkStore store(root);
+  ReaderOptions opts;
+  opts.simulated_latency = std::chrono::microseconds(2000);
+  ChunkReader reader(store, opts);
+  for (int c = 0; c < 4; ++c) reader.prefetch(c, 0);
+  for (int c = 0; c < 4; ++c) {
+    EXPECT_TRUE(payload_matches(*reader.read(c, 0), c));
+  }
+  const IoMetrics m = reader.metrics();
+  // Whether each read joined the in-flight prefetch or hit the cache after
+  // it completed, it must be attributed to readahead.
+  EXPECT_EQ(m.cache.readahead_hits, 4u);
+  EXPECT_EQ(m.cache.prefetch_issued, 4u);
+  std::uint64_t disk_requests = 0;
+  for (const DiskMetrics& d : m.disks) disk_requests += d.requests;
+  EXPECT_EQ(disk_requests, 4u);  // each block read from disk exactly once
+  fs::remove_all(root);
+}
+
+TEST(ChunkReaderTest, DemandReadJoinsInFlightPrefetch) {
+  const fs::path root = write_pattern_store("join", 2);
+  ChunkStore store(root);
+  ReaderOptions opts;
+  opts.simulated_latency = std::chrono::microseconds(50000);  // 50 ms
+  ChunkReader reader(store, opts);
+  reader.prefetch(0, 0);
+  // The read arrives while the prefetch is still sleeping in serve(): it
+  // must wait on the same slot, not issue a second disk request.
+  double waited = 0.0;
+  EXPECT_TRUE(payload_matches(*reader.read(0, 0, &waited), 0));
+  EXPECT_GT(waited, 0.0);
+  const IoMetrics m = reader.metrics();
+  std::uint64_t disk_requests = 0;
+  for (const DiskMetrics& d : m.disks) disk_requests += d.requests;
+  EXPECT_EQ(disk_requests, 1u);
+  EXPECT_EQ(m.cache.readahead_hits, 1u);
+  EXPECT_GT(m.read_wait_s, 0.0);
+  fs::remove_all(root);
+}
+
+TEST(ChunkReaderTest, TinyCacheEvictsAndRereadsFromDisk) {
+  const fs::path root = write_pattern_store("evict", 4, /*disks=*/1);
+  ChunkStore store(root);
+  ReaderOptions opts;
+  opts.cache_bytes = 2 * kChunkBytes;
+  ChunkReader reader(store, opts);
+  // 0, 1, 2, 0: the second read of 0 must go back to disk (it was evicted).
+  for (int c : {0, 1, 2, 0}) {
+    EXPECT_TRUE(payload_matches(*reader.read(c, 0), c));
+  }
+  const IoMetrics m = reader.metrics();
+  EXPECT_EQ(m.cache.misses, 4u);
+  EXPECT_EQ(m.cache.hits, 0u);
+  EXPECT_GE(m.cache.evictions, 2u);
+  std::uint64_t disk_requests = 0;
+  for (const DiskMetrics& d : m.disks) disk_requests += d.requests;
+  EXPECT_EQ(disk_requests, 4u);
+  fs::remove_all(root);
+}
+
+TEST(ChunkReaderTest, PrefetchesDropWhenQueueIsFull) {
+  const fs::path root = write_pattern_store("drop", 16, /*disks=*/1);
+  ChunkStore store(root);
+  ReaderOptions opts;
+  opts.queue_capacity = 1;
+  opts.simulated_latency = std::chrono::microseconds(50000);  // 50 ms
+  ChunkReader reader(store, opts);
+  for (int c = 0; c < 16; ++c) reader.prefetch(c, 0);
+  const IoMetrics m = reader.metrics();
+  EXPECT_GT(m.cache.prefetch_dropped, 0u);
+  EXPECT_GT(m.cache.prefetch_issued, 0u);
+  EXPECT_EQ(m.cache.prefetch_issued + m.cache.prefetch_dropped, 16u);
+  fs::remove_all(root);
+}
+
+TEST(ChunkReaderTest, RedundantPrefetchesAreDropped) {
+  const fs::path root = write_pattern_store("redundant", 2);
+  ChunkStore store(root);
+  ChunkReader reader(store);
+  EXPECT_TRUE(payload_matches(*reader.read(0, 0), 0));
+  reader.prefetch(0, 0);  // already cached: dropped, no disk traffic
+  const IoMetrics m = reader.metrics();
+  EXPECT_EQ(m.cache.prefetch_issued, 0u);
+  EXPECT_EQ(m.cache.prefetch_dropped, 1u);
+  std::uint64_t disk_requests = 0;
+  for (const DiskMetrics& d : m.disks) disk_requests += d.requests;
+  EXPECT_EQ(disk_requests, 1u);
+  fs::remove_all(root);
+}
+
+TEST(ChunkReaderTest, UnknownChunkThrows) {
+  const fs::path root = write_pattern_store("unknown", 2);
+  ChunkStore store(root);
+  ChunkReader reader(store);
+  EXPECT_THROW(reader.read(99, 0), std::out_of_range);
+  EXPECT_THROW(reader.read(0, 3), std::out_of_range);
+  // Unknown prefetches are ignored (hints must never throw mid-pipeline).
+  EXPECT_NO_THROW(reader.prefetch(99, 0));
+  fs::remove_all(root);
+}
+
+TEST(ChunkReaderTest, DropCacheGoesColdAgain) {
+  const fs::path root = write_pattern_store("dropcache", 4);
+  ChunkStore store(root);
+  ChunkReader reader(store);
+  for (int c = 0; c < 4; ++c) reader.read(c, 0);
+  for (int c = 0; c < 4; ++c) reader.read(c, 0);  // warm
+  EXPECT_EQ(reader.metrics().cache.hits, 4u);
+  reader.drop_cache();
+  for (int c = 0; c < 4; ++c) reader.read(c, 0);  // cold again
+  const IoMetrics m = reader.metrics();
+  EXPECT_EQ(m.cache.hits, 4u);
+  EXPECT_EQ(m.cache.misses, 8u);
+  fs::remove_all(root);
+}
+
+TEST(ChunkReaderTest, MetricsLedgerIsConsistent) {
+  const fs::path root = write_pattern_store("ledger", 8, /*disks=*/2);
+  ChunkStore store(root);
+  ChunkReader reader(store);
+  for (int c = 0; c < 8; ++c) reader.read(c, 0);
+  const IoMetrics m = reader.metrics();
+  EXPECT_EQ(m.disks.size(), 2u);
+  EXPECT_EQ(m.total_disk_bytes(), 8u * kChunkBytes);
+  EXPECT_GE(m.total_queue_wait_s(), 0.0);
+  EXPECT_GE(m.read_wait_s, 0.0);
+  for (const DiskMetrics& d : m.disks) {
+    EXPECT_EQ(d.host, 0);
+    EXPECT_EQ(d.requests, 4u);
+    EXPECT_EQ(d.bytes, 4u * kChunkBytes);
+    EXPECT_GE(d.max_queue_depth, 1u);
+    EXPECT_GE(d.service_s, 0.0);
+  }
+  fs::remove_all(root);
+}
+
+}  // namespace
+}  // namespace dc::io

@@ -89,6 +89,47 @@ TEST(DatasetStore, MoveFractionZeroAndOne) {
   EXPECT_EQ(store.bytes_on_host(0), 0u);
 }
 
+TEST(DatasetStore, MoveFractionEmptyFromHostsIsNoOp) {
+  // "Move from nowhere" selects no candidate files; the placement must be
+  // untouched (documented edge case, not an error).
+  DatasetStore store = make_store();
+  store.place_uniform(locations({0, 1}));
+  std::vector<FileLocation> before;
+  for (int f = 0; f < store.num_files(); ++f) {
+    before.push_back(store.location_of_file(f));
+  }
+  store.move_fraction({}, locations({2}), 1.0);
+  for (int f = 0; f < store.num_files(); ++f) {
+    EXPECT_EQ(store.location_of_file(f).host, before[static_cast<std::size_t>(f)].host);
+    EXPECT_EQ(store.location_of_file(f).disk, before[static_cast<std::size_t>(f)].disk);
+  }
+  EXPECT_EQ(store.bytes_on_host(2), 0u);
+}
+
+TEST(DatasetStore, MoveFractionTargetsMayOverlapSources) {
+  // A target inside the source set is a valid placement: the file "moves"
+  // back onto a source host (here: host 0, second disk) and still consumes
+  // its round-robin slot.
+  DatasetStore store = make_store();
+  store.place_uniform(locations({0, 1}));
+  store.move_fraction({0}, {FileLocation{0, 1}, FileLocation{2, 0}}, 1.0);
+  // Host 0 keeps the files dealt to its second disk; host 2 gets the rest.
+  bool host0_disk1 = false;
+  for (int f = 0; f < store.num_files(); ++f) {
+    const FileLocation& loc = store.location_of_file(f);
+    EXPECT_TRUE(loc.host == 0 || loc.host == 1 || loc.host == 2);
+    if (loc.host == 0) {
+      EXPECT_EQ(loc.disk, 1);  // everything on disk 0 was a candidate
+      host0_disk1 = true;
+    }
+  }
+  EXPECT_TRUE(host0_disk1);
+  EXPECT_GT(store.bytes_on_host(2), 0u);
+  std::uint64_t total = 0;
+  for (int h = 0; h < 4; ++h) total += store.bytes_on_host(h);
+  EXPECT_EQ(total, store.total_bytes());
+}
+
 TEST(DatasetStore, MoveFractionValidatesArguments) {
   DatasetStore store = make_store();
   store.place_uniform(locations({0}));
