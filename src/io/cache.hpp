@@ -26,7 +26,9 @@ class BlockCache {
   std::shared_ptr<const std::vector<std::byte>> get(std::uint64_t key,
                                                     bool* from_prefetch = nullptr);
 
-  /// Inserts (or refreshes) a block. No-op if the key is already resident.
+  /// Inserts a block. No-op if the key is already resident: the entry keeps
+  /// its LRU position and its from_prefetch flag (recency is refreshed by
+  /// get(), not by re-insertion).
   void put(std::uint64_t key, std::shared_ptr<const std::vector<std::byte>> data,
            bool from_prefetch);
 

@@ -7,6 +7,7 @@
 #include <cstring>
 #include <fstream>
 #include <stdexcept>
+#include <unordered_set>
 
 namespace dc::io {
 
@@ -28,6 +29,7 @@ struct ChunkStoreWriter::OpenFile {
   std::filesystem::path path;
   FileHeader header;
   std::vector<ChunkIndexEntry> entries;
+  std::unordered_set<std::uint64_t> seen;  ///< key_of(chunk, timestep)
   std::uint64_t cursor = sizeof(FileHeader);
 };
 
@@ -73,10 +75,8 @@ void ChunkStoreWriter::put_chunk(data::FileLocation loc, int file_id, int chunk,
     throw std::logic_error("ChunkStoreWriter: put_chunk after finish");
   }
   OpenFile& f = file_for(loc, file_id);
-  for (const ChunkIndexEntry& e : f.entries) {
-    if (e.chunk == chunk && e.timestep == timestep) {
-      throw std::invalid_argument("ChunkStoreWriter: duplicate chunk entry");
-    }
+  if (!f.seen.insert(key_of(chunk, timestep)).second) {
+    throw std::invalid_argument("ChunkStoreWriter: duplicate chunk entry");
   }
   ChunkIndexEntry e;
   e.chunk = chunk;

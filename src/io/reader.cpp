@@ -138,10 +138,30 @@ void ChunkReader::prefetch(int chunk, int timestep) {
           std::move(req), /*drop_if_full=*/true)) {
     std::lock_guard<std::mutex> lk(mu_);
     ++prefetch_issued_;
-  } else {
+    return;
+  }
+  // The queue was full and the hint was dropped. Between releasing mu_ and
+  // the failed submit, a concurrent read() may have joined this flight (it
+  // demotes Flight::prefetch to false and blocks on the slot). Erasing the
+  // flight then would strand that reader in IoSlot::wait forever, so only
+  // erase when the flight is still untouched; otherwise resubmit blocking —
+  // it is a demand read now, and demand reads take backpressure, not drops.
+  bool joined = false;
+  {
     std::lock_guard<std::mutex> lk(mu_);
     ++prefetch_dropped_;
-    in_flight_.erase(key);
+    const auto it = in_flight_.find(key);
+    if (it != in_flight_.end() && it->second.slot == slot) {
+      if (it->second.prefetch) {
+        in_flight_.erase(it);
+      } else {
+        joined = true;
+      }
+    }
+  }
+  if (joined) {
+    schedulers_[static_cast<std::size_t>(h.disk_index)]->submit(
+        make_request(h, key, slot), /*drop_if_full=*/false);
   }
 }
 

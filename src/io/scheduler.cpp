@@ -50,7 +50,9 @@ DiskScheduler::~DiskScheduler() {
   work_.notify_all();
   space_.notify_all();
   thread_.join();
-  // Fail any requests still queued so waiters do not hang on teardown.
+  // thread_main exits on stop_ without draining, so teardown is fast even
+  // with a deep queue of simulated-latency requests. Fail whatever is still
+  // queued so waiters do not hang (their on_complete is never invoked).
   for (auto& [req, enqueued] : queue_) {
     (void)enqueued;
     std::lock_guard<std::mutex> lk(req.slot->mu);
@@ -58,6 +60,7 @@ DiskScheduler::~DiskScheduler() {
     req.slot->done = true;
     req.slot->cv.notify_all();
   }
+  queue_.clear();
 }
 
 bool DiskScheduler::submit(IoRequest req, bool drop_if_full) {
@@ -88,7 +91,7 @@ void DiskScheduler::thread_main() {
     {
       std::unique_lock<std::mutex> lk(mu_);
       work_.wait(lk, [this] { return !queue_.empty() || stop_; });
-      if (queue_.empty()) return;  // stop_ and drained
+      if (stop_) return;  // destructor fails anything left in the queue
       auto [r, enqueued] = std::move(queue_.front());
       queue_.pop_front();
       req = std::move(r);
