@@ -1,0 +1,84 @@
+// Bench smoke harness: runs one experiment binary and validates the
+// machine-readable contract every exp_* binary promises — the LAST line of
+// stdout is one JSON object {"experiment":"<name>","metrics":{...},...} with
+// a non-empty metrics registry. The ctest targets bench_smoke_* (label
+// "slow") run every experiment through this in --quick config, so a bench
+// binary whose output drifts away from the schema (or that crashes, or
+// whose image digests mismatch) fails CI instead of silently rotting.
+//
+//   check_bench_json <binary> [args...]
+
+#include <array>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "obs/json.hpp"
+
+using dc::obs::json::Value;
+
+namespace {
+
+int fail(const std::string& why, const std::string& line = "") {
+  std::fprintf(stderr, "check_bench_json: %s\n", why.c_str());
+  if (!line.empty()) std::fprintf(stderr, "  last line: %s\n", line.c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return fail("usage: check_bench_json <binary> [args...]");
+
+  std::string cmd;
+  for (int i = 1; i < argc; ++i) {
+    if (i > 1) cmd += ' ';
+    cmd += '\'';
+    cmd += argv[i];  // test targets pass plain paths/flags, no quoting needed
+    cmd += '\'';
+  }
+
+  FILE* pipe = ::popen(cmd.c_str(), "r");
+  if (pipe == nullptr) return fail("popen failed for: " + cmd);
+
+  std::string last_line, line;
+  std::array<char, 4096> buf{};
+  while (std::fgets(buf.data(), static_cast<int>(buf.size()), pipe) != nullptr) {
+    std::fputs(buf.data(), stdout);  // keep the human-readable tables visible
+    line += buf.data();
+    if (!line.empty() && line.back() == '\n') {
+      line.pop_back();
+      if (!line.empty()) last_line = line;
+      line.clear();
+    }
+  }
+  if (!line.empty()) last_line = line;
+  const int status = ::pclose(pipe);
+  if (status != 0) return fail("binary exited with status " + std::to_string(status));
+
+  if (last_line.empty()) return fail("no output from: " + cmd);
+
+  Value v;
+  std::string err;
+  if (!dc::obs::json::parse(last_line, v, &err)) {
+    return fail("last line is not valid JSON: " + err, last_line);
+  }
+  if (!v.is_object()) {
+    return fail("last line is not a JSON object", last_line);
+  }
+  const Value* exp_name = v.find("experiment");
+  if (exp_name == nullptr || !exp_name->is_string() || exp_name->str.empty()) {
+    return fail("missing or empty \"experiment\" string", last_line);
+  }
+  const Value* metrics = v.find("metrics");
+  if (metrics == nullptr || !metrics->is_object()) {
+    return fail("missing \"metrics\" object", last_line);
+  }
+  if (metrics->object.empty()) {
+    return fail("\"metrics\" object is empty", last_line);
+  }
+
+  std::fprintf(stderr, "check_bench_json: ok — experiment=%s, %zu metric(s)\n",
+               exp_name->str.c_str(), metrics->object.size());
+  return 0;
+}

@@ -17,6 +17,8 @@ int main(int argc, char** argv) {
                     "RE-Ra-M, Active Pixel, 4 Rogue nodes, large image");
   exp ::Table t({"buffer", "time (s)", "E->Ra #buf", "acks"}, 13);
 
+  obs::MetricsRegistry reg;
+  viz::RenderRun last;
   for (std::size_t kb : {8, 16, 64, 256, 1024}) {
     exp ::Env env = exp ::make_env(args);
     const auto nodes = env.add_nodes(sim::testbed::rogue_node(), 4);
@@ -37,6 +39,12 @@ int main(int argc, char** argv) {
     t.row({std::to_string(kb) + "K", exp ::Table::num(run.avg),
            std::to_string(run.metrics.streams[0].buffers / static_cast<unsigned>(args.uows)),
            std::to_string(run.metrics.acks_total / static_cast<unsigned>(args.uows))});
+    reg.set("sweep." + std::to_string(kb) + "K.time_s", run.avg);
+    reg.set("sweep." + std::to_string(kb) + "K.acks",
+            static_cast<std::int64_t>(run.metrics.acks_total));
+    last = run;
   }
+  core::publish(last.metrics, reg);  // metrics of the largest-buffer run
+  exp ::print_json("ablation_buffer_size", reg);
   return 0;
 }

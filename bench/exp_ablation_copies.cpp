@@ -17,6 +17,8 @@ int main(int argc, char** argv) {
                     "large image (Gigabit variant of the SMP for isolation)");
   exp ::Table t({"copies", "time (s)", "speedup"}, 12);
 
+  obs::MetricsRegistry reg;
+  viz::RenderRun last;
   double base = 0.0;
   for (int copies : {1, 2, 4, 8}) {
     exp ::Env env = exp ::make_env(args);
@@ -36,10 +38,16 @@ int main(int argc, char** argv) {
 
     core::RuntimeConfig cfg;
     cfg.policy = core::Policy::kDemandDriven;
-    const double avg = run_iso_app(*env.topo, spec, cfg, args.uows).avg;
+    const viz::RenderRun run = run_iso_app(*env.topo, spec, cfg, args.uows);
+    const double avg = run.avg;
     if (copies == 1) base = avg;
     t.row({std::to_string(copies), exp ::Table::num(avg),
            exp ::Table::num(base / avg)});
+    reg.set("sweep.copies" + std::to_string(copies) + ".time_s", avg);
+    reg.set("sweep.copies" + std::to_string(copies) + ".speedup", base / avg);
+    last = run;
   }
+  core::publish(last.metrics, reg);  // metrics of the 8-copy run
+  exp ::print_json("ablation_copies", reg);
   return 0;
 }

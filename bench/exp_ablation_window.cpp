@@ -17,6 +17,8 @@ int main(int argc, char** argv) {
                     "RE-Ra-M, Active Pixel, 4 Rogue + 4 Blue nodes, large image");
   exp ::Table t({"window", "bg=0", "bg=16"}, 12);
 
+  obs::MetricsRegistry reg;
+  viz::RenderRun last;
   for (int window : {1, 2, 4, 8, 16}) {
     std::vector<double> row;
     for (int bg : {0, 16}) {
@@ -38,10 +40,17 @@ int main(int argc, char** argv) {
       core::RuntimeConfig cfg;
       cfg.policy = core::Policy::kDemandDriven;
       cfg.window = window;
-      row.push_back(run_iso_app(*env.topo, spec, cfg, args.uows).avg);
+      const viz::RenderRun run = run_iso_app(*env.topo, spec, cfg, args.uows);
+      row.push_back(run.avg);
+      reg.set("sweep.w" + std::to_string(window) + ".bg" + std::to_string(bg) +
+                  ".time_s",
+              run.avg);
+      last = run;
     }
     t.row({std::to_string(window), exp ::Table::num(row[0]),
            exp ::Table::num(row[1])});
   }
+  core::publish(last.metrics, reg);  // metrics of the deepest-window bg run
+  exp ::print_json("ablation_window", reg);
   return 0;
 }

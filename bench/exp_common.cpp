@@ -5,6 +5,9 @@
 #include <stdexcept>
 #include <string>
 
+#include "obs/chrome.hpp"
+#include "obs/json.hpp"
+
 namespace dc::exp {
 
 Args Args::parse(int argc, char** argv) {
@@ -31,10 +34,13 @@ Args Args::parse(int argc, char** argv) {
       args.seed = static_cast<std::uint64_t>(next_int(i));
     } else if (flag == "--quick") {
       args.quick = true;
+    } else if (flag == "--trace") {
+      if (i + 1 >= argc) throw std::invalid_argument("missing flag value");
+      args.trace_path = argv[++i];
     } else if (flag == "--help" || flag == "-h") {
       std::printf(
           "flags: --grid N --chunks N --files N --uows N --small-image N "
-          "--large-image N --seed N --quick\n");
+          "--large-image N --seed N --quick --trace FILE\n");
       std::exit(0);
     } else {
       throw std::invalid_argument("unknown flag: " + flag);
@@ -99,6 +105,32 @@ void print_title(const std::string& title, const std::string& subtitle) {
 }
 
 void print_rule() { std::printf("%s\n", std::string(72, '-').c_str()); }
+
+void print_json(const std::string& experiment, const obs::MetricsRegistry& reg,
+                const std::string& extra_fields) {
+  std::string line = "{\"experiment\":\"" + obs::json::escape(experiment) +
+                     "\",\"metrics\":" + reg.to_json();
+  if (!extra_fields.empty()) {
+    line += ",";
+    line += extra_fields;
+  }
+  line += "}";
+  std::printf("%s\n", line.c_str());
+}
+
+bool maybe_write_trace(const Args& args, const obs::TraceSession& session) {
+  if (args.trace_path.empty()) return true;
+  if (!obs::write_chrome_trace(session, args.trace_path)) {
+    std::fprintf(stderr, "warning: could not write trace to %s\n",
+                 args.trace_path.c_str());
+    return false;
+  }
+  std::fprintf(stderr, "trace written to %s (%llu events, %llu dropped)\n",
+               args.trace_path.c_str(),
+               static_cast<unsigned long long>(session.event_count()),
+               static_cast<unsigned long long>(session.dropped_events()));
+  return true;
+}
 
 Table::Table(std::vector<std::string> headers, int col_width)
     : cols_(headers.size()), width_(col_width) {

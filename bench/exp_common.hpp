@@ -9,6 +9,8 @@
 #include "data/decluster.hpp"
 #include "data/store.hpp"
 #include "data/synth.hpp"
+#include "obs/metrics.hpp"
+#include "obs/recorder.hpp"
 #include "sim/cluster.hpp"
 #include "viz/app.hpp"
 
@@ -29,6 +31,10 @@ struct Args {
   std::uint64_t seed = 2002;
   float iso = 0.8f;
   bool quick = false;
+  /// --trace FILE: capture the run in an obs::TraceSession and write it as
+  /// Chrome trace-event JSON (Perfetto-loadable) to FILE on exit. Binaries
+  /// that support it attach the session to their engines and ChunkReaders.
+  std::string trace_path;
 
   static Args parse(int argc, char** argv);
 };
@@ -65,6 +71,22 @@ void set_background(Env& env, const std::vector<int>& hosts, int jobs);
 
 void print_title(const std::string& title, const std::string& subtitle);
 void print_rule();
+
+/// Emits the machine-readable result line every exp_* binary ends with:
+/// one JSON object on the LAST line of stdout, shaped
+///   {"experiment":"<name>","metrics":{<registry>}[,<extra_fields>]}
+/// `extra_fields` is a raw JSON fragment of additional top-level members
+/// (no leading comma), e.g. `"scaling":[...]` — empty for none. The bench
+/// smoke tests (check_bench_json) parse and validate this line, so
+/// everything an experiment reports flows through the one
+/// obs::MetricsRegistry surface instead of ad-hoc printf dialects.
+void print_json(const std::string& experiment, const obs::MetricsRegistry& reg,
+                const std::string& extra_fields = "");
+
+/// Writes `session` as Chrome trace JSON to args.trace_path when --trace was
+/// given (no-op otherwise). Returns false (after printing a warning) when
+/// the file cannot be written.
+bool maybe_write_trace(const Args& args, const obs::TraceSession& session);
 
 /// Fixed-width table printer.
 class Table {

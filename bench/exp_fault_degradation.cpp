@@ -56,6 +56,7 @@ class Worker final : public core::Filter {
 struct FaultRun {
   core::UowOutcome outcome;
   core::FaultMetrics faults;
+  core::Metrics metrics;
 };
 
 /// src on host 0, one worker copy on each of hosts 1..4.
@@ -90,7 +91,8 @@ FaultRun run_once(core::Policy pol, core::FailureDetection det, int buffers,
   if (plan) plan->arm(topo);
   FaultRun r;
   r.outcome = rt.run_uow_outcome();
-  r.faults = rt.metrics().faults;
+  r.metrics = rt.metrics();
+  r.faults = r.metrics.faults;
   return r;
 }
 
@@ -107,6 +109,7 @@ int main(int argc, char** argv) {
   exp ::Table t({"policy", "crash@", "makespan", "slowdown", "failover",
                  "retrans", "lost", "dup"},
                 10);
+  obs::MetricsRegistry reg;
   for (const core::Policy pol :
        {core::Policy::kRoundRobin, core::Policy::kWeightedRoundRobin,
         core::Policy::kDemandDriven}) {
@@ -127,6 +130,12 @@ int main(int argc, char** argv) {
              std::to_string(r.outcome.retransmits),
              std::to_string(r.outcome.buffers_lost),
              std::to_string(r.outcome.buffers_duplicated)});
+      const std::string k = "sweep." + std::string(to_string(pol)) + ".crash" +
+                            exp ::Table::num(frac, 1);
+      reg.set(k + ".slowdown", r.outcome.makespan / mk0);
+      reg.set(k + ".failovers", static_cast<std::int64_t>(r.outcome.failovers));
+      reg.set(k + ".retransmits",
+              static_cast<std::int64_t>(r.outcome.retransmits));
     }
   }
   std::printf(
@@ -155,10 +164,15 @@ int main(int argc, char** argv) {
            exp ::Table::num(r.outcome.makespan / base.outcome.makespan),
            exp ::Table::num(r.faults.recovery_latency_max, 4),
            std::to_string(r.outcome.retransmits)});
+    const std::string k = "detection." + std::string(to_string(det));
+    reg.set(k + ".slowdown", r.outcome.makespan / base.outcome.makespan);
+    reg.set(k + ".recovery_latency_max", r.faults.recovery_latency_max);
+    core::publish(r.metrics, reg);  // overwritten: last detection mode wins
   }
   std::printf(
       "\nThe oracle fails over instantly; ack-timeout detection pays the\n"
       "configured timeout strikes in recovery latency but needs no cluster\n"
       "membership service and also fences unreachable-but-alive hosts.\n");
+  exp ::print_json("fault_degradation", reg);
   return 0;
 }

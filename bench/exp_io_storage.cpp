@@ -125,6 +125,7 @@ int main(int argc, char** argv) {
           " disk scheduler threads, " + std::to_string(latency_us) +
           " us simulated device latency");
 
+  obs::TraceSession session;  // lanes: io:reader + one per disk scheduler
   std::vector<SweepPoint> points;
   exp::Table table({"depth", "phase", "wall s", "hit rate", "ra hits",
                     "q-wait s", "MiB"});
@@ -133,6 +134,7 @@ int main(int argc, char** argv) {
     opts.simulated_latency = std::chrono::microseconds(latency_us);
     // Large enough to hold the full timestep: the warm pass is all hits.
     opts.cache_bytes = disk_store.total_payload_bytes() + (1u << 20);
+    if (!args.trace_path.empty()) opts.trace = &session;
     io::ChunkReader reader(disk_store, opts);
 
     const SweepPoint cold =
@@ -166,31 +168,49 @@ int main(int argc, char** argv) {
       "readahead overlaps that latency across the per-disk schedulers.\n",
       cold_depth0, best_prefetch, prefetch_ok ? "ok" : "REGRESSION");
 
-  std::printf(
-      "{\"experiment\":\"io_storage\",\"grid\":%d,\"chunks\":%d,"
-      "\"num_chunks\":%d,\"disks\":%zu,\"latency_us\":%ld,"
-      "\"total_mb\":%.2f,\"prefetch_ok\":%s,\"sweep\":[",
-      args.grid, args.chunks, num_chunks, disk_store.disks().size(), latency_us,
-      exp::mb(disk_store.total_payload_bytes()), prefetch_ok ? "true" : "false");
+  obs::MetricsRegistry reg;
+  reg.set("num_chunks", static_cast<std::int64_t>(num_chunks));
+  reg.set("latency_us", static_cast<std::int64_t>(latency_us));
+  reg.set("total_mb", exp::mb(disk_store.total_payload_bytes()));
+  reg.set("prefetch_ok", static_cast<std::int64_t>(prefetch_ok ? 1 : 0));
+  reg.set("cold_depth0_s", cold_depth0);
+  reg.set("best_prefetch_s", best_prefetch);
+  for (const SweepPoint& pt : points) {
+    const std::string k = "sweep.d" + std::to_string(pt.depth) + "." + pt.phase;
+    reg.set(k + ".wall_s", pt.wall_s);
+    reg.set(k + ".hit_rate", pt.hit_rate);
+    reg.set(k + ".readahead_hits", static_cast<std::int64_t>(pt.readahead_hits));
+  }
+  io::publish(points.back().metrics, reg);  // cumulative depth-8 reader
+
+  // Per-disk detail rides along as an extra top-level member.
+  std::string sweep = "\"sweep\":[";
+  char buf[256];
   for (std::size_t i = 0; i < points.size(); ++i) {
     const SweepPoint& pt = points[i];
-    std::printf("%s{\"depth\":%d,\"phase\":\"%s\",\"wall_s\":%.6f,"
-                "\"hit_rate\":%.4f,\"readahead_hits\":%llu,"
-                "\"queue_wait_s\":%.6f,\"disk_mb\":%.2f,\"per_disk\":[",
-                i ? "," : "", pt.depth, pt.phase, pt.wall_s, pt.hit_rate,
-                static_cast<unsigned long long>(pt.readahead_hits),
-                pt.queue_wait_s, exp::mb(pt.disk_bytes));
+    std::snprintf(buf, sizeof(buf),
+                  "%s{\"depth\":%d,\"phase\":\"%s\",\"wall_s\":%.6f,"
+                  "\"hit_rate\":%.4f,\"readahead_hits\":%llu,"
+                  "\"queue_wait_s\":%.6f,\"disk_mb\":%.2f,\"per_disk\":[",
+                  i ? "," : "", pt.depth, pt.phase, pt.wall_s, pt.hit_rate,
+                  static_cast<unsigned long long>(pt.readahead_hits),
+                  pt.queue_wait_s, exp::mb(pt.disk_bytes));
+    sweep += buf;
     for (std::size_t d = 0; d < pt.metrics.disks.size(); ++d) {
       const io::DiskMetrics& dm = pt.metrics.disks[d];
-      std::printf("%s{\"host\":%d,\"disk\":%d,\"requests\":%llu,"
-                  "\"queue_wait_s\":%.6f,\"max_depth\":%zu}",
-                  d ? "," : "", dm.host, dm.disk,
-                  static_cast<unsigned long long>(dm.requests),
-                  dm.queue_wait_s, dm.max_queue_depth);
+      std::snprintf(buf, sizeof(buf),
+                    "%s{\"host\":%d,\"disk\":%d,\"requests\":%llu,"
+                    "\"queue_wait_s\":%.6f,\"max_depth\":%zu}",
+                    d ? "," : "", dm.host, dm.disk,
+                    static_cast<unsigned long long>(dm.requests),
+                    dm.queue_wait_s, dm.max_queue_depth);
+      sweep += buf;
     }
-    std::printf("]}");
+    sweep += "]}";
   }
-  std::printf("]}\n");
+  sweep += "]";
+  exp::maybe_write_trace(args, session);
+  exp::print_json("io_storage", reg, sweep);
 
   fs::remove_all(root);
   return prefetch_ok ? 0 : 1;

@@ -13,6 +13,8 @@ using namespace dc;
 int main(int argc, char** argv) {
   const auto args = exp ::Args::parse(argc, argv);
 
+  obs::MetricsRegistry reg;
+  viz::RenderRun last;
   for (int half : {2, 4, 8}) {
     exp ::print_title(
         "Table 3 (" + std::to_string(half) + " Rogue + " + std::to_string(half) +
@@ -53,9 +55,18 @@ int main(int argc, char** argv) {
           t.row({std::to_string(bg), std::to_string(image),
                  hsr == viz::HsrAlgorithm::kZBuffer ? "Z" : "AP",
                  exp ::Table::num(rogue_avg, 1), exp ::Table::num(blue_avg, 1)});
+          const std::string k =
+              "sweep.half" + std::to_string(half) + ".bg" + std::to_string(bg) +
+              ".img" + std::to_string(image) +
+              (hsr == viz::HsrAlgorithm::kZBuffer ? ".z" : ".ap");
+          reg.set(k + ".rogue_avg", rogue_avg);
+          reg.set(k + ".blue_avg", blue_avg);
+          last = run;
         }
       }
     }
   }
+  core::publish(last.metrics, reg);  // metrics of the most-loaded AP run
+  exp ::print_json("table3_buffer_balance", reg);
   return 0;
 }

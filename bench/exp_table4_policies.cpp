@@ -38,6 +38,7 @@ int main(int argc, char** argv) {
   exp ::Args args = exp ::Args::parse(argc, argv);
   if (args.uows == 5 && !args.quick) args.uows = 3;  // 96 configurations
 
+  obs::MetricsRegistry reg;
   for (int image : {args.small_image, args.large_image}) {
     exp ::print_title(
         "Table 4 (" + std::to_string(image) + "x" + std::to_string(image) +
@@ -63,8 +64,16 @@ int main(int argc, char** argv) {
         t.row({std::to_string(bg), to_string(config), exp ::Table::num(ap_rr),
                exp ::Table::num(ap_dd), exp ::Table::num(z_rr),
                exp ::Table::num(z_dd)});
+        const std::string k = "sweep.img" + std::to_string(image) + ".bg" +
+                              std::to_string(bg) + "." +
+                              std::string(to_string(config));
+        reg.set(k + ".ap_rr_s", ap_rr);
+        reg.set(k + ".ap_dd_s", ap_dd);
+        reg.set(k + ".z_rr_s", z_rr);
+        reg.set(k + ".z_dd_s", z_dd);
       }
     }
   }
+  exp ::print_json("table4_policies", reg);
   return 0;
 }

@@ -45,6 +45,7 @@ int main(int argc, char** argv) {
                     "Execution time (virtual s/timestep); 8-way SMP compute "
                     "node over Fast Ethernet, Active Pixel, large image");
   exp ::Table t({"data nodes", "config", "RR", "WRR", "DD"}, 12);
+  obs::MetricsRegistry reg;
   for (int n : {1, 2, 4, 8}) {
     for (viz::PipelineConfig config :
          {viz::PipelineConfig::kRE_Ra_M, viz::PipelineConfig::kR_ERa_M}) {
@@ -54,7 +55,13 @@ int main(int argc, char** argv) {
       const double dd = run_config(args, config, core::Policy::kDemandDriven, n);
       t.row({std::to_string(n), to_string(config), exp ::Table::num(rr),
              exp ::Table::num(wrr), exp ::Table::num(dd)});
+      const std::string k = "sweep.n" + std::to_string(n) + "." +
+                            std::string(to_string(config));
+      reg.set(k + ".rr_s", rr);
+      reg.set(k + ".wrr_s", wrr);
+      reg.set(k + ".dd_s", dd);
     }
   }
+  exp ::print_json("table5_compute_node", reg);
   return 0;
 }

@@ -8,14 +8,23 @@
 // non-distributed reference render bit for bit — the transparent copies and
 // the thread scheduling are invisible in the output.
 //
-//   build/examples/native_render
+// With `--trace out.json` the whole run is captured in an obs::TraceSession
+// and written as Chrome trace-event JSON: load the file in Perfetto
+// (ui.perfetto.dev) to see one lane per engine thread with callback spans,
+// queue waits, and policy decisions.
+//
+//   build/examples/native_render [--trace out.json]
 
 #include <cstdio>
+#include <cstring>
+#include <string>
 #include <vector>
 
 #include "data/decluster.hpp"
 #include "data/store.hpp"
 #include "data/synth.hpp"
+#include "obs/chrome.hpp"
+#include "obs/recorder.hpp"
 #include "viz/app.hpp"
 #include "viz/camera.hpp"
 #include "viz/raster.hpp"
@@ -57,7 +66,17 @@ viz::Image reference_render(const viz::VizWorkload& w) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::string trace_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: native_render [--trace out.json]\n");
+      return 2;
+    }
+  }
+
   // Synthetic plume dataset on two "hosts" (placement labels — the native
   // engine maps copies to threads, and data locality to the labels).
   const data::ChunkLayout layout(data::GridDims{48, 48, 48}, 4, 4, 4);
@@ -88,8 +107,20 @@ int main() {
     spec.data_hosts = viz::one_each({0, 1});
     spec.raster_hosts = {{2, 2}, {3, 2}};  // 4 Ra worker threads
     spec.merge_host = 3;
+    obs::TraceSession session;
+    if (!trace_path.empty()) spec.trace = &session;
 
     const viz::NativeRenderRun run = viz::run_iso_app_native(spec, cfg, 1);
+    if (!trace_path.empty() && hsr == viz::HsrAlgorithm::kActivePixel) {
+      if (obs::write_chrome_trace(session, trace_path)) {
+        std::fprintf(stderr, "trace written to %s (%llu events)\n",
+                     trace_path.c_str(),
+                     static_cast<unsigned long long>(session.event_count()));
+      } else {
+        std::fprintf(stderr, "warning: could not write trace to %s\n",
+                     trace_path.c_str());
+      }
+    }
     std::uint64_t buffers = 0;
     for (const auto& s : run.metrics.streams) buffers += s.buffers;
     std::printf("%14s %10s %12.4f %10llu %8s\n", "RE-Ra-M",

@@ -7,6 +7,10 @@
 
 #include "sim/time.hpp"
 
+namespace dc::obs {
+class MetricsRegistry;
+}
+
 namespace dc::core {
 
 /// Per-filter-instance counters.
@@ -144,5 +148,16 @@ struct Metrics {
     return by_class;
   }
 };
+
+/// Publishes this Metrics snapshot into the unified registry under dotted
+/// `<prefix>.` names: makespan / ack totals, instance-count and summed
+/// per-instance counters (buffers, bytes, busy/stall time, ...), one
+/// `<prefix>.stream.<name>.*` group per logical stream, and the fault
+/// counters. set()-semantics — publishing twice overwrites, so benches call
+/// it once at finalize. This is the single export surface shared with
+/// exec::publish and io::publish: every bench emits one registry JSON
+/// instead of three metric dialects.
+void publish(const Metrics& m, obs::MetricsRegistry& reg,
+             const std::string& prefix = "sim");
 
 }  // namespace dc::core

@@ -148,6 +148,7 @@ struct Runtime::Instance {
   sim::Rng rng;
   sim::SimTime busy_start = 0.0;
   sim::SimTime drain_start = 0.0;
+  obs::Track* otrack = nullptr;  ///< lazily bound by Runtime::obs_track
 
   std::unique_ptr<ContextImpl> ctx;
 };
@@ -289,6 +290,16 @@ void Runtime::emit_trace(const char* tag, const Instance& inst,
                   std::to_string(inst.index) + "@h" +
                   std::to_string(inst.cset->host) +
                   (detail.empty() ? "" : " " + detail));
+}
+
+obs::Track* Runtime::obs_track(Instance& inst) {
+  if (obs_ == nullptr) return nullptr;
+  if (inst.otrack == nullptr) {
+    inst.otrack = &obs_->track("sim:" + graph_.filter(inst.filter).name + "#" +
+                               std::to_string(inst.index) + "@h" +
+                               std::to_string(inst.cset->host));
+  }
+  return inst.otrack;
 }
 
 void Runtime::reset_metrics() {
@@ -507,6 +518,13 @@ void Runtime::start_instance(Instance& inst) {
   inst.busy_start = topo_.sim().now();
   topo_.host(inst.cset->host).cpu().submit(ops, [this, &inst] {
     inst.m.busy_time += topo_.sim().now() - inst.busy_start;
+    if (auto* tk = obs_track(inst)) {
+      // Spans are reconstructed at completion: the simulator knows a job's
+      // start only after its virtual retirement, so emit B then E back to
+      // back with the recorded virtual timestamps.
+      tk->begin(inst.busy_start, "init");
+      tk->end(topo_.sim().now(), "init");
+    }
     on_init_done(inst);
   });
 }
@@ -594,6 +612,10 @@ void Runtime::try_consume(Instance& inst) {
   inst.m.buffers_in++;
   inst.m.bytes_in += d.buf.size();
   emit_trace("consume", inst, std::to_string(d.buf.size()) + "B");
+  if (auto* tk = obs_track(inst)) {
+    tk->instant(topo_.sim().now(), "consume",
+                static_cast<std::int64_t>(d.buf.size()), port);
+  }
 
   // Receiver-side dequeue frees the producer's flow-control slot.
   on_window_release(*d.producer, d.out_port, d.target);
@@ -607,6 +629,10 @@ void Runtime::try_consume(Instance& inst) {
     inst.m.acks_sent++;
     metrics_.acks_total++;
     metrics_.ack_bytes_total += config_.ack_bytes;
+    if (auto* tk = obs_track(inst)) {
+      tk->instant(topo_.sim().now(), "dd.ack",
+                  static_cast<std::int64_t>(config_.ack_bytes), target);
+    }
     topo_.network().send(cset.host, producer->cset->host, config_.ack_bytes,
                          [this, producer, out_port, target] {
                            on_ack(*producer, out_port, target);
@@ -620,6 +646,7 @@ void Runtime::try_consume(Instance& inst) {
 
 void Runtime::begin_eow(Instance& inst) {
   emit_trace("eow", inst, "");
+  if (auto* tk = obs_track(inst)) tk->instant(topo_.sim().now(), "eow");
   inst.eow_executed = true;
   inst.state = Instance::State::kBusy;
   inst.charged_ops = 0.0;
@@ -630,6 +657,10 @@ void Runtime::begin_eow(Instance& inst) {
 void Runtime::on_compute_done(Instance& inst) {
   if (inst.dead) return;
   inst.m.busy_time += topo_.sim().now() - inst.busy_start;
+  if (auto* tk = obs_track(inst)) {
+    tk->begin(inst.busy_start, "compute");
+    tk->end(topo_.sim().now(), "compute");
+  }
   inst.state = Instance::State::kDraining;
   inst.drain_start = topo_.sim().now();
   drain(inst);
@@ -642,6 +673,10 @@ void Runtime::drain(Instance& inst) {
     if (!dispatch_one(inst)) {
       emit_trace("stall", inst,
                  std::to_string(inst.pending.size()) + " pending");
+      if (auto* tk = obs_track(inst)) {
+        tk->instant(topo_.sim().now(), "stall",
+                    static_cast<std::int64_t>(inst.pending.size()));
+      }
       return;  // stalled on a window; resumed by credit
     }
   }
@@ -702,6 +737,14 @@ bool Runtime::dispatch_one(Instance& inst) {
   CopySet* cset = w.stream->targets[static_cast<std::size_t>(target)];
 
   w.on_dispatch(target);
+  if (auto* tk = obs_track(inst)) {
+    // Routing decision: chosen target plus the policy's outstanding count
+    // for it (unacked under DD, in-flight under RR/WRR) after the dispatch.
+    const auto& counts =
+        config_.policy == Policy::kDemandDriven ? w.unacked : w.in_flight;
+    tk->instant(topo_.sim().now(), "policy.pick", target,
+                counts[static_cast<std::size_t>(target)]);
+  }
   // Retain a copy until the consumer takes responsibility (payload is
   // shared, so this costs an envelope, not a data copy).
   if (fault_tolerant()) {
@@ -772,6 +815,7 @@ void Runtime::on_eow_marker(CopySet& cset, int in_port) {
 
 void Runtime::finish_instance(Instance& inst) {
   emit_trace("finish", inst, "");
+  if (auto* tk = obs_track(inst)) tk->instant(topo_.sim().now(), "finish");
   inst.charged_ops = 0.0;
   inst.user->finalize(*inst.ctx);
   inst.state = Instance::State::kFinished;

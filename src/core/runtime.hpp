@@ -8,6 +8,7 @@
 #include "core/metrics.hpp"
 #include "core/placement.hpp"
 #include "core/policy.hpp"
+#include "obs/recorder.hpp"
 #include "sim/cluster.hpp"
 #include "sim/trace.hpp"
 
@@ -98,6 +99,16 @@ class Runtime {
   /// copy / host detail. Enable via `trace().enable()` before run_uow().
   [[nodiscard]] sim::Trace& trace() { return trace_; }
 
+  /// Attaches a cross-engine observability session (nullptr detaches). Each
+  /// transparent copy gets a "sim:<filter>#<copy>@h<host>" track carrying
+  /// init/compute spans, consume / eow / finish / policy.pick instants and
+  /// DD ack events — all stamped in VIRTUAL seconds, so a simulated run
+  /// renders on the same Perfetto timeline as a native one (obs maps both
+  /// onto Chrome trace time). The session must outlive every run_uow() call;
+  /// detached (the default), each emit site costs one pointer null check.
+  void set_obs(obs::TraceSession* session) { obs_ = session; }
+  [[nodiscard]] obs::TraceSession* obs() const { return obs_; }
+
   [[nodiscard]] const RuntimeConfig& config() const { return config_; }
   [[nodiscard]] int total_copies(int filter) const;
   [[nodiscard]] sim::Topology& topology() { return topo_; }
@@ -174,8 +185,12 @@ class Runtime {
   Metrics metrics_;
   sim::Rng base_rng_;
   sim::Trace trace_;
+  obs::TraceSession* obs_ = nullptr;
 
   void emit_trace(const char* tag, const Instance& inst, const std::string& detail);
+  /// Lazily creates the instance's obs track; nullptr when no session is
+  /// attached.
+  obs::Track* obs_track(Instance& inst);
 };
 
 }  // namespace dc::core

@@ -101,6 +101,7 @@ struct Engine::Instance {
   std::vector<StreamDelta> stream_local;  ///< per stream, owner thread only
   sim::Rng rng;
   std::unique_ptr<ContextImpl> ctx;
+  obs::Track* otrack = nullptr;  ///< lazily bound by Engine::obs_track
 };
 
 /// FilterContext implementation bound to one Instance. Mirrors the
@@ -235,6 +236,16 @@ const std::string& Engine::host_class(int host) const {
     return hosts_.host_classes[static_cast<std::size_t>(host)];
   }
   return kNative;
+}
+
+obs::Track* Engine::obs_track(Instance& inst) {
+  if (obs_ == nullptr) return nullptr;
+  if (inst.otrack == nullptr) {
+    inst.otrack = &obs_->track("exec:" + graph_.filter(inst.filter).name +
+                               "#" + std::to_string(inst.index) + "@h" +
+                               std::to_string(inst.cset->host));
+  }
+  return inst.otrack;
 }
 
 void Engine::reset_metrics() {
@@ -421,10 +432,14 @@ void Engine::abort_uow() {
 
 void Engine::worker_main(Instance& inst) {
   ContextImpl& ctx = *inst.ctx;
+  obs::Track* tk = obs_track(inst);
 
   inst.in_init = true;
   auto t0 = Clock::now();
-  inst.user->init(ctx);
+  {
+    obs::ScopedSpan span(obs_, tk, "init");
+    inst.user->init(ctx);
+  }
   inst.m.busy_time += seconds_since(t0);
   inst.in_init = false;
 
@@ -435,14 +450,20 @@ void Engine::worker_main(Instance& inst) {
   }
 
   t0 = Clock::now();
-  inst.user->process_eow(ctx);
+  {
+    obs::ScopedSpan span(obs_, tk, "eow");
+    inst.user->process_eow(ctx);
+  }
   inst.m.busy_time += seconds_since(t0);
   drain(inst);
 
   // Like the simulator, finalize() runs after the last drain; anything it
   // writes is not dispatched in either engine.
   t0 = Clock::now();
-  inst.user->finalize(ctx);
+  {
+    obs::ScopedSpan span(obs_, tk, "finalize");
+    inst.user->finalize(ctx);
+  }
   inst.m.busy_time += seconds_since(t0);
 
   // End-of-work markers to every consumer copy set, after all data buffers
@@ -457,10 +478,14 @@ void Engine::worker_main(Instance& inst) {
 
 void Engine::source_loop(Instance& inst, ContextImpl& ctx) {
   auto* src = static_cast<core::SourceFilter*>(inst.user.get());
+  obs::Track* tk = obs_track(inst);
   bool more = true;
   while (more) {
     const auto t0 = Clock::now();
-    more = src->step(ctx);
+    {
+      obs::ScopedSpan span(obs_, tk, "step");
+      more = src->step(ctx);
+    }
     inst.m.busy_time += seconds_since(t0);
     drain(inst);
   }
@@ -468,26 +493,44 @@ void Engine::source_loop(Instance& inst, ContextImpl& ctx) {
 
 void Engine::consume_loop(Instance& inst, ContextImpl& ctx) {
   PortChannel<Delivery>& channel = inst.cset->channel;
+  obs::Track* tk = obs_track(inst);
+  const bool tracing = tk != nullptr && obs_->enabled();
   for (;;) {
     Delivery d;
     int port = -1;
     double waited = 0.0;
-    if (channel.pop(d, port, waited) == PortChannel<Delivery>::Pop::kEow) {
-      inst.m.queue_wait_time += waited;
-      return;
-    }
+    // One queue.wait span per pop, emitted even for instant pops so the
+    // span COUNT is deterministic (goldens compare counts and order, never
+    // durations).
+    if (tracing) tk->begin(obs_->now(), "queue.wait");
+    const auto pop = channel.pop(d, port, waited);
+    if (tracing) tk->end(obs_->now(), "queue.wait");
     inst.m.queue_wait_time += waited;
+    if (pop == PortChannel<Delivery>::Pop::kEow) return;
     inst.m.buffers_in++;
     inst.m.bytes_in += d.buf.size();
+    if (tracing) {
+      tk->instant(obs_->now(), "consume",
+                  static_cast<std::int64_t>(d.buf.size()), port);
+    }
 
     // Receiver-side dequeue frees the producer's flow-control slot; under DD
     // it also acknowledges (the native ack is this direct state update —
     // the counters match the simulator, which models it as a message).
     settle_dequeue(d);
-    if (config_.policy == core::Policy::kDemandDriven) inst.m.acks_sent++;
+    if (config_.policy == core::Policy::kDemandDriven) {
+      inst.m.acks_sent++;
+      if (tracing) {
+        tk->instant(obs_->now(), "dd.ack",
+                    static_cast<std::int64_t>(config_.ack_bytes), d.target);
+      }
+    }
 
     const auto t0 = Clock::now();
-    inst.user->process_buffer(ctx, port, d.buf);
+    {
+      obs::ScopedSpan span(obs_, tk, "process", port);
+      inst.user->process_buffer(ctx, port, d.buf);
+    }
     inst.m.busy_time += seconds_since(t0);
     drain(inst);
   }
@@ -514,6 +557,7 @@ void Engine::drain(Instance& inst) {
 
 void Engine::dispatch(Instance& inst, int port, core::Buffer buf) {
   Writer& w = inst.writers[static_cast<std::size_t>(port)];
+  obs::Track* tk = obs_track(inst);
   const auto local = [&](int t) {
     return w.stream->targets[static_cast<std::size_t>(t)]->host ==
            inst.cset->host;
@@ -536,9 +580,23 @@ void Engine::dispatch(Instance& inst, int port, core::Buffer buf) {
         return target >= 0;
       });
       inst.m.stall_time += seconds_since(t0);
+      if (tk != nullptr && obs_->enabled()) {
+        // Window stall: timing-dependent, excluded from golden traces.
+        tk->begin(obs_->seconds(t0), "stall");
+        tk->end(obs_->now(), "stall");
+      }
       if (aborted_.load(std::memory_order_relaxed)) throw Aborted{};
     }
     w.on_dispatch(target);
+    if (tk != nullptr && obs_->enabled()) {
+      // Routing decision: chosen target plus the policy's outstanding count
+      // for it (unacked under DD, in-flight under RR/WRR) after the dispatch.
+      const auto& counts = config_.policy == core::Policy::kDemandDriven
+                               ? w.unacked
+                               : w.in_flight;
+      tk->instant(obs_->now(), "policy.pick", target,
+                  counts[static_cast<std::size_t>(target)]);
+    }
   }
 
   StreamDelta& sd = inst.stream_local[static_cast<std::size_t>(w.stream->id)];
@@ -555,7 +613,13 @@ void Engine::dispatch(Instance& inst, int port, core::Buffer buf) {
   d.out_port = port;
   d.target = target;
   // Blocking bounded push: capacity backpressure beyond the writer windows.
-  inst.m.stall_time += cset->channel.push(w.stream->spec->to_port, std::move(d));
+  const double pushed = cset->channel.push(w.stream->spec->to_port, std::move(d));
+  inst.m.stall_time += pushed;
+  if (pushed > 0.0 && tk != nullptr && obs_->enabled()) {
+    // Channel backpressure: timing-dependent, excluded from golden traces.
+    tk->instant(obs_->now(), "push.wait",
+                static_cast<std::int64_t>(pushed * 1e6));
+  }
 }
 
 }  // namespace dc::exec

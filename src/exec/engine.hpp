@@ -10,6 +10,7 @@
 #include "core/placement.hpp"
 #include "core/runtime.hpp"
 #include "exec/metrics.hpp"
+#include "obs/recorder.hpp"
 #include "sim/rng.hpp"
 
 namespace dc::exec {
@@ -66,6 +67,17 @@ class Engine {
   [[nodiscard]] int total_copies(int filter) const;
   [[nodiscard]] const std::string& host_class(int host) const;
 
+  /// Attaches a cross-engine observability session (nullptr detaches). Each
+  /// worker thread records onto its own "exec:<filter>#<copy>@h<host>" track:
+  /// init / step / process / eow / finalize callback spans, one queue.wait
+  /// span per channel pop, consume and DD-ack instants, and a policy.pick
+  /// instant (chosen target + outstanding count) per dispatched buffer.
+  /// Timestamps are wall seconds since the session epoch. The session must
+  /// outlive every run_uow() call; detached (the default), each emit site
+  /// costs one pointer null check.
+  void set_obs(obs::TraceSession* session) { obs_ = session; }
+  [[nodiscard]] obs::TraceSession* obs() const { return obs_; }
+
   // Implementation types, public only so that helper structs in the
   // translation unit can reference them; not part of the stable API.
   struct Instance;
@@ -85,6 +97,9 @@ class Engine {
   void dispatch(Instance& inst, int port, core::Buffer buf);
   void settle_dequeue(const Delivery& d);
   void abort_uow();
+  /// Lazily creates the instance's obs track; nullptr when no session is
+  /// attached.
+  obs::Track* obs_track(Instance& inst);
 
   const core::Graph& graph_;
   const core::Placement& placement_;
@@ -101,6 +116,7 @@ class Engine {
 
   Metrics metrics_;
   sim::Rng base_rng_;
+  obs::TraceSession* obs_ = nullptr;
 };
 
 }  // namespace dc::exec

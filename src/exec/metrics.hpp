@@ -5,6 +5,10 @@
 #include <string>
 #include <vector>
 
+namespace dc::obs {
+class MetricsRegistry;
+}
+
 namespace dc::exec {
 
 /// Per-filter-instance counters of the native threaded engine. Mirrors
@@ -91,5 +95,12 @@ struct Metrics {
     return by_class;
   }
 };
+
+/// Publishes this Metrics snapshot into the unified registry under dotted
+/// `<prefix>.` names — the native-engine counterpart of core::publish,
+/// emitting the same key shape (so cross-engine comparisons are key-by-key)
+/// plus the wall-clock-only counters queue_wait_time and io_wait_time.
+void publish(const Metrics& m, obs::MetricsRegistry& reg,
+             const std::string& prefix = "exec");
 
 }  // namespace dc::exec

@@ -42,6 +42,7 @@ void BlockCache::put(std::uint64_t key,
   ++metrics_.insertions;
   evict_locked();
   metrics_.bytes_cached = bytes_;
+  metrics_.resident_blocks = lru_.size();
 }
 
 void BlockCache::evict_locked() {
@@ -61,10 +62,14 @@ bool BlockCache::contains(std::uint64_t key) const {
 
 void BlockCache::clear() {
   std::lock_guard<std::mutex> lk(mu_);
+  // Dropped blocks are evictions too: clear() must keep the conservation
+  // invariant insertions - evictions == resident_blocks.
+  metrics_.evictions += lru_.size();
   lru_.clear();
   map_.clear();
   bytes_ = 0;
   metrics_.bytes_cached = 0;
+  metrics_.resident_blocks = 0;
 }
 
 CacheMetrics BlockCache::metrics() const {

@@ -4,6 +4,10 @@
 #include <string>
 #include <vector>
 
+namespace dc::obs {
+class MetricsRegistry;
+}
+
 namespace dc::io {
 
 /// Counters of one per-disk I/O scheduler thread. Durations are wall-clock
@@ -36,6 +40,11 @@ struct CacheMetrics {
   std::uint64_t prefetch_issued = 0;
   std::uint64_t prefetch_dropped = 0;  ///< queue full / already cached
   std::uint64_t bytes_cached = 0;      ///< current resident payload bytes
+  /// Currently resident blocks. Conservation invariant (asserted by
+  /// tests/test_obs_invariants.cpp): insertions - evictions == resident_blocks
+  /// at all times — clear() therefore counts every dropped block as an
+  /// eviction rather than zeroing silently.
+  std::uint64_t resident_blocks = 0;
 
   [[nodiscard]] double hit_rate() const {
     const std::uint64_t lookups = hits + misses;
@@ -64,5 +73,13 @@ struct IoMetrics {
     return total;
   }
 };
+
+/// Publishes this IoMetrics snapshot into the unified registry under dotted
+/// `<prefix>.` names: reader counters, the `<prefix>.cache.*` group, summed
+/// disk totals, and one `<prefix>.disk.h<host>.d<disk>.*` group per
+/// scheduler thread. The storage-side counterpart of core::publish /
+/// exec::publish.
+void publish(const IoMetrics& m, obs::MetricsRegistry& reg,
+             const std::string& prefix = "io");
 
 }  // namespace dc::io

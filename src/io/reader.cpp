@@ -13,10 +13,14 @@ namespace {
 
 ChunkReader::ChunkReader(const ChunkStore& store, ReaderOptions opts)
     : store_(store), opts_(opts) {
+  if (opts_.trace != nullptr) {
+    otrack_ = &opts_.trace->track("io:reader");
+  }
   cache_ = std::make_unique<BlockCache>(opts_.cache_bytes);
   SchedulerOptions sched;
   sched.queue_capacity = opts_.queue_capacity;
   sched.simulated_latency = opts_.simulated_latency;
+  sched.trace = opts_.trace;
   schedulers_.reserve(store_.disks().size());
   for (const DiskId& d : store_.disks()) {
     schedulers_.push_back(std::make_unique<DiskScheduler>(d, sched));
@@ -70,8 +74,10 @@ std::shared_ptr<const std::vector<std::byte>> ChunkReader::read(
     std::lock_guard<std::mutex> lk(mu_);
     ++read_calls_;
     if (auto data = cache_->get(key)) {
+      emit_instant("cache.hit", chunk, timestep);
       return data;
     }
+    emit_instant("cache.miss", chunk, timestep);
     const auto it = in_flight_.find(key);
     if (it != in_flight_.end()) {
       // Coalesce: join the in-flight prefetch / concurrent demand read. The
@@ -81,6 +87,7 @@ std::shared_ptr<const std::vector<std::byte>> ChunkReader::read(
       slot = it->second.slot;
       joined_prefetch = it->second.prefetch;
       it->second.prefetch = false;
+      emit_instant("read.join", chunk, timestep);
     } else {
       slot = std::make_shared<IoSlot>();
       in_flight_.emplace(key, Flight{slot, /*prefetch=*/false});
@@ -128,6 +135,7 @@ void ChunkReader::prefetch(int chunk, int timestep) {
     std::lock_guard<std::mutex> lk(mu_);
     if (cache_->contains(key) || in_flight_.find(key) != in_flight_.end()) {
       ++prefetch_dropped_;
+      emit_instant("prefetch.drop", chunk, timestep);
       return;
     }
     slot = std::make_shared<IoSlot>();
@@ -138,6 +146,7 @@ void ChunkReader::prefetch(int chunk, int timestep) {
           std::move(req), /*drop_if_full=*/true)) {
     std::lock_guard<std::mutex> lk(mu_);
     ++prefetch_issued_;
+    emit_instant("prefetch.issue", chunk, timestep);
     return;
   }
   // The queue was full and the hint was dropped. Between releasing mu_ and
@@ -150,6 +159,7 @@ void ChunkReader::prefetch(int chunk, int timestep) {
   {
     std::lock_guard<std::mutex> lk(mu_);
     ++prefetch_dropped_;
+    emit_instant("prefetch.drop", chunk, timestep);
     const auto it = in_flight_.find(key);
     if (it != in_flight_.end() && it->second.slot == slot) {
       if (it->second.prefetch) {

@@ -21,6 +21,11 @@ struct ReaderOptions {
   bool verify_checksums = true;
   /// See SchedulerOptions::simulated_latency (benchmarks only).
   std::chrono::microseconds simulated_latency{0};
+  /// Optional observability session, forwarded to every DiskScheduler (one
+  /// "io.read" span per request on per-disk tracks) and used by the reader
+  /// itself for cache.hit / cache.miss / read.join / prefetch.issue /
+  /// prefetch.drop instants on an "io:reader" track. Must outlive the reader.
+  obs::TraceSession* trace = nullptr;
 };
 
 /// The read path of the storage subsystem: resolves (chunk, timestep)
@@ -88,8 +93,17 @@ class ChunkReader {
   IoRequest make_request(const ChunkStore::ChunkHandle& h, std::uint64_t key,
                          std::shared_ptr<IoSlot> slot);
 
+  /// Tracing helper: one null check when detached, one enabled check when
+  /// attached. `name` must be a string literal (obs::Event does not copy it).
+  void emit_instant(const char* name, int chunk, int timestep) {
+    if (otrack_ != nullptr && opts_.trace->enabled()) {
+      otrack_->instant(opts_.trace->now(), name, chunk, timestep);
+    }
+  }
+
   const ChunkStore& store_;
   ReaderOptions opts_;
+  obs::Track* otrack_ = nullptr;  ///< shared reader lane; null when not tracing
   std::unique_ptr<BlockCache> cache_;
   std::vector<std::unique_ptr<DiskScheduler>> schedulers_;  ///< per disk
 

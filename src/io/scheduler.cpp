@@ -39,6 +39,10 @@ DiskScheduler::DiskScheduler(DiskId id, SchedulerOptions opts)
   }
   metrics_.host = id_.host;
   metrics_.disk = id_.disk;
+  if (opts_.trace != nullptr) {
+    otrack_ = &opts_.trace->track("io:disk h" + std::to_string(id_.host) +
+                                  "/d" + std::to_string(id_.disk));
+  }
   thread_ = std::thread([this] { thread_main(); });
 }
 
@@ -104,6 +108,11 @@ void DiskScheduler::thread_main() {
 
 void DiskScheduler::serve(IoRequest& req, double queue_wait) {
   const auto t0 = std::chrono::steady_clock::now();
+  if (otrack_ != nullptr && opts_.trace->enabled()) {
+    otrack_->begin(opts_.trace->seconds(t0), "io.read",
+                   static_cast<std::int64_t>(req.bytes),
+                   static_cast<std::int64_t>(queue_wait * 1e6));
+  }
   auto data = std::make_shared<std::vector<std::byte>>(req.bytes);
   std::string error;
 
@@ -142,6 +151,9 @@ void DiskScheduler::serve(IoRequest& req, double queue_wait) {
     metrics_.bytes += req.bytes;
     metrics_.queue_wait_s += queue_wait;
     metrics_.service_s += seconds_since(t0);
+  }
+  if (otrack_ != nullptr && opts_.trace->enabled()) {
+    otrack_->end(opts_.trace->now(), "io.read");
   }
   {
     std::lock_guard<std::mutex> lk(req.slot->mu);

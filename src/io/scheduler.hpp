@@ -14,6 +14,7 @@
 
 #include "io/chunk_store.hpp"
 #include "io/metrics.hpp"
+#include "obs/recorder.hpp"
 
 namespace dc::io {
 
@@ -55,6 +56,10 @@ struct SchedulerOptions {
   /// (otherwise every read returns in microseconds and readahead has nothing
   /// to hide).
   std::chrono::microseconds simulated_latency{0};
+  /// Optional observability session. When set, the scheduler thread records
+  /// one "io.read" span per served request (a0 = bytes, a1 = queue depth at
+  /// submit) on a per-disk track. Must outlive the scheduler.
+  obs::TraceSession* trace = nullptr;
 };
 
 /// One I/O scheduler thread per simulated disk — the storage-side mirror of
@@ -83,6 +88,7 @@ class DiskScheduler {
 
   DiskId id_;
   SchedulerOptions opts_;
+  obs::Track* otrack_ = nullptr;  ///< per-disk lane; null when not tracing
 
   mutable std::mutex mu_;
   std::condition_variable work_;   ///< scheduler: queue non-empty or stopping

@@ -1,0 +1,22 @@
+#pragma once
+
+#include <ostream>
+#include <string>
+
+#include "obs/recorder.hpp"
+
+namespace dc::obs {
+
+/// Writes the session as one Chrome trace-event JSON object, loadable in
+/// Perfetto (ui.perfetto.dev) or chrome://tracing. Each track becomes a
+/// thread lane (tid = track index in label order, named via thread_name
+/// metadata); kBegin/kEnd map to "B"/"E" spans, kInstant to thread-scoped
+/// "i", kCounter to "C". Timestamps are the recorded seconds * 1e6 — wall
+/// microseconds for native emitters, virtual microseconds for the simulator
+/// — so a mixed capture renders both engines on the same timeline.
+void write_chrome_trace(const TraceSession& session, std::ostream& os);
+
+/// File convenience; returns false when the file cannot be written.
+bool write_chrome_trace(const TraceSession& session, const std::string& path);
+
+}  // namespace dc::obs

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <cstdint>
+
+namespace dc::obs {
+
+/// Kind of one recorded event, mirroring the Chrome trace-event phases the
+/// exporter maps them to (B / E / i / C).
+enum class EventKind : std::uint8_t {
+  kBegin,    ///< span opens on its track
+  kEnd,      ///< span closes on its track
+  kInstant,  ///< point event
+  kCounter,  ///< sampled counter value (a0 carries the value)
+};
+
+[[nodiscard]] inline const char* to_string(EventKind k) {
+  switch (k) {
+    case EventKind::kBegin: return "B";
+    case EventKind::kEnd: return "E";
+    case EventKind::kInstant: return "i";
+    case EventKind::kCounter: return "C";
+  }
+  return "?";
+}
+
+/// One recorded event. Fixed-size and string-free: `name` must point to a
+/// string with static storage duration (in practice, a literal), so recording
+/// never allocates and ring-buffer slots are trivially reusable. `t` is
+/// seconds — wall seconds since the session epoch for native emitters,
+/// virtual seconds for the simulator — and `seq` is the session-global
+/// sequence number, the only ordering golden tests may rely on (wall-clock
+/// timestamps are not reproducible).
+struct Event {
+  std::uint64_t seq = 0;
+  double t = 0.0;
+  std::int64_t a0 = 0;  ///< event argument (counter value for kCounter)
+  std::int64_t a1 = 0;
+  const char* name = "";
+  EventKind kind = EventKind::kInstant;
+};
+
+}  // namespace dc::obs

@@ -1,0 +1,216 @@
+#include "obs/json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace dc::obs::json {
+
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string number(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.12g", v);
+  return buf;
+}
+
+const Value* Value::find(const std::string& key) const {
+  if (type != Type::kObject) return nullptr;
+  for (const auto& [k, v] : object) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+namespace {
+
+struct Parser {
+  const char* p;
+  const char* end;
+  std::string error;
+
+  void skip_ws() {
+    while (p != end && (*p == ' ' || *p == '\t' || *p == '\n' || *p == '\r')) {
+      ++p;
+    }
+  }
+
+  bool fail(const std::string& msg) {
+    error = msg;
+    return false;
+  }
+
+  bool literal(const char* word) {
+    for (const char* w = word; *w != '\0'; ++w, ++p) {
+      if (p == end || *p != *w) return fail(std::string("expected ") + word);
+    }
+    return true;
+  }
+
+  bool parse_string(std::string& out) {
+    if (p == end || *p != '"') return fail("expected string");
+    ++p;
+    out.clear();
+    while (p != end && *p != '"') {
+      char c = *p++;
+      if (c == '\\') {
+        if (p == end) return fail("unterminated escape");
+        const char esc = *p++;
+        switch (esc) {
+          case '"': c = '"'; break;
+          case '\\': c = '\\'; break;
+          case '/': c = '/'; break;
+          case 'n': c = '\n'; break;
+          case 'r': c = '\r'; break;
+          case 't': c = '\t'; break;
+          case 'b': c = '\b'; break;
+          case 'f': c = '\f'; break;
+          case 'u': {
+            if (end - p < 4) return fail("bad \\u escape");
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = *p++;
+              code <<= 4;
+              if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+              else return fail("bad \\u escape");
+            }
+            // Validation-oriented: non-ASCII escapes keep a placeholder.
+            c = code < 0x80 ? static_cast<char>(code) : '?';
+            break;
+          }
+          default: return fail("unknown escape");
+        }
+      }
+      out += c;
+    }
+    if (p == end) return fail("unterminated string");
+    ++p;  // closing quote
+    return true;
+  }
+
+  bool parse_value(Value& out) {
+    skip_ws();
+    if (p == end) return fail("unexpected end of input");
+    switch (*p) {
+      case '{': {
+        ++p;
+        out.type = Value::Type::kObject;
+        skip_ws();
+        if (p != end && *p == '}') { ++p; return true; }
+        for (;;) {
+          skip_ws();
+          std::string key;
+          if (!parse_string(key)) return false;
+          skip_ws();
+          if (p == end || *p != ':') return fail("expected ':'");
+          ++p;
+          Value v;
+          if (!parse_value(v)) return false;
+          out.object.emplace_back(std::move(key), std::move(v));
+          skip_ws();
+          if (p != end && *p == ',') { ++p; continue; }
+          if (p != end && *p == '}') { ++p; return true; }
+          return fail("expected ',' or '}'");
+        }
+      }
+      case '[': {
+        ++p;
+        out.type = Value::Type::kArray;
+        skip_ws();
+        if (p != end && *p == ']') { ++p; return true; }
+        for (;;) {
+          Value v;
+          if (!parse_value(v)) return false;
+          out.array.push_back(std::move(v));
+          skip_ws();
+          if (p != end && *p == ',') { ++p; continue; }
+          if (p != end && *p == ']') { ++p; return true; }
+          return fail("expected ',' or ']'");
+        }
+      }
+      case '"':
+        out.type = Value::Type::kString;
+        return parse_string(out.str);
+      case 't':
+        out.type = Value::Type::kBool;
+        out.boolean = true;
+        return literal("true");
+      case 'f':
+        out.type = Value::Type::kBool;
+        out.boolean = false;
+        return literal("false");
+      case 'n':
+        out.type = Value::Type::kNull;
+        return literal("null");
+      default: {
+        // Number. Strict-ish: must start with '-' or digit (rejects the
+        // "nan"/"inf"/"+1" spellings printf can produce).
+        if (*p != '-' && (std::isdigit(static_cast<unsigned char>(*p)) == 0)) {
+          return fail("unexpected character");
+        }
+        const char* first_digit = *p == '-' ? p + 1 : p;
+        if (first_digit != end && *first_digit == '0' &&
+            first_digit + 1 != end &&
+            std::isdigit(static_cast<unsigned char>(first_digit[1])) != 0) {
+          return fail("leading zero in number");
+        }
+        char* num_end = nullptr;
+        const double v = std::strtod(p, &num_end);
+        if (num_end == p) return fail("bad number");
+        if (!std::isfinite(v)) return fail("non-finite number");
+        out.type = Value::Type::kNumber;
+        out.num = v;
+        p = num_end;
+        return true;
+      }
+    }
+  }
+};
+
+}  // namespace
+
+bool parse(const std::string& text, Value& out, std::string* error) {
+  Parser parser{text.data(), text.data() + text.size(), {}};
+  out = Value{};
+  const bool ok = parser.parse_value(out);
+  if (ok) {
+    parser.skip_ws();
+    if (parser.p != parser.end) {
+      if (error != nullptr) *error = "trailing garbage after JSON value";
+      return false;
+    }
+    return true;
+  }
+  if (error != nullptr) {
+    *error = parser.error + " at offset " +
+             std::to_string(parser.p - text.data());
+  }
+  return false;
+}
+
+}  // namespace dc::obs::json

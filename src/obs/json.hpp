@@ -1,0 +1,44 @@
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace dc::obs::json {
+
+/// Escapes a string for inclusion inside JSON double quotes.
+[[nodiscard]] std::string escape(const std::string& s);
+
+/// Formats a double as a JSON number. Non-finite values have no JSON
+/// representation; they are emitted as null (the schema checks treat that as
+/// a broken metric, which is the point).
+[[nodiscard]] std::string number(double v);
+
+/// Minimal strict JSON value for the bench-schema checks and trace tests:
+/// objects (insertion-ordered), arrays, strings, finite numbers, booleans,
+/// null. Not a general-purpose library — just enough to validate what this
+/// repo emits.
+struct Value {
+  enum class Type { kNull, kBool, kNumber, kString, kObject, kArray };
+  Type type = Type::kNull;
+  bool boolean = false;
+  double num = 0.0;
+  std::string str;
+  std::vector<std::pair<std::string, Value>> object;
+  std::vector<Value> array;
+
+  [[nodiscard]] bool is_object() const { return type == Type::kObject; }
+  [[nodiscard]] bool is_array() const { return type == Type::kArray; }
+  [[nodiscard]] bool is_number() const { return type == Type::kNumber; }
+  [[nodiscard]] bool is_string() const { return type == Type::kString; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  [[nodiscard]] const Value* find(const std::string& key) const;
+};
+
+/// Parses `text` into `out`. Returns false (and fills `error` when non-null)
+/// on any syntax violation, trailing garbage, or non-finite number — "every
+/// number is finite" is part of the grammar here by design.
+bool parse(const std::string& text, Value& out, std::string* error = nullptr);
+
+}  // namespace dc::obs::json

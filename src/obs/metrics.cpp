@@ -1,0 +1,104 @@
+#include "obs/metrics.hpp"
+
+#include "obs/json.hpp"
+
+namespace dc::obs {
+
+void MetricsRegistry::set(const std::string& name, std::int64_t v) {
+  std::lock_guard<std::mutex> lk(mu_);
+  cells_[name] = Cell{true, v, 0.0};
+}
+
+void MetricsRegistry::set(const std::string& name, std::uint64_t v) {
+  set(name, static_cast<std::int64_t>(v));
+}
+
+void MetricsRegistry::set(const std::string& name, double v) {
+  std::lock_guard<std::mutex> lk(mu_);
+  cells_[name] = Cell{false, 0, v};
+}
+
+void MetricsRegistry::add(const std::string& name, std::int64_t v) {
+  std::lock_guard<std::mutex> lk(mu_);
+  Cell& c = cells_[name];
+  if (c.is_int) {
+    c.i += v;
+  } else {
+    c.d += static_cast<double>(v);
+  }
+}
+
+void MetricsRegistry::add(const std::string& name, std::uint64_t v) {
+  add(name, static_cast<std::int64_t>(v));
+}
+
+void MetricsRegistry::add(const std::string& name, double v) {
+  std::lock_guard<std::mutex> lk(mu_);
+  Cell& c = cells_[name];
+  if (c.is_int && c.i == 0) {
+    // Fresh (or still-zero) cell promoted to double.
+    c.is_int = false;
+    c.d = v;
+  } else if (c.is_int) {
+    c.is_int = false;
+    c.d = static_cast<double>(c.i) + v;
+  } else {
+    c.d += v;
+  }
+}
+
+bool MetricsRegistry::has(const std::string& name) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return cells_.find(name) != cells_.end();
+}
+
+double MetricsRegistry::value(const std::string& name) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  const auto it = cells_.find(name);
+  if (it == cells_.end()) return 0.0;
+  return it->second.is_int ? static_cast<double>(it->second.i) : it->second.d;
+}
+
+std::int64_t MetricsRegistry::value_int(const std::string& name) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  const auto it = cells_.find(name);
+  if (it == cells_.end()) return 0;
+  return it->second.is_int ? it->second.i
+                           : static_cast<std::int64_t>(it->second.d);
+}
+
+std::size_t MetricsRegistry::size() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return cells_.size();
+}
+
+std::vector<std::string> MetricsRegistry::names() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<std::string> out;
+  out.reserve(cells_.size());
+  for (const auto& [name, cell] : cells_) out.push_back(name);
+  return out;
+}
+
+std::string MetricsRegistry::to_json() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [name, cell] : cells_) {
+    if (!first) out += ",";
+    first = false;
+    out += '"';
+    out += json::escape(name);
+    out += "\":";
+    out += cell.is_int ? std::to_string(cell.i) : json::number(cell.d);
+  }
+  out += "}";
+  return out;
+}
+
+void MetricsRegistry::clear() {
+  std::lock_guard<std::mutex> lk(mu_);
+  cells_.clear();
+}
+
+}  // namespace dc::obs

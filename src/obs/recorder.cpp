@@ -1,0 +1,116 @@
+#include "obs/recorder.hpp"
+
+#include <algorithm>
+
+namespace dc::obs {
+
+Track::Track(TraceSession* session, std::string label, std::size_t capacity)
+    : session_(session), label_(std::move(label)) {
+  ring_.resize(capacity == 0 ? 1 : capacity);
+}
+
+void Track::push(EventKind kind, double t, const char* name, std::int64_t a0,
+                 std::int64_t a1) {
+  if (!session_->enabled()) return;  // the one branch on the disabled path
+  Event e;
+  e.seq = session_->next_seq();
+  e.t = t;
+  e.a0 = a0;
+  e.a1 = a1;
+  e.name = name;
+  e.kind = kind;
+  std::lock_guard<std::mutex> lk(mu_);
+  if (count_ == ring_.size()) {
+    ++dropped_;  // drop-oldest: the write cursor sits on the oldest event
+  } else {
+    ++count_;
+  }
+  ring_[next_] = e;
+  next_ = (next_ + 1) % ring_.size();
+}
+
+std::vector<Event> Track::events() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<Event> out;
+  out.reserve(count_);
+  // When full, the oldest event is at next_; otherwise the ring has never
+  // wrapped and events start at 0.
+  const std::size_t start = count_ == ring_.size() ? next_ : 0;
+  for (std::size_t i = 0; i < count_; ++i) {
+    out.push_back(ring_[(start + i) % ring_.size()]);
+  }
+  return out;
+}
+
+std::uint64_t Track::dropped() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return dropped_;
+}
+
+std::size_t Track::size() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return count_;
+}
+
+TraceSession::TraceSession(TraceOptions opts)
+    : opts_(opts),
+      enabled_(opts.enabled),
+      epoch_(std::chrono::steady_clock::now()) {}
+
+Track& TraceSession::track(const std::string& label) {
+  std::lock_guard<std::mutex> lk(mu_);
+  const auto it = by_label_.find(label);
+  if (it != by_label_.end()) return *it->second;
+  tracks_.emplace_back(this, label, opts_.track_capacity);
+  Track* t = &tracks_.back();
+  by_label_.emplace(label, t);
+  allocations_.fetch_add(1, std::memory_order_relaxed);
+  return *t;
+}
+
+double TraceSession::now() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       epoch_)
+      .count();
+}
+
+double TraceSession::seconds(std::chrono::steady_clock::time_point tp) const {
+  return std::chrono::duration<double>(tp - epoch_).count();
+}
+
+std::vector<const Track*> TraceSession::tracks() const {
+  std::vector<const Track*> out;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    for (const Track& t : tracks_) out.push_back(&t);
+  }
+  std::sort(out.begin(), out.end(), [](const Track* a, const Track* b) {
+    return a->label() < b->label();
+  });
+  return out;
+}
+
+std::vector<Event> TraceSession::ordered_events() const {
+  std::vector<Event> out;
+  for (const Track* t : tracks()) {
+    const std::vector<Event> ev = t->events();
+    out.insert(out.end(), ev.begin(), ev.end());
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Event& a, const Event& b) { return a.seq < b.seq; });
+  return out;
+}
+
+std::uint64_t TraceSession::dropped_events() const {
+  std::uint64_t total = 0;
+  for (const Track* t : tracks()) total += t->dropped();
+  return total;
+}
+
+std::uint64_t TraceSession::event_count() const {
+  std::uint64_t total = 0;
+  for (const Track* t : tracks()) total += t->size();
+  return total;
+}
+
+}  // namespace dc::obs

@@ -1,0 +1,170 @@
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "obs/event.hpp"
+
+namespace dc::obs {
+
+class TraceSession;
+
+/// One lane of a trace: a bounded ring buffer of events plus a label. Tracks
+/// map onto Chrome-trace threads, and the intended usage is single-writer —
+/// one track per engine worker thread / disk scheduler thread — but emission
+/// is fully thread-safe (a mutex per track; shared tracks like the io
+/// reader's are written by many filter threads).
+///
+/// Cost contract: when the owning session is disabled, every emit returns
+/// after ONE relaxed atomic load and branch — no lock, no clock, no
+/// allocation. When enabled, emits write into the preallocated ring and
+/// still never allocate; a full ring drops the OLDEST event and counts it
+/// in dropped() instead of growing.
+class Track {
+ public:
+  Track(TraceSession* session, std::string label, std::size_t capacity);
+
+  Track(const Track&) = delete;
+  Track& operator=(const Track&) = delete;
+
+  void begin(double t, const char* name, std::int64_t a0 = 0,
+             std::int64_t a1 = 0) {
+    push(EventKind::kBegin, t, name, a0, a1);
+  }
+  void end(double t, const char* name, std::int64_t a0 = 0,
+           std::int64_t a1 = 0) {
+    push(EventKind::kEnd, t, name, a0, a1);
+  }
+  void instant(double t, const char* name, std::int64_t a0 = 0,
+               std::int64_t a1 = 0) {
+    push(EventKind::kInstant, t, name, a0, a1);
+  }
+  void counter(double t, const char* name, std::int64_t value) {
+    push(EventKind::kCounter, t, name, value, 0);
+  }
+
+  [[nodiscard]] const std::string& label() const { return label_; }
+  /// Snapshot of the retained events, oldest first.
+  [[nodiscard]] std::vector<Event> events() const;
+  /// Events overwritten because the ring was full (drop-oldest).
+  [[nodiscard]] std::uint64_t dropped() const;
+  /// Events currently retained (<= capacity).
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::size_t capacity() const { return ring_.size(); }
+
+ private:
+  void push(EventKind kind, double t, const char* name, std::int64_t a0,
+            std::int64_t a1);
+
+  TraceSession* session_;
+  std::string label_;
+  mutable std::mutex mu_;
+  std::vector<Event> ring_;  ///< preallocated; never resized after ctor
+  std::size_t next_ = 0;     ///< write cursor
+  std::size_t count_ = 0;    ///< valid events
+  std::uint64_t dropped_ = 0;
+};
+
+/// Tuning of one TraceSession.
+struct TraceOptions {
+  std::size_t track_capacity = 16 * 1024;  ///< events per track ring buffer
+  bool enabled = true;                     ///< initial state
+};
+
+/// One tracing session: a set of named tracks sharing an enable switch, a
+/// global sequence counter, and a wall-clock epoch. Both execution engines
+/// and the io layer emit into the same session, so one capture renders the
+/// whole pipeline — simulator lanes in virtual time, native lanes in wall
+/// time — on a single Perfetto timeline (see obs::write_chrome_trace).
+///
+/// Creating a track allocates (counted in allocation_count(), which the
+/// overhead tests use to assert the emit path allocates nothing); emitting
+/// never does.
+class TraceSession {
+ public:
+  explicit TraceSession(TraceOptions opts = {});
+
+  TraceSession(const TraceSession&) = delete;
+  TraceSession& operator=(const TraceSession&) = delete;
+
+  /// Create-or-get the track with this label (stable address for the
+  /// session's lifetime).
+  Track& track(const std::string& label);
+
+  void set_enabled(bool on) {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool enabled() const {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Wall seconds since the session epoch (native emitters' time base).
+  [[nodiscard]] double now() const;
+  /// Converts a steady_clock time point to session seconds.
+  [[nodiscard]] double seconds(std::chrono::steady_clock::time_point tp) const;
+
+  [[nodiscard]] std::uint64_t next_seq() {
+    return seq_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// All tracks, sorted by label (deterministic for tests/export).
+  [[nodiscard]] std::vector<const Track*> tracks() const;
+  /// All retained events across tracks, merged and sorted by seq.
+  [[nodiscard]] std::vector<Event> ordered_events() const;
+
+  [[nodiscard]] std::uint64_t dropped_events() const;
+  [[nodiscard]] std::uint64_t event_count() const;
+  /// Number of obs-owned heap allocations (track creations). Stable across
+  /// any number of emits — the disabled-path / hot-path no-allocation
+  /// contract is asserted against this counter.
+  [[nodiscard]] std::uint64_t allocation_count() const {
+    return allocations_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] const TraceOptions& options() const { return opts_; }
+
+ private:
+  TraceOptions opts_;
+  std::atomic<bool> enabled_;
+  std::atomic<std::uint64_t> seq_{0};
+  std::atomic<std::uint64_t> allocations_{0};
+  std::chrono::steady_clock::time_point epoch_;
+
+  mutable std::mutex mu_;               ///< guards tracks_/by_label_
+  std::deque<Track> tracks_;            ///< stable addresses
+  std::unordered_map<std::string, Track*> by_label_;
+};
+
+/// RAII span on a track: begin at construction, end at destruction, in the
+/// session's wall clock. Null-safe: with a null track it does nothing.
+class ScopedSpan {
+ public:
+  ScopedSpan() = default;
+  ScopedSpan(TraceSession* session, Track* track, const char* name,
+             std::int64_t a0 = 0, std::int64_t a1 = 0)
+      : session_(session), track_(track), name_(name) {
+    if (track_ != nullptr && session_->enabled()) {
+      track_->begin(session_->now(), name_, a0, a1);
+      open_ = true;
+    }
+  }
+  ~ScopedSpan() {
+    if (open_) track_->end(session_->now(), name_);
+  }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  TraceSession* session_ = nullptr;
+  Track* track_ = nullptr;
+  const char* name_ = "";
+  bool open_ = false;
+};
+
+}  // namespace dc::obs

@@ -1,9 +1,10 @@
 #pragma once
 
+#include <cstdint>
+#include <deque>
 #include <functional>
 #include <sstream>
 #include <string>
-#include <vector>
 
 #include "sim/time.hpp"
 
@@ -12,8 +13,17 @@ namespace dc::sim {
 /// Lightweight optional event trace. Disabled by default so the hot path
 /// costs one branch; when enabled, records (time, tag, detail) tuples that
 /// tests and debugging tools can inspect.
+///
+/// Retention is bounded: when the record count reaches the capacity, each new
+/// record evicts the OLDEST one and `dropped()` counts the loss — the same
+/// drop-oldest contract as obs::Track, so a long simulation cannot grow the
+/// trace without bound. The default capacity is large enough that the test
+/// workloads never drop; lower it with set_capacity() to exercise the
+/// bounded path.
 class Trace {
  public:
+  static constexpr std::size_t kDefaultCapacity = 1 << 20;
+
   struct Record {
     SimTime time;
     std::string tag;
@@ -25,11 +35,31 @@ class Trace {
 
   void emit(SimTime t, std::string tag, std::string detail) {
     if (!enabled_) return;
+    if (records_.size() >= capacity_) {
+      records_.pop_front();
+      ++dropped_;
+    }
     records_.push_back(Record{t, std::move(tag), std::move(detail)});
   }
 
-  [[nodiscard]] const std::vector<Record>& records() const { return records_; }
-  void clear() { records_.clear(); }
+  [[nodiscard]] const std::deque<Record>& records() const { return records_; }
+  void clear() {
+    records_.clear();
+    dropped_ = 0;
+  }
+
+  /// Caps retained records; 0 is clamped to 1. Existing overflow is evicted
+  /// (oldest first) and counted as dropped.
+  void set_capacity(std::size_t cap) {
+    capacity_ = cap == 0 ? 1 : cap;
+    while (records_.size() > capacity_) {
+      records_.pop_front();
+      ++dropped_;
+    }
+  }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  /// Records evicted because the trace was full.
+  [[nodiscard]] std::uint64_t dropped() const { return dropped_; }
 
   /// Number of records whose tag equals `tag`.
   [[nodiscard]] std::size_t count(const std::string& tag) const;
@@ -39,7 +69,9 @@ class Trace {
 
  private:
   bool enabled_ = false;
-  std::vector<Record> records_;
+  std::size_t capacity_ = kDefaultCapacity;
+  std::uint64_t dropped_ = 0;
+  std::deque<Record> records_;
 };
 
 }  // namespace dc::sim

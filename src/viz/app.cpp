@@ -101,6 +101,7 @@ RenderRun run_iso_app(sim::Topology& topo, const IsoAppSpec& spec,
   IsoApp app = build_iso_app(spec);
   core::RuntimeConfig cfg = rt_config;
   core::Runtime rt(topo, app.graph, app.placement, cfg);
+  rt.set_obs(spec.trace);
 
   RenderRun run;
   run.sink = app.sink;
@@ -120,6 +121,7 @@ NativeRenderRun run_iso_app_native(const IsoAppSpec& spec,
                                    int uows, exec::HostInfo hosts) {
   IsoApp app = build_iso_app(spec);
   exec::Engine eng(app.graph, app.placement, rt_config, std::move(hosts));
+  eng.set_obs(spec.trace);
 
   NativeRenderRun run;
   run.sink = app.sink;

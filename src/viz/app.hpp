@@ -46,6 +46,11 @@ struct IsoAppSpec {
   std::size_t tri_buffer_bytes = 64 * 1024;    ///< E -> Ra
   std::size_t pix_buffer_bytes = 64 * 1024;    ///< Ra -> M
   bool keep_images = true;
+  /// Optional observability session attached to the engine for the whole run
+  /// (Runtime::set_obs / Engine::set_obs). The caller owns it — and wires
+  /// the SAME session into the workload's ChunkReader (ReaderOptions::trace)
+  /// when it wants disk-scheduler lanes in the capture. Must outlive the run.
+  obs::TraceSession* trace = nullptr;
 };
 
 /// An assembled (but not yet instantiated) application.

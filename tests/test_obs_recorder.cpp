@@ -1,0 +1,213 @@
+#include "obs/recorder.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+// Unit tests of the span/counter recorder: sequence-numbered ordering across
+// tracks, the drop-oldest bounded ring, and the cost contract — a disabled
+// session swallows every emit after one branch, and the emit path never
+// allocates (asserted via TraceSession::allocation_count, which counts only
+// track creations).
+
+namespace dc::obs {
+namespace {
+
+TEST(ObsRecorder, EventsCarryKindNameAndArgs) {
+  TraceSession s;
+  Track& tk = s.track("t");
+  tk.begin(1.0, "work", 7, 8);
+  tk.end(2.0, "work");
+  tk.instant(2.5, "mark", 42);
+  tk.counter(3.0, "depth", 5);
+
+  const std::vector<Event> ev = tk.events();
+  ASSERT_EQ(ev.size(), 4u);
+  EXPECT_EQ(ev[0].kind, EventKind::kBegin);
+  EXPECT_STREQ(ev[0].name, "work");
+  EXPECT_EQ(ev[0].a0, 7);
+  EXPECT_EQ(ev[0].a1, 8);
+  EXPECT_DOUBLE_EQ(ev[0].t, 1.0);
+  EXPECT_EQ(ev[1].kind, EventKind::kEnd);
+  EXPECT_EQ(ev[2].kind, EventKind::kInstant);
+  EXPECT_EQ(ev[2].a0, 42);
+  EXPECT_EQ(ev[3].kind, EventKind::kCounter);
+  EXPECT_EQ(ev[3].a0, 5);
+}
+
+TEST(ObsRecorder, SeqTotalOrdersEventsAcrossTracks) {
+  TraceSession s;
+  Track& a = s.track("a");
+  Track& b = s.track("b");
+  a.instant(0.0, "a0");
+  b.instant(0.0, "b0");
+  a.instant(0.0, "a1");
+  b.instant(0.0, "b1");
+
+  const std::vector<Event> ev = s.ordered_events();
+  ASSERT_EQ(ev.size(), 4u);
+  EXPECT_STREQ(ev[0].name, "a0");
+  EXPECT_STREQ(ev[1].name, "b0");
+  EXPECT_STREQ(ev[2].name, "a1");
+  EXPECT_STREQ(ev[3].name, "b1");
+  for (std::size_t i = 1; i < ev.size(); ++i) {
+    EXPECT_LT(ev[i - 1].seq, ev[i].seq);
+  }
+}
+
+TEST(ObsRecorder, TrackIsCreateOrGetWithStableAddress) {
+  TraceSession s;
+  Track& a = s.track("lane");
+  a.instant(0.0, "x");
+  Track& b = s.track("lane");
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(b.events().size(), 1u);
+  EXPECT_EQ(s.tracks().size(), 1u);
+}
+
+TEST(ObsRecorder, TracksListIsSortedByLabel) {
+  TraceSession s;
+  s.track("zeta");
+  s.track("alpha");
+  s.track("mid");
+  const auto tracks = s.tracks();
+  ASSERT_EQ(tracks.size(), 3u);
+  EXPECT_EQ(tracks[0]->label(), "alpha");
+  EXPECT_EQ(tracks[1]->label(), "mid");
+  EXPECT_EQ(tracks[2]->label(), "zeta");
+}
+
+TEST(ObsRecorder, RingDropsOldestAndCountsDrops) {
+  TraceOptions opts;
+  opts.track_capacity = 4;
+  TraceSession s(opts);
+  Track& tk = s.track("t");
+  for (int i = 0; i < 10; ++i) {
+    tk.instant(static_cast<double>(i), "e", i);
+  }
+  EXPECT_EQ(tk.size(), 4u);
+  EXPECT_EQ(tk.capacity(), 4u);
+  EXPECT_EQ(tk.dropped(), 6u);
+  const std::vector<Event> ev = tk.events();
+  ASSERT_EQ(ev.size(), 4u);
+  // Oldest-first snapshot of the newest four events.
+  EXPECT_EQ(ev[0].a0, 6);
+  EXPECT_EQ(ev[3].a0, 9);
+  EXPECT_EQ(s.dropped_events(), 6u);
+  EXPECT_EQ(s.event_count(), 4u);
+}
+
+TEST(ObsRecorder, DisabledSessionRecordsNothing) {
+  TraceOptions opts;
+  opts.enabled = false;
+  TraceSession s(opts);
+  Track& tk = s.track("t");
+  const std::uint64_t allocs = s.allocation_count();
+  for (int i = 0; i < 1000; ++i) {
+    tk.begin(1.0, "w");
+    tk.end(2.0, "w");
+    tk.instant(3.0, "i");
+    tk.counter(4.0, "c", i);
+  }
+  EXPECT_EQ(s.event_count(), 0u);
+  EXPECT_EQ(tk.size(), 0u);
+  EXPECT_EQ(tk.dropped(), 0u);
+  // The emit path allocates nothing — only track creation is counted.
+  EXPECT_EQ(s.allocation_count(), allocs);
+}
+
+TEST(ObsRecorder, EnabledEmitPathNeverAllocates) {
+  TraceOptions opts;
+  opts.track_capacity = 64;  // force wraparound too
+  TraceSession s(opts);
+  Track& tk = s.track("t");
+  const std::uint64_t allocs = s.allocation_count();
+  for (int i = 0; i < 10'000; ++i) tk.instant(0.0, "e", i);
+  EXPECT_EQ(s.allocation_count(), allocs);
+  EXPECT_EQ(tk.size(), 64u);
+  EXPECT_EQ(tk.dropped(), 10'000u - 64u);
+}
+
+TEST(ObsRecorder, SetEnabledGatesMidStream) {
+  TraceSession s;
+  Track& tk = s.track("t");
+  tk.instant(0.0, "kept1");
+  s.set_enabled(false);
+  tk.instant(0.0, "swallowed");
+  s.set_enabled(true);
+  tk.instant(0.0, "kept2");
+  const std::vector<Event> ev = tk.events();
+  ASSERT_EQ(ev.size(), 2u);
+  EXPECT_STREQ(ev[0].name, "kept1");
+  EXPECT_STREQ(ev[1].name, "kept2");
+}
+
+TEST(ObsRecorder, ScopedSpanEmitsBeginEndPair) {
+  TraceSession s;
+  Track& tk = s.track("t");
+  {
+    ScopedSpan span(&s, &tk, "job", 1, 2);
+  }
+  const std::vector<Event> ev = tk.events();
+  ASSERT_EQ(ev.size(), 2u);
+  EXPECT_EQ(ev[0].kind, EventKind::kBegin);
+  EXPECT_STREQ(ev[0].name, "job");
+  EXPECT_EQ(ev[0].a0, 1);
+  EXPECT_EQ(ev[1].kind, EventKind::kEnd);
+  EXPECT_LE(ev[0].t, ev[1].t);
+  EXPECT_LT(ev[0].seq, ev[1].seq);
+}
+
+TEST(ObsRecorder, ScopedSpanIsNullSafe) {
+  TraceSession s;
+  {
+    ScopedSpan unset;
+    ScopedSpan null_track(&s, nullptr, "job");
+  }
+  EXPECT_EQ(s.event_count(), 0u);
+}
+
+TEST(ObsRecorder, ScopedSpanSkipsEndWhenDisabledAtOpen) {
+  TraceSession s;
+  Track& tk = s.track("t");
+  s.set_enabled(false);
+  {
+    ScopedSpan span(&s, &tk, "job");  // begin swallowed -> no dangling end
+  }
+  s.set_enabled(true);
+  EXPECT_EQ(tk.size(), 0u);
+}
+
+TEST(ObsRecorder, ConcurrentEmittersKeepUniqueSeqs) {
+  TraceSession s;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 500;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int w = 0; w < kThreads; ++w) {
+    workers.emplace_back([&s, w] {
+      Track& tk = s.track("t" + std::to_string(w));
+      for (int i = 0; i < kPerThread; ++i) tk.instant(0.0, "e", i);
+    });
+  }
+  for (auto& t : workers) t.join();
+
+  const std::vector<Event> ev = s.ordered_events();
+  ASSERT_EQ(ev.size(), static_cast<std::size_t>(kThreads * kPerThread));
+  for (std::size_t i = 1; i < ev.size(); ++i) {
+    EXPECT_LT(ev[i - 1].seq, ev[i].seq);  // strict: no duplicate seqs
+  }
+}
+
+TEST(ObsRecorder, SessionClockIsMonotonic) {
+  TraceSession s;
+  const double t0 = s.now();
+  const double t1 = s.now();
+  EXPECT_GE(t0, 0.0);
+  EXPECT_GE(t1, t0);
+  EXPECT_GE(s.seconds(std::chrono::steady_clock::now()), t1);
+}
+
+}  // namespace
+}  // namespace dc::obs

@@ -58,5 +58,61 @@ TEST(Trace, CanBeReDisabled) {
   EXPECT_EQ(t.records().size(), 1u);
 }
 
+TEST(Trace, DefaultCapacityIsLargeAndNothingDropsBelowIt) {
+  Trace t;
+  EXPECT_EQ(t.capacity(), Trace::kDefaultCapacity);
+  t.enable();
+  for (int i = 0; i < 1000; ++i) t.emit(i, "a", "");
+  EXPECT_EQ(t.records().size(), 1000u);
+  EXPECT_EQ(t.dropped(), 0u);
+}
+
+TEST(Trace, FullTraceDropsOldestAndCounts) {
+  Trace t;
+  t.set_capacity(4);
+  t.enable();
+  for (int i = 0; i < 10; ++i) t.emit(i, "e", std::to_string(i));
+  ASSERT_EQ(t.records().size(), 4u);
+  EXPECT_EQ(t.dropped(), 6u);
+  // The four NEWEST records survive, oldest-first.
+  EXPECT_EQ(t.records().front().detail, "6");
+  EXPECT_EQ(t.records().back().detail, "9");
+}
+
+TEST(Trace, SetCapacityZeroClampsToOne) {
+  Trace t;
+  t.set_capacity(0);
+  EXPECT_EQ(t.capacity(), 1u);
+  t.enable();
+  t.emit(1, "a", "");
+  t.emit(2, "b", "");
+  ASSERT_EQ(t.records().size(), 1u);
+  EXPECT_EQ(t.records().front().tag, "b");
+  EXPECT_EQ(t.dropped(), 1u);
+}
+
+TEST(Trace, ShrinkingCapacityEvictsOldestAndCountsDrops) {
+  Trace t;
+  t.enable();
+  for (int i = 0; i < 8; ++i) t.emit(i, "e", std::to_string(i));
+  t.set_capacity(3);
+  ASSERT_EQ(t.records().size(), 3u);
+  EXPECT_EQ(t.dropped(), 5u);
+  EXPECT_EQ(t.records().front().detail, "5");
+  EXPECT_EQ(t.records().back().detail, "7");
+}
+
+TEST(Trace, ClearResetsDroppedCounter) {
+  Trace t;
+  t.set_capacity(2);
+  t.enable();
+  for (int i = 0; i < 5; ++i) t.emit(i, "e", "");
+  EXPECT_EQ(t.dropped(), 3u);
+  t.clear();
+  EXPECT_TRUE(t.records().empty());
+  EXPECT_EQ(t.dropped(), 0u);
+  EXPECT_EQ(t.capacity(), 2u);  // capacity survives clear()
+}
+
 }  // namespace
 }  // namespace dc::sim
