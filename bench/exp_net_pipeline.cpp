@@ -1,0 +1,194 @@
+// Distributed TCP pipeline experiment: the RE-Ra-M isosurface render spread
+// over 1 / 2 / 4 cooperating OS processes on this machine, connected by the
+// dc::net transport (net::DistributedEngine), under each writer policy.
+//
+// This is the wall-clock, multi-process counterpart of exp_native_pipeline:
+// the same graph and placement run as one process per simulated host, the
+// filter streams cross real TCP sockets with credit-based flow control, and
+// the merged image of every configuration must be bit-identical to the
+// single-process native engine's render (which is itself checked against the
+// non-distributed reference). The table also reports what the transport did:
+// frames and bytes moved, and how often producers stalled on exhausted
+// credit windows.
+//
+// The paper ran its filter services across a heterogeneous cluster; here the
+// "hosts" are processes on one machine, which exercises every protocol path
+// (framing, credits, demand acks, end-of-work, completion barrier) with
+// loopback latencies standing in for the LAN.
+//
+//   build/bench/exp_net_pipeline [--quick]
+//
+// NOTE: the sweep forks rank processes, so the parent must stay
+// single-threaded; every engine run joins its threads before returning, and
+// the rank children never write to stdout (the last line stays JSON).
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/policy.hpp"
+#include "exp_common.hpp"
+#include "net/metrics.hpp"
+#include "viz/app.hpp"
+#include "viz/distributed.hpp"
+
+using namespace dc;
+
+namespace {
+
+struct Point {
+  int ranks = 0;
+  std::string policy;
+  double wall_s = 0.0;
+  bool image_ok = false;
+  std::uint64_t frames = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t credit_stalls = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const exp::Args args = exp::Args::parse(argc, argv);
+
+  const data::ChunkLayout layout(
+      data::GridDims{args.grid, args.grid, args.grid}, args.chunks,
+      args.chunks, args.chunks);
+  data::DatasetStore store(layout, data::hilbert_decluster(layout, args.files),
+                           args.files);
+  const data::PlumeField field(args.seed);
+
+  viz::VizWorkload w;
+  w.store = &store;
+  w.field = &field;
+  w.iso_value = args.iso;
+  w.width = args.small_image;
+  w.height = args.small_image;
+
+  // Placement per process count: data-reading RE copies stay where the
+  // chunks are, Ra replicas and the single M copy take the other ranks.
+  auto make_spec = [&](int ranks) {
+    viz::IsoAppSpec spec;
+    spec.workload = w;
+    spec.config = viz::PipelineConfig::kRE_Ra_M;
+    spec.hsr = viz::HsrAlgorithm::kActivePixel;
+    spec.keep_images = false;
+    switch (ranks) {
+      case 1:
+        spec.data_hosts = {{0, 1}};
+        spec.raster_hosts = {{0, 2}};
+        spec.merge_host = 0;
+        store.place_uniform({data::FileLocation{0, 0}});
+        break;
+      case 2:
+        spec.data_hosts = {{0, 1}};
+        spec.raster_hosts = {{1, 2}};
+        spec.merge_host = 1;
+        store.place_uniform({data::FileLocation{0, 0}});
+        break;
+      default:  // 4
+        spec.data_hosts = viz::one_each({0, 1});
+        spec.raster_hosts = {{2, 2}, {3, 1}};
+        spec.merge_host = 3;
+        store.place_uniform(
+            {data::FileLocation{0, 0}, data::FileLocation{1, 0}});
+        break;
+    }
+    return spec;
+  };
+
+  exp::print_title(
+      "Distributed RE-Ra-M pipeline over TCP (net::DistributedEngine)",
+      "one process per host, loopback transport, " +
+          std::to_string(args.uows) + " timestep(s), image " +
+          std::to_string(args.small_image) + "^2");
+
+  const struct {
+    core::Policy policy;
+    const char* name;
+  } kPolicies[] = {{core::Policy::kRoundRobin, "rr"},
+                   {core::Policy::kWeightedRoundRobin, "wrr"},
+                   {core::Policy::kDemandDriven, "dd"}};
+
+  std::vector<Point> points;
+  viz::DistributedRenderRun last;
+  exp::Table table({"procs", "policy", "wall s/uow", "frames", "MB moved",
+                    "credit stalls", "image"});
+  for (int ranks : {1, 2, 4}) {
+    const viz::IsoAppSpec spec = make_spec(ranks);
+    for (const auto& pol : kPolicies) {
+      core::RuntimeConfig cfg;
+      cfg.policy = pol.policy;
+      cfg.rng_seed = args.seed;
+
+      // The single-process native render of the identical spec is the
+      // bit-parity reference for this configuration.
+      const viz::NativeRenderRun ref = viz::run_iso_app_native(spec, cfg, 1);
+
+      viz::DistributedRunOptions opts;
+      opts.timeout_s = 300.0;
+      const viz::DistributedRenderRun run =
+          viz::run_iso_app_distributed(spec, cfg, args.uows, ranks, opts);
+      if (!run.ok) {
+        std::fprintf(stderr, "run failed (%d ranks, %s): %s\n", ranks,
+                     pol.name, run.error.c_str());
+        return 1;
+      }
+      last = run;
+
+      Point pt;
+      pt.ranks = ranks;
+      pt.policy = pol.name;
+      for (double s : run.per_uow) pt.wall_s += s;
+      pt.wall_s /= static_cast<double>(run.per_uow.empty() ? 1 : run.per_uow.size());
+      pt.image_ok = !run.digests.empty() && !ref.sink->digests.empty() &&
+                    run.digests[0] == ref.sink->digests[0];
+      pt.frames = run.net.frames_sent;
+      pt.bytes = run.net.bytes_sent;
+      pt.credit_stalls = run.net.credit_stalls;
+      points.push_back(pt);
+
+      table.row({std::to_string(pt.ranks), pt.policy,
+                 exp::Table::num(pt.wall_s, 4), std::to_string(pt.frames),
+                 exp::Table::num(static_cast<double>(pt.bytes) / 1e6, 2),
+                 std::to_string(pt.credit_stalls),
+                 pt.image_ok ? "ok" : "MISMATCH"});
+    }
+  }
+  exp::print_rule();
+  std::printf(
+      "Every row's merged image is checked bit-for-bit against the\n"
+      "single-process native engine render of the same spec and seed.\n");
+
+  obs::MetricsRegistry reg;
+  for (const Point& pt : points) {
+    const std::string k =
+        "sweep.p" + std::to_string(pt.ranks) + "." + pt.policy;
+    reg.set(k + ".wall_s", pt.wall_s);
+    reg.set(k + ".frames", static_cast<std::int64_t>(pt.frames));
+    reg.set(k + ".bytes", static_cast<std::int64_t>(pt.bytes));
+    reg.set(k + ".credit_stalls", static_cast<std::int64_t>(pt.credit_stalls));
+    reg.set(k + ".image_ok", static_cast<std::int64_t>(pt.image_ok ? 1 : 0));
+  }
+  exec::publish(last.metrics, reg);  // ledgers of the final 4-process DD run
+  net::publish(last.net, reg);      // its transport counters
+
+  std::string extra = "\"sweep\":[";
+  char buf[200];
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const Point& pt = points[i];
+    std::snprintf(buf, sizeof(buf),
+                  "%s{\"procs\":%d,\"policy\":\"%s\",\"wall_s\":%.6f,"
+                  "\"frames\":%llu,\"bytes\":%llu,\"credit_stalls\":%llu,"
+                  "\"image_ok\":%s}",
+                  i ? "," : "", pt.ranks, pt.policy.c_str(), pt.wall_s,
+                  static_cast<unsigned long long>(pt.frames),
+                  static_cast<unsigned long long>(pt.bytes),
+                  static_cast<unsigned long long>(pt.credit_stalls),
+                  pt.image_ok ? "true" : "false");
+    extra += buf;
+  }
+  extra += "]";
+  exp::print_json("net_pipeline", reg, extra);
+  return 0;
+}

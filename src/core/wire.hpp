@@ -1,0 +1,33 @@
+#pragma once
+
+#include <cstdint>
+#include <type_traits>
+
+namespace dc::core {
+
+/// Engine-agnostic identity of one stream buffer in flight: which logical
+/// stream it travels on, which producer copy dispatched it, which consumer
+/// copy set it is addressed to, and which unit of work it belongs to.
+///
+/// This is the serializable "buffer header" the distributed transport puts
+/// on the wire (dc::net frames embed one verbatim), and exactly the tuple
+/// the in-process engines carry in their Delivery structs — the receiving
+/// process needs nothing else to route the payload into the right
+/// exec::PortChannel and to return CREDIT / DD-ACK messages to the right
+/// core::WriterState slot.
+///
+/// Layout is fixed (little-endian PODs, no padding) so it can be memcpy'd
+/// into a frame; the static_asserts keep that honest.
+struct BufferRoute {
+  std::int32_t stream = -1;    ///< graph stream id
+  std::int32_t producer = -1;  ///< producer copy's global instance index
+  std::int32_t target = -1;    ///< index into the stream's target list
+  std::uint32_t uow = 0;       ///< unit-of-work index the buffer belongs to
+
+  friend bool operator==(const BufferRoute&, const BufferRoute&) = default;
+};
+
+static_assert(std::is_trivially_copyable_v<BufferRoute>);
+static_assert(sizeof(BufferRoute) == 16, "wire layout must not drift");
+
+}  // namespace dc::core

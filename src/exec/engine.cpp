@@ -506,6 +506,8 @@ void Engine::consume_loop(Instance& inst, ContextImpl& ctx) {
     const auto pop = channel.pop(d, port, waited);
     if (tracing) tk->end(obs_->now(), "queue.wait");
     inst.m.queue_wait_time += waited;
+    // kEow is sticky (every pop after drain reports it); treating it as
+    // terminal here is what keeps the per-copy process_eow single-shot.
     if (pop == PortChannel<Delivery>::Pop::kEow) return;
     inst.m.buffers_in++;
     inst.m.bytes_in += d.buf.size();

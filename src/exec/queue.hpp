@@ -23,9 +23,19 @@ struct Aborted {};
 /// Capacity is per port. Producers block in push() while the port is full
 /// (backpressure beyond the writer windows); consumers block in pop() until
 /// a delivery is available or, once every producer copy has signalled
-/// end-of-work on every port and the queues drained, receive kEow — each
-/// consumer copy observes kEow exactly once per call, so every copy of the
-/// set gets to run its own process_eow.
+/// end-of-work on every port and the queues drained, receive kEow.
+///
+/// End-of-work contract (STICKY): once every expected marker has arrived and
+/// the queues are drained, pop() returns kEow immediately — on every call,
+/// forever. Each consumer copy of the set therefore observes at least one
+/// kEow (so every copy gets to run its own process_eow), and a consumer
+/// must treat kEow as terminal: popping again is harmless (it returns kEow
+/// again without blocking) but never yields another item. The engines'
+/// consumer loops return on the first kEow.
+///
+/// Abort contract: push() and pop() observe the abort flag on entry and
+/// after any wait, and throw Aborted{} — a producer feeding a never-full
+/// queue must not keep producing after another worker aborted the UOW.
 template <typename T>
 class PortChannel {
  public:
@@ -46,8 +56,11 @@ class PortChannel {
   }
 
   /// Blocking bounded push; returns seconds spent blocked on capacity.
+  /// Throws Aborted if the UOW aborted — checked on entry, not just after
+  /// blocking, so a producer whose queue never fills still stops promptly.
   double push(int port, T item) {
     std::unique_lock<std::mutex> lk(mu_);
+    if (aborted()) throw Aborted{};
     auto& q = queues_[static_cast<std::size_t>(port)];
     double waited = 0.0;
     if (q.size() >= capacity_) {

@@ -1,0 +1,936 @@
+#include "net/distributed.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "core/buffer.hpp"
+#include "core/filter.hpp"
+#include "core/writer_state.hpp"
+#include "exec/queue.hpp"
+
+namespace dc::net {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+struct PendingOut {
+  int port;
+  core::Buffer buf;
+};
+
+/// Per-stream counters private to one worker thread; summed into the shared
+/// exec::Metrics after the UOW's threads joined (joins provide the
+/// happens-before — same scheme as exec::Engine).
+struct StreamDelta {
+  std::uint64_t buffers = 0;
+  std::uint64_t payload_bytes = 0;
+  std::uint64_t message_bytes = 0;
+};
+
+}  // namespace
+
+const char* to_string(RunStatus s) {
+  switch (s) {
+    case RunStatus::kComplete:
+      return "complete";
+    case RunStatus::kAborted:
+      return "aborted";
+    case RunStatus::kTransportError:
+      return "transport-error";
+  }
+  return "?";
+}
+
+/// A buffer delivered into a local copy set's channel. `route` is the full
+/// engine-agnostic identity (it arrived embedded in the DATA frame, or was
+/// synthesized for an in-process dispatch); `origin` says which rank's
+/// producer must be settled on dequeue — locally via WriterState, remotely
+/// via CREDIT / ACK frames.
+struct DistributedEngine::Delivery {
+  core::Buffer buf;
+  core::BufferRoute route;
+  int origin = -1;
+};
+
+/// All transparent copies of one (filter, host) placement entry. Every rank
+/// materializes the full copy-set list (so stream target indices agree
+/// across processes — they index the same placement everywhere); only sets
+/// whose host is this rank get a channel and instances.
+struct DistributedEngine::CopySetRt {
+  int filter = -1;
+  int host = -1;
+  std::vector<Instance*> copies;  ///< local ranks only
+  exec::PortChannel<Delivery> channel;
+};
+
+struct DistributedEngine::StreamRt {
+  const core::StreamSpec* spec = nullptr;
+  int id = -1;
+  std::vector<CopySetRt*> targets;
+  std::vector<int> wrr_order;  ///< target indices, one entry per consumer copy
+};
+
+struct DistributedEngine::Writer : core::WriterState {
+  StreamRt* stream = nullptr;
+};
+
+/// One local transparent copy, bound to one worker thread. `writers` is
+/// guarded by wmu — the owner dispatches; local consumer threads and the
+/// peer-link recv threads (applying CREDIT / ACK frames) release windows.
+struct DistributedEngine::Instance {
+  DistributedEngine* eng = nullptr;
+  int filter = -1;
+  int index = -1;         ///< global index among the filter's copies
+  int copy_in_host = -1;  ///< index within the copy set
+  CopySetRt* cset = nullptr;
+  std::unique_ptr<core::Filter> user;
+  std::vector<Writer> writers;  ///< per output port
+
+  std::mutex wmu;
+  std::condition_variable wcv;
+
+  bool in_init = false;
+  std::deque<PendingOut> pending;
+
+  exec::InstanceMetrics m;
+  std::vector<StreamDelta> stream_local;
+  sim::Rng rng;
+  std::unique_ptr<ContextImpl> ctx;
+};
+
+/// FilterContext bound to one local Instance — mirrors exec::Engine's
+/// context field for field so filters observe identical inputs (instance
+/// indices, RNG streams, buffer sizes) in-process and across processes.
+struct DistributedEngine::ContextImpl final : core::FilterContext {
+  Instance* inst = nullptr;
+  Clock::time_point epoch;
+
+  [[nodiscard]] int instance_index() const override { return inst->index; }
+  [[nodiscard]] int num_instances() const override {
+    return inst->eng->placement_.total_copies(inst->filter);
+  }
+  [[nodiscard]] int copy_in_host() const override { return inst->copy_in_host; }
+  [[nodiscard]] int copies_on_host() const override {
+    return static_cast<int>(inst->cset->copies.size());
+  }
+  [[nodiscard]] int host() const override { return inst->cset->host; }
+  [[nodiscard]] const std::string& host_class() const override {
+    return inst->eng->host_class_of(inst->cset->host);
+  }
+  [[nodiscard]] int uow_index() const override { return inst->eng->uow_index_; }
+  [[nodiscard]] sim::SimTime now() const override {
+    return seconds_since(epoch);
+  }
+  [[nodiscard]] sim::Rng& rng() override { return inst->rng; }
+
+  void charge(double ops) override {
+    if (ops < 0.0) throw std::invalid_argument("charge: negative ops");
+    inst->m.work_ops += ops;
+  }
+
+  void read_disk(int local_disk, std::uint64_t bytes) override {
+    if (!inst->eng->graph_.filter(inst->filter).is_source) {
+      throw std::logic_error("read_disk is only available to source filters");
+    }
+    if (local_disk < 0) {
+      throw std::out_of_range("read_disk: no such local disk");
+    }
+    inst->m.disk_bytes += bytes;
+  }
+
+  void note_io_wait(double seconds) override {
+    inst->m.io_wait_time += seconds;
+  }
+
+  void write(int port, core::Buffer buf) override {
+    if (inst->in_init) {
+      throw std::logic_error("write() is not allowed in init()");
+    }
+    if (port < 0 || port >= num_output_ports()) {
+      throw std::out_of_range("write: bad output port");
+    }
+    inst->pending.push_back(PendingOut{port, std::move(buf)});
+  }
+
+  [[nodiscard]] core::Buffer make_buffer(int port) const override {
+    return core::Buffer(buffer_bytes(port));
+  }
+
+  [[nodiscard]] int num_input_ports() const override {
+    return inst->eng->graph_.filter(inst->filter).num_input_ports;
+  }
+  [[nodiscard]] int num_output_ports() const override {
+    return inst->eng->graph_.filter(inst->filter).num_output_ports;
+  }
+  [[nodiscard]] std::size_t buffer_bytes(int out_port) const override {
+    if (out_port < 0 || out_port >= num_output_ports()) {
+      throw std::out_of_range("buffer_bytes: bad output port");
+    }
+    const int stream =
+        inst->writers[static_cast<std::size_t>(out_port)].stream->id;
+    return inst->eng->buffer_bytes_[static_cast<std::size_t>(stream)];
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Construction
+// ---------------------------------------------------------------------------
+
+DistributedEngine::DistributedEngine(const core::Graph& graph,
+                                     const core::Placement& placement,
+                                     core::RuntimeConfig config, int rank,
+                                     int num_ranks, std::vector<Socket> peers,
+                                     DistributedOptions opts, exec::HostInfo hosts)
+    : graph_(graph),
+      placement_(placement),
+      config_(std::move(config)),
+      opts_(opts),
+      hosts_(std::move(hosts)),
+      rank_(rank),
+      num_ranks_(num_ranks),
+      peer_sockets_(std::move(peers)),
+      peer_done_next_(static_cast<std::size_t>(num_ranks), 0),
+      base_rng_(config_.rng_seed) {
+  graph_.validate();
+  core::validate(config_);
+  if (config_.detection != core::FailureDetection::kNone) {
+    throw std::invalid_argument(
+        "net::DistributedEngine: fault injection requires the simulator; "
+        "RuntimeConfig::detection must be kNone");
+  }
+  if (num_ranks_ <= 0 || rank_ < 0 || rank_ >= num_ranks_) {
+    throw std::invalid_argument("net::DistributedEngine: bad rank/num_ranks");
+  }
+  if (num_ranks_ > 1 &&
+      peer_sockets_.size() != static_cast<std::size_t>(num_ranks_)) {
+    throw std::invalid_argument(
+        "net::DistributedEngine: peers must be indexed by rank");
+  }
+  for (int r = 0; r < num_ranks_; ++r) {
+    if (r != rank_ && num_ranks_ > 1 &&
+        !peer_sockets_[static_cast<std::size_t>(r)].valid()) {
+      throw std::invalid_argument("net::DistributedEngine: missing peer " +
+                                  std::to_string(r));
+    }
+  }
+  // Buffer-size negotiation identical to the simulator and exec::Engine —
+  // a precondition for bit-identical cross-engine output.
+  buffer_bytes_.resize(static_cast<std::size_t>(graph_.num_streams()));
+  for (int s = 0; s < graph_.num_streams(); ++s) {
+    const auto& spec = graph_.stream(s);
+    buffer_bytes_[static_cast<std::size_t>(s)] =
+        std::clamp(config_.default_buffer_bytes, spec.min_buffer_bytes,
+                   spec.max_buffer_bytes);
+  }
+  for (int f = 0; f < graph_.num_filters(); ++f) {
+    if (placement_.entries(f).empty()) {
+      throw std::invalid_argument("net::DistributedEngine: filter '" +
+                                  graph_.filter(f).name + "' has no placement");
+    }
+    if (!graph_.filter(f).is_source && graph_.in_streams(f).empty()) {
+      throw std::invalid_argument("net::DistributedEngine: non-source filter '" +
+                                  graph_.filter(f).name + "' has no inputs");
+    }
+    for (const auto& e : placement_.entries(f)) {
+      if (e.host < 0 || e.host >= num_ranks_) {
+        throw std::invalid_argument(
+            "net::DistributedEngine: filter '" + graph_.filter(f).name +
+            "' placed on host " + std::to_string(e.host) + " but only " +
+            std::to_string(num_ranks_) + " rank(s) exist");
+      }
+    }
+  }
+  metrics_.streams.resize(static_cast<std::size_t>(graph_.num_streams()));
+  for (int s = 0; s < graph_.num_streams(); ++s) {
+    metrics_.streams[static_cast<std::size_t>(s)].name = graph_.stream(s).name;
+  }
+}
+
+DistributedEngine::~DistributedEngine() { shutdown(); }
+
+void DistributedEngine::set_obs(obs::TraceSession* session) {
+  obs_ = session;
+  net_track_ =
+      session != nullptr ? &session->track("net:r" + std::to_string(rank_))
+                         : nullptr;
+}
+
+const std::string& DistributedEngine::host_class_of(int host) const {
+  static const std::string kNative = "native";
+  if (host >= 0 &&
+      static_cast<std::size_t>(host) < hosts_.host_classes.size()) {
+    return hosts_.host_classes[static_cast<std::size_t>(host)];
+  }
+  return kNative;
+}
+
+void DistributedEngine::start_links() {
+  // Two phases: construct EVERY link before starting ANY pump thread. A
+  // started link's recv thread may immediately call abort_run, which walks
+  // links_ to broadcast — that walk must never race a later assignment.
+  links_.resize(static_cast<std::size_t>(num_ranks_));
+  for (int r = 0; r < num_ranks_; ++r) {
+    if (r == rank_) continue;
+    links_[static_cast<std::size_t>(r)] = std::make_unique<PeerLink>(
+        rank_, r, std::move(peer_sockets_[static_cast<std::size_t>(r)]),
+        &net_metrics_, obs_);
+  }
+  peer_sockets_.clear();
+  for (auto& l : links_) {
+    if (!l) continue;
+    l->start(
+        [this](int peer, const Frame& f) { on_frame(peer, f); },
+        [this](int peer, WireError err, const std::string& detail) {
+          on_wire_error(peer, err, detail);
+        });
+  }
+}
+
+void DistributedEngine::shutdown() {
+  for (auto& l : links_) {
+    if (l) l->stop(/*flush=*/true);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// UOW setup / teardown
+// ---------------------------------------------------------------------------
+
+void DistributedEngine::build_uow() {
+  // Copy sets for EVERY placement entry, local and remote, in the global
+  // creation order all engines share — a stream's target index must mean the
+  // same copy set on every rank (and inside every BufferRoute on the wire).
+  std::vector<std::vector<CopySetRt*>> csets_by_filter(
+      static_cast<std::size_t>(graph_.num_filters()));
+  for (int f = 0; f < graph_.num_filters(); ++f) {
+    const int in_ports = graph_.filter(f).num_input_ports;
+    // Channels must absorb everything the credit windows allow outstanding
+    // without ever blocking the peer-link recv threads: per input port, up
+    // to `window` buffers per producer copy can be un-dequeued, so capacity
+    // = max producers x window makes recv-side pushes non-blocking by
+    // construction (the deadlock-freedom invariant of the credit loop).
+    std::size_t max_producers = 1;
+    for (int s : graph_.in_streams(f)) {
+      max_producers = std::max(
+          max_producers, static_cast<std::size_t>(placement_.total_copies(
+                             graph_.stream(s).from_filter)));
+    }
+    const std::size_t capacity =
+        max_producers * static_cast<std::size_t>(config_.window);
+    for (const auto& e : placement_.entries(f)) {
+      auto cset = std::make_unique<CopySetRt>();
+      cset->filter = f;
+      cset->host = e.host;
+      if (e.host == rank_) {
+        cset->channel.init(in_ports, capacity, &aborted_);
+      }
+      csets_by_filter[static_cast<std::size_t>(f)].push_back(cset.get());
+      copysets_.push_back(std::move(cset));
+    }
+  }
+
+  stream_rt_.clear();
+  for (int s = 0; s < graph_.num_streams(); ++s) {
+    auto rt = std::make_unique<StreamRt>();
+    rt->spec = &graph_.stream(s);
+    rt->id = s;
+    const int consumer = rt->spec->to_filter;
+    const auto& consumer_entries = placement_.entries(consumer);
+    const auto& consumer_sets =
+        csets_by_filter[static_cast<std::size_t>(consumer)];
+    for (std::size_t i = 0; i < consumer_sets.size(); ++i) {
+      rt->targets.push_back(consumer_sets[i]);
+      for (int c = 0; c < consumer_entries[i].copies; ++c) {
+        rt->wrr_order.push_back(static_cast<int>(i));
+      }
+    }
+    stream_rt_.push_back(std::move(rt));
+  }
+
+  // Instances. The RNG is split for EVERY copy in the global order — also
+  // the remote ones we never construct — so each local instance draws the
+  // exact stream it would get in exec::Engine (split() mutates base_rng_).
+  local_by_filter_.assign(static_cast<std::size_t>(graph_.num_filters()), {});
+  for (int f = 0; f < graph_.num_filters(); ++f) {
+    const auto& entries = placement_.entries(f);
+    const auto& sets = csets_by_filter[static_cast<std::size_t>(f)];
+    const auto outs = graph_.out_streams(f);
+    local_by_filter_[static_cast<std::size_t>(f)].assign(
+        static_cast<std::size_t>(placement_.total_copies(f)), nullptr);
+    int global = 0;
+    for (std::size_t p = 0; p < entries.size(); ++p) {
+      for (int c = 0; c < entries[p].copies; ++c) {
+        const int index = global++;
+        sim::Rng rng = base_rng_.split(
+            static_cast<std::uint64_t>(f) * 1000003ULL +
+            static_cast<std::uint64_t>(index) * 257ULL +
+            static_cast<std::uint64_t>(uow_index_));
+        if (entries[p].host != rank_) continue;
+        auto inst = std::make_unique<Instance>();
+        inst->eng = this;
+        inst->filter = f;
+        inst->index = index;
+        inst->copy_in_host = c;
+        inst->cset = sets[p];
+        inst->user = graph_.filter(f).factory();
+        if (!inst->user) {
+          throw std::runtime_error("net::DistributedEngine: factory for '" +
+                                   graph_.filter(f).name + "' returned null");
+        }
+        if (graph_.filter(f).is_source &&
+            dynamic_cast<core::SourceFilter*>(inst->user.get()) == nullptr) {
+          throw std::runtime_error("net::DistributedEngine: source filter '" +
+                                   graph_.filter(f).name +
+                                   "' does not derive from SourceFilter");
+        }
+        for (int out : outs) {
+          Writer w;
+          w.stream = stream_rt_[static_cast<std::size_t>(out)].get();
+          w.reset(w.stream->targets.size());
+          inst->writers.push_back(std::move(w));
+        }
+        inst->m.filter = f;
+        inst->m.instance = index;
+        inst->m.host = entries[p].host;
+        inst->m.host_class = host_class_of(entries[p].host);
+        inst->stream_local.resize(
+            static_cast<std::size_t>(graph_.num_streams()));
+        inst->rng = rng;
+        inst->ctx = std::make_unique<ContextImpl>();
+        inst->ctx->inst = inst.get();
+        sets[p]->copies.push_back(inst.get());
+        local_by_filter_[static_cast<std::size_t>(f)]
+                        [static_cast<std::size_t>(index)] = inst.get();
+        instances_.push_back(std::move(inst));
+      }
+    }
+  }
+
+  // EOW bookkeeping for local consumer sets: one marker per producer copy of
+  // the stream, whichever rank that producer runs on (remote ones arrive as
+  // EOW frames).
+  for (int s = 0; s < graph_.num_streams(); ++s) {
+    const auto& spec = graph_.stream(s);
+    const int producers = placement_.total_copies(spec.from_filter);
+    for (CopySetRt* t : stream_rt_[static_cast<std::size_t>(s)]->targets) {
+      if (t->host == rank_) t->channel.expect_eow(spec.to_port, producers);
+    }
+  }
+}
+
+void DistributedEngine::teardown_uow() {
+  for (auto& inst : instances_) {
+    metrics_.instances.push_back(inst->m);
+    metrics_.acks_total += inst->m.acks_sent;
+    metrics_.ack_bytes_total += inst->m.acks_sent * config_.ack_bytes;
+    for (std::size_t s = 0; s < inst->stream_local.size(); ++s) {
+      const StreamDelta& d = inst->stream_local[s];
+      auto& sm = metrics_.streams[s];
+      sm.buffers += d.buffers;
+      sm.payload_bytes += d.payload_bytes;
+      sm.message_bytes += d.message_bytes;
+    }
+  }
+  instances_.clear();
+  copysets_.clear();
+  stream_rt_.clear();
+  local_by_filter_.clear();
+}
+
+// ---------------------------------------------------------------------------
+// Frame handling (peer-link recv threads)
+// ---------------------------------------------------------------------------
+
+void DistributedEngine::on_frame(int peer, const Frame& f) {
+  switch (f.type()) {
+    case FrameType::kAbort:
+      abort_run(RunStatus::kAborted,
+                "aborted by rank " + std::to_string(peer),
+                /*broadcast=*/false);
+      return;
+    case FrameType::kDone: {
+      {
+        std::lock_guard<std::mutex> lk(state_mu_);
+        done_counts_[f.header.route.uow]++;
+        auto& next = peer_done_next_[static_cast<std::size_t>(peer)];
+        next = std::max(next, f.header.route.uow + 1);
+      }
+      state_cv_.notify_all();
+      return;
+    }
+    case FrameType::kData:
+    case FrameType::kCredit:
+    case FrameType::kAck:
+    case FrameType::kEow: {
+      const char* err = nullptr;
+      {
+        std::lock_guard<std::mutex> lk(state_mu_);
+        const std::uint32_t uow = f.header.route.uow;
+        if (!built_ || uow != static_cast<std::uint32_t>(uow_index_)) {
+          // A fast peer can run at most one UOW ahead (the DONE barrier
+          // separates consecutive units): stash the frame, replayed when
+          // that UOW builds. Frames for a torn-down UOW (abort races) park
+          // here harmlessly too.
+          if (uow >= static_cast<std::uint32_t>(uow_index_)) {
+            pending_.push_back(f);
+          }
+          return;
+        }
+        err = deliver_locked(f, peer);
+      }
+      if (err != nullptr) {
+        abort_run(RunStatus::kTransportError,
+                  std::string(err) + " (from rank " + std::to_string(peer) +
+                      ")",
+                  /*broadcast=*/true);
+      }
+      return;
+    }
+    default:
+      abort_run(RunStatus::kTransportError,
+                "unexpected frame type from rank " + std::to_string(peer),
+                /*broadcast=*/true);
+      return;
+  }
+}
+
+const char* DistributedEngine::deliver_locked(const Frame& f, int origin) {
+  const core::BufferRoute& route = f.header.route;
+  if (route.stream < 0 || route.stream >= graph_.num_streams()) {
+    return "frame with bad stream id";
+  }
+  StreamRt& srt = *stream_rt_[static_cast<std::size_t>(route.stream)];
+  const core::StreamSpec& spec = *srt.spec;
+  if (route.target < 0 ||
+      route.target >= static_cast<int>(srt.targets.size())) {
+    return "frame with bad target index";
+  }
+
+  switch (f.type()) {
+    case FrameType::kData: {
+      CopySetRt* t = srt.targets[static_cast<std::size_t>(route.target)];
+      if (t->host != rank_) return "DATA addressed to a remote copy set";
+      Delivery d;
+      d.buf = core::Buffer::wrap({f.payload.begin(), f.payload.end()});
+      d.route = route;
+      d.origin = origin;
+      try {
+        // Never blocks: capacity covers the credit windows (see build_uow).
+        t->channel.push(spec.to_port, std::move(d));
+      } catch (const exec::Aborted&) {
+        // UOW aborted under us; the buffer is moot.
+      }
+      return nullptr;
+    }
+    case FrameType::kEow: {
+      CopySetRt* t = srt.targets[static_cast<std::size_t>(route.target)];
+      if (t->host != rank_) return "EOW addressed to a remote copy set";
+      t->channel.producer_eow(spec.to_port);
+      return nullptr;
+    }
+    case FrameType::kCredit:
+    case FrameType::kAck: {
+      auto& by_global = local_by_filter_[static_cast<std::size_t>(spec.from_filter)];
+      if (route.producer < 0 ||
+          route.producer >= static_cast<int>(by_global.size()) ||
+          by_global[static_cast<std::size_t>(route.producer)] == nullptr) {
+        return "credit/ack for a producer not on this rank";
+      }
+      Instance* p = by_global[static_cast<std::size_t>(route.producer)];
+      {
+        std::lock_guard<std::mutex> wlk(p->wmu);
+        Writer& w = p->writers[static_cast<std::size_t>(spec.from_port)];
+        if (f.type() == FrameType::kCredit) {
+          w.on_dequeue(route.target);
+        } else {
+          w.on_ack(route.target);
+        }
+      }
+      p->wcv.notify_all();
+      return nullptr;
+    }
+    default:
+      return "unroutable frame type";
+  }
+}
+
+void DistributedEngine::on_wire_error(int peer, WireError err,
+                                      const std::string& detail) {
+  if (aborted_.load(std::memory_order_relaxed)) return;  // already unwinding
+  {
+    std::lock_guard<std::mutex> lk(state_mu_);
+    if (err == WireError::kClosed &&
+        (!running_ ||
+         peer_done_next_[static_cast<std::size_t>(peer)] >
+             static_cast<std::uint32_t>(uow_index_))) {
+      // Orderly close: either we are between/after UOWs, or the peer has
+      // already sent its DONE for the current UOW (its workers finished, so
+      // every frame it will ever send has been received — TCP delivers the
+      // close after them) and simply tore down before our barrier woke.
+      return;
+    }
+  }
+  abort_run(RunStatus::kTransportError, "wire error: " + detail,
+            /*broadcast=*/true);
+}
+
+void DistributedEngine::abort_run(RunStatus status, const std::string& reason,
+                                  bool broadcast) {
+  bool first = false;
+  std::uint32_t uow = 0;
+  {
+    std::lock_guard<std::mutex> lk(state_mu_);
+    if (status_ == RunStatus::kComplete) {
+      status_ = status;
+      error_ = reason;
+      first = true;
+    }
+    // A transport error is permanent — the failed link's pump threads are
+    // gone. Poison immediately so a later run_uow() can't reset the status
+    // and stall on the dead link until the barrier timeout.
+    if (status == RunStatus::kTransportError) poisoned_ = true;
+    aborted_.store(true, std::memory_order_relaxed);
+    uow = static_cast<std::uint32_t>(uow_index_);
+    if (built_) {
+      // Wake everything under the respective mutexes so no blocked thread
+      // misses the flag between its predicate check and its wait.
+      for (auto& cs : copysets_) cs->channel.notify_abort();
+      for (auto& inst : instances_) {
+        std::lock_guard<std::mutex> wlk(inst->wmu);
+        inst->wcv.notify_all();
+      }
+    }
+  }
+  state_cv_.notify_all();
+  if (first && broadcast) {
+    core::BufferRoute route;
+    route.uow = uow;
+    for (auto& l : links_) {
+      if (l) l->send(make_frame(FrameType::kAbort, route));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Execution
+// ---------------------------------------------------------------------------
+
+UowResult DistributedEngine::run_uow() {
+  {
+    std::lock_guard<std::mutex> lk(state_mu_);
+    if (poisoned_) {
+      return UowResult{status_, 0.0,
+                       error_.empty() ? "engine poisoned by earlier failure"
+                                      : error_};
+    }
+    status_ = RunStatus::kComplete;
+    error_.clear();
+  }
+  aborted_.store(false, std::memory_order_relaxed);
+  if (links_.empty() && num_ranks_ > 1) start_links();
+
+  build_uow();
+  const std::uint32_t uow = static_cast<std::uint32_t>(uow_index_);
+  {
+    // Publish the structures, then replay frames that arrived early (a peer
+    // that passed the previous barrier first may already be streaming).
+    std::lock_guard<std::mutex> lk(state_mu_);
+    built_ = true;
+    running_ = true;
+    std::vector<Frame> replay;
+    replay.swap(pending_);
+    for (auto& f : replay) {
+      if (f.header.route.uow == uow) {
+        const char* err = deliver_locked(f, /*origin=*/-2);
+        (void)err;  // bounds violations surface again via live frames; a
+                    // stashed frame's origin rank is unknown, so the
+                    // delivery is best-effort — see below for the real one
+      } else if (f.header.route.uow > uow) {
+        pending_.push_back(std::move(f));
+      }
+    }
+  }
+
+  const auto t0 = Clock::now();
+  for (auto& inst : instances_) inst->ctx->epoch = t0;
+
+  std::vector<std::thread> threads;
+  threads.reserve(instances_.size());
+  for (auto& inst : instances_) {
+    Instance* p = inst.get();
+    threads.emplace_back([this, p] {
+      try {
+        worker_main(*p);
+      } catch (const exec::Aborted&) {
+        // Another thread (or an ABORT frame) failed the UOW; unwound clean.
+      } catch (const std::exception& e) {
+        abort_run(RunStatus::kAborted,
+                  std::string("filter error: ") + e.what(), /*broadcast=*/true);
+      } catch (...) {
+        abort_run(RunStatus::kAborted, "filter error: unknown exception",
+                  /*broadcast=*/true);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  // Completion barrier: announce our DONE, wait for every peer's. Peers'
+  // CREDIT/ACK frames for our producers may still arrive during the wait
+  // (their consumers can lag); the structures stay live until after it.
+  if (!aborted_.load(std::memory_order_relaxed)) {
+    core::BufferRoute route;
+    route.uow = uow;
+    for (auto& l : links_) {
+      if (l) l->send(make_frame(FrameType::kDone, route));
+    }
+    bool timed_out = false;
+    {
+      std::unique_lock<std::mutex> lk(state_mu_);
+      const auto deadline =
+          Clock::now() + std::chrono::duration<double>(opts_.barrier_timeout_s);
+      timed_out = !state_cv_.wait_until(lk, deadline, [&] {
+        return aborted_.load(std::memory_order_relaxed) ||
+               done_counts_[uow] >= num_ranks_ - 1;
+      });
+    }
+    if (timed_out) {
+      abort_run(RunStatus::kTransportError,
+                "completion barrier timed out after " +
+                    std::to_string(opts_.barrier_timeout_s) + "s",
+                /*broadcast=*/true);
+    }
+  }
+
+  const double makespan = seconds_since(t0);
+  {
+    std::lock_guard<std::mutex> lk(state_mu_);
+    built_ = false;
+    running_ = false;
+    done_counts_.erase(uow);
+  }
+  teardown_uow();
+  metrics_.makespan = makespan;
+  ++uow_index_;
+
+  UowResult r;
+  r.makespan = makespan;
+  {
+    std::lock_guard<std::mutex> lk(state_mu_);
+    r.status = status_;
+    r.error = error_;
+    if (!r.ok()) poisoned_ = true;
+  }
+  return r;
+}
+
+void DistributedEngine::worker_main(Instance& inst) {
+  ContextImpl& ctx = *inst.ctx;
+
+  inst.in_init = true;
+  auto t0 = Clock::now();
+  inst.user->init(ctx);
+  inst.m.busy_time += seconds_since(t0);
+  inst.in_init = false;
+
+  if (graph_.filter(inst.filter).is_source) {
+    source_loop(inst, ctx);
+  } else {
+    consume_loop(inst, ctx);
+  }
+
+  t0 = Clock::now();
+  inst.user->process_eow(ctx);
+  inst.m.busy_time += seconds_since(t0);
+  drain(inst);
+
+  t0 = Clock::now();
+  inst.user->finalize(ctx);
+  inst.m.busy_time += seconds_since(t0);
+
+  // End-of-work markers to every consumer copy set. Remote EOW frames are
+  // enqueued on the same per-peer FIFO as this copy's DATA frames, so
+  // markers cannot overtake data on the wire either.
+  for (auto& w : inst.writers) {
+    const int in_port = w.stream->spec->to_port;
+    for (std::size_t ti = 0; ti < w.stream->targets.size(); ++ti) {
+      CopySetRt* t = w.stream->targets[ti];
+      if (t->host == rank_) {
+        t->channel.producer_eow(in_port);
+      } else {
+        core::BufferRoute route;
+        route.stream = w.stream->id;
+        route.producer = inst.index;
+        route.target = static_cast<std::int32_t>(ti);
+        route.uow = static_cast<std::uint32_t>(uow_index_);
+        links_[static_cast<std::size_t>(t->host)]->send(
+            make_frame(FrameType::kEow, route));
+      }
+    }
+  }
+}
+
+void DistributedEngine::source_loop(Instance& inst, ContextImpl& ctx) {
+  auto* src = static_cast<core::SourceFilter*>(inst.user.get());
+  bool more = true;
+  while (more) {
+    const auto t0 = Clock::now();
+    more = src->step(ctx);
+    inst.m.busy_time += seconds_since(t0);
+    drain(inst);
+  }
+}
+
+void DistributedEngine::consume_loop(Instance& inst, ContextImpl& ctx) {
+  exec::PortChannel<Delivery>& channel = inst.cset->channel;
+  for (;;) {
+    Delivery d;
+    int port = -1;
+    double waited = 0.0;
+    const auto pop = channel.pop(d, port, waited);
+    inst.m.queue_wait_time += waited;
+    // kEow is sticky; first sight is terminal (same contract as exec).
+    if (pop == exec::PortChannel<Delivery>::Pop::kEow) return;
+    inst.m.buffers_in++;
+    inst.m.bytes_in += d.buf.size();
+
+    const bool dd = config_.policy == core::Policy::kDemandDriven;
+    settle_dequeue(d, dd);
+    if (dd) inst.m.acks_sent++;
+
+    const auto t0 = Clock::now();
+    inst.user->process_buffer(ctx, port, d.buf);
+    inst.m.busy_time += seconds_since(t0);
+    drain(inst);
+  }
+}
+
+void DistributedEngine::settle_dequeue(const Delivery& d, bool dd) {
+  if (d.origin == rank_) {
+    // In-process producer: settle its WriterState directly, exactly like
+    // exec::Engine (the native ack is this state update).
+    Instance* producer =
+        local_by_filter_[static_cast<std::size_t>(
+            graph_.stream(d.route.stream).from_filter)]
+                        [static_cast<std::size_t>(d.route.producer)];
+    assert(producer != nullptr);
+    {
+      std::lock_guard<std::mutex> lk(producer->wmu);
+      Writer& w = producer->writers[static_cast<std::size_t>(
+          graph_.stream(d.route.stream).from_port)];
+      w.on_dequeue(d.route.target);
+      if (dd) w.on_ack(d.route.target);
+    }
+    producer->wcv.notify_all();
+    return;
+  }
+  // Remote producer: the dequeue credit (and, under DD, the demand ack)
+  // travel back as frames. origin -2 marks a replayed stash whose sender is
+  // its producer's rank — recover it from the placement via the route.
+  int origin = d.origin;
+  if (origin < 0) {
+    const int from = graph_.stream(d.route.stream).from_filter;
+    int global = 0;
+    for (const auto& e : placement_.entries(from)) {
+      if (d.route.producer < global + e.copies) {
+        origin = e.host;
+        break;
+      }
+      global += e.copies;
+    }
+  }
+  if (origin < 0 || origin == rank_ || origin >= num_ranks_) return;
+  PeerLink* link = links_[static_cast<std::size_t>(origin)].get();
+  if (link == nullptr) return;
+  link->send(make_frame(FrameType::kCredit, d.route));
+  if (dd) link->send(make_frame(FrameType::kAck, d.route));
+}
+
+void DistributedEngine::drain(Instance& inst) {
+  while (!inst.pending.empty()) {
+    PendingOut out = std::move(inst.pending.front());
+    inst.pending.pop_front();
+    dispatch(inst, out.port, std::move(out.buf));
+  }
+}
+
+void DistributedEngine::dispatch(Instance& inst, int port, core::Buffer buf) {
+  Writer& w = inst.writers[static_cast<std::size_t>(port)];
+  const auto local = [&](int t) {
+    return w.stream->targets[static_cast<std::size_t>(t)]->host ==
+           inst.cset->host;
+  };
+  const auto dead = [](int) { return false; };
+
+  int target = -1;
+  {
+    std::unique_lock<std::mutex> lk(inst.wmu);
+    target = w.pick(config_.policy, config_.window, w.stream->wrr_order, dead,
+                    local);
+    if (target < 0) {
+      // Window stall: the slot frees on a local dequeue or a CREDIT/ACK
+      // frame from a remote consumer — either path notifies wcv.
+      const auto t0 = Clock::now();
+      inst.wcv.wait(lk, [&] {
+        if (aborted_.load(std::memory_order_relaxed)) return true;
+        target = w.pick(config_.policy, config_.window, w.stream->wrr_order,
+                        dead, local);
+        return target >= 0;
+      });
+      const double stalled = seconds_since(t0);
+      inst.m.stall_time += stalled;
+      net_metrics_.credit_stalls.fetch_add(1, std::memory_order_relaxed);
+      net_metrics_.credit_stall_us.fetch_add(
+          static_cast<std::uint64_t>(stalled * 1e6), std::memory_order_relaxed);
+      if (obs_ != nullptr && net_track_ != nullptr && obs_->enabled()) {
+        net_track_->instant(obs_->now(), "credit.stall", w.stream->id,
+                            static_cast<std::int64_t>(stalled * 1e6));
+      }
+      if (aborted_.load(std::memory_order_relaxed)) throw exec::Aborted{};
+    }
+    w.on_dispatch(target);
+  }
+
+  StreamDelta& sd = inst.stream_local[static_cast<std::size_t>(w.stream->id)];
+  sd.buffers++;
+  sd.payload_bytes += buf.size();
+  sd.message_bytes += buf.size() + config_.header_bytes;
+  inst.m.buffers_out++;
+  inst.m.bytes_out += buf.size();
+
+  core::BufferRoute route;
+  route.stream = w.stream->id;
+  route.producer = inst.index;
+  route.target = target;
+  route.uow = static_cast<std::uint32_t>(uow_index_);
+
+  CopySetRt* cset = w.stream->targets[static_cast<std::size_t>(target)];
+  if (cset->host == rank_) {
+    Delivery d;
+    d.buf = std::move(buf);
+    d.route = route;
+    d.origin = rank_;
+    const double pushed =
+        cset->channel.push(w.stream->spec->to_port, std::move(d));
+    inst.m.stall_time += pushed;
+  } else {
+    const auto span = buf.bytes();
+    links_[static_cast<std::size_t>(cset->host)]->send(make_frame(
+        FrameType::kData, route, {span.begin(), span.end()}));
+  }
+}
+
+}  // namespace dc::net

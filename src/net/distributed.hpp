@@ -1,0 +1,193 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/graph.hpp"
+#include "core/placement.hpp"
+#include "core/runtime.hpp"
+#include "exec/engine.hpp"
+#include "exec/metrics.hpp"
+#include "net/metrics.hpp"
+#include "net/transport.hpp"
+#include "obs/recorder.hpp"
+#include "sim/rng.hpp"
+
+namespace dc::net {
+
+struct DistributedOptions {
+  /// Deadline for the end-of-UOW completion barrier (waiting for every
+  /// peer's DONE). Exceeding it aborts the run with a transport-error
+  /// outcome instead of hanging on a wedged or dead peer.
+  double barrier_timeout_s = 120.0;
+};
+
+/// Structured outcome of one distributed unit of work. A UOW never hangs
+/// and never crashes the process on peer misbehavior: every failure mode
+/// (filter exception here, abort propagated from a peer, corrupt frame,
+/// peer disconnect, barrier timeout) maps onto one of these.
+enum class RunStatus {
+  kComplete,        ///< clean completion, barrier passed on every rank
+  kAborted,         ///< a filter callback threw (here or on a peer)
+  kTransportError,  ///< wire violation, unexpected disconnect, or timeout
+};
+
+[[nodiscard]] const char* to_string(RunStatus s);
+
+struct UowResult {
+  RunStatus status = RunStatus::kComplete;
+  double makespan = 0.0;  ///< wall seconds, local workers start -> barrier
+  std::string error;      ///< empty when kComplete
+
+  [[nodiscard]] bool ok() const { return status == RunStatus::kComplete; }
+};
+
+/// The distributed execution engine: one OS process per simulated host,
+/// exchanging stream buffers over the dc::net frame protocol. Rank r runs
+/// the transparent copies placed on host r; filters are unmodified — the
+/// paper's transparency carries all the way across real sockets.
+///
+/// Per UOW, each process instantiates worker threads exactly like
+/// exec::Engine (same copy-set order, same per-copy RNG split salts, same
+/// buffer-size negotiation), so for the same graph + placement + seed a
+/// distributed run produces BIT-IDENTICAL merged output to the in-process
+/// native engine and the simulator. Routing decisions reuse the shared
+/// core::WriterState — all three policies (RR / WRR / DD) work
+/// cross-process:
+///
+///  - dispatch: the writer picks a target copy set among ALL copy sets of
+///    the consumer, local and remote. Local targets are fed through the
+///    exec::PortChannel directly; remote ones get a DATA frame.
+///  - flow control: a consumer dequeue frees the producer's window slot —
+///    in-process via direct WriterState update, cross-process via a CREDIT
+///    frame (and, under DD, an ACK frame: the paper's demand signal on the
+///    wire).
+///  - end of work: per producer copy and target set, locally via
+///    PortChannel::producer_eow, remotely via an EOW frame.
+///
+/// Receive threads never block on channel pushes (channels are sized to the
+/// credit bound: producers x window), so credit/abort frames always drain —
+/// the credit loop is deadlock-free by construction. A UOW ends with a DONE
+/// barrier; aborts and wire errors propagate as ABORT frames so every
+/// process terminates with a structured UowResult.
+class DistributedEngine {
+ public:
+  /// `peers`: connected sockets indexed by rank (from connect_mesh); the
+  /// slot at `rank` is ignored. Placement hosts must lie in [0, num_ranks).
+  DistributedEngine(const core::Graph& graph, const core::Placement& placement,
+                    core::RuntimeConfig config, int rank, int num_ranks,
+                    std::vector<Socket> peers, DistributedOptions opts = {},
+                    exec::HostInfo hosts = {});
+  ~DistributedEngine();
+
+  DistributedEngine(const DistributedEngine&) = delete;
+  DistributedEngine& operator=(const DistributedEngine&) = delete;
+
+  /// Runs one unit of work to completion (or structured failure) in
+  /// lockstep with the peer ranks. Must be called the same number of times
+  /// on every rank.
+  UowResult run_uow();
+
+  /// Flushes and closes every peer link. Called by the destructor; safe to
+  /// call early (after the last run_uow) or twice.
+  void shutdown();
+
+  /// Cumulative metrics over this rank's local instances (producer-side
+  /// stream ledger entries, consumer-side ack counts). Summing across ranks
+  /// reproduces the in-process exec::Metrics ledger exactly.
+  [[nodiscard]] const exec::Metrics& metrics() const { return metrics_; }
+  [[nodiscard]] const NetMetrics& net_metrics() const { return net_metrics_; }
+
+  [[nodiscard]] int rank() const { return rank_; }
+  [[nodiscard]] int num_ranks() const { return num_ranks_; }
+  [[nodiscard]] const core::RuntimeConfig& config() const { return config_; }
+
+  /// Attaches a cross-engine observability session (nullptr detaches; must
+  /// outlive the engine). Peer links record net.send / net.recv spans on
+  /// "net:r<a>->r<b>" tracks; producers record credit.stall instants on
+  /// "net:r<rank>" when a dispatch blocks waiting for a window slot.
+  /// Attach BEFORE the first run_uow.
+  void set_obs(obs::TraceSession* session);
+
+  // Implementation types, public only so the translation unit's helpers can
+  // reference them; not part of the stable API.
+  struct Instance;
+  struct CopySetRt;
+  struct StreamRt;
+  struct ContextImpl;
+  struct Delivery;
+  struct Writer;
+
+ private:
+  void start_links();  ///< lazily on the first run_uow (after set_obs)
+  [[nodiscard]] const std::string& host_class_of(int host) const;
+  void build_uow();
+  void teardown_uow();
+  void worker_main(Instance& inst);
+  void source_loop(Instance& inst, ContextImpl& ctx);
+  void consume_loop(Instance& inst, ContextImpl& ctx);
+  void drain(Instance& inst);
+  void dispatch(Instance& inst, int port, core::Buffer buf);
+  void settle_dequeue(const Delivery& d, bool dd);
+  /// Handles one validated frame from a peer (recv threads).
+  void on_frame(int peer, const Frame& f);
+  void on_wire_error(int peer, WireError err, const std::string& detail);
+  /// Delivers a DATA / EOW / CREDIT / ACK frame into the built structures.
+  /// Caller holds state_mu_ and has checked the frame's uow matches.
+  /// Returns nullptr on success, a static protocol-violation message
+  /// otherwise (the caller escalates it to a transport error after
+  /// releasing state_mu_).
+  const char* deliver_locked(const Frame& f, int origin);
+  /// Records the first failure, wakes every blocked thread, optionally
+  /// broadcasts ABORT to the peers.
+  void abort_run(RunStatus status, const std::string& reason, bool broadcast);
+
+  const core::Graph& graph_;
+  const core::Placement& placement_;
+  core::RuntimeConfig config_;
+  DistributedOptions opts_;
+  exec::HostInfo hosts_;
+  int rank_;
+  int num_ranks_;
+  std::vector<std::size_t> buffer_bytes_;  ///< negotiated, per stream
+
+  std::vector<Socket> peer_sockets_;  ///< until links start (first run_uow)
+  std::vector<std::unique_ptr<PeerLink>> links_;  ///< by rank; null at self
+
+  // UOW state, guarded by state_mu_ where noted.
+  std::mutex state_mu_;
+  std::condition_variable state_cv_;
+  bool built_ = false;       ///< structures of uow_index_ are live
+  bool running_ = false;     ///< between worker start and barrier exit
+  bool poisoned_ = false;    ///< a previous UOW failed; engine unusable
+  RunStatus status_ = RunStatus::kComplete;
+  std::string error_;
+  std::vector<Frame> pending_;  ///< early frames for a not-yet-built uow
+  std::map<std::uint32_t, int> done_counts_;  ///< uow -> DONEs received
+  /// Per peer: one past the last UOW that peer sent DONE for. A clean close
+  /// from a peer that has DONE'd the current UOW is an orderly shutdown (it
+  /// finished its run first), not a transport failure.
+  std::vector<std::uint32_t> peer_done_next_;
+
+  std::atomic<bool> aborted_{false};
+
+  // Live only while built_ (state_mu_ held for structural access from the
+  // recv threads; worker threads own their instances).
+  std::vector<std::unique_ptr<Instance>> instances_;
+  std::vector<std::unique_ptr<CopySetRt>> copysets_;
+  std::vector<std::unique_ptr<StreamRt>> stream_rt_;
+  std::vector<std::vector<Instance*>> local_by_filter_;  ///< [filter][global]
+  int uow_index_ = 0;
+
+  exec::Metrics metrics_;
+  NetMetrics net_metrics_;
+  sim::Rng base_rng_;
+  obs::TraceSession* obs_ = nullptr;
+  obs::Track* net_track_ = nullptr;  ///< "net:r<rank>" (credit.stall)
+};
+
+}  // namespace dc::net

@@ -1,0 +1,76 @@
+#include "net/metrics.hpp"
+
+#include "obs/metrics.hpp"
+
+namespace dc::net {
+
+NetMetricsSnapshot& NetMetricsSnapshot::operator+=(const NetMetricsSnapshot& o) {
+  frames_sent += o.frames_sent;
+  frames_recv += o.frames_recv;
+  bytes_sent += o.bytes_sent;
+  bytes_recv += o.bytes_recv;
+  data_sent += o.data_sent;
+  data_recv += o.data_recv;
+  credits_sent += o.credits_sent;
+  credits_recv += o.credits_recv;
+  acks_sent += o.acks_sent;
+  acks_recv += o.acks_recv;
+  eows_sent += o.eows_sent;
+  eows_recv += o.eows_recv;
+  aborts_sent += o.aborts_sent;
+  aborts_recv += o.aborts_recv;
+  credit_stalls += o.credit_stalls;
+  credit_stall_us += o.credit_stall_us;
+  protocol_errors += o.protocol_errors;
+  return *this;
+}
+
+NetMetricsSnapshot snapshot(const NetMetrics& m) {
+  NetMetricsSnapshot s;
+  const auto get = [](const std::atomic<std::uint64_t>& a) {
+    return a.load(std::memory_order_relaxed);
+  };
+  s.frames_sent = get(m.frames_sent);
+  s.frames_recv = get(m.frames_recv);
+  s.bytes_sent = get(m.bytes_sent);
+  s.bytes_recv = get(m.bytes_recv);
+  s.data_sent = get(m.data_sent);
+  s.data_recv = get(m.data_recv);
+  s.credits_sent = get(m.credits_sent);
+  s.credits_recv = get(m.credits_recv);
+  s.acks_sent = get(m.acks_sent);
+  s.acks_recv = get(m.acks_recv);
+  s.eows_sent = get(m.eows_sent);
+  s.eows_recv = get(m.eows_recv);
+  s.aborts_sent = get(m.aborts_sent);
+  s.aborts_recv = get(m.aborts_recv);
+  s.credit_stalls = get(m.credit_stalls);
+  s.credit_stall_us = get(m.credit_stall_us);
+  s.protocol_errors = get(m.protocol_errors);
+  return s;
+}
+
+void publish(const NetMetricsSnapshot& m, obs::MetricsRegistry& reg,
+             const std::string& prefix) {
+  const auto key = [&](const char* name) { return prefix + "." + name; };
+  reg.set(key("frames_sent"), m.frames_sent);
+  reg.set(key("frames_recv"), m.frames_recv);
+  reg.set(key("bytes_sent"), m.bytes_sent);
+  reg.set(key("bytes_recv"), m.bytes_recv);
+  reg.set(key("data_sent"), m.data_sent);
+  reg.set(key("data_recv"), m.data_recv);
+  reg.set(key("credits_sent"), m.credits_sent);
+  reg.set(key("credits_recv"), m.credits_recv);
+  reg.set(key("acks_sent"), m.acks_sent);
+  reg.set(key("acks_recv"), m.acks_recv);
+  reg.set(key("eows_sent"), m.eows_sent);
+  reg.set(key("eows_recv"), m.eows_recv);
+  reg.set(key("aborts_sent"), m.aborts_sent);
+  reg.set(key("aborts_recv"), m.aborts_recv);
+  reg.set(key("credit_stalls"), m.credit_stalls);
+  reg.set(key("credit_stall_time"),
+          static_cast<double>(m.credit_stall_us) / 1e6);
+  reg.set(key("protocol_errors"), m.protocol_errors);
+}
+
+}  // namespace dc::net

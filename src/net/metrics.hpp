@@ -1,0 +1,62 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace dc::obs {
+class MetricsRegistry;
+}
+
+namespace dc::net {
+
+/// Transport-level counters of one process's DistributedEngine: frames and
+/// bytes by direction, per-type frame counts, and producer-side credit
+/// stalls (dispatches that had to wait for a window slot freed by a CREDIT
+/// or ACK frame). Counters are atomics — the send / recv threads and every
+/// worker thread bump them concurrently; snapshot() flattens them for the
+/// registry export.
+struct NetMetrics {
+  std::atomic<std::uint64_t> frames_sent{0};
+  std::atomic<std::uint64_t> frames_recv{0};
+  std::atomic<std::uint64_t> bytes_sent{0};
+  std::atomic<std::uint64_t> bytes_recv{0};
+  std::atomic<std::uint64_t> data_sent{0};
+  std::atomic<std::uint64_t> data_recv{0};
+  std::atomic<std::uint64_t> credits_sent{0};
+  std::atomic<std::uint64_t> credits_recv{0};
+  std::atomic<std::uint64_t> acks_sent{0};
+  std::atomic<std::uint64_t> acks_recv{0};
+  std::atomic<std::uint64_t> eows_sent{0};
+  std::atomic<std::uint64_t> eows_recv{0};
+  std::atomic<std::uint64_t> aborts_sent{0};
+  std::atomic<std::uint64_t> aborts_recv{0};
+  std::atomic<std::uint64_t> credit_stalls{0};
+  /// Microseconds producers spent blocked waiting for remote credit.
+  std::atomic<std::uint64_t> credit_stall_us{0};
+  std::atomic<std::uint64_t> protocol_errors{0};
+};
+
+/// Plain-value snapshot of NetMetrics (copyable, serializable).
+struct NetMetricsSnapshot {
+  std::uint64_t frames_sent = 0, frames_recv = 0;
+  std::uint64_t bytes_sent = 0, bytes_recv = 0;
+  std::uint64_t data_sent = 0, data_recv = 0;
+  std::uint64_t credits_sent = 0, credits_recv = 0;
+  std::uint64_t acks_sent = 0, acks_recv = 0;
+  std::uint64_t eows_sent = 0, eows_recv = 0;
+  std::uint64_t aborts_sent = 0, aborts_recv = 0;
+  std::uint64_t credit_stalls = 0, credit_stall_us = 0;
+  std::uint64_t protocol_errors = 0;
+
+  NetMetricsSnapshot& operator+=(const NetMetricsSnapshot& o);
+};
+
+[[nodiscard]] NetMetricsSnapshot snapshot(const NetMetrics& m);
+
+/// Publishes a snapshot into the unified registry under `<prefix>.` names —
+/// the transport counterpart of core::publish / exec::publish / io::publish.
+void publish(const NetMetricsSnapshot& m, obs::MetricsRegistry& reg,
+             const std::string& prefix = "net");
+
+}  // namespace dc::net

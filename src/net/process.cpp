@@ -1,0 +1,114 @@
+#include "net/process.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <signal.h>
+#include <stdexcept>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <thread>
+#include <unistd.h>
+
+namespace dc::net {
+
+namespace {
+using Clock = std::chrono::steady_clock;
+}
+
+std::vector<RankStatus> run_local_ranks(int n,
+                                        const std::function<int(RankEnv&)>& fn,
+                                        LaunchOptions opts) {
+  if (n <= 0) throw std::invalid_argument("run_local_ranks: n must be > 0");
+
+  // One listener per rank, bound before any fork.
+  std::vector<Socket> listeners;
+  std::vector<std::uint16_t> ports;
+  listeners.reserve(static_cast<std::size_t>(n));
+  for (int r = 0; r < n; ++r) {
+    listeners.push_back(listen_loopback(0, /*backlog=*/n + 1));
+    ports.push_back(local_port(listeners.back()));
+  }
+
+  // Children must not inherit (and later flush) buffered parent output.
+  std::fflush(stdout);
+  std::fflush(stderr);
+
+  std::vector<pid_t> pids(static_cast<std::size_t>(n), -1);
+  for (int r = 0; r < n; ++r) {
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      // Fork failed mid-launch: kill what we started and report.
+      for (int k = 0; k < r; ++k) ::kill(pids[static_cast<std::size_t>(k)], SIGKILL);
+      for (int k = 0; k < r; ++k) ::waitpid(pids[static_cast<std::size_t>(k)], nullptr, 0);
+      throw std::runtime_error("run_local_ranks: fork failed");
+    }
+    if (pid == 0) {
+      // ---- child: rank r ----
+      RankEnv env;
+      env.rank = r;
+      env.num_ranks = n;
+      env.ports = ports;
+      env.listener = std::move(listeners[static_cast<std::size_t>(r)]);
+      for (int k = 0; k < n; ++k) {
+        if (k != r) listeners[static_cast<std::size_t>(k)].close();
+      }
+      int rc = 111;
+      try {
+        rc = fn(env);
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "[rank %d] uncaught: %s\n", r, e.what());
+      } catch (...) {
+        std::fprintf(stderr, "[rank %d] uncaught non-std exception\n", r);
+      }
+      std::fflush(stderr);
+      // _exit: no atexit handlers, no flush of inherited stdio buffers.
+      ::_exit(rc & 0xff);
+    }
+    pids[static_cast<std::size_t>(r)] = pid;
+  }
+  for (auto& l : listeners) l.close();
+
+  // Reap with a deadline; SIGKILL stragglers. Polling (vs. a helper thread
+  // + blocking wait) keeps the parent single-threaded for TSan-safe forks.
+  std::vector<RankStatus> statuses(static_cast<std::size_t>(n));
+  std::vector<bool> done(static_cast<std::size_t>(n), false);
+  const auto deadline =
+      Clock::now() + std::chrono::duration<double>(opts.timeout_s);
+  int remaining = n;
+  bool killed = false;
+  while (remaining > 0) {
+    for (int r = 0; r < n; ++r) {
+      if (done[static_cast<std::size_t>(r)]) continue;
+      int wstatus = 0;
+      const pid_t w = ::waitpid(pids[static_cast<std::size_t>(r)], &wstatus,
+                                WNOHANG);
+      if (w == 0) continue;
+      auto& st = statuses[static_cast<std::size_t>(r)];
+      if (w < 0) {
+        st.exit_code = -1;  // should not happen; treat as failure
+      } else if (WIFEXITED(wstatus)) {
+        st.exit_code = WEXITSTATUS(wstatus);
+      } else if (WIFSIGNALED(wstatus)) {
+        st.term_signal = WTERMSIG(wstatus);
+        st.timed_out = killed;
+      }
+      done[static_cast<std::size_t>(r)] = true;
+      --remaining;
+    }
+    if (remaining == 0) break;
+    if (!killed && Clock::now() >= deadline) {
+      killed = true;
+      for (int r = 0; r < n; ++r) {
+        if (!done[static_cast<std::size_t>(r)]) {
+          ::kill(pids[static_cast<std::size_t>(r)], SIGKILL);
+        }
+      }
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  return statuses;
+}
+
+}  // namespace dc::net

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "net/socket.hpp"
+
+namespace dc::net {
+
+/// What one rank (child process) sees: its identity, the full port table,
+/// and its own pre-bound listener. The listeners are created in the parent
+/// BEFORE forking — every rank is born already listening, so mesh connects
+/// can never race the bind and no rendezvous files are needed.
+struct RankEnv {
+  int rank = -1;
+  int num_ranks = 0;
+  std::vector<std::uint16_t> ports;  ///< listener port of every rank
+  Socket listener;                   ///< this rank's inherited listener
+};
+
+/// Exit status of one rank.
+struct RankStatus {
+  int exit_code = -1;    ///< child's _exit code (when it exited)
+  int term_signal = 0;   ///< non-zero when the child died of a signal
+  bool timed_out = false;  ///< parent killed it at the deadline
+
+  [[nodiscard]] bool ok() const {
+    return !timed_out && term_signal == 0 && exit_code == 0;
+  }
+};
+
+struct LaunchOptions {
+  /// Hard deadline for the whole group; the parent SIGKILLs stragglers and
+  /// reports them timed_out. This is the harness's built-in watchdog — a
+  /// wedged distributed run terminates with a structured status instead of
+  /// hanging the caller (no helper threads involved, so forking under TSan
+  /// stays single-threaded in the parent).
+  double timeout_s = 120.0;
+};
+
+/// Forks `n` rank processes on this machine, each running `fn(env)`; the
+/// child _exits with fn's return value (uncaught exceptions exit 111 after
+/// printing to stderr). stdout/stderr are flushed before forking so children
+/// cannot replay buffered parent output. Returns every rank's status.
+///
+/// Must be called from a process with no live threads of its own (fork
+/// semantics); the engines' threads all live in the children.
+std::vector<RankStatus> run_local_ranks(int n,
+                                        const std::function<int(RankEnv&)>& fn,
+                                        LaunchOptions opts = {});
+
+}  // namespace dc::net

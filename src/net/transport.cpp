@@ -1,0 +1,198 @@
+#include "net/transport.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace dc::net {
+
+PeerLink::PeerLink(int my_rank, int peer_rank, Socket socket,
+                   NetMetrics* metrics, obs::TraceSession* obs)
+    : me_(my_rank),
+      peer_(peer_rank),
+      socket_(std::move(socket)),
+      metrics_(metrics),
+      obs_(obs) {
+  if (obs_ != nullptr) {
+    const std::string m = std::to_string(me_), p = std::to_string(peer_);
+    send_track_ = &obs_->track("net:r" + m + "->r" + p);
+    recv_track_ = &obs_->track("net:r" + m + "<-r" + p);
+  }
+}
+
+PeerLink::~PeerLink() { stop(false); }
+
+void PeerLink::start(FrameHandler on_frame, ErrorHandler on_error) {
+  on_frame_ = std::move(on_frame);
+  on_error_ = std::move(on_error);
+  send_thread_ = std::thread([this] { send_main(); });
+  recv_thread_ = std::thread([this] { recv_main(); });
+}
+
+void PeerLink::send(Frame f) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (stopping_) return;  // teardown races are benign: frame is moot
+    outbox_.push_back(std::move(f));
+  }
+  cv_.notify_all();
+}
+
+void PeerLink::stop(bool flush) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (stopping_ && !send_thread_.joinable() && !recv_thread_.joinable()) {
+      return;
+    }
+    stopping_ = true;
+    flush_on_stop_ = flush;
+  }
+  cv_.notify_all();
+  if (send_thread_.joinable()) send_thread_.join();
+  // The send thread has exited; unblock the recv thread's blocking read.
+  socket_.shutdown_both();
+  if (recv_thread_.joinable()) recv_thread_.join();
+  socket_.close();
+}
+
+void PeerLink::send_main() {
+  for (;;) {
+    Frame f;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_.wait(lk, [this] { return stopping_ || !outbox_.empty(); });
+      if (outbox_.empty()) {
+        // stopping_ and nothing left (or flush was waived).
+        if (stopping_) return;
+        continue;
+      }
+      if (stopping_ && !flush_on_stop_) return;
+      f = std::move(outbox_.front());
+      outbox_.pop_front();
+    }
+    const std::uint64_t bytes = sizeof(FrameHeader) + f.payload.size();
+    obs::ScopedSpan span(obs_, send_track_, "net.send",
+                         static_cast<std::int64_t>(f.header.type),
+                         static_cast<std::int64_t>(bytes));
+    if (!write_frame(socket_, f, send_seq_++)) {
+      // Peer gone mid-send. The recv side reports the error (it sees the
+      // close too); the send thread just stops transmitting.
+      std::lock_guard<std::mutex> lk(mu_);
+      stopping_ = true;
+      outbox_.clear();
+      return;
+    }
+    if (metrics_ != nullptr) {
+      metrics_->frames_sent.fetch_add(1, std::memory_order_relaxed);
+      metrics_->bytes_sent.fetch_add(bytes, std::memory_order_relaxed);
+      switch (f.type()) {
+        case FrameType::kData:
+          metrics_->data_sent.fetch_add(1, std::memory_order_relaxed);
+          break;
+        case FrameType::kCredit:
+          metrics_->credits_sent.fetch_add(1, std::memory_order_relaxed);
+          break;
+        case FrameType::kAck:
+          metrics_->acks_sent.fetch_add(1, std::memory_order_relaxed);
+          break;
+        case FrameType::kEow:
+          metrics_->eows_sent.fetch_add(1, std::memory_order_relaxed);
+          break;
+        case FrameType::kAbort:
+          metrics_->aborts_sent.fetch_add(1, std::memory_order_relaxed);
+          break;
+        default:
+          break;
+      }
+    }
+  }
+}
+
+void PeerLink::recv_main() {
+  std::uint64_t expected_seq = 1;
+  for (;;) {
+    Frame f;
+    const WireError err = read_frame(socket_, f, expected_seq);
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (stopping_) return;  // teardown in progress: result is moot
+    }
+    if (err != WireError::kOk) {
+      if (metrics_ != nullptr && err != WireError::kClosed) {
+        metrics_->protocol_errors.fetch_add(1, std::memory_order_relaxed);
+      }
+      if (on_error_) {
+        on_error_(peer_, err,
+                  "rank " + std::to_string(peer_) + ": " +
+                      std::string(to_string(err)));
+      }
+      return;
+    }
+    ++expected_seq;
+    const std::uint64_t bytes = sizeof(FrameHeader) + f.payload.size();
+    if (metrics_ != nullptr) {
+      metrics_->frames_recv.fetch_add(1, std::memory_order_relaxed);
+      metrics_->bytes_recv.fetch_add(bytes, std::memory_order_relaxed);
+      switch (f.type()) {
+        case FrameType::kData:
+          metrics_->data_recv.fetch_add(1, std::memory_order_relaxed);
+          break;
+        case FrameType::kCredit:
+          metrics_->credits_recv.fetch_add(1, std::memory_order_relaxed);
+          break;
+        case FrameType::kAck:
+          metrics_->acks_recv.fetch_add(1, std::memory_order_relaxed);
+          break;
+        case FrameType::kEow:
+          metrics_->eows_recv.fetch_add(1, std::memory_order_relaxed);
+          break;
+        case FrameType::kAbort:
+          metrics_->aborts_recv.fetch_add(1, std::memory_order_relaxed);
+          break;
+        default:
+          break;
+      }
+    }
+    obs::ScopedSpan span(obs_, recv_track_, "net.recv",
+                         static_cast<std::int64_t>(f.header.type),
+                         static_cast<std::int64_t>(bytes));
+    on_frame_(peer_, f);
+  }
+}
+
+std::vector<Socket> connect_mesh(RankEnv& env, double timeout_s) {
+  std::vector<Socket> peers(static_cast<std::size_t>(env.num_ranks));
+  // Connect to every lower rank, announcing ourselves.
+  for (int s = 0; s < env.rank; ++s) {
+    Socket c = connect_loopback(env.ports[static_cast<std::size_t>(s)],
+                                timeout_s);
+    core::BufferRoute route;
+    route.producer = env.rank;
+    Frame hello = make_frame(FrameType::kHello, route);
+    if (!write_frame(c, hello, /*seq=*/0)) {
+      throw std::runtime_error("net: HELLO to rank " + std::to_string(s) +
+                               " failed");
+    }
+    peers[static_cast<std::size_t>(s)] = std::move(c);
+  }
+  // Accept one connection from every higher rank; identify it by HELLO.
+  for (int i = env.rank + 1; i < env.num_ranks; ++i) {
+    Socket a = accept_one(env.listener, timeout_s);
+    Frame f;
+    const WireError err = read_frame(a, f, /*expected_seq=*/0);
+    if (err != WireError::kOk || f.type() != FrameType::kHello) {
+      throw std::runtime_error(
+          "net: bad handshake: " +
+          std::string(err != WireError::kOk ? to_string(err) : "not HELLO"));
+    }
+    const int r = f.header.route.producer;
+    if (r <= env.rank || r >= env.num_ranks ||
+        peers[static_cast<std::size_t>(r)].valid()) {
+      throw std::runtime_error("net: HELLO from unexpected rank " +
+                               std::to_string(r));
+    }
+    peers[static_cast<std::size_t>(r)] = std::move(a);
+  }
+  return peers;
+}
+
+}  // namespace dc::net

@@ -1,0 +1,95 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/metrics.hpp"
+#include "net/process.hpp"
+#include "net/socket.hpp"
+#include "net/wire.hpp"
+#include "obs/recorder.hpp"
+
+namespace dc::net {
+
+/// One TCP connection to a peer rank, pumped by a dedicated send thread and
+/// a dedicated recv thread.
+///
+/// The send side is an unbounded outbox: send() enqueues and returns —
+/// worker and consumer threads never block on the wire (backpressure on
+/// DATA comes from the credit windows, which bound what can be outstanding;
+/// control frames must never be delayed by a slow peer). The recv side
+/// parses and validates frames and hands them to the engine's handler on
+/// the recv thread; the handler must not block on the network (it may push
+/// into consumer channels, which the engine sizes so those pushes never
+/// block either — that is what makes the credit loop deadlock-free).
+///
+/// Any wire error (checksum, truncation, sequence gap, unexpected close)
+/// fires the error handler exactly once and stops the pump; the engine
+/// turns that into a structured transport-error outcome.
+class PeerLink {
+ public:
+  using FrameHandler = std::function<void(int peer, const Frame&)>;
+  /// `err` is kClosed for an orderly close; anything else is a violation.
+  using ErrorHandler =
+      std::function<void(int peer, WireError err, const std::string& detail)>;
+
+  PeerLink(int my_rank, int peer_rank, Socket socket, NetMetrics* metrics,
+           obs::TraceSession* obs);
+  ~PeerLink();
+
+  PeerLink(const PeerLink&) = delete;
+  PeerLink& operator=(const PeerLink&) = delete;
+
+  /// Starts the pump threads. Frames sent before start() are flushed first.
+  void start(FrameHandler on_frame, ErrorHandler on_error);
+
+  /// Enqueues one frame for transmission (thread-safe, non-blocking).
+  void send(Frame f);
+
+  /// Flushes the outbox, closes the socket, joins both threads. Idempotent.
+  /// `flush` false skips draining (abort paths: get out fast).
+  void stop(bool flush = true);
+
+  [[nodiscard]] int peer() const { return peer_; }
+
+ private:
+  void send_main();
+  void recv_main();
+
+  int me_;
+  int peer_;
+  Socket socket_;
+  NetMetrics* metrics_;
+  obs::TraceSession* obs_;
+  obs::Track* send_track_ = nullptr;  ///< "net:r<me>->r<peer>"
+  obs::Track* recv_track_ = nullptr;  ///< "net:r<me><-r<peer>"
+
+  FrameHandler on_frame_;
+  ErrorHandler on_error_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Frame> outbox_;
+  bool stopping_ = false;
+  bool flush_on_stop_ = true;
+
+  std::uint64_t send_seq_ = 1;  ///< seq 0 was the HELLO handshake
+  std::thread send_thread_;
+  std::thread recv_thread_;
+};
+
+/// Establishes the full localhost mesh for `env.rank`: connects to every
+/// lower rank (sending a HELLO carrying our rank, wire seq 0) and accepts
+/// one connection from every higher rank (validating its HELLO). Returns
+/// sockets indexed by peer rank (the slot at env.rank stays invalid).
+/// Throws std::runtime_error on timeout or a bad handshake.
+[[nodiscard]] std::vector<Socket> connect_mesh(RankEnv& env,
+                                               double timeout_s = 30.0);
+
+}  // namespace dc::net

@@ -1,0 +1,94 @@
+#include "net/wire.hpp"
+
+#include <cstring>
+
+namespace dc::net {
+
+const char* to_string(FrameType t) {
+  switch (t) {
+    case FrameType::kHello: return "HELLO";
+    case FrameType::kData: return "DATA";
+    case FrameType::kCredit: return "CREDIT";
+    case FrameType::kAck: return "ACK";
+    case FrameType::kEow: return "EOW";
+    case FrameType::kAbort: return "ABORT";
+    case FrameType::kDone: return "DONE";
+  }
+  return "?";
+}
+
+const char* to_string(WireError e) {
+  switch (e) {
+    case WireError::kOk: return "ok";
+    case WireError::kClosed: return "connection closed";
+    case WireError::kTruncated: return "truncated frame";
+    case WireError::kBadMagic: return "bad magic";
+    case WireError::kBadType: return "bad frame type";
+    case WireError::kBadHeaderChecksum: return "header checksum mismatch";
+    case WireError::kOversizedPayload: return "oversized payload length";
+    case WireError::kBadPayloadChecksum: return "payload checksum mismatch";
+    case WireError::kBadSeq: return "sequence number gap";
+    case WireError::kSocketError: return "socket error";
+  }
+  return "?";
+}
+
+Frame make_frame(FrameType type, core::BufferRoute route,
+                 std::vector<std::byte> payload) {
+  Frame f;
+  f.header.type = static_cast<std::uint8_t>(type);
+  f.header.route = route;
+  f.header.payload_bytes = static_cast<std::uint32_t>(payload.size());
+  f.payload = std::move(payload);
+  return f;
+}
+
+bool write_frame(Socket& s, Frame& f, std::uint64_t seq) {
+  f.header.magic = kFrameMagic;
+  f.header.seq = seq;
+  f.header.payload_bytes = static_cast<std::uint32_t>(f.payload.size());
+  f.header.payload_checksum = fnv1a(f.payload);
+  f.header.header_checksum = f.header.compute_checksum();
+  if (!s.send_all({reinterpret_cast<const std::byte*>(&f.header),
+                   sizeof(FrameHeader)})) {
+    return false;
+  }
+  return f.payload.empty() || s.send_all(f.payload);
+}
+
+WireError read_frame(Socket& s, Frame& out, std::uint64_t expected_seq) {
+  std::size_t got = 0;
+  const RecvStatus hs = s.recv_exact(
+      {reinterpret_cast<std::byte*>(&out.header), sizeof(FrameHeader)}, got);
+  if (hs == RecvStatus::kClosed) {
+    return got == 0 ? WireError::kClosed : WireError::kTruncated;
+  }
+  if (hs == RecvStatus::kError) return WireError::kSocketError;
+
+  if (out.header.magic != kFrameMagic) return WireError::kBadMagic;
+  if (out.header.header_checksum != out.header.compute_checksum()) {
+    return WireError::kBadHeaderChecksum;
+  }
+  const auto t = static_cast<FrameType>(out.header.type);
+  if (t < FrameType::kHello || t > FrameType::kDone) return WireError::kBadType;
+  // The length check comes after the header checksum: a frame that passes
+  // the checksum yet claims an absurd length is an explicit protocol
+  // violation, not something to try to allocate.
+  if (out.header.payload_bytes > kMaxPayloadBytes) {
+    return WireError::kOversizedPayload;
+  }
+  if (out.header.seq != expected_seq) return WireError::kBadSeq;
+
+  out.payload.resize(out.header.payload_bytes);
+  if (!out.payload.empty()) {
+    const RecvStatus ps = s.recv_exact(out.payload, got);
+    if (ps == RecvStatus::kClosed) return WireError::kTruncated;
+    if (ps == RecvStatus::kError) return WireError::kSocketError;
+  }
+  if (fnv1a(out.payload) != out.header.payload_checksum) {
+    return WireError::kBadPayloadChecksum;
+  }
+  return WireError::kOk;
+}
+
+}  // namespace dc::net

@@ -1,0 +1,120 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+#include "core/wire.hpp"
+#include "net/socket.hpp"
+
+namespace dc::net {
+
+/// Wire protocol of the distributed filter transport ("dcn"): every message
+/// is one length-prefixed, checksummed frame over a TCP stream.
+///
+///   [FrameHeader (56 B)] [payload_bytes of payload]
+///
+/// Frame types mirror the in-process engine's control flow:
+///
+///   HELLO   connection handshake; `route.producer` carries the sender rank
+///   DATA    one stream buffer; payload = buffer bytes, route addresses it
+///   CREDIT  consumer dequeued one buffer (frees the producer's RR/WRR
+///           in-flight window slot — the wire form of WriterState::on_dequeue)
+///   ACK     demand-driven acknowledgment (WriterState::on_ack)
+///   EOW     one producer copy finished the stream entering the target set
+///   ABORT   UOW aborted on the sender; receivers unwind and propagate
+///   DONE    sender's local workers joined for `route.uow` (completion
+///           barrier; after DONE no further frames for that UOW follow)
+///
+/// Integrity: the header carries an FNV-1a checksum over its own preceding
+/// bytes and one over the payload; receivers verify both, enforce a hard
+/// payload-size cap, and require per-connection sequence numbers to be
+/// consecutive. Any violation is a WireError — the connection is closed and
+/// the run terminates with a structured outcome, never a crash or a hang.
+inline constexpr std::uint32_t kFrameMagic = 0x314E4344;  // "DCN1" LE
+inline constexpr std::uint32_t kMaxPayloadBytes = 64u * 1024u * 1024u;
+
+enum class FrameType : std::uint8_t {
+  kHello = 1,
+  kData = 2,
+  kCredit = 3,
+  kAck = 4,
+  kEow = 5,
+  kAbort = 6,
+  kDone = 7,
+};
+
+[[nodiscard]] const char* to_string(FrameType t);
+
+/// FNV-1a over a byte range (same digest primitive as io::format and
+/// viz::Image — kept dependency-free here).
+[[nodiscard]] inline std::uint64_t fnv1a(std::span<const std::byte> bytes,
+                                         std::uint64_t h = 0xcbf29ce484222325ULL) {
+  for (std::byte b : bytes) {
+    h ^= static_cast<std::uint64_t>(b);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// Fixed-size frame header, little-endian PODs, memcpy'd onto the wire.
+struct FrameHeader {
+  std::uint32_t magic = kFrameMagic;
+  std::uint8_t type = 0;
+  std::uint8_t reserved[3] = {};
+  core::BufferRoute route;             ///< buffer identity (kData/kCredit/...)
+  std::uint32_t payload_bytes = 0;
+  std::uint32_t reserved2 = 0;
+  std::uint64_t seq = 0;               ///< per-connection, consecutive from 0
+  std::uint64_t payload_checksum = 0;  ///< fnv1a over the payload
+  std::uint64_t header_checksum = 0;   ///< fnv1a over all preceding fields
+
+  [[nodiscard]] std::uint64_t compute_checksum() const {
+    return fnv1a({reinterpret_cast<const std::byte*>(this),
+                  offsetof(FrameHeader, header_checksum)});
+  }
+};
+static_assert(std::is_trivially_copyable_v<FrameHeader>);
+static_assert(sizeof(FrameHeader) == 56, "wire layout must not drift");
+
+struct Frame {
+  FrameHeader header;
+  std::vector<std::byte> payload;
+
+  [[nodiscard]] FrameType type() const {
+    return static_cast<FrameType>(header.type);
+  }
+};
+
+/// Everything that can go wrong reading one frame.
+enum class WireError {
+  kOk = 0,
+  kClosed,           ///< orderly close on a frame boundary
+  kTruncated,        ///< EOF mid-header or mid-payload
+  kBadMagic,
+  kBadType,
+  kBadHeaderChecksum,
+  kOversizedPayload,  ///< payload_bytes > kMaxPayloadBytes
+  kBadPayloadChecksum,
+  kBadSeq,           ///< sequence number not consecutive
+  kSocketError,
+};
+
+[[nodiscard]] const char* to_string(WireError e);
+
+/// Builds an unsealed frame (seq/checksums filled in by write_frame).
+[[nodiscard]] Frame make_frame(FrameType type, core::BufferRoute route = {},
+                               std::vector<std::byte> payload = {});
+
+/// Assigns `seq`, computes both checksums, and writes header + payload.
+/// Returns false on socket error.
+bool write_frame(Socket& s, Frame& f, std::uint64_t seq);
+
+/// Reads and validates one frame. `expected_seq` enforces the consecutive
+/// sequence contract. On any non-kOk result `out` is unspecified.
+[[nodiscard]] WireError read_frame(Socket& s, Frame& out,
+                                   std::uint64_t expected_seq);
+
+}  // namespace dc::net

@@ -1,0 +1,59 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/runtime.hpp"
+#include "exec/metrics.hpp"
+#include "net/distributed.hpp"
+#include "net/metrics.hpp"
+#include "net/process.hpp"
+#include "viz/app.hpp"
+
+namespace dc::viz {
+
+struct DistributedRunOptions {
+  /// Hard deadline for the whole process group (run_local_ranks watchdog).
+  double timeout_s = 120.0;
+  /// Mesh-handshake timeout inside each rank.
+  double mesh_timeout_s = 30.0;
+  /// Per-UOW completion-barrier deadline inside the engine.
+  double barrier_timeout_s = 60.0;
+  /// Non-empty: each rank records an obs::TraceSession (net.send/net.recv
+  /// spans, credit.stall instants) and writes `<dir>/rank<k>.trace.json`.
+  std::string trace_dir;
+  /// Non-empty: rank result files go here (kept afterwards); otherwise a
+  /// temp dir is used and removed.
+  std::string result_dir;
+};
+
+/// Outcome of a multi-process distributed render: every rank's process
+/// status, the per-UOW engine outcomes, the merged images (from the rank
+/// hosting the single Merge copy), and the cross-rank aggregated ledgers.
+struct DistributedRenderRun {
+  bool ok = false;  ///< every rank exited 0 with every UOW complete
+  std::string error;                    ///< first failure description
+  std::vector<net::RankStatus> ranks;   ///< process exit statuses
+  std::vector<int> uow_status;          ///< worst net::RunStatus per UOW
+  std::vector<double> per_uow;          ///< merge-rank wall makespans
+  std::vector<std::uint64_t> digests;   ///< merged image digests, per UOW
+  std::vector<Image> images;            ///< merged images (keep_images)
+  /// Stream / ack ledgers summed across every rank's local instances; for
+  /// the same spec + config + seed these match exec::Engine's exactly.
+  exec::Metrics metrics;
+  net::NetMetricsSnapshot net;  ///< transport counters summed across ranks
+};
+
+/// Renders `uows` timesteps of `spec` on `num_ranks` cooperating OS
+/// processes (one per simulated host) connected by the dc::net transport.
+/// The parent forks the ranks, each builds the identical graph + placement,
+/// runs net::DistributedEngine in lockstep, and reports back through a
+/// per-rank result file; the parent aggregates. Must be called from a
+/// single-threaded process (fork semantics).
+DistributedRenderRun run_iso_app_distributed(const IsoAppSpec& spec,
+                                             const core::RuntimeConfig& cfg,
+                                             int uows, int num_ranks,
+                                             DistributedRunOptions opts = {});
+
+}  // namespace dc::viz

@@ -1,0 +1,202 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "core/filter.hpp"
+#include "core/graph.hpp"
+#include "core/placement.hpp"
+#include "core/runtime.hpp"
+#include "exec/engine.hpp"
+#include "exec/queue.hpp"
+#include "exec/watchdog.hpp"
+
+// Regression tests for the PortChannel contracts the native engine leans on:
+//
+//  1. push() observes the abort flag ON ENTRY (not only after blocking).
+//     Before the fix a producer feeding a queue that never filled kept
+//     producing forever after another worker aborted the UOW.
+//  2. The end-of-work marker is STICKY: once every expected marker arrived
+//     and the queues drained, every pop() returns kEow immediately, forever
+//     — that is what guarantees each consumer copy of a set observes EOW
+//     (and why consumers must treat kEow as terminal).
+
+namespace dc {
+namespace {
+
+using Channel = exec::PortChannel<int>;
+
+// ---------------------------------------------------------------------------
+// Satellite 1, raw channel: abort observed on entry with capacity to spare.
+// ---------------------------------------------------------------------------
+
+TEST(ExecChannelAbort, PushThrowsOnEntryWhenAborted) {
+  exec::Watchdog dog(std::chrono::seconds(60), "PushThrowsOnEntryWhenAborted");
+  std::atomic<bool> aborted{false};
+  Channel ch;
+  ch.init(/*ports=*/1, /*capacity=*/10, &aborted);
+
+  // Far below capacity: these pushes return instantly.
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_NO_THROW(ch.push(0, i));
+  }
+
+  aborted.store(true);
+  ch.notify_abort();
+  // The queue still has 7 free slots — only the entry check can fire here.
+  EXPECT_THROW(ch.push(0, 99), exec::Aborted);
+  int out = -1;
+  int port = -1;
+  double waited = 0.0;
+  EXPECT_THROW(ch.pop(out, port, waited), exec::Aborted);
+}
+
+TEST(ExecChannelAbort, PushThrowsAfterWaitWhenAbortedWhileBlocked) {
+  exec::Watchdog dog(std::chrono::seconds(60),
+                     "PushThrowsAfterWaitWhenAbortedWhileBlocked");
+  std::atomic<bool> aborted{false};
+  Channel ch;
+  ch.init(/*ports=*/1, /*capacity=*/1, &aborted);
+  ch.push(0, 0);  // fill the single slot
+
+  std::thread producer([&] {
+    EXPECT_THROW(ch.push(0, 1), exec::Aborted);  // blocks, then aborts
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  aborted.store(true);
+  ch.notify_abort();
+  producer.join();
+}
+
+// ---------------------------------------------------------------------------
+// Satellite 1, engine level: a consumer failure mid-stream aborts a producer
+// whose channel NEVER fills (capacity >> items). Before the entry check the
+// producer ran to completion regardless.
+// ---------------------------------------------------------------------------
+
+class SlowCountSource : public core::SourceFilter {
+ public:
+  explicit SlowCountSource(int steps) : steps_(steps) {}
+  bool step(core::FilterContext& ctx) override {
+    // Pace the producer so the consumer's failure lands mid-stream — the
+    // engine must then stop this copy via the push entry check, because at
+    // this window the queue never fills and a blocking push never happens.
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    core::Buffer b = ctx.make_buffer(0);
+    b.push(std::uint64_t{1});
+    ctx.write(0, b);
+    return ++i_ < steps_;
+  }
+
+ private:
+  int steps_;
+  int i_ = 0;
+};
+
+class ThrowingConsumer : public core::Filter {
+ public:
+  void process_buffer(core::FilterContext&, int, const core::Buffer&) override {
+    throw std::runtime_error("consumer failure");
+  }
+};
+
+constexpr int kSteps = 200;
+
+TEST(ExecChannelAbort, EngineAbortsProducerWhoseQueueNeverFills) {
+  exec::Watchdog dog(std::chrono::seconds(120),
+                     "EngineAbortsProducerWhoseQueueNeverFills");
+
+  core::Graph g;
+  const int src = g.add_source(
+      "src", [] { return std::make_unique<SlowCountSource>(kSteps); });
+  const int sink = g.add_filter(
+      "sink", [] { return std::make_unique<ThrowingConsumer>(); });
+  g.connect(src, 0, sink, 0);
+
+  core::Placement p;
+  p.place(src, 0, 1).place(sink, 0, 1);
+
+  core::RuntimeConfig cfg;
+  cfg.window = 1000;  // capacity 1000 >> 200 items: the queue never fills
+
+  exec::Engine eng(g, p, cfg);
+  EXPECT_THROW(eng.run_uow(), std::runtime_error);
+
+  // The producer must have been cut short by the abort, not run to
+  // completion on a never-full queue.
+  std::uint64_t produced = 0;
+  for (const auto& im : eng.metrics().instances) {
+    if (im.filter == src) produced += im.buffers_out;
+  }
+  EXPECT_GT(produced, 0u);
+  EXPECT_LT(produced, static_cast<std::uint64_t>(kSteps))
+      << "producer ran to completion after the UOW aborted";
+}
+
+// ---------------------------------------------------------------------------
+// Satellite 2: sticky EOW with two consumer copies sharing one channel.
+// ---------------------------------------------------------------------------
+
+TEST(ExecChannelEow, StickyEowReachesEveryConsumerCopy) {
+  exec::Watchdog dog(std::chrono::seconds(60),
+                     "StickyEowReachesEveryConsumerCopy");
+  std::atomic<bool> aborted{false};
+  Channel ch;
+  ch.init(/*ports=*/1, /*capacity=*/8, &aborted);
+  ch.expect_eow(0, /*producers=*/1);
+
+  for (int i = 0; i < 3; ++i) ch.push(0, i);
+  ch.producer_eow(0);
+
+  // Two consumer copies drain the shared queues; each must observe kEow.
+  std::atomic<int> items{0};
+  std::atomic<int> eows{0};
+  auto consume = [&] {
+    for (;;) {
+      int v = -1, port = -1;
+      double waited = 0.0;
+      if (ch.pop(v, port, waited) == Channel::Pop::kEow) {
+        eows.fetch_add(1);
+        return;  // kEow is terminal for a consumer
+      }
+      items.fetch_add(1);
+    }
+  };
+  std::thread c1(consume), c2(consume);
+  c1.join();
+  c2.join();
+  EXPECT_EQ(items.load(), 3);
+  EXPECT_EQ(eows.load(), 2);
+
+  // STICKY: popping after end-of-work keeps returning kEow immediately —
+  // it never blocks and never conjures another item.
+  for (int i = 0; i < 3; ++i) {
+    int v = -1, port = -1;
+    double waited = 0.0;
+    EXPECT_EQ(ch.pop(v, port, waited), Channel::Pop::kEow);
+    EXPECT_LT(waited, 1.0);
+  }
+}
+
+// A late producer_eow beyond the expected count must not disturb the sticky
+// state (defensive: the engines never do this, but the contract says so).
+TEST(ExecChannelEow, ExtraEowMarkersAreHarmless) {
+  exec::Watchdog dog(std::chrono::seconds(60), "ExtraEowMarkersAreHarmless");
+  std::atomic<bool> aborted{false};
+  Channel ch;
+  ch.init(/*ports=*/1, /*capacity=*/4, &aborted);
+  ch.expect_eow(0, 1);
+  ch.producer_eow(0);
+  ch.producer_eow(0);  // extra marker
+
+  int v = -1, port = -1;
+  double waited = 0.0;
+  EXPECT_EQ(ch.pop(v, port, waited), Channel::Pop::kEow);
+  EXPECT_EQ(ch.pop(v, port, waited), Channel::Pop::kEow);
+}
+
+}  // namespace
+}  // namespace dc

@@ -1,0 +1,305 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstring>
+#include <mutex>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include "core/wire.hpp"
+#include "exec/watchdog.hpp"
+#include "net/socket.hpp"
+#include "net/transport.hpp"
+#include "net/wire.hpp"
+
+// Wire-protocol unit and fuzz tests: every corrupt input — truncated header,
+// truncated payload, bad magic, bad checksum (header or payload), oversized
+// length, out-of-order sequence — must surface as a structured WireError
+// that closes the connection. Never a crash, never a hang: each case is
+// watchdog-bounded and driven over real loopback sockets.
+
+namespace dc {
+namespace {
+
+using namespace dc::net;
+
+/// One connected loopback socket pair.
+struct Pair {
+  Socket a, b;
+};
+
+Pair make_pair_() {
+  Socket listener = listen_loopback(0, 4);
+  const std::uint16_t port = local_port(listener);
+  Socket a = connect_loopback(port, 10.0);
+  Socket b = accept_one(listener, 10.0);
+  return Pair{std::move(a), std::move(b)};
+}
+
+core::BufferRoute route(int stream, int producer, int target,
+                        std::uint32_t uow) {
+  core::BufferRoute r;
+  r.stream = stream;
+  r.producer = producer;
+  r.target = target;
+  r.uow = uow;
+  return r;
+}
+
+std::vector<std::byte> payload_of(std::size_t n, unsigned seed) {
+  std::mt19937 rng(seed);
+  std::vector<std::byte> p(n);
+  for (auto& b : p) b = static_cast<std::byte>(rng() & 0xff);
+  return p;
+}
+
+// ---------------------------------------------------------------------------
+// Round trips
+// ---------------------------------------------------------------------------
+
+TEST(NetWire, HeaderLayoutIsStable) {
+  EXPECT_EQ(sizeof(FrameHeader), 56u);
+  EXPECT_EQ(sizeof(core::BufferRoute), 16u);
+}
+
+TEST(NetWire, FrameRoundTripsWithPayload) {
+  exec::Watchdog dog(std::chrono::seconds(60), "FrameRoundTripsWithPayload");
+  Pair p = make_pair_();
+  const auto data = payload_of(4096, 1);
+  Frame f = make_frame(FrameType::kData, route(2, 5, 1, 7), data);
+  ASSERT_TRUE(write_frame(p.a, f, /*seq=*/0));
+
+  Frame g;
+  ASSERT_EQ(read_frame(p.b, g, /*expected_seq=*/0), WireError::kOk);
+  EXPECT_EQ(g.type(), FrameType::kData);
+  EXPECT_EQ(g.header.route, route(2, 5, 1, 7));
+  EXPECT_EQ(g.payload, data);
+}
+
+TEST(NetWire, ManyFramesKeepSequenceAndIntegrity) {
+  exec::Watchdog dog(std::chrono::seconds(60),
+                     "ManyFramesKeepSequenceAndIntegrity");
+  Pair p = make_pair_();
+  std::thread writer([&] {
+    for (int i = 0; i < 200; ++i) {
+      Frame f = make_frame(i % 5 == 0 ? FrameType::kCredit : FrameType::kData,
+                           route(i % 3, i, i % 2, 0),
+                           payload_of(static_cast<std::size_t>(i % 7) * 97,
+                                      static_cast<unsigned>(i)));
+      ASSERT_TRUE(write_frame(p.a, f, static_cast<std::uint64_t>(i)));
+    }
+  });
+  for (int i = 0; i < 200; ++i) {
+    Frame g;
+    ASSERT_EQ(read_frame(p.b, g, static_cast<std::uint64_t>(i)),
+              WireError::kOk)
+        << "frame " << i;
+    EXPECT_EQ(g.header.route.producer, i);
+    EXPECT_EQ(g.payload.size(), static_cast<std::size_t>(i % 7) * 97);
+  }
+  writer.join();
+}
+
+TEST(NetWire, CleanCloseOnFrameBoundaryIsKClosed) {
+  exec::Watchdog dog(std::chrono::seconds(60),
+                     "CleanCloseOnFrameBoundaryIsKClosed");
+  Pair p = make_pair_();
+  p.a.close();
+  Frame g;
+  EXPECT_EQ(read_frame(p.b, g, 0), WireError::kClosed);
+}
+
+// ---------------------------------------------------------------------------
+// Corruption: each case must produce the specific structured error.
+// ---------------------------------------------------------------------------
+
+/// Seals a frame exactly like write_frame, returning the raw bytes so tests
+/// can corrupt them before sending.
+std::vector<std::byte> seal(FrameType type, core::BufferRoute r,
+                            std::vector<std::byte> payload,
+                            std::uint64_t seq) {
+  Frame f = make_frame(type, r, std::move(payload));
+  f.header.seq = seq;
+  f.header.payload_bytes = static_cast<std::uint32_t>(f.payload.size());
+  f.header.payload_checksum = fnv1a(f.payload);
+  f.header.header_checksum = f.header.compute_checksum();
+  std::vector<std::byte> bytes(sizeof(FrameHeader) + f.payload.size());
+  std::memcpy(bytes.data(), &f.header, sizeof(FrameHeader));
+  std::memcpy(bytes.data() + sizeof(FrameHeader), f.payload.data(),
+              f.payload.size());
+  return bytes;
+}
+
+TEST(NetWireFuzz, TruncatedHeaderIsKTruncated) {
+  exec::Watchdog dog(std::chrono::seconds(60), "TruncatedHeaderIsKTruncated");
+  for (std::size_t cut : {1u, 8u, 20u, 55u}) {
+    Pair p = make_pair_();
+    auto bytes = seal(FrameType::kData, route(0, 0, 0, 0), payload_of(64, 3), 0);
+    ASSERT_TRUE(p.a.send_all({bytes.data(), cut}));
+    p.a.close();  // EOF mid-header
+    Frame g;
+    EXPECT_EQ(read_frame(p.b, g, 0), WireError::kTruncated) << "cut " << cut;
+  }
+}
+
+TEST(NetWireFuzz, TruncatedPayloadIsKTruncated) {
+  exec::Watchdog dog(std::chrono::seconds(60), "TruncatedPayloadIsKTruncated");
+  Pair p = make_pair_();
+  auto bytes = seal(FrameType::kData, route(0, 0, 0, 0), payload_of(256, 4), 0);
+  ASSERT_TRUE(p.a.send_all({bytes.data(), bytes.size() - 100}));
+  p.a.close();  // EOF mid-payload
+  Frame g;
+  EXPECT_EQ(read_frame(p.b, g, 0), WireError::kTruncated);
+}
+
+TEST(NetWireFuzz, BadMagicIsRejected) {
+  exec::Watchdog dog(std::chrono::seconds(60), "BadMagicIsRejected");
+  Pair p = make_pair_();
+  auto bytes = seal(FrameType::kData, route(0, 0, 0, 0), {}, 0);
+  bytes[0] = std::byte{0xEE};  // clobber the magic
+  ASSERT_TRUE(p.a.send_all(bytes));
+  Frame g;
+  EXPECT_EQ(read_frame(p.b, g, 0), WireError::kBadMagic);
+}
+
+TEST(NetWireFuzz, FlippedHeaderBitIsBadHeaderChecksum) {
+  exec::Watchdog dog(std::chrono::seconds(60),
+                     "FlippedHeaderBitIsBadHeaderChecksum");
+  // Flip one bit in each checksummed header byte after the magic; the header
+  // checksum must catch every one of them.
+  for (std::size_t pos = 4; pos + 8 < sizeof(FrameHeader); pos += 3) {
+    Pair p = make_pair_();
+    auto bytes = seal(FrameType::kData, route(1, 2, 3, 4), payload_of(32, 5), 0);
+    bytes[pos] ^= std::byte{0x10};
+    ASSERT_TRUE(p.a.send_all(bytes));
+    Frame g;
+    EXPECT_EQ(read_frame(p.b, g, 0), WireError::kBadHeaderChecksum)
+        << "byte " << pos;
+  }
+}
+
+TEST(NetWireFuzz, CorruptPayloadIsBadPayloadChecksum) {
+  exec::Watchdog dog(std::chrono::seconds(60),
+                     "CorruptPayloadIsBadPayloadChecksum");
+  Pair p = make_pair_();
+  auto bytes = seal(FrameType::kData, route(0, 0, 0, 0), payload_of(512, 6), 0);
+  bytes[sizeof(FrameHeader) + 100] ^= std::byte{0x01};
+  ASSERT_TRUE(p.a.send_all(bytes));
+  Frame g;
+  EXPECT_EQ(read_frame(p.b, g, 0), WireError::kBadPayloadChecksum);
+}
+
+TEST(NetWireFuzz, OversizedLengthIsRejectedWithoutAllocating) {
+  exec::Watchdog dog(std::chrono::seconds(60),
+                     "OversizedLengthIsRejectedWithoutAllocating");
+  Pair p = make_pair_();
+  // Hand-craft a header claiming a 3 GiB payload WITH a valid checksum: the
+  // length cap must reject it before any allocation happens (a crash from
+  // bad_alloc / OOM killer would fail the test).
+  Frame f = make_frame(FrameType::kData, route(0, 0, 0, 0));
+  f.header.seq = 0;
+  f.header.payload_bytes = 0xC0000000u;
+  f.header.payload_checksum = 0;
+  f.header.header_checksum = f.header.compute_checksum();
+  std::vector<std::byte> bytes(sizeof(FrameHeader));
+  std::memcpy(bytes.data(), &f.header, sizeof(FrameHeader));
+  ASSERT_TRUE(p.a.send_all(bytes));
+  Frame g;
+  EXPECT_EQ(read_frame(p.b, g, 0), WireError::kOversizedPayload);
+}
+
+TEST(NetWireFuzz, BadTypeIsRejected) {
+  exec::Watchdog dog(std::chrono::seconds(60), "BadTypeIsRejected");
+  Pair p = make_pair_();
+  Frame f = make_frame(FrameType::kData, route(0, 0, 0, 0));
+  f.header.type = 99;
+  f.header.seq = 0;
+  f.header.payload_checksum = fnv1a({});
+  f.header.header_checksum = f.header.compute_checksum();
+  std::vector<std::byte> bytes(sizeof(FrameHeader));
+  std::memcpy(bytes.data(), &f.header, sizeof(FrameHeader));
+  ASSERT_TRUE(p.a.send_all(bytes));
+  Frame g;
+  EXPECT_EQ(read_frame(p.b, g, 0), WireError::kBadType);
+}
+
+TEST(NetWireFuzz, SequenceGapIsBadSeq) {
+  exec::Watchdog dog(std::chrono::seconds(60), "SequenceGapIsBadSeq");
+  Pair p = make_pair_();
+  auto bytes = seal(FrameType::kCredit, route(0, 0, 0, 0), {}, /*seq=*/5);
+  ASSERT_TRUE(p.a.send_all(bytes));
+  Frame g;
+  EXPECT_EQ(read_frame(p.b, g, /*expected_seq=*/0), WireError::kBadSeq);
+}
+
+TEST(NetWireFuzz, RandomGarbageNeverCrashesOrHangs) {
+  exec::Watchdog dog(std::chrono::seconds(120),
+                     "RandomGarbageNeverCrashesOrHangs");
+  std::mt19937 rng(0xDC);
+  for (int round = 0; round < 50; ++round) {
+    Pair p = make_pair_();
+    std::vector<std::byte> junk(64 + rng() % 4096);
+    for (auto& b : junk) b = static_cast<std::byte>(rng() & 0xff);
+    ASSERT_TRUE(p.a.send_all(junk));
+    p.a.close();
+    Frame g;
+    const WireError err = read_frame(p.b, g, 0);
+    // Whatever the garbage decodes to, it is SOME structured error.
+    EXPECT_NE(err, WireError::kOk) << "round " << round;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// PeerLink: a corrupt frame mid-stream fires the error handler exactly once
+// and stops the pump; valid frames before it are all delivered.
+// ---------------------------------------------------------------------------
+
+TEST(NetWireFuzz, PeerLinkSurfacesCorruptFrameAsSingleError) {
+  exec::Watchdog dog(std::chrono::seconds(60),
+                     "PeerLinkSurfacesCorruptFrameAsSingleError");
+  Pair p = make_pair_();
+
+  NetMetrics metrics;
+  std::atomic<int> frames{0};
+  std::atomic<int> errors{0};
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+
+  PeerLink link(/*my_rank=*/0, /*peer_rank=*/1, std::move(p.b), &metrics,
+                nullptr);
+  link.start(
+      [&](int, const Frame&) { frames.fetch_add(1); },
+      [&](int, WireError err, const std::string&) {
+        EXPECT_NE(err, WireError::kOk);
+        errors.fetch_add(1);
+        std::lock_guard<std::mutex> lk(mu);
+        done = true;
+        cv.notify_all();
+      });
+
+  // Two valid frames (PeerLink seqs start at 1 after the HELLO handshake)...
+  for (std::uint64_t s = 1; s <= 2; ++s) {
+    auto bytes = seal(FrameType::kCredit, route(0, 0, 0, 0), {}, s);
+    ASSERT_TRUE(p.a.send_all(bytes));
+  }
+  // ...then a corrupted one.
+  auto bad = seal(FrameType::kData, route(0, 0, 0, 0), payload_of(128, 9), 3);
+  bad[sizeof(FrameHeader) + 5] ^= std::byte{0x80};
+  ASSERT_TRUE(p.a.send_all(bad));
+
+  {
+    std::unique_lock<std::mutex> lk(mu);
+    ASSERT_TRUE(cv.wait_for(lk, std::chrono::seconds(30), [&] { return done; }));
+  }
+  link.stop();
+  EXPECT_EQ(frames.load(), 2);
+  EXPECT_EQ(errors.load(), 1);
+  EXPECT_EQ(metrics.protocol_errors.load(), 1u);
+}
+
+}  // namespace
+}  // namespace dc
