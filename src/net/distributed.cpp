@@ -480,17 +480,21 @@ void DistributedEngine::on_frame(int peer, const Frame& f) {
       {
         std::lock_guard<std::mutex> lk(state_mu_);
         const std::uint32_t uow = f.header.route.uow;
-        if (!built_ || uow != static_cast<std::uint32_t>(uow_index_)) {
+        const auto current = static_cast<std::uint32_t>(uow_index_);
+        if (!built_ || uow != current) {
           // A fast peer can run at most one UOW ahead (the DONE barrier
           // separates consecutive units): stash the frame, replayed when
           // that UOW builds. Frames for a torn-down UOW (abort races) park
-          // here harmlessly too.
-          if (uow >= static_cast<std::uint32_t>(uow_index_)) {
+          // here harmlessly too. Anything further ahead violates the
+          // protocol — escalate instead of buffering it without bound.
+          if (uow > current + 1) {
+            err = "frame for a UOW more than one ahead";
+          } else if (uow >= current) {
             pending_.push_back(f);
           }
-          return;
+        } else {
+          err = deliver_locked(f, peer);
         }
-        err = deliver_locked(f, peer);
       }
       if (err != nullptr) {
         abort_run(RunStatus::kTransportError,
@@ -721,10 +725,14 @@ UowResult DistributedEngine::run_uow() {
     built_ = false;
     running_ = false;
     done_counts_.erase(uow);
+    // The peer-link recv threads read uow_index_ under state_mu_ (frame
+    // stashing, orderly-close classification); advance it under the same
+    // lock. Workers only read it between their fork and join, so the
+    // unlocked reads on their threads stay race-free.
+    ++uow_index_;
+    metrics_.makespan = makespan;
   }
   teardown_uow();
-  metrics_.makespan = makespan;
-  ++uow_index_;
 
   UowResult r;
   r.makespan = makespan;

@@ -31,7 +31,9 @@ void PeerLink::start(FrameHandler on_frame, ErrorHandler on_error) {
 void PeerLink::send(Frame f) {
   {
     std::lock_guard<std::mutex> lk(mu_);
-    if (stopping_) return;  // teardown races are benign: frame is moot
+    // Teardown / dead-link races are benign: the frame is moot either way
+    // (and a dead link must not accumulate an outbox nobody will drain).
+    if (stopping_ || send_failed_) return;
     outbox_.push_back(std::move(f));
   }
   cv_.notify_all();
@@ -47,14 +49,31 @@ void PeerLink::stop(bool flush) {
     flush_on_stop_ = flush;
   }
   cv_.notify_all();
-  if (send_thread_.joinable()) send_thread_.join();
-  // The send thread has exited; unblock the recv thread's blocking read.
+  if (flush && send_thread_.joinable()) {
+    // Bounded drain: give the send pump a deadline to flush the outbox. A
+    // live but wedged peer (one that stopped reading, leaving ::send blocked
+    // on a full TCP buffer) must not hang teardown.
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_.wait_for(lk, kStopFlushDeadline, [this] { return sender_done_; });
+  }
+  // Shut both directions down BEFORE joining: interrupts a ::send still
+  // blocked on a full buffer as well as the recv thread's blocking read.
   socket_.shutdown_both();
+  if (send_thread_.joinable()) send_thread_.join();
   if (recv_thread_.joinable()) recv_thread_.join();
   socket_.close();
 }
 
 void PeerLink::send_main() {
+  pump_send();
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    sender_done_ = true;
+  }
+  cv_.notify_all();  // wakes stop()'s bounded drain
+}
+
+void PeerLink::pump_send() {
   for (;;) {
     Frame f;
     {
@@ -74,11 +93,25 @@ void PeerLink::send_main() {
                          static_cast<std::int64_t>(f.header.type),
                          static_cast<std::int64_t>(bytes));
     if (!write_frame(socket_, f, send_seq_++)) {
-      // Peer gone mid-send. The recv side reports the error (it sees the
-      // close too); the send thread just stops transmitting.
-      std::lock_guard<std::mutex> lk(mu_);
-      stopping_ = true;
-      outbox_.clear();
+      // Write failure. Outside teardown this must be REPORTED, not merely
+      // noted: the recv thread can be blocked in a read the peer's death
+      // never interrupts (whichever side notices first depends on timing),
+      // and the engine's credit waits rely on the report to unwind instead
+      // of hanging. The once-only guard keeps the one-report-per-link
+      // contract when both pumps see the failure.
+      bool teardown = false;
+      {
+        std::lock_guard<std::mutex> lk(mu_);
+        teardown = stopping_;
+        send_failed_ = true;
+        outbox_.clear();
+      }
+      if (!teardown) {
+        report_error(WireError::kSocketError, "send failed");
+        // Unblock the recv thread's read; its own report is suppressed by
+        // the guard and it exits quietly.
+        socket_.shutdown_both();
+      }
       return;
     }
     if (metrics_ != nullptr) {
@@ -117,14 +150,7 @@ void PeerLink::recv_main() {
       if (stopping_) return;  // teardown in progress: result is moot
     }
     if (err != WireError::kOk) {
-      if (metrics_ != nullptr && err != WireError::kClosed) {
-        metrics_->protocol_errors.fetch_add(1, std::memory_order_relaxed);
-      }
-      if (on_error_) {
-        on_error_(peer_, err,
-                  "rank " + std::to_string(peer_) + ": " +
-                      std::string(to_string(err)));
-      }
+      report_error(err, to_string(err));
       return;
     }
     ++expected_seq;
@@ -156,6 +182,16 @@ void PeerLink::recv_main() {
                          static_cast<std::int64_t>(f.header.type),
                          static_cast<std::int64_t>(bytes));
     on_frame_(peer_, f);
+  }
+}
+
+void PeerLink::report_error(WireError err, const std::string& detail) {
+  if (error_reported_.exchange(true)) return;  // one report per link
+  if (metrics_ != nullptr && err != WireError::kClosed) {
+    metrics_->protocol_errors.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (on_error_) {
+    on_error_(peer_, err, "rank " + std::to_string(peer_) + ": " + detail);
   }
 }
 

@@ -1,5 +1,7 @@
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -29,9 +31,12 @@ namespace dc::net {
 /// into consumer channels, which the engine sizes so those pushes never
 /// block either — that is what makes the credit loop deadlock-free).
 ///
-/// Any wire error (checksum, truncation, sequence gap, unexpected close)
-/// fires the error handler exactly once and stops the pump; the engine
-/// turns that into a structured transport-error outcome.
+/// Any failure — a wire error on the recv side (checksum, truncation,
+/// sequence gap, unexpected close) or a write failure on the send side —
+/// fires the error handler exactly once (a guard shared by both pumps,
+/// whichever notices first) and stops that pump; the engine turns the
+/// report into a structured transport-error outcome. Failures observed
+/// while stop() is tearing the link down are not reported.
 class PeerLink {
  public:
   using FrameHandler = std::function<void(int peer, const Frame&)>;
@@ -52,15 +57,24 @@ class PeerLink {
   /// Enqueues one frame for transmission (thread-safe, non-blocking).
   void send(Frame f);
 
-  /// Flushes the outbox, closes the socket, joins both threads. Idempotent.
-  /// `flush` false skips draining (abort paths: get out fast).
+  /// Flushes the outbox (bounded by kStopFlushDeadline — a live peer that
+  /// stopped reading must not wedge teardown), closes the socket, joins
+  /// both threads. Idempotent. `flush` false skips draining (abort paths:
+  /// get out fast).
   void stop(bool flush = true);
 
   [[nodiscard]] int peer() const { return peer_; }
 
+  /// How long stop(flush=true) waits for the send pump to drain the outbox
+  /// before shutting the socket down under it.
+  static constexpr std::chrono::seconds kStopFlushDeadline{5};
+
  private:
   void send_main();
+  void pump_send();
   void recv_main();
+  /// Fires on_error_ at most once per link (both pumps funnel through it).
+  void report_error(WireError err, const std::string& detail);
 
   int me_;
   int peer_;
@@ -78,6 +92,9 @@ class PeerLink {
   std::deque<Frame> outbox_;
   bool stopping_ = false;
   bool flush_on_stop_ = true;
+  bool send_failed_ = false;  ///< write error: the outbox is dead, drop sends
+  bool sender_done_ = false;  ///< send pump exited (outbox flushed or failed)
+  std::atomic<bool> error_reported_{false};
 
   std::uint64_t send_seq_ = 1;  ///< seq 0 was the HELLO handshake
   std::thread send_thread_;

@@ -338,6 +338,54 @@ TEST(NetDifferentialCorrupt, GarbageOnTheWireTerminatesStructured) {
   EXPECT_EQ(statuses[1].exit_code, 0);
 }
 
+TEST(NetDifferentialCorrupt, FarFutureUowFrameTerminatesStructured) {
+  const auto statuses = net::run_local_ranks(
+      2,
+      [](net::RankEnv& env) {
+        std::vector<net::Socket> peers = net::connect_mesh(env, 30.0);
+        env.listener.close();
+
+        if (env.rank == 1) {
+          // Saboteur: a perfectly well-formed CREDIT frame claiming a UOW
+          // far in the future. The protocol allows peers at most one UOW
+          // ahead — the victim must flag the violation, not buffer the
+          // frame forever in its early-frame stash.
+          core::BufferRoute r;
+          r.stream = 0;
+          r.producer = 0;
+          r.target = 0;
+          r.uow = 1000;
+          net::Frame f = net::make_frame(net::FrameType::kCredit, r);
+          (void)net::write_frame(peers[0], f, /*seq=*/1);
+          std::this_thread::sleep_for(std::chrono::milliseconds(200));
+          return 0;
+        }
+
+        core::Graph g;
+        const int src = g.add_source(
+            "src", [] { return std::make_unique<CountSource>(50); });
+        const int sink = g.add_filter(
+            "sink", [] { return std::make_unique<ThrowOnHost>(-1); });
+        g.connect(src, 0, sink, 0);
+        core::Placement p;
+        p.place(src, 1, 1).place(sink, 0, 1);
+
+        core::RuntimeConfig cfg;
+        net::DistributedOptions dopts;
+        dopts.barrier_timeout_s = 30.0;
+        net::DistributedEngine eng(g, p, cfg, env.rank, env.num_ranks,
+                                   std::move(peers), dopts);
+        const net::UowResult r = eng.run_uow();
+        return run_status_to_exit(r.status);
+      },
+      net::LaunchOptions{/*timeout_s=*/60.0});
+
+  ASSERT_EQ(statuses.size(), 2u);
+  EXPECT_EQ(statuses[0].exit_code, 3);  // transport error, specifically
+  EXPECT_FALSE(statuses[0].timed_out);
+  EXPECT_EQ(statuses[1].exit_code, 0);
+}
+
 TEST(NetDifferentialCorrupt, PeerDeathMidRunTerminatesStructured) {
   const auto statuses = net::run_local_ranks(
       2,

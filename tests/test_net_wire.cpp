@@ -301,5 +301,78 @@ TEST(NetWireFuzz, PeerLinkSurfacesCorruptFrameAsSingleError) {
   EXPECT_EQ(metrics.protocol_errors.load(), 1u);
 }
 
+// ---------------------------------------------------------------------------
+// PeerLink failure paths beyond corrupt frames: a peer that dies while the
+// SEND side is mid-write must still surface exactly one error (regression:
+// the send pump used to flag teardown on a write failure, silencing the
+// recv pump's report — nobody fired and the engine hung), and a live but
+// wedged peer must not hang stop().
+// ---------------------------------------------------------------------------
+
+TEST(NetWireFuzz, PeerDeathUnderWedgedSendReportsExactlyOneError) {
+  exec::Watchdog dog(std::chrono::seconds(60),
+                     "PeerDeathUnderWedgedSendReportsExactlyOneError");
+  Pair p = make_pair_();
+
+  NetMetrics metrics;
+  std::atomic<int> errors{0};
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+
+  PeerLink link(/*my_rank=*/0, /*peer_rank=*/1, std::move(p.b), &metrics,
+                nullptr);
+  link.start([](int, const Frame&) {},
+             [&](int, WireError, const std::string&) {
+               errors.fetch_add(1);
+               std::lock_guard<std::mutex> lk(mu);
+               done = true;
+               cv.notify_all();
+             });
+
+  // Flood DATA frames the remote never reads: once the loopback buffers
+  // fill, the send pump wedges inside ::send.
+  const auto big = payload_of(1u << 20, 42);
+  for (int i = 0; i < 32; ++i) {
+    link.send(make_frame(FrameType::kData, route(0, 0, 0, 0), big));
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  // Peer dies with unread data in its receive queue: the RST interrupts the
+  // wedged send (and the blocked read). Exactly one of the two pumps must
+  // win the report — in particular NOT zero.
+  p.a.close();
+
+  {
+    std::unique_lock<std::mutex> lk(mu);
+    ASSERT_TRUE(
+        cv.wait_for(lk, std::chrono::seconds(30), [&] { return done; }));
+  }
+  link.stop(/*flush=*/false);
+  EXPECT_EQ(errors.load(), 1);
+}
+
+TEST(NetWireFuzz, StopOnWedgedLivePeerIsBounded) {
+  exec::Watchdog dog(std::chrono::seconds(60), "StopOnWedgedLivePeerIsBounded");
+  Pair p = make_pair_();
+
+  NetMetrics metrics;
+  std::atomic<int> errors{0};
+  PeerLink link(/*my_rank=*/0, /*peer_rank=*/1, std::move(p.b), &metrics,
+                nullptr);
+  link.start([](int, const Frame&) {},
+             [&](int, WireError, const std::string&) { errors.fetch_add(1); });
+
+  const auto big = payload_of(1u << 20, 7);
+  for (int i = 0; i < 32; ++i) {
+    link.send(make_frame(FrameType::kData, route(0, 0, 0, 0), big));
+  }
+  // The remote end stays open but never reads, so the outbox cannot drain
+  // and the send pump is wedged on a full TCP buffer. stop(flush=true) must
+  // give up after its bounded drain deadline instead of hanging forever
+  // (the watchdog above is the regression oracle).
+  link.stop(/*flush=*/true);
+  EXPECT_EQ(errors.load(), 0);  // teardown-initiated: no spurious report
+}
+
 }  // namespace
 }  // namespace dc
