@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <string>
 
 namespace dc::core {
 
@@ -55,6 +56,48 @@ std::vector<Placement::Entry> auto_place_copies(Placement& placement, int filter
   }
   for (const auto& e : chosen) placement.place(filter, e.host, e.copies);
   return chosen;
+}
+
+Placement replace_dead_hosts(const Placement& placement, int num_filters,
+                             int num_hosts, const std::vector<char>& dead_hosts) {
+  const auto is_dead = [&](int h) {
+    return h >= 0 && static_cast<std::size_t>(h) < dead_hosts.size() &&
+           dead_hosts[static_cast<std::size_t>(h)] != 0;
+  };
+  Placement out;
+  for (int f = 0; f < num_filters; ++f) {
+    const auto& entries = placement.entries(f);
+    if (entries.empty()) continue;
+    // Per-filter copy load of each surviving host, for least-loaded choice.
+    std::vector<int> load(static_cast<std::size_t>(num_hosts), 0);
+    for (const auto& e : entries) {
+      if (!is_dead(e.host) && e.host < num_hosts) {
+        load[static_cast<std::size_t>(e.host)] += e.copies;
+      }
+    }
+    for (const auto& e : entries) {
+      if (!is_dead(e.host)) {
+        out.place(f, e.host, e.copies);
+        continue;
+      }
+      int target = -1;
+      for (int h = 0; h < num_hosts; ++h) {
+        if (is_dead(h)) continue;
+        if (target < 0 || load[static_cast<std::size_t>(h)] <
+                              load[static_cast<std::size_t>(target)]) {
+          target = h;
+        }
+      }
+      if (target < 0) {
+        throw std::invalid_argument(
+            "replace_dead_hosts: no surviving host for filter " +
+            std::to_string(f));
+      }
+      load[static_cast<std::size_t>(target)] += e.copies;
+      out.place(f, target, e.copies);
+    }
+  }
+  return out;
 }
 
 }  // namespace dc::core

@@ -31,4 +31,17 @@ std::vector<Placement::Entry> auto_place_copies(Placement& placement, int filter
                                                 const std::vector<int>& hosts,
                                                 const AutoPlaceOptions& options = {});
 
+/// Re-places filter copies off dead hosts: every entry on a host marked in
+/// `dead_hosts` (indexed by host id) moves — copies and entry order
+/// preserved — to the surviving host with the fewest copies of that filter
+/// (ties to the lowest host id). Preserving per-filter copy counts and entry
+/// order keeps the runtime's copy-indexed state (RNG splits, copy-set
+/// geometry) identical in shape, so a re-placed run stays deterministic.
+/// Topology-free on purpose: the distributed engine calls this with only a
+/// liveness bitmap, no simulator. Throws std::invalid_argument when a filter
+/// has placed copies but every host is dead.
+[[nodiscard]] Placement replace_dead_hosts(const Placement& placement,
+                                           int num_filters, int num_hosts,
+                                           const std::vector<char>& dead_hosts);
+
 }  // namespace dc::core

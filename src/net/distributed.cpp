@@ -12,6 +12,7 @@
 #include <thread>
 #include <utility>
 
+#include "core/autoplace.hpp"
 #include "core/buffer.hpp"
 #include "core/filter.hpp"
 #include "core/writer_state.hpp"
@@ -25,6 +26,12 @@ using Clock = std::chrono::steady_clock;
 
 double seconds_since(Clock::time_point t0) {
   return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+std::int64_t now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             Clock::now().time_since_epoch())
+      .count();
 }
 
 struct PendingOut {
@@ -75,6 +82,18 @@ struct DistributedEngine::CopySetRt {
   int host = -1;
   std::vector<Instance*> copies;  ///< local ranks only
   exec::PortChannel<Delivery> channel;
+
+  // Fault-tolerance state (unused when detection == kNone).
+  /// Failed over: routing fences the set, late credits for it are stale.
+  /// Written under state_mu_; atomic so dispatch's dead-target predicate
+  /// can read it under only the producer's wmu.
+  std::atomic<bool> down{false};
+  int copies_n = 0;      ///< total copies in this set (local or not)
+  int first_global = 0;  ///< global index of the set's first copy
+  /// Local consumer sets only: per input stream, which producer copies have
+  /// settled their end-of-work marker (frame arrival OR death settlement) —
+  /// the exactly-once guard between the two. Guarded by state_mu_.
+  std::map<int, std::vector<char>> eow_seen;
 };
 
 struct DistributedEngine::StreamRt {
@@ -86,6 +105,12 @@ struct DistributedEngine::StreamRt {
 
 struct DistributedEngine::Writer : core::WriterState {
   StreamRt* stream = nullptr;
+  /// Per target: envelope copies of dispatched buffers not yet the
+  /// consumer's responsibility (released by CREDIT under RR/WRR, by ACK
+  /// under DD; reclaimed wholesale at failover). Payload storage is shared,
+  /// so retention costs an envelope, not a data copy. Guarded by the owning
+  /// instance's wmu. Empty when fault tolerance is off.
+  std::vector<std::deque<core::Buffer>> retained;
 };
 
 /// One local transparent copy, bound to one worker thread. `writers` is
@@ -105,6 +130,10 @@ struct DistributedEngine::Instance {
 
   bool in_init = false;
   std::deque<PendingOut> pending;
+  /// Buffers reclaimed from a failed-over target, queued for retransmission
+  /// ahead of fresh output (oldest first, the simulator's requeue order).
+  /// Guarded by wmu — failovers run on recv / monitor threads.
+  std::deque<PendingOut> retry;
 
   exec::InstanceMetrics m;
   std::vector<StreamDelta> stream_local;
@@ -121,7 +150,7 @@ struct DistributedEngine::ContextImpl final : core::FilterContext {
 
   [[nodiscard]] int instance_index() const override { return inst->index; }
   [[nodiscard]] int num_instances() const override {
-    return inst->eng->placement_.total_copies(inst->filter);
+    return inst->eng->pl().total_copies(inst->filter);
   }
   [[nodiscard]] int copy_in_host() const override { return inst->copy_in_host; }
   [[nodiscard]] int copies_on_host() const override {
@@ -204,16 +233,19 @@ DistributedEngine::DistributedEngine(const core::Graph& graph,
       num_ranks_(num_ranks),
       peer_sockets_(std::move(peers)),
       peer_done_next_(static_cast<std::size_t>(num_ranks), 0),
+      rank_dead_(static_cast<std::size_t>(num_ranks)),
+      last_heard_ns_(static_cast<std::size_t>(num_ranks)),
+      hosts_counted_(static_cast<std::size_t>(num_ranks), 0),
       base_rng_(config_.rng_seed) {
   graph_.validate();
   core::validate(config_);
-  if (config_.detection != core::FailureDetection::kNone) {
-    throw std::invalid_argument(
-        "net::DistributedEngine: fault injection requires the simulator; "
-        "RuntimeConfig::detection must be kNone");
-  }
   if (num_ranks_ <= 0 || rank_ < 0 || rank_ >= num_ranks_) {
     throw std::invalid_argument("net::DistributedEngine: bad rank/num_ranks");
+  }
+  if (config_.detection != core::FailureDetection::kNone && num_ranks_ > 64) {
+    throw std::invalid_argument(
+        "net::DistributedEngine: fault tolerance supports at most 64 ranks "
+        "(the DONE frame's dead-rank bitmask is 64 bits)");
   }
   if (num_ranks_ > 1 &&
       peer_sockets_.size() != static_cast<std::size_t>(num_ranks_)) {
@@ -290,19 +322,66 @@ void DistributedEngine::start_links() {
         &net_metrics_, obs_);
   }
   peer_sockets_.clear();
-  for (auto& l : links_) {
+  const std::int64_t t0 = now_ns();
+  for (int r = 0; r < num_ranks_; ++r) {
+    auto& l = links_[static_cast<std::size_t>(r)];
     if (!l) continue;
+    last_heard_ns_[static_cast<std::size_t>(r)].store(
+        t0, std::memory_order_relaxed);
+    if (fault_tolerant()) l->enable_heartbeat(opts_.heartbeat_interval_s);
     l->start(
         [this](int peer, const Frame& f) { on_frame(peer, f); },
         [this](int peer, WireError err, const std::string& detail) {
           on_wire_error(peer, err, detail);
         });
   }
+  if (fault_tolerant() && num_ranks_ > 1) {
+    monitor_ = std::thread([this] { monitor_main(); });
+  }
 }
 
 void DistributedEngine::shutdown() {
+  {
+    std::lock_guard<std::mutex> lk(monitor_mu_);
+    monitor_stop_ = true;
+  }
+  monitor_cv_.notify_all();
+  if (monitor_.joinable()) monitor_.join();
   for (auto& l : links_) {
     if (l) l->stop(/*flush=*/true);
+  }
+}
+
+void DistributedEngine::monitor_main() {
+  // Poll at half the beacon cadence; every received frame refreshes
+  // last_heard, so a peer is suspected only after peer_timeout_s of total
+  // silence — which a live peer never shows once beacons are armed.
+  const auto poll = std::chrono::duration<double>(
+      std::max(0.005, opts_.heartbeat_interval_s * 0.5));
+  const auto timeout_ns =
+      static_cast<std::int64_t>(opts_.peer_timeout_s * 1e9);
+  std::unique_lock<std::mutex> lk(monitor_mu_);
+  for (;;) {
+    if (monitor_cv_.wait_for(lk, poll, [this] { return monitor_stop_; })) {
+      return;
+    }
+    const std::int64_t now = now_ns();
+    for (int r = 0; r < num_ranks_; ++r) {
+      if (r == rank_ ||
+          rank_dead_[static_cast<std::size_t>(r)].load(
+              std::memory_order_relaxed) != 0) {
+        continue;
+      }
+      if (now - last_heard_ns_[static_cast<std::size_t>(r)].load(
+                    std::memory_order_relaxed) <=
+          timeout_ns) {
+        continue;
+      }
+      lk.unlock();
+      on_peer_dead(r);
+      lk.lock();
+      if (monitor_stop_) return;
+    }
   }
 }
 
@@ -326,15 +405,19 @@ void DistributedEngine::build_uow() {
     std::size_t max_producers = 1;
     for (int s : graph_.in_streams(f)) {
       max_producers = std::max(
-          max_producers, static_cast<std::size_t>(placement_.total_copies(
+          max_producers, static_cast<std::size_t>(pl().total_copies(
                              graph_.stream(s).from_filter)));
     }
     const std::size_t capacity =
         max_producers * static_cast<std::size_t>(config_.window);
-    for (const auto& e : placement_.entries(f)) {
+    int first_global = 0;
+    for (const auto& e : pl().entries(f)) {
       auto cset = std::make_unique<CopySetRt>();
       cset->filter = f;
       cset->host = e.host;
+      cset->copies_n = e.copies;
+      cset->first_global = first_global;
+      first_global += e.copies;
       if (e.host == rank_) {
         cset->channel.init(in_ports, capacity, &aborted_);
       }
@@ -349,7 +432,7 @@ void DistributedEngine::build_uow() {
     rt->spec = &graph_.stream(s);
     rt->id = s;
     const int consumer = rt->spec->to_filter;
-    const auto& consumer_entries = placement_.entries(consumer);
+    const auto& consumer_entries = pl().entries(consumer);
     const auto& consumer_sets =
         csets_by_filter[static_cast<std::size_t>(consumer)];
     for (std::size_t i = 0; i < consumer_sets.size(); ++i) {
@@ -366,11 +449,11 @@ void DistributedEngine::build_uow() {
   // exact stream it would get in exec::Engine (split() mutates base_rng_).
   local_by_filter_.assign(static_cast<std::size_t>(graph_.num_filters()), {});
   for (int f = 0; f < graph_.num_filters(); ++f) {
-    const auto& entries = placement_.entries(f);
+    const auto& entries = pl().entries(f);
     const auto& sets = csets_by_filter[static_cast<std::size_t>(f)];
     const auto outs = graph_.out_streams(f);
     local_by_filter_[static_cast<std::size_t>(f)].assign(
-        static_cast<std::size_t>(placement_.total_copies(f)), nullptr);
+        static_cast<std::size_t>(pl().total_copies(f)), nullptr);
     int global = 0;
     for (std::size_t p = 0; p < entries.size(); ++p) {
       for (int c = 0; c < entries[p].copies; ++c) {
@@ -401,6 +484,7 @@ void DistributedEngine::build_uow() {
           Writer w;
           w.stream = stream_rt_[static_cast<std::size_t>(out)].get();
           w.reset(w.stream->targets.size());
+          w.retained.assign(w.stream->targets.size(), {});
           inst->writers.push_back(std::move(w));
         }
         inst->m.filter = f;
@@ -425,11 +509,23 @@ void DistributedEngine::build_uow() {
   // EOW frames).
   for (int s = 0; s < graph_.num_streams(); ++s) {
     const auto& spec = graph_.stream(s);
-    const int producers = placement_.total_copies(spec.from_filter);
+    const int producers = pl().total_copies(spec.from_filter);
     for (CopySetRt* t : stream_rt_[static_cast<std::size_t>(s)]->targets) {
-      if (t->host == rank_) t->channel.expect_eow(spec.to_port, producers);
+      if (t->host != rank_) continue;
+      t->channel.expect_eow(spec.to_port, producers);
+      if (fault_tolerant()) {
+        t->eow_seen[s].assign(static_cast<std::size_t>(producers), 0);
+      }
     }
   }
+
+  // Survivor bookkeeping for this UOW (recomputed every UOW, exactly like
+  // the simulator: dead copy sets are re-declared at every admission).
+  live_copies_.assign(static_cast<std::size_t>(graph_.num_filters()), 0);
+  for (int f = 0; f < graph_.num_filters(); ++f) {
+    live_copies_[static_cast<std::size_t>(f)] = pl().total_copies(f);
+  }
+  dead_filters_uow_.clear();
 }
 
 void DistributedEngine::teardown_uow() {
@@ -456,13 +552,66 @@ void DistributedEngine::teardown_uow() {
 // ---------------------------------------------------------------------------
 
 void DistributedEngine::on_frame(int peer, const Frame& f) {
-  switch (f.type()) {
-    case FrameType::kAbort:
-      abort_run(RunStatus::kAborted,
-                "aborted by rank " + std::to_string(peer),
-                /*broadcast=*/false);
+  if (fault_tolerant() && peer >= 0 && peer < num_ranks_) {
+    // Liveness piggybacks on every frame; beacons only fill idle gaps.
+    last_heard_ns_[static_cast<std::size_t>(peer)].store(
+        now_ns(), std::memory_order_relaxed);
+    if (rank_dead_[static_cast<std::size_t>(peer)].load(
+            std::memory_order_relaxed) != 0) {
+      // A declared-dead (possibly only frozen) peer spoke again. Its copy
+      // sets are failed over and its windows reclaimed, so nothing here can
+      // be settled — but a DD ack for a reclaimed buffer means the payload
+      // was both processed there and retransmitted elsewhere: a potential
+      // duplicate delivery, counted like the simulator's ack-races-failover.
+      if (f.type() == FrameType::kAck &&
+          config_.policy == core::Policy::kDemandDriven) {
+        std::lock_guard<std::mutex> flk(faults_mu_);
+        faults_.buffers_duplicated++;
+      }
       return;
+    }
+    if (f.type() == FrameType::kHeartbeat) return;
+  }
+  switch (f.type()) {
+    case FrameType::kAbort: {
+      // Aborts are per-UOW: one that refers to a UOW we already completed
+      // must not leak into the next (the peer's failed UOW was our clean
+      // one — both engines stay usable). One for a future UOW is honored
+      // when that UOW starts.
+      bool act = false;
+      {
+        std::lock_guard<std::mutex> lk(state_mu_);
+        const std::uint32_t uow = f.header.route.uow;
+        const auto current = static_cast<std::uint32_t>(uow_index_);
+        if (uow > current) {
+          pending_aborts_.insert(uow);
+        } else if (uow == current) {
+          act = true;
+        }
+      }
+      if (act) {
+        abort_run(RunStatus::kAborted,
+                  "aborted by rank " + std::to_string(peer),
+                  /*broadcast=*/false);
+      }
+      return;
+    }
     case FrameType::kDone: {
+      if (fault_tolerant() && f.payload.size() >= 8) {
+        // The DONE carries the sender's dead-rank bitmask: membership
+        // converges at the barrier even when detection was asymmetric
+        // (e.g. only one rank's monitor timed a frozen peer out so far).
+        std::uint64_t mask = 0;
+        for (int i = 0; i < 8; ++i) {
+          mask |= static_cast<std::uint64_t>(
+                      f.payload[static_cast<std::size_t>(i)])
+                  << (8 * i);
+        }
+        for (int r = 0; r < num_ranks_ && r < 64; ++r) {
+          if (r == rank_ || ((mask >> r) & 1U) == 0) continue;
+          on_peer_dead(r);
+        }
+      }
       {
         std::lock_guard<std::mutex> lk(state_mu_);
         done_counts_[f.header.route.uow]++;
@@ -472,6 +621,8 @@ void DistributedEngine::on_frame(int peer, const Frame& f) {
       state_cv_.notify_all();
       return;
     }
+    case FrameType::kHeartbeat:
+      return;  // pure liveness; meaningful only under fault tolerance
     case FrameType::kData:
     case FrameType::kCredit:
     case FrameType::kAck:
@@ -543,6 +694,19 @@ const char* DistributedEngine::deliver_locked(const Frame& f, int origin) {
     case FrameType::kEow: {
       CopySetRt* t = srt.targets[static_cast<std::size_t>(route.target)];
       if (t->host != rank_) return "EOW addressed to a remote copy set";
+      if (fault_tolerant()) {
+        // Exactly-once against the death settlement: a failover may already
+        // have settled this producer's marker (or the frame raced death).
+        auto it = t->eow_seen.find(route.stream);
+        if (it == t->eow_seen.end()) return "EOW for an untracked stream";
+        if (route.producer < 0 ||
+            route.producer >= static_cast<int>(it->second.size())) {
+          return "EOW with a bad producer index";
+        }
+        auto& seen = it->second[static_cast<std::size_t>(route.producer)];
+        if (seen != 0) return nullptr;
+        seen = 1;
+      }
       t->channel.producer_eow(spec.to_port);
       return nullptr;
     }
@@ -555,16 +719,38 @@ const char* DistributedEngine::deliver_locked(const Frame& f, int origin) {
         return "credit/ack for a producer not on this rank";
       }
       Instance* p = by_global[static_cast<std::size_t>(route.producer)];
+      CopySetRt* t = srt.targets[static_cast<std::size_t>(route.target)];
+      const bool ft = fault_tolerant();
+      bool dup = false;
       {
         std::lock_guard<std::mutex> wlk(p->wmu);
         Writer& w = p->writers[static_cast<std::size_t>(spec.from_port)];
+        auto& ret = w.retained[static_cast<std::size_t>(route.target)];
         if (f.type() == FrameType::kCredit) {
-          w.on_dequeue(route.target);
+          if (ft && t->down.load(std::memory_order_relaxed)) {
+            // Window release racing the failover: the reclaim already
+            // zeroed this target's counters; nothing to settle.
+          } else {
+            w.on_dequeue(route.target);
+            if (ft && config_.policy != core::Policy::kDemandDriven &&
+                !ret.empty()) {
+              ret.pop_front();  // RR/WRR: consumer took responsibility
+            }
+          }
         } else {
-          w.on_ack(route.target);
+          if (ft && (t->down.load(std::memory_order_relaxed) || ret.empty())) {
+            dup = true;  // ack raced the failover; buffer already reclaimed
+          } else {
+            w.on_ack(route.target);
+            if (ft) ret.pop_front();  // DD: the ack is the release signal
+          }
         }
       }
       p->wcv.notify_all();
+      if (dup) {
+        std::lock_guard<std::mutex> flk(faults_mu_);
+        faults_.buffers_duplicated++;
+      }
       return nullptr;
     }
     default:
@@ -574,6 +760,18 @@ const char* DistributedEngine::deliver_locked(const Frame& f, int origin) {
 
 void DistributedEngine::on_wire_error(int peer, WireError err,
                                       const std::string& detail) {
+  if (fault_tolerant()) {
+    // Under fault tolerance every wire failure — orderly close included —
+    // is a membership event, not a transport error: the mesh is how this
+    // engine observes peer death. A close from a peer that simply finished
+    // first (post-final-UOW teardown) marks it dead harmlessly: lockstep
+    // means no further UOW will need it, and its death is only charged to
+    // the fault ledger if another UOW actually runs.
+    (void)err;
+    (void)detail;
+    on_peer_dead(peer);
+    return;
+  }
   if (aborted_.load(std::memory_order_relaxed)) return;  // already unwinding
   {
     std::lock_guard<std::mutex> lk(state_mu_);
@@ -590,6 +788,116 @@ void DistributedEngine::on_wire_error(int peer, WireError err,
   }
   abort_run(RunStatus::kTransportError, "wire error: " + detail,
             /*broadcast=*/true);
+}
+
+core::FaultMetrics DistributedEngine::fault_metrics() const {
+  std::lock_guard<std::mutex> lk(faults_mu_);
+  return faults_;
+}
+
+void DistributedEngine::on_peer_dead(int peer) {
+  if (!fault_tolerant() || peer == rank_ || peer < 0 || peer >= num_ranks_) {
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lk(state_mu_);
+    auto& dead = rank_dead_[static_cast<std::size_t>(peer)];
+    if (dead.load(std::memory_order_relaxed) != 0) return;  // idempotent
+    dead.store(1, std::memory_order_relaxed);
+    // Straddle rule: if the peer already sent DONE for the current UOW,
+    // every frame it will ever send for it has been received (TCP delivers
+    // the close after them) — this UOW is whole. Only membership changes;
+    // the next UOW's admission pre-pass books the failover, exactly like
+    // the simulator failing a host between run_uow calls.
+    const bool in_current =
+        built_ && running_ &&
+        peer_done_next_[static_cast<std::size_t>(peer)] <=
+            static_cast<std::uint32_t>(uow_index_);
+    if (in_current) {
+      hosts_counted_[static_cast<std::size_t>(peer)] = 1;
+      {
+        std::lock_guard<std::mutex> flk(faults_mu_);
+        faults_.hosts_failed++;
+      }
+      hosts_failed_uow_.fetch_add(1, std::memory_order_relaxed);
+      for (auto& cs : copysets_) {
+        if (cs->host != peer || cs->down.load(std::memory_order_relaxed)) {
+          continue;
+        }
+        cs->down.store(true, std::memory_order_relaxed);
+        fail_copyset_locked(*cs);
+      }
+    }
+  }
+  state_cv_.notify_all();  // barrier predicate: dead peers need no DONE
+}
+
+void DistributedEngine::fail_copyset_locked(CopySetRt& cset) {
+  {
+    std::lock_guard<std::mutex> flk(faults_mu_);
+    faults_.failovers++;
+  }
+  // Survivor census. A filter whose every copy is gone turns the UOW into
+  // partial loss; list order matches the simulator's (copy sets in global
+  // creation order, filter appended when its last copy dies).
+  int& live = live_copies_[static_cast<std::size_t>(cset.filter)];
+  live -= cset.copies_n;
+  if (live <= 0) dead_filters_uow_.push_back(cset.filter);
+
+  // Settle the dead copies' end-of-work obligations toward local consumer
+  // sets: each was owed one marker per producer copy that has not already
+  // delivered it (the eow_seen flags make frame vs. settlement exactly-once).
+  for (int s : graph_.out_streams(cset.filter)) {
+    StreamRt& srt = *stream_rt_[static_cast<std::size_t>(s)];
+    const int in_port = srt.spec->to_port;
+    for (CopySetRt* t : srt.targets) {
+      if (t->host != rank_) continue;
+      auto it = t->eow_seen.find(s);
+      if (it == t->eow_seen.end()) continue;
+      for (int g = cset.first_global; g < cset.first_global + cset.copies_n;
+           ++g) {
+        auto& seen = it->second[static_cast<std::size_t>(g)];
+        if (seen != 0) continue;
+        seen = 1;
+        t->channel.producer_eow(in_port);
+      }
+    }
+  }
+
+  // Reclaim from every local producer that was feeding the dead set:
+  // buffers sent but never dequeued are lost copies; everything retained is
+  // requeued for retransmission (oldest first, ahead of fresh output), so
+  // the payload still reaches a live consumer at least once.
+  for (auto& inst : instances_) {
+    for (std::size_t p = 0; p < inst->writers.size(); ++p) {
+      Writer& w = inst->writers[p];
+      const auto& targets = w.stream->targets;
+      for (std::size_t t = 0; t < targets.size(); ++t) {
+        if (targets[t] != &cset) continue;
+        std::uint64_t lost = 0;
+        std::uint64_t rexmit = 0;
+        {
+          std::lock_guard<std::mutex> wlk(inst->wmu);
+          lost = static_cast<std::uint64_t>(w.in_flight[t]);
+          auto& ret = w.retained[t];
+          rexmit = ret.size();
+          for (auto it = ret.rbegin(); it != ret.rend(); ++it) {
+            inst->retry.push_front(
+                PendingOut{static_cast<int>(p), std::move(*it)});
+          }
+          ret.clear();
+          w.in_flight[t] = 0;
+          w.unacked[t] = 0;
+          inst->wcv.notify_all();  // unblocks window stalls on the dead set
+        }
+        if (lost + rexmit > 0) {
+          std::lock_guard<std::mutex> flk(faults_mu_);
+          faults_.buffers_lost += lost;
+          faults_.retransmits += rexmit;
+        }
+      }
+    }
+  }
 }
 
 void DistributedEngine::abort_run(RunStatus status, const std::string& reason,
@@ -634,6 +942,11 @@ void DistributedEngine::abort_run(RunStatus status, const std::string& reason,
 // ---------------------------------------------------------------------------
 
 UowResult DistributedEngine::run_uow() {
+  // Process-fault harness hook: a planned kill/freeze pinned to this UOW
+  // index lands here, before any of this UOW's state exists.
+  if (fault_cell_ != nullptr) fault_cell_->at_uow(uow_index_);
+
+  bool abort_now = false;
   {
     std::lock_guard<std::mutex> lk(state_mu_);
     if (poisoned_) {
@@ -643,9 +956,92 @@ UowResult DistributedEngine::run_uow() {
     }
     status_ = RunStatus::kComplete;
     error_.clear();
+    // Honor (and prune) aborts that arrived for UOWs we had not started.
+    const auto current = static_cast<std::uint32_t>(uow_index_);
+    for (auto it = pending_aborts_.begin(); it != pending_aborts_.end();) {
+      if (*it < current) {
+        it = pending_aborts_.erase(it);
+      } else {
+        break;
+      }
+    }
+    if (!pending_aborts_.empty() && *pending_aborts_.begin() == current) {
+      pending_aborts_.erase(pending_aborts_.begin());
+      abort_now = true;
+      status_ = RunStatus::kAborted;
+      error_ = "aborted by a peer before start (UOW " +
+               std::to_string(current) + ")";
+      ++uow_index_;
+    }
+  }
+  if (abort_now) {
+    // Every rank aborts this UOW (the originator broadcast it); skipping
+    // the run keeps lockstep — nobody sends frames or DONE for it.
+    UowResult r;
+    r.status = RunStatus::kAborted;
+    {
+      std::lock_guard<std::mutex> lk(state_mu_);
+      r.error = error_;
+    }
+    return r;
   }
   aborted_.store(false, std::memory_order_relaxed);
   if (links_.empty() && num_ranks_ > 1) start_links();
+
+  // Fault-ledger snapshot: the outcome reports this UOW's deltas, with the
+  // admission pre-pass below inside the window (the simulator counts
+  // admission failovers in the UOW they gate, too).
+  core::FaultMetrics faults_before;
+  if (fault_tolerant()) {
+    {
+      std::lock_guard<std::mutex> flk(faults_mu_);
+      faults_before = faults_;
+    }
+    hosts_failed_uow_.store(0, std::memory_order_relaxed);
+    std::vector<char> dead(static_cast<std::size_t>(num_ranks_), 0);
+    bool any_dead = false;
+    bool newly_dead = false;
+    {
+      std::lock_guard<std::mutex> lk(state_mu_);
+      for (int r = 0; r < num_ranks_; ++r) {
+        if (rank_dead_[static_cast<std::size_t>(r)].load(
+                std::memory_order_relaxed) == 0) {
+          continue;
+        }
+        dead[static_cast<std::size_t>(r)] = 1;
+        any_dead = true;
+        if (hosts_counted_[static_cast<std::size_t>(r)] == 0) {
+          // Boundary death, charged to the cumulative ledger now that a UOW
+          // actually runs without the rank. Kept out of hosts_failed_uow_:
+          // the simulator's on_host_failed is gated on in_uow_, so boundary
+          // deaths perturb a UOW only through their admission failovers.
+          hosts_counted_[static_cast<std::size_t>(r)] = 1;
+          newly_dead = true;
+          std::lock_guard<std::mutex> flk(faults_mu_);
+          faults_.hosts_failed++;
+        }
+      }
+    }
+    if (opts_.replace_dead && any_dead && (newly_dead || !use_effective_)) {
+      // Live re-placement: move copies off dead ranks (copy counts and
+      // entry order preserved, so copy-indexed state stays deterministic).
+      // Every rank computes this from the same inputs — the original
+      // placement and the dead set the barrier converged on.
+      std::uint64_t moved = 0;
+      for (int f = 0; f < graph_.num_filters(); ++f) {
+        for (const auto& e : pl().entries(f)) {
+          if (dead[static_cast<std::size_t>(e.host)] != 0) ++moved;
+        }
+      }
+      effective_placement_ = core::replace_dead_hosts(
+          placement_, graph_.num_filters(), num_ranks_, dead);
+      use_effective_ = true;
+      if (moved > 0) {
+        std::lock_guard<std::mutex> flk(faults_mu_);
+        faults_.failovers += moved;
+      }
+    }
+  }
 
   build_uow();
   const std::uint32_t uow = static_cast<std::uint32_t>(uow_index_);
@@ -665,6 +1061,21 @@ UowResult DistributedEngine::run_uow() {
                     // delivery is best-effort — see below for the real one
       } else if (f.header.route.uow > uow) {
         pending_.push_back(std::move(f));
+      }
+    }
+    if (fault_tolerant()) {
+      // Admission pre-pass: copy sets on ranks that died before this UOW
+      // began never join — declare them up front so routing excludes them
+      // from the first buffer on. Re-counted every UOW, like the simulator.
+      for (auto& cs : copysets_) {
+        if (cs->host == rank_ ||
+            rank_dead_[static_cast<std::size_t>(cs->host)].load(
+                std::memory_order_relaxed) == 0 ||
+            cs->down.load(std::memory_order_relaxed)) {
+          continue;
+        }
+        cs->down.store(true, std::memory_order_relaxed);
+        fail_copyset_locked(*cs);
       }
     }
   }
@@ -695,11 +1106,42 @@ UowResult DistributedEngine::run_uow() {
   // Completion barrier: announce our DONE, wait for every peer's. Peers'
   // CREDIT/ACK frames for our producers may still arrive during the wait
   // (their consumers can lag); the structures stay live until after it.
+  const bool ft = fault_tolerant();
   if (!aborted_.load(std::memory_order_relaxed)) {
     core::BufferRoute route;
     route.uow = uow;
+    Frame done;
+    if (ft) {
+      // Piggyback this rank's view of the dead set on the DONE (64-bit LE
+      // bitmask): peers that never saw the failed rank's close converge on
+      // the same membership at the same barrier.
+      std::uint64_t mask = 0;
+      for (int r = 0; r < num_ranks_ && r < 64; ++r) {
+        if (rank_dead_[static_cast<std::size_t>(r)].load(
+                std::memory_order_relaxed) != 0) {
+          mask |= (std::uint64_t{1} << r);
+        }
+      }
+      std::vector<std::byte> payload(8);
+      for (int i = 0; i < 8; ++i) {
+        payload[static_cast<std::size_t>(i)] =
+            static_cast<std::byte>((mask >> (8 * i)) & 0xff);
+      }
+      done = make_frame(FrameType::kDone, route, std::move(payload));
+    } else {
+      done = make_frame(FrameType::kDone, route);
+    }
     for (auto& l : links_) {
-      if (l) l->send(make_frame(FrameType::kDone, route));
+      if (l) l->send(done);
+    }
+    if (ft) {
+      // Flush fence: once the DONE hits the kernel, TCP orders it ahead of
+      // any later close — even a SIGKILL-induced FIN. That pins "died after
+      // finishing UOW k" vs "died during UOW k" deterministically, which
+      // the kill-at-UOW-entry fault tests rely on.
+      for (auto& l : links_) {
+        if (l) l->wait_flushed(opts_.barrier_timeout_s);
+      }
     }
     bool timed_out = false;
     {
@@ -707,8 +1149,18 @@ UowResult DistributedEngine::run_uow() {
       const auto deadline =
           Clock::now() + std::chrono::duration<double>(opts_.barrier_timeout_s);
       timed_out = !state_cv_.wait_until(lk, deadline, [&] {
-        return aborted_.load(std::memory_order_relaxed) ||
-               done_counts_[uow] >= num_ranks_ - 1;
+        if (aborted_.load(std::memory_order_relaxed)) return true;
+        if (!ft) return done_counts_[uow] >= num_ranks_ - 1;
+        for (int r = 0; r < num_ranks_; ++r) {
+          if (r == rank_) continue;
+          if (peer_done_next_[static_cast<std::size_t>(r)] > uow) continue;
+          if (rank_dead_[static_cast<std::size_t>(r)].load(
+                  std::memory_order_relaxed) != 0) {
+            continue;
+          }
+          return false;
+        }
+        return true;
       });
     }
     if (timed_out) {
@@ -720,6 +1172,7 @@ UowResult DistributedEngine::run_uow() {
   }
 
   const double makespan = seconds_since(t0);
+  std::vector<int> dead_filters_copy;
   {
     std::lock_guard<std::mutex> lk(state_mu_);
     built_ = false;
@@ -731,6 +1184,7 @@ UowResult DistributedEngine::run_uow() {
     // unlocked reads on their threads stay race-free.
     ++uow_index_;
     metrics_.makespan = makespan;
+    dead_filters_copy = dead_filters_uow_;
   }
   teardown_uow();
 
@@ -740,7 +1194,33 @@ UowResult DistributedEngine::run_uow() {
     std::lock_guard<std::mutex> lk(state_mu_);
     r.status = status_;
     r.error = error_;
-    if (!r.ok()) poisoned_ = true;
+    // Only transport-plane failures poison the engine: the mesh (or a
+    // peer's runtime state) is unrecoverable. An app-level abort (filter
+    // exception, explicit ABORT) ends this UOW in lockstep but leaves the
+    // links healthy — the next UOW runs normally.
+    if (r.status == RunStatus::kTransportError) poisoned_ = true;
+  }
+  r.outcome.makespan = makespan;
+  if (ft && r.status != RunStatus::kTransportError) {
+    core::FaultMetrics after;
+    {
+      std::lock_guard<std::mutex> flk(faults_mu_);
+      after = faults_;
+    }
+    r.outcome.failovers = after.failovers - faults_before.failovers;
+    r.outcome.retransmits = after.retransmits - faults_before.retransmits;
+    r.outcome.buffers_lost = after.buffers_lost - faults_before.buffers_lost;
+    r.outcome.buffers_duplicated =
+        after.buffers_duplicated - faults_before.buffers_duplicated;
+    r.outcome.dead_filters = std::move(dead_filters_copy);
+    const bool perturbed =
+        r.outcome.failovers > 0 || r.outcome.retransmits > 0 ||
+        r.outcome.buffers_lost > 0 ||
+        hosts_failed_uow_.load(std::memory_order_relaxed) > 0;
+    r.outcome.status = !r.outcome.dead_filters.empty()
+                           ? core::UowStatus::kPartialLoss
+                           : (perturbed ? core::UowStatus::kDegraded
+                                        : core::UowStatus::kComplete);
   }
   return r;
 }
@@ -764,6 +1244,46 @@ void DistributedEngine::worker_main(Instance& inst) {
   inst.user->process_eow(ctx);
   inst.m.busy_time += seconds_since(t0);
   drain(inst);
+
+  if (fault_tolerant()) {
+    // Retention settlement: every retained buffer must be released (peer
+    // credit/ack arrives) or reclaimed-and-retransmitted (peer dies, the
+    // monitor or a wire error requeues it) before this producer declares
+    // EOW — otherwise a death after our EOW would strand data no one will
+    // resend. Deadlock-free: consumers drain independently of our EOW, so
+    // the credits this wait needs are never gated on it.
+    const auto deadline =
+        Clock::now() +
+        std::chrono::duration_cast<Clock::duration>(
+            std::chrono::duration<double>(opts_.barrier_timeout_s));
+    for (;;) {
+      drain(inst);  // flushes buffers reclaimed from a dead target
+      std::unique_lock<std::mutex> lk(inst.wmu);
+      const auto settled = [&] {
+        if (!inst.retry.empty()) return false;
+        for (const auto& w : inst.writers) {
+          for (const auto& ret : w.retained) {
+            if (!ret.empty()) return false;
+          }
+        }
+        return true;
+      };
+      if (settled()) break;
+      const bool woke = inst.wcv.wait_until(lk, deadline, [&] {
+        return aborted_.load(std::memory_order_relaxed) ||
+               !inst.retry.empty() || settled();
+      });
+      if (aborted_.load(std::memory_order_relaxed)) throw exec::Aborted{};
+      if (!woke) {
+        lk.unlock();
+        abort_run(RunStatus::kTransportError,
+                  "retention settlement timed out after " +
+                      std::to_string(opts_.barrier_timeout_s) + "s",
+                  /*broadcast=*/true);
+        throw exec::Aborted{};
+      }
+    }
+  }
 
   t0 = Clock::now();
   inst.user->finalize(ctx);
@@ -841,6 +1361,13 @@ void DistributedEngine::settle_dequeue(const Delivery& d, bool dd) {
           graph_.stream(d.route.stream).from_port)];
       w.on_dequeue(d.route.target);
       if (dd) w.on_ack(d.route.target);
+      if (fault_tolerant()) {
+        // Local settlement releases retention at the same point the frame
+        // protocols would: dequeue for RR/WRR, ack for DD (here the two
+        // coincide — a local dequeue IS the demand ack).
+        auto& ret = w.retained[static_cast<std::size_t>(d.route.target)];
+        if (!ret.empty()) ret.pop_front();
+      }
     }
     producer->wcv.notify_all();
     return;
@@ -852,7 +1379,7 @@ void DistributedEngine::settle_dequeue(const Delivery& d, bool dd) {
   if (origin < 0) {
     const int from = graph_.stream(d.route.stream).from_filter;
     int global = 0;
-    for (const auto& e : placement_.entries(from)) {
+    for (const auto& e : pl().entries(from)) {
       if (d.route.producer < global + e.copies) {
         origin = e.host;
         break;
@@ -868,6 +1395,21 @@ void DistributedEngine::settle_dequeue(const Delivery& d, bool dd) {
 }
 
 void DistributedEngine::drain(Instance& inst) {
+  if (fault_tolerant()) {
+    // Reclaimed buffers first (oldest-first, ahead of new output): the
+    // retry queue is refilled by fail_copyset_locked when a target dies,
+    // possibly while we are dispatching — loop until it stays empty.
+    for (;;) {
+      PendingOut out;
+      {
+        std::lock_guard<std::mutex> lk(inst.wmu);
+        if (inst.retry.empty()) break;
+        out = std::move(inst.retry.front());
+        inst.retry.pop_front();
+      }
+      dispatch(inst, out.port, std::move(out.buf));
+    }
+  }
   while (!inst.pending.empty()) {
     PendingOut out = std::move(inst.pending.front());
     inst.pending.pop_front();
@@ -877,27 +1419,64 @@ void DistributedEngine::drain(Instance& inst) {
 
 void DistributedEngine::dispatch(Instance& inst, int port, core::Buffer buf) {
   Writer& w = inst.writers[static_cast<std::size_t>(port)];
+  const bool ft = fault_tolerant();
   const auto local = [&](int t) {
     return w.stream->targets[static_cast<std::size_t>(t)]->host ==
            inst.cset->host;
   };
-  const auto dead = [](int) { return false; };
+  const auto dead = [&](int t) {
+    return ft && w.stream->targets[static_cast<std::size_t>(t)]->down.load(
+                     std::memory_order_relaxed);
+  };
+  const auto any_live = [&] {
+    for (std::size_t t = 0; t < w.stream->targets.size(); ++t) {
+      if (!dead(static_cast<int>(t))) return true;
+    }
+    return false;
+  };
 
   int target = -1;
   {
     std::unique_lock<std::mutex> lk(inst.wmu);
+    if (ft && !any_live()) {
+      // Every consumer copy set is on a dead rank: nowhere to deliver.
+      // Count the drop and move on (the simulator's all-targets-dead path).
+      lk.unlock();
+      std::lock_guard<std::mutex> flk(faults_mu_);
+      faults_.buffers_lost++;
+      return;
+    }
     target = w.pick(config_.policy, config_.window, w.stream->wrr_order, dead,
                     local);
     if (target < 0) {
-      // Window stall: the slot frees on a local dequeue or a CREDIT/ACK
-      // frame from a remote consumer — either path notifies wcv.
+      // Window stall: the slot frees on a local dequeue, a CREDIT/ACK
+      // frame from a remote consumer, or a dead target's reclamation —
+      // every path notifies wcv.
       const auto t0 = Clock::now();
-      inst.wcv.wait(lk, [&] {
+      bool all_dead = false;
+      bool timed_out = false;
+      const auto pred = [&] {
         if (aborted_.load(std::memory_order_relaxed)) return true;
+        if (ft && !any_live()) {
+          all_dead = true;
+          return true;
+        }
         target = w.pick(config_.policy, config_.window, w.stream->wrr_order,
                         dead, local);
         return target >= 0;
-      });
+      };
+      if (ft) {
+        // Under fault tolerance a stall can also mean the consumer died
+        // mid-window and detection is pending — bound the wait so a
+        // detector failure cannot wedge the worker forever.
+        timed_out = !inst.wcv.wait_until(
+            lk,
+            t0 + std::chrono::duration_cast<Clock::duration>(
+                     std::chrono::duration<double>(opts_.barrier_timeout_s)),
+            pred);
+      } else {
+        inst.wcv.wait(lk, pred);
+      }
       const double stalled = seconds_since(t0);
       inst.m.stall_time += stalled;
       net_metrics_.credit_stalls.fetch_add(1, std::memory_order_relaxed);
@@ -908,8 +1487,28 @@ void DistributedEngine::dispatch(Instance& inst, int port, core::Buffer buf) {
                             static_cast<std::int64_t>(stalled * 1e6));
       }
       if (aborted_.load(std::memory_order_relaxed)) throw exec::Aborted{};
+      if (timed_out) {
+        lk.unlock();
+        abort_run(RunStatus::kTransportError,
+                  "credit stall exceeded " +
+                      std::to_string(opts_.barrier_timeout_s) + "s",
+                  /*broadcast=*/true);
+        throw exec::Aborted{};
+      }
+      if (all_dead) {
+        lk.unlock();
+        std::lock_guard<std::mutex> flk(faults_mu_);
+        faults_.buffers_lost++;
+        return;
+      }
     }
     w.on_dispatch(target);
+    if (ft) {
+      // Retain until released (credit/ack) or reclaimed (target death):
+      // core::Buffer is a shared envelope, so this is a refcount, not a
+      // copy of the payload.
+      w.retained[static_cast<std::size_t>(target)].push_back(buf);
+    }
   }
 
   StreamDelta& sd = inst.stream_local[static_cast<std::size_t>(w.stream->id)];
@@ -926,6 +1525,7 @@ void DistributedEngine::dispatch(Instance& inst, int port, core::Buffer buf) {
   route.uow = static_cast<std::uint32_t>(uow_index_);
 
   CopySetRt* cset = w.stream->targets[static_cast<std::size_t>(target)];
+  const std::uint64_t nbytes = buf.size();
   if (cset->host == rank_) {
     Delivery d;
     d.buf = std::move(buf);
@@ -938,7 +1538,12 @@ void DistributedEngine::dispatch(Instance& inst, int port, core::Buffer buf) {
     const auto span = buf.bytes();
     links_[static_cast<std::size_t>(cset->host)]->send(make_frame(
         FrameType::kData, route, {span.begin(), span.end()}));
+    if (fault_cell_ != nullptr) {
+      fault_cell_->advance(FaultTrigger::kFrames, 1);
+      fault_cell_->advance(FaultTrigger::kBytes, nbytes);
+    }
   }
+  if (fault_cell_ != nullptr) fault_cell_->advance(FaultTrigger::kBuffers, 1);
 }
 
 }  // namespace dc::net

@@ -1,10 +1,14 @@
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
+#include <set>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/graph.hpp"
@@ -22,8 +26,26 @@ namespace dc::net {
 struct DistributedOptions {
   /// Deadline for the end-of-UOW completion barrier (waiting for every
   /// peer's DONE). Exceeding it aborts the run with a transport-error
-  /// outcome instead of hanging on a wedged or dead peer.
+  /// outcome instead of hanging on a wedged or dead peer. Under fault
+  /// tolerance it also bounds producer credit stalls and the end-of-work
+  /// retention settlement, so a frozen (not dead) peer can delay a UOW at
+  /// most this long before a structured failure.
   double barrier_timeout_s = 120.0;
+
+  // ---- fault tolerance (active when RuntimeConfig::detection != kNone) ----
+  /// Idle-link heartbeat cadence. Liveness piggybacks on every received
+  /// frame (DATA / CREDIT / DONE all count); beacons fill the gaps.
+  double heartbeat_interval_s = 0.05;
+  /// Silence threshold before a peer is declared dead. A SIGKILLed peer is
+  /// detected instantly via TCP close; this timeout catches frozen peers
+  /// (SIGSTOP, wedged) whose sockets stay open.
+  double peer_timeout_s = 2.0;
+  /// Re-place filter copies off dead ranks (via core::replace_dead_hosts)
+  /// at the next UOW boundary instead of running degraded without them.
+  /// Off by default: the default path mirrors the simulator's fault model,
+  /// where dead copy sets stay dead and every later UOW re-counts their
+  /// failover at admission.
+  bool replace_dead = false;
 };
 
 /// Structured outcome of one distributed unit of work. A UOW never hangs
@@ -42,6 +64,14 @@ struct UowResult {
   RunStatus status = RunStatus::kComplete;
   double makespan = 0.0;  ///< wall seconds, local workers start -> barrier
   std::string error;      ///< empty when kComplete
+  /// Fault-model classification of this UOW, using the simulator's exact
+  /// discipline (core::Runtime::run_uow_outcome): per-UOW fault-counter
+  /// deltas as observed by THIS rank, kDegraded when failovers perturbed
+  /// the UOW, kPartialLoss when some filter lost every copy. The makespan
+  /// field is wall time here (virtual time there); the logical fields —
+  /// status, dead_filters, failovers — match the simulator bit for bit for
+  /// the equivalent fault plan.
+  core::UowOutcome outcome;
 
   [[nodiscard]] bool ok() const { return status == RunStatus::kComplete; }
 };
@@ -102,6 +132,17 @@ class DistributedEngine {
   [[nodiscard]] const exec::Metrics& metrics() const { return metrics_; }
   [[nodiscard]] const NetMetrics& net_metrics() const { return net_metrics_; }
 
+  /// Cumulative fault counters of this rank's local view (its own failovers
+  /// observed, its producers' retransmits / losses). Per-UOW deltas are in
+  /// UowResult::outcome.
+  [[nodiscard]] core::FaultMetrics fault_metrics() const;
+
+  /// Attaches the process-fault harness's trigger cell (nullptr detaches;
+  /// must outlive the engine). The engine reports UOW entry (at_uow) and
+  /// remote DATA dispatch progress (kFrames / kBytes) through it, giving
+  /// tests deterministic logical kill points. Attach before run_uow.
+  void set_fault_cell(FaultCell* cell) { fault_cell_ = cell; }
+
   [[nodiscard]] int rank() const { return rank_; }
   [[nodiscard]] int num_ranks() const { return num_ranks_; }
   [[nodiscard]] const core::RuntimeConfig& config() const { return config_; }
@@ -146,6 +187,27 @@ class DistributedEngine {
   /// broadcasts ABORT to the peers.
   void abort_run(RunStatus status, const std::string& reason, bool broadcast);
 
+  // ---- fault tolerance -----------------------------------------------------
+  [[nodiscard]] bool fault_tolerant() const {
+    return config_.detection != core::FailureDetection::kNone;
+  }
+  /// The placement the current UOW runs under — the user's placement, or
+  /// the re-placed one when replace_dead moved copies off dead ranks.
+  [[nodiscard]] const core::Placement& pl() const {
+    return use_effective_ ? effective_placement_ : placement_;
+  }
+  /// Declares `peer` dead (idempotent). If the peer had not yet passed the
+  /// current UOW's DONE barrier, its copy sets fail over immediately:
+  /// routing fences them, local producers reclaim and retransmit retained
+  /// buffers, consumers' end-of-work obligations settle. Otherwise the
+  /// death only marks membership — the next UOW's admission pre-pass
+  /// re-counts the failover, exactly like the simulator.
+  void on_peer_dead(int peer);
+  /// Fails over one (remote) copy set of the current UOW. state_mu_ held.
+  void fail_copyset_locked(CopySetRt& cset);
+  /// Heartbeat-timeout watchdog loop (fault-tolerant runs only).
+  void monitor_main();
+
   const core::Graph& graph_;
   const core::Placement& placement_;
   core::RuntimeConfig config_;
@@ -168,6 +230,7 @@ class DistributedEngine {
   std::string error_;
   std::vector<Frame> pending_;  ///< early frames for a not-yet-built uow
   std::map<std::uint32_t, int> done_counts_;  ///< uow -> DONEs received
+  std::set<std::uint32_t> pending_aborts_;  ///< ABORTs for UOWs not yet begun
   /// Per peer: one past the last UOW that peer sent DONE for. A clean close
   /// from a peer that has DONE'd the current UOW is an orderly shutdown (it
   /// finished its run first), not a transport failure.
@@ -182,6 +245,36 @@ class DistributedEngine {
   std::vector<std::unique_ptr<StreamRt>> stream_rt_;
   std::vector<std::vector<Instance*>> local_by_filter_;  ///< [filter][global]
   int uow_index_ = 0;
+
+  // ---- fault-tolerance state ----------------------------------------------
+  /// Peers declared dead (index by rank; sticky for the engine's lifetime).
+  /// Written under state_mu_; atomic so hot paths may read without it.
+  std::vector<std::atomic<char>> rank_dead_;
+  /// Last frame arrival per peer, steady-clock nanoseconds (monitor input).
+  std::vector<std::atomic<std::int64_t>> last_heard_ns_;
+  std::thread monitor_;
+  std::mutex monitor_mu_;
+  std::condition_variable monitor_cv_;
+  bool monitor_stop_ = false;
+  /// Local fault counters (this rank's view); guarded by faults_mu_ — they
+  /// are bumped from worker, recv, and monitor threads alike.
+  mutable std::mutex faults_mu_;
+  core::FaultMetrics faults_;
+  /// Ranks whose death has been charged to faults_.hosts_failed. Mid-UOW
+  /// deaths are charged at detection (the simulator counts them in-UOW);
+  /// boundary deaths are charged at the next admission pre-pass, so a rank
+  /// that exits cleanly after the final UOW is never counted. state_mu_.
+  std::vector<char> hosts_counted_;
+  /// Mid-UOW host failures observed during the CURRENT UOW — the outcome's
+  /// "perturbed" input. Boundary deaths stay out, mirroring the simulator
+  /// (whose on_host_failed is gated on in_uow_).
+  std::atomic<std::uint64_t> hosts_failed_uow_{0};
+  /// Per-UOW survivor bookkeeping, guarded by state_mu_.
+  std::vector<int> live_copies_;        ///< per filter, current UOW
+  std::vector<int> dead_filters_uow_;   ///< filters that lost every copy
+  core::Placement effective_placement_;  ///< replace_dead rewrite
+  bool use_effective_ = false;
+  FaultCell* fault_cell_ = nullptr;
 
   exec::Metrics metrics_;
   NetMetrics net_metrics_;

@@ -19,6 +19,8 @@ NetMetricsSnapshot& NetMetricsSnapshot::operator+=(const NetMetricsSnapshot& o) 
   eows_recv += o.eows_recv;
   aborts_sent += o.aborts_sent;
   aborts_recv += o.aborts_recv;
+  heartbeats_sent += o.heartbeats_sent;
+  heartbeats_recv += o.heartbeats_recv;
   credit_stalls += o.credit_stalls;
   credit_stall_us += o.credit_stall_us;
   protocol_errors += o.protocol_errors;
@@ -44,6 +46,8 @@ NetMetricsSnapshot snapshot(const NetMetrics& m) {
   s.eows_recv = get(m.eows_recv);
   s.aborts_sent = get(m.aborts_sent);
   s.aborts_recv = get(m.aborts_recv);
+  s.heartbeats_sent = get(m.heartbeats_sent);
+  s.heartbeats_recv = get(m.heartbeats_recv);
   s.credit_stalls = get(m.credit_stalls);
   s.credit_stall_us = get(m.credit_stall_us);
   s.protocol_errors = get(m.protocol_errors);
@@ -67,6 +71,8 @@ void publish(const NetMetricsSnapshot& m, obs::MetricsRegistry& reg,
   reg.set(key("eows_recv"), m.eows_recv);
   reg.set(key("aborts_sent"), m.aborts_sent);
   reg.set(key("aborts_recv"), m.aborts_recv);
+  reg.set(key("heartbeats_sent"), m.heartbeats_sent);
+  reg.set(key("heartbeats_recv"), m.heartbeats_recv);
   reg.set(key("credit_stalls"), m.credit_stalls);
   reg.set(key("credit_stall_time"),
           static_cast<double>(m.credit_stall_us) / 1e6);

@@ -31,6 +31,8 @@ struct NetMetrics {
   std::atomic<std::uint64_t> eows_recv{0};
   std::atomic<std::uint64_t> aborts_sent{0};
   std::atomic<std::uint64_t> aborts_recv{0};
+  std::atomic<std::uint64_t> heartbeats_sent{0};
+  std::atomic<std::uint64_t> heartbeats_recv{0};
   std::atomic<std::uint64_t> credit_stalls{0};
   /// Microseconds producers spent blocked waiting for remote credit.
   std::atomic<std::uint64_t> credit_stall_us{0};
@@ -46,6 +48,7 @@ struct NetMetricsSnapshot {
   std::uint64_t acks_sent = 0, acks_recv = 0;
   std::uint64_t eows_sent = 0, eows_recv = 0;
   std::uint64_t aborts_sent = 0, aborts_recv = 0;
+  std::uint64_t heartbeats_sent = 0, heartbeats_recv = 0;
   std::uint64_t credit_stalls = 0, credit_stall_us = 0;
   std::uint64_t protocol_errors = 0;
 

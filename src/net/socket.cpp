@@ -1,6 +1,7 @@
 #include "net/socket.hpp"
 
 #include <arpa/inet.h>
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
@@ -134,8 +135,14 @@ Socket accept_one(Socket& listener, double timeout_s) {
   pollfd pfd{};
   pfd.fd = listener.fd();
   pfd.events = POLLIN;
-  const int ms = static_cast<int>(timeout_s * 1000.0);
+  // Absolute deadline: poll restarts after EINTR with the REMAINING time,
+  // so a signal storm cannot extend the wait past timeout_s.
+  const auto deadline =
+      Clock::now() + std::chrono::duration<double>(timeout_s);
   for (;;) {
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - Clock::now());
+    const int ms = static_cast<int>(std::max<long long>(0, left.count()));
     const int r = ::poll(&pfd, 1, ms);
     if (r < 0) {
       if (errno == EINTR) continue;

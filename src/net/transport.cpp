@@ -28,6 +28,12 @@ void PeerLink::start(FrameHandler on_frame, ErrorHandler on_error) {
   recv_thread_ = std::thread([this] { recv_main(); });
 }
 
+void PeerLink::enable_heartbeat(double interval_s) {
+  std::lock_guard<std::mutex> lk(mu_);
+  heartbeat_interval_ = std::chrono::duration_cast<std::chrono::nanoseconds>(
+      std::chrono::duration<double>(interval_s));
+}
+
 void PeerLink::send(Frame f) {
   {
     std::lock_guard<std::mutex> lk(mu_);
@@ -35,8 +41,16 @@ void PeerLink::send(Frame f) {
     // (and a dead link must not accumulate an outbox nobody will drain).
     if (stopping_ || send_failed_) return;
     outbox_.push_back(std::move(f));
+    ++pending_writes_;
   }
   cv_.notify_all();
+}
+
+bool PeerLink::wait_flushed(double timeout_s) {
+  std::unique_lock<std::mutex> lk(mu_);
+  return cv_.wait_for(lk, std::chrono::duration<double>(timeout_s), [this] {
+    return pending_writes_ == 0 || stopping_ || send_failed_;
+  });
 }
 
 void PeerLink::stop(bool flush) {
@@ -76,17 +90,35 @@ void PeerLink::send_main() {
 void PeerLink::pump_send() {
   for (;;) {
     Frame f;
+    bool beacon = false;
     {
       std::unique_lock<std::mutex> lk(mu_);
-      cv_.wait(lk, [this] { return stopping_ || !outbox_.empty(); });
-      if (outbox_.empty()) {
-        // stopping_ and nothing left (or flush was waived).
-        if (stopping_) return;
-        continue;
+      if (heartbeat_interval_.count() > 0) {
+        if (!cv_.wait_for(lk, heartbeat_interval_, [this] {
+              return stopping_ || !outbox_.empty();
+            })) {
+          // Idle for a full interval: emit a liveness beacon so peers can
+          // tell a quiet-but-healthy link from a frozen process.
+          beacon = true;
+        }
+      } else {
+        cv_.wait(lk, [this] { return stopping_ || !outbox_.empty(); });
       }
-      if (stopping_ && !flush_on_stop_) return;
-      f = std::move(outbox_.front());
-      outbox_.pop_front();
+      if (!beacon) {
+        if (outbox_.empty()) {
+          // stopping_ and nothing left (or flush was waived).
+          if (stopping_) return;
+          continue;
+        }
+        if (stopping_ && !flush_on_stop_) return;
+        f = std::move(outbox_.front());
+        outbox_.pop_front();
+      }
+    }
+    if (beacon) {
+      core::BufferRoute route;
+      route.producer = me_;
+      f = make_frame(FrameType::kHeartbeat, route);
     }
     const std::uint64_t bytes = sizeof(FrameHeader) + f.payload.size();
     obs::ScopedSpan span(obs_, send_track_, "net.send",
@@ -105,7 +137,9 @@ void PeerLink::pump_send() {
         teardown = stopping_;
         send_failed_ = true;
         outbox_.clear();
+        pending_writes_ = 0;
       }
+      cv_.notify_all();  // releases wait_flushed callers
       if (!teardown) {
         report_error(WireError::kSocketError, "send failed");
         // Unblock the recv thread's read; its own report is suppressed by
@@ -113,6 +147,13 @@ void PeerLink::pump_send() {
         socket_.shutdown_both();
       }
       return;
+    }
+    if (!beacon) {
+      {
+        std::lock_guard<std::mutex> lk(mu_);
+        if (pending_writes_ > 0) --pending_writes_;
+      }
+      cv_.notify_all();  // wait_flushed progress
     }
     if (metrics_ != nullptr) {
       metrics_->frames_sent.fetch_add(1, std::memory_order_relaxed);
@@ -132,6 +173,9 @@ void PeerLink::pump_send() {
           break;
         case FrameType::kAbort:
           metrics_->aborts_sent.fetch_add(1, std::memory_order_relaxed);
+          break;
+        case FrameType::kHeartbeat:
+          metrics_->heartbeats_sent.fetch_add(1, std::memory_order_relaxed);
           break;
         default:
           break;
@@ -173,6 +217,9 @@ void PeerLink::recv_main() {
           break;
         case FrameType::kAbort:
           metrics_->aborts_recv.fetch_add(1, std::memory_order_relaxed);
+          break;
+        case FrameType::kHeartbeat:
+          metrics_->heartbeats_recv.fetch_add(1, std::memory_order_relaxed);
           break;
         default:
           break;

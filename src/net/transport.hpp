@@ -54,8 +54,22 @@ class PeerLink {
   /// Starts the pump threads. Frames sent before start() are flushed first.
   void start(FrameHandler on_frame, ErrorHandler on_error);
 
+  /// Arms idle-link heartbeats (call before start()): whenever the outbox
+  /// stays empty for `interval_s`, the send pump emits one HEARTBEAT frame.
+  /// Liveness otherwise piggybacks on regular traffic — every received
+  /// frame counts — so beacons flow only on links with nothing else to say.
+  void enable_heartbeat(double interval_s);
+
   /// Enqueues one frame for transmission (thread-safe, non-blocking).
   void send(Frame f);
+
+  /// Blocks until every frame enqueued before this call has been handed to
+  /// the kernel (outbox drained, in-progress write finished), the link
+  /// failed, or `timeout_s` elapsed. Returns true when the flush completed.
+  /// Once written, delivery is ordered ahead of any later socket close even
+  /// if this process is SIGKILLed — the fence that makes kill-at-UOW-entry
+  /// fault injection deterministic for the previous UOW's control frames.
+  bool wait_flushed(double timeout_s);
 
   /// Flushes the outbox (bounded by kStopFlushDeadline — a live peer that
   /// stopped reading must not wedge teardown), closes the socket, joins
@@ -94,6 +108,8 @@ class PeerLink {
   bool flush_on_stop_ = true;
   bool send_failed_ = false;  ///< write error: the outbox is dead, drop sends
   bool sender_done_ = false;  ///< send pump exited (outbox flushed or failed)
+  int pending_writes_ = 0;    ///< enqueued frames not yet written to the fd
+  std::chrono::nanoseconds heartbeat_interval_{0};  ///< 0 = disabled
   std::atomic<bool> error_reported_{false};
 
   std::uint64_t send_seq_ = 1;  ///< seq 0 was the HELLO handshake

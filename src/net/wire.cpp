@@ -13,6 +13,7 @@ const char* to_string(FrameType t) {
     case FrameType::kEow: return "EOW";
     case FrameType::kAbort: return "ABORT";
     case FrameType::kDone: return "DONE";
+    case FrameType::kHeartbeat: return "HEARTBEAT";
   }
   return "?";
 }
@@ -70,7 +71,9 @@ WireError read_frame(Socket& s, Frame& out, std::uint64_t expected_seq) {
     return WireError::kBadHeaderChecksum;
   }
   const auto t = static_cast<FrameType>(out.header.type);
-  if (t < FrameType::kHello || t > FrameType::kDone) return WireError::kBadType;
+  if (t < FrameType::kHello || t > FrameType::kHeartbeat) {
+    return WireError::kBadType;
+  }
   // The length check comes after the header checksum: a frame that passes
   // the checksum yet claims an absurd length is an explicit protocol
   // violation, not something to try to allocate.

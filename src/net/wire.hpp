@@ -26,7 +26,13 @@ namespace dc::net {
 ///   EOW     one producer copy finished the stream entering the target set
 ///   ABORT   UOW aborted on the sender; receivers unwind and propagate
 ///   DONE    sender's local workers joined for `route.uow` (completion
-///           barrier; after DONE no further frames for that UOW follow)
+///           barrier; after DONE no further frames for that UOW follow).
+///           Under fault tolerance the payload carries the sender's
+///           observed-dead rank bitmask (8 bytes, little-endian), so the
+///           barrier doubles as the membership-agreement exchange.
+///   HEARTBEAT  idle-link liveness beacon. Every received frame counts as
+///           a heartbeat (liveness piggybacks on the CREDIT / DONE plane);
+///           explicit beacons flow only when a link has nothing else to say.
 ///
 /// Integrity: the header carries an FNV-1a checksum over its own preceding
 /// bytes and one over the payload; receivers verify both, enforce a hard
@@ -44,6 +50,7 @@ enum class FrameType : std::uint8_t {
   kEow = 5,
   kAbort = 6,
   kDone = 7,
+  kHeartbeat = 8,
 };
 
 [[nodiscard]] const char* to_string(FrameType t);

@@ -21,7 +21,7 @@ namespace {
 // the parent. Flat binary (same machine, same endianness by construction).
 // ---------------------------------------------------------------------------
 
-constexpr std::uint32_t kResultMagic = 0x52524344;  // "DCRR"
+constexpr std::uint32_t kResultMagic = 0x52524345;  // "ECRR" (v2: outcomes)
 
 struct FileCloser {
   std::FILE* f = nullptr;
@@ -65,9 +65,40 @@ struct RankResult {
   std::string error;                 ///< first failure
   exec::Metrics metrics;             ///< this rank's local ledger
   net::NetMetricsSnapshot net;
+  std::vector<core::UowOutcome> outcomes;  ///< per-UOW fault outcomes
+  core::FaultMetrics faults;               ///< cumulative fault ledger
   std::vector<std::uint64_t> digests;  ///< local sink (merge rank only)
   std::vector<Image> images;
 };
+
+bool put_outcome(std::FILE* f, const core::UowOutcome& o) {
+  bool ok = put_pod(f, static_cast<std::int32_t>(o.status)) &&
+            put_pod(f, o.makespan) && put_pod(f, o.failovers) &&
+            put_pod(f, o.retransmits) && put_pod(f, o.buffers_lost) &&
+            put_pod(f, o.buffers_duplicated) &&
+            put_pod(f, static_cast<std::uint32_t>(o.dead_filters.size()));
+  for (int d : o.dead_filters) ok = ok && put_pod(f, std::int32_t{d});
+  return ok;
+}
+
+bool get_outcome(std::FILE* f, core::UowOutcome& o) {
+  std::int32_t status = 0;
+  std::uint32_t ndead = 0;
+  if (!get_pod(f, status) || !get_pod(f, o.makespan) ||
+      !get_pod(f, o.failovers) || !get_pod(f, o.retransmits) ||
+      !get_pod(f, o.buffers_lost) || !get_pod(f, o.buffers_duplicated) ||
+      !get_pod(f, ndead) || ndead > (1u << 16)) {
+    return false;
+  }
+  o.status = static_cast<core::UowStatus>(status);
+  o.dead_filters.resize(ndead);
+  for (auto& d : o.dead_filters) {
+    std::int32_t v = 0;
+    if (!get_pod(f, v)) return false;
+    d = v;
+  }
+  return true;
+}
 
 bool write_result(const std::string& path, const RankResult& r) {
   FileCloser fc{std::fopen(path.c_str(), "wb")};
@@ -88,6 +119,14 @@ bool write_result(const std::string& path, const RankResult& r) {
   ok = ok && put_pod(f, r.metrics.acks_total) &&
        put_pod(f, r.metrics.ack_bytes_total) && put_pod(f, r.metrics.makespan);
   ok = ok && put_bytes(f, &r.net, sizeof(r.net));
+  ok = ok && put_pod(f, static_cast<std::uint32_t>(r.outcomes.size()));
+  for (std::size_t u = 0; ok && u < r.outcomes.size(); ++u) {
+    ok = put_outcome(f, r.outcomes[u]);
+  }
+  ok = ok && put_pod(f, r.faults.hosts_failed) &&
+       put_pod(f, r.faults.failovers) && put_pod(f, r.faults.retransmits) &&
+       put_pod(f, r.faults.buffers_lost) &&
+       put_pod(f, r.faults.buffers_duplicated);
   ok = ok && put_pod(f, static_cast<std::uint32_t>(r.digests.size()));
   for (std::uint64_t d : r.digests) ok = ok && put_pod(f, d);
   ok = ok && put_pod(f, static_cast<std::uint32_t>(r.images.size()));
@@ -135,6 +174,18 @@ bool read_result(const std::string& path, RankResult& r) {
     return false;
   }
   if (!get_bytes(f, &r.net, sizeof(r.net))) return false;
+  std::uint32_t nout = 0;
+  if (!get_pod(f, nout) || nout > (1u << 16)) return false;
+  r.outcomes.resize(nout);
+  for (auto& o : r.outcomes) {
+    if (!get_outcome(f, o)) return false;
+  }
+  if (!get_pod(f, r.faults.hosts_failed) || !get_pod(f, r.faults.failovers) ||
+      !get_pod(f, r.faults.retransmits) ||
+      !get_pod(f, r.faults.buffers_lost) ||
+      !get_pod(f, r.faults.buffers_duplicated)) {
+    return false;
+  }
   std::uint32_t ndig = 0;
   if (!get_pod(f, ndig) || ndig > (1u << 16)) return false;
   r.digests.resize(ndig);
@@ -200,9 +251,12 @@ int rank_main(net::RankEnv& env, const IsoAppSpec& spec,
       const net::UowResult r = eng.run_uow();
       result.uow_status.push_back(static_cast<int>(r.status));
       result.per_uow.push_back(r.makespan);
+      result.outcomes.push_back(r.outcome);
       if (!r.ok()) {
         if (result.error.empty()) result.error = r.error;
-        break;  // the engine is poisoned; peers observed the abort too
+        // Only a transport failure poisons the engine; an app-level abort
+        // ends one UOW in lockstep and the next runs normally.
+        if (r.status == net::RunStatus::kTransportError) break;
       }
     }
     // Shut the links down BEFORE snapshotting: stop() flushes each outbox
@@ -212,6 +266,7 @@ int rank_main(net::RankEnv& env, const IsoAppSpec& spec,
     eng.shutdown();
     result.metrics = eng.metrics();
     result.net = net::snapshot(eng.net_metrics());
+    result.faults = eng.fault_metrics();
     if (!opts.trace_dir.empty()) {
       obs::write_chrome_trace(trace, opts.trace_dir + "/rank" +
                                          std::to_string(env.rank) +
@@ -310,6 +365,35 @@ DistributedRenderRun run_iso_app_distributed(const IsoAppSpec& spec,
     run.metrics.ack_bytes_total += rr.metrics.ack_bytes_total;
     run.metrics.makespan = std::max(run.metrics.makespan, rr.metrics.makespan);
     run.net += rr.net;
+    // Fault aggregation: failovers / hosts_failed are observed once per
+    // rank and already global (max); retransmit / loss / duplicate counts
+    // are per-rank partial (sum); dead filters are unioned.
+    if (run.outcomes.size() < rr.outcomes.size()) {
+      run.outcomes.resize(rr.outcomes.size());
+    }
+    for (std::size_t u = 0; u < rr.outcomes.size(); ++u) {
+      core::UowOutcome& agg = run.outcomes[u];
+      const core::UowOutcome& o = rr.outcomes[u];
+      agg.status = std::max(agg.status, o.status);
+      agg.makespan = std::max(agg.makespan, o.makespan);
+      agg.failovers = std::max(agg.failovers, o.failovers);
+      agg.retransmits += o.retransmits;
+      agg.buffers_lost += o.buffers_lost;
+      agg.buffers_duplicated += o.buffers_duplicated;
+      for (int d : o.dead_filters) {
+        if (std::find(agg.dead_filters.begin(), agg.dead_filters.end(), d) ==
+            agg.dead_filters.end()) {
+          agg.dead_filters.push_back(d);
+        }
+      }
+      std::sort(agg.dead_filters.begin(), agg.dead_filters.end());
+    }
+    run.faults.hosts_failed =
+        std::max(run.faults.hosts_failed, rr.faults.hosts_failed);
+    run.faults.failovers = std::max(run.faults.failovers, rr.faults.failovers);
+    run.faults.retransmits += rr.faults.retransmits;
+    run.faults.buffers_lost += rr.faults.buffers_lost;
+    run.faults.buffers_duplicated += rr.faults.buffers_duplicated;
     if (!rr.digests.empty()) {
       run.digests = std::move(rr.digests);
       run.images = std::move(rr.images);

@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "core/metrics.hpp"
 #include "core/runtime.hpp"
 #include "exec/metrics.hpp"
 #include "net/distributed.hpp"
@@ -43,6 +44,14 @@ struct DistributedRenderRun {
   /// the same spec + config + seed these match exec::Engine's exactly.
   exec::Metrics metrics;
   net::NetMetricsSnapshot net;  ///< transport counters summed across ranks
+  /// Per-UOW fault outcomes, aggregated across ranks: worst status, max
+  /// failovers (every rank books each dead copy set once, so per-rank
+  /// counts are already global), summed retransmit/loss/duplicate counts
+  /// (those are per-rank partial), dead-filter union. Only populated when
+  /// the runtime config enables failure detection.
+  std::vector<core::UowOutcome> outcomes;
+  /// Cumulative fault ledger aggregated the same way across ranks.
+  core::FaultMetrics faults;
 };
 
 /// Renders `uows` timesteps of `spec` on `num_ranks` cooperating OS

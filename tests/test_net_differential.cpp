@@ -290,6 +290,54 @@ TEST(NetDifferentialAbort, ThrowingFilterTerminatesEveryProcessStructured) {
   EXPECT_EQ(statuses[1].exit_code, 2);
 }
 
+// Regression: an app-level abort (a filter throwing) must NOT poison the
+// engine — the links stay healthy and the NEXT UOW completes cleanly on
+// every rank. Only transport errors latch the engine unusable.
+TEST(NetDifferentialAbort, AbortedUowDoesNotPoisonNextUow) {
+  const auto statuses = net::run_local_ranks(
+      3,
+      [](net::RankEnv& env) {
+        std::vector<net::Socket> peers = net::connect_mesh(env, 30.0);
+        env.listener.close();
+
+        // First instantiation (UOW 0) throws on host 1; the UOW-1 instance
+        // is benign. Ranks without a sink copy never call the factory.
+        auto ctor_count = std::make_shared<int>(0);
+        core::Graph g;
+        const int src = g.add_source(
+            "src", [] { return std::make_unique<CountSource>(200); });
+        const int sink = g.add_filter("sink", [ctor_count] {
+          const bool faulty = (*ctor_count)++ == 0;
+          return std::make_unique<ThrowOnHost>(faulty ? 1 : -1);
+        });
+        g.connect(src, 0, sink, 0);
+        core::Placement p;
+        p.place(src, 0, 1).place(sink, 1, 1).place(sink, 2, 1);
+
+        core::RuntimeConfig cfg;
+        cfg.policy = core::Policy::kRoundRobin;
+        net::DistributedOptions dopts;
+        dopts.barrier_timeout_s = 30.0;
+        net::DistributedEngine eng(g, p, cfg, env.rank, env.num_ranks,
+                                   std::move(peers), dopts);
+        const net::UowResult first = eng.run_uow();
+        const net::UowResult second = eng.run_uow();
+        if (first.status != net::RunStatus::kAborted) return 4;
+        if (second.status != net::RunStatus::kComplete) return 5;
+        return 0;
+      },
+      net::LaunchOptions{/*timeout_s=*/60.0});
+
+  ASSERT_EQ(statuses.size(), 3u);
+  for (int r = 0; r < 3; ++r) {
+    const auto& st = statuses[static_cast<std::size_t>(r)];
+    EXPECT_FALSE(st.timed_out) << "rank " << r << " hung";
+    EXPECT_EQ(st.exit_code, 0)
+        << "rank " << r << " (4 = UOW 0 not aborted, 5 = UOW 1 not complete)"
+        << " stderr: " << st.stderr_output;
+  }
+}
+
 TEST(NetDifferentialCorrupt, GarbageOnTheWireTerminatesStructured) {
   const auto statuses = net::run_local_ranks(
       2,

@@ -1,11 +1,15 @@
 #include <gtest/gtest.h>
 
+#include <sys/time.h>
+
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <csignal>
 #include <cstring>
 #include <mutex>
 #include <random>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
@@ -372,6 +376,130 @@ TEST(NetWireFuzz, StopOnWedgedLivePeerIsBounded) {
   // (the watchdog above is the regression oracle).
   link.stop(/*flush=*/true);
   EXPECT_EQ(errors.load(), 0);  // teardown-initiated: no spurious report
+}
+
+// ---------------------------------------------------------------------------
+// Socket deadline paths: connect_loopback and accept_one promise bounded
+// waits against an absolute deadline. The EINTR cases are the regression
+// oracle for accept_one restarting poll() with the FULL timeout after every
+// signal — under a steady signal stream that bug turns a 0.5 s deadline
+// into "never".
+// ---------------------------------------------------------------------------
+
+/// Arms a repeating SIGALRM every `interval_ms` with SA_RESTART cleared so
+/// each delivery interrupts the pending syscall with EINTR. Restores the
+/// previous disposition on destruction.
+class EintrStorm {
+ public:
+  explicit EintrStorm(int interval_ms) {
+    struct sigaction sa{};
+    sa.sa_handler = [](int) {};
+    sigemptyset(&sa.sa_mask);
+    sa.sa_flags = 0;  // no SA_RESTART: syscalls must see EINTR
+    sigaction(SIGALRM, &sa, &prev_);
+    itimerval it{};
+    it.it_interval.tv_usec = interval_ms * 1000;
+    it.it_value.tv_usec = interval_ms * 1000;
+    setitimer(ITIMER_REAL, &it, nullptr);
+  }
+  ~EintrStorm() {
+    itimerval off{};
+    setitimer(ITIMER_REAL, &off, nullptr);
+    sigaction(SIGALRM, &prev_, nullptr);
+  }
+
+ private:
+  struct sigaction prev_{};
+};
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+TEST(NetSocketDeadline, ConnectRefusedThenRetrySucceeds) {
+  exec::Watchdog dog(std::chrono::seconds(60),
+                     "ConnectRefusedThenRetrySucceeds");
+  // Reserve an ephemeral port, then free it so the first connect attempts
+  // are refused; a helper re-binds it shortly after.
+  std::uint16_t port = 0;
+  {
+    Socket probe = listen_loopback(0, 1);
+    port = local_port(probe);
+  }
+  std::thread server([port] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    Socket listener = listen_loopback(port, 1);
+    Socket peer = accept_one(listener, 10.0);
+  });
+  const auto t0 = std::chrono::steady_clock::now();
+  Socket c = connect_loopback(port, 10.0);
+  EXPECT_TRUE(c.valid());
+  // The retry loop must have actually waited for the listener to appear.
+  EXPECT_GE(seconds_since(t0), 0.15);
+  server.join();
+}
+
+TEST(NetSocketDeadline, ConnectTimesOutAgainstClosedPort) {
+  exec::Watchdog dog(std::chrono::seconds(60),
+                     "ConnectTimesOutAgainstClosedPort");
+  std::uint16_t port = 0;
+  {
+    Socket probe = listen_loopback(0, 1);
+    port = local_port(probe);
+  }  // nobody listens here any more
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_THROW(connect_loopback(port, 0.3), std::runtime_error);
+  const double elapsed = seconds_since(t0);
+  EXPECT_GE(elapsed, 0.25);
+  EXPECT_LT(elapsed, 5.0);
+}
+
+TEST(NetSocketDeadline, AcceptDeadlineExpiresWithinBound) {
+  exec::Watchdog dog(std::chrono::seconds(60),
+                     "AcceptDeadlineExpiresWithinBound");
+  Socket listener = listen_loopback(0, 1);
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_THROW(accept_one(listener, 0.3), std::runtime_error);
+  const double elapsed = seconds_since(t0);
+  EXPECT_GE(elapsed, 0.25);
+  EXPECT_LT(elapsed, 5.0);
+}
+
+TEST(NetSocketDeadline, AcceptDeadlineHoldsUnderEintrStorm) {
+  exec::Watchdog dog(std::chrono::seconds(60),
+                     "AcceptDeadlineHoldsUnderEintrStorm");
+  Socket listener = listen_loopback(0, 1);
+  EintrStorm storm(/*interval_ms=*/50);
+  const auto t0 = std::chrono::steady_clock::now();
+  bool threw = false;
+  try {
+    (void)accept_one(listener, 0.5);
+  } catch (const std::runtime_error& e) {
+    threw = true;
+    EXPECT_NE(std::string(e.what()).find("timed out"), std::string::npos);
+  }
+  EXPECT_TRUE(threw);
+  const double elapsed = seconds_since(t0);
+  // Regression: poll() restarted with the full timeout after each EINTR,
+  // so a 50 ms signal cadence kept a 0.5 s accept alive indefinitely.
+  EXPECT_GE(elapsed, 0.45);
+  EXPECT_LT(elapsed, 5.0);
+}
+
+TEST(NetSocketDeadline, ConnectRetrySurvivesEintrStorm) {
+  exec::Watchdog dog(std::chrono::seconds(60), "ConnectRetrySurvivesEintrStorm");
+  std::uint16_t port = 0;
+  {
+    Socket probe = listen_loopback(0, 1);
+    port = local_port(probe);
+  }
+  EintrStorm storm(/*interval_ms=*/50);
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_THROW(connect_loopback(port, 0.4), std::runtime_error);
+  const double elapsed = seconds_since(t0);
+  EXPECT_GE(elapsed, 0.35);
+  EXPECT_LT(elapsed, 5.0);
 }
 
 }  // namespace
