@@ -7,10 +7,20 @@
 // whose image digests mismatch) fails CI instead of silently rotting.
 //
 //   check_bench_json <binary> [args...]
+//   check_bench_json --trajectory <BENCH_*.json>
+//
+// The --trajectory mode validates a seeded benchmark-trajectory file:
+// {"experiment":"<name>","trajectory":[{"date":"YYYY-MM-DD","result":{...}}]}
+// where every result object itself satisfies the last-line contract and
+// names the same experiment. The bench-smoke CI job runs this over each
+// checked-in bench/BENCH_*.json so a hand-edited file cannot drift from the
+// schema the experiments actually emit.
 
 #include <array>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <sstream>
 #include <string>
 
 #include "obs/json.hpp"
@@ -25,10 +35,84 @@ int fail(const std::string& why, const std::string& line = "") {
   return 1;
 }
 
+/// Checks one {"experiment":...,"metrics":{...}} object (shared between the
+/// last-line contract and every trajectory entry's "result").
+int check_result_object(const Value& v, const std::string& context,
+                        std::string* experiment_out) {
+  if (!v.is_object()) return fail(context + " is not a JSON object");
+  const Value* exp_name = v.find("experiment");
+  if (exp_name == nullptr || !exp_name->is_string() || exp_name->str.empty()) {
+    return fail(context + ": missing or empty \"experiment\" string");
+  }
+  const Value* metrics = v.find("metrics");
+  if (metrics == nullptr || !metrics->is_object()) {
+    return fail(context + ": missing \"metrics\" object");
+  }
+  if (metrics->object.empty()) {
+    return fail(context + ": \"metrics\" object is empty");
+  }
+  if (experiment_out != nullptr) *experiment_out = exp_name->str;
+  return 0;
+}
+
+int check_trajectory(const char* path) {
+  std::ifstream in(path);
+  if (!in) return fail(std::string("cannot open ") + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  const std::string text = ss.str();
+
+  Value v;
+  std::string err;
+  if (!dc::obs::json::parse(text, v, &err)) {
+    return fail(std::string(path) + " is not valid JSON: " + err);
+  }
+  if (!v.is_object()) return fail(std::string(path) + " is not a JSON object");
+  const Value* exp_name = v.find("experiment");
+  if (exp_name == nullptr || !exp_name->is_string() || exp_name->str.empty()) {
+    return fail(std::string(path) + ": missing \"experiment\" string");
+  }
+  const Value* traj = v.find("trajectory");
+  if (traj == nullptr || !traj->is_array() || traj->array.empty()) {
+    return fail(std::string(path) + ": missing or empty \"trajectory\" array");
+  }
+  for (std::size_t i = 0; i < traj->array.size(); ++i) {
+    const Value& entry = traj->array[i];
+    const std::string ctx =
+        std::string(path) + " trajectory[" + std::to_string(i) + "]";
+    if (!entry.is_object()) return fail(ctx + " is not an object");
+    const Value* date = entry.find("date");
+    if (date == nullptr || !date->is_string() || date->str.size() != 10) {
+      return fail(ctx + ": missing \"date\" string (YYYY-MM-DD)");
+    }
+    const Value* result = entry.find("result");
+    if (result == nullptr) return fail(ctx + ": missing \"result\" object");
+    std::string entry_exp;
+    if (int rc = check_result_object(*result, ctx + ".result", &entry_exp)) {
+      return rc;
+    }
+    if (entry_exp != exp_name->str) {
+      return fail(ctx + ".result names experiment \"" + entry_exp +
+                  "\", file says \"" + exp_name->str + "\"");
+    }
+  }
+  std::fprintf(stderr,
+               "check_bench_json: ok — %s, experiment=%s, %zu point(s)\n",
+               path, exp_name->str.c_str(), traj->array.size());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) return fail("usage: check_bench_json <binary> [args...]");
+  if (argc < 2) {
+    return fail(
+        "usage: check_bench_json <binary> [args...] | --trajectory <file>");
+  }
+  if (std::string(argv[1]) == "--trajectory") {
+    if (argc != 3) return fail("--trajectory takes exactly one file");
+    return check_trajectory(argv[2]);
+  }
 
   std::string cmd;
   for (int i = 1; i < argc; ++i) {
@@ -63,22 +147,10 @@ int main(int argc, char** argv) {
   if (!dc::obs::json::parse(last_line, v, &err)) {
     return fail("last line is not valid JSON: " + err, last_line);
   }
-  if (!v.is_object()) {
-    return fail("last line is not a JSON object", last_line);
-  }
-  const Value* exp_name = v.find("experiment");
-  if (exp_name == nullptr || !exp_name->is_string() || exp_name->str.empty()) {
-    return fail("missing or empty \"experiment\" string", last_line);
-  }
-  const Value* metrics = v.find("metrics");
-  if (metrics == nullptr || !metrics->is_object()) {
-    return fail("missing \"metrics\" object", last_line);
-  }
-  if (metrics->object.empty()) {
-    return fail("\"metrics\" object is empty", last_line);
-  }
+  std::string experiment;
+  if (int rc = check_result_object(v, "last line", &experiment)) return rc;
 
   std::fprintf(stderr, "check_bench_json: ok — experiment=%s, %zu metric(s)\n",
-               exp_name->str.c_str(), metrics->object.size());
+               experiment.c_str(), v.find("metrics")->object.size());
   return 0;
 }

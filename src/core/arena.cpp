@@ -1,0 +1,113 @@
+#include "core/arena.hpp"
+
+#include <atomic>
+#include <bit>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+
+namespace dc::core {
+
+namespace {
+
+/// Smallest retained slot; tiny control payloads all share one class.
+constexpr std::size_t kMinClassBytes = 256;
+/// Freelist retention caps — beyond these a returned slot is simply freed.
+constexpr std::size_t kMaxSlotsPerClass = 64;
+constexpr std::size_t kMaxRetainedBytes = 128u * 1024u * 1024u;
+
+std::size_t class_of(std::size_t n) {
+  return n <= kMinClassBytes ? kMinClassBytes : std::bit_ceil(n);
+}
+
+}  // namespace
+
+struct BufferArena::Pool {
+  std::mutex mu;
+  std::unordered_map<std::size_t,
+                     std::vector<std::unique_ptr<std::vector<std::byte>>>>
+      free;
+  std::size_t retained_bytes = 0;
+
+  std::atomic<std::uint64_t> leased{0};
+  std::atomic<std::uint64_t> returned{0};
+  std::atomic<std::uint64_t> hits{0};
+  std::atomic<std::uint64_t> misses{0};
+  std::atomic<std::uint64_t> bytes{0};
+  std::atomic<std::uint64_t> copies{0};
+  std::atomic<std::uint64_t> copy_bytes{0};
+};
+
+BufferArena::BufferArena() : pool_(std::make_shared<Pool>()) {}
+
+std::shared_ptr<std::vector<std::byte>> BufferArena::lease(
+    std::size_t capacity_bytes) {
+  const std::size_t cls = class_of(capacity_bytes);
+  std::unique_ptr<std::vector<std::byte>> slot;
+  {
+    std::lock_guard<std::mutex> lk(pool_->mu);
+    auto it = pool_->free.find(cls);
+    if (it != pool_->free.end() && !it->second.empty()) {
+      slot = std::move(it->second.back());
+      it->second.pop_back();
+      pool_->retained_bytes -= cls;
+    }
+  }
+  if (slot) {
+    pool_->hits.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    pool_->misses.fetch_add(1, std::memory_order_relaxed);
+    slot = std::make_unique<std::vector<std::byte>>();
+    slot->reserve(cls);
+  }
+  pool_->leased.fetch_add(1, std::memory_order_relaxed);
+  pool_->bytes.fetch_add(capacity_bytes, std::memory_order_relaxed);
+
+  // The deleter IS the return path: it runs exactly once, when the last
+  // Buffer / Frame / cache entry sharing the slot lets go. Capturing the
+  // pool by shared_ptr keeps returns safe past the arena's own lifetime.
+  std::shared_ptr<Pool> pool = pool_;
+  return std::shared_ptr<std::vector<std::byte>>(
+      slot.release(), [pool, cls](std::vector<std::byte>* v) {
+        pool->returned.fetch_add(1, std::memory_order_relaxed);
+        v->clear();  // keeps capacity; bytes are dead, the slab is not
+        std::unique_ptr<std::vector<std::byte>> owned(v);
+        std::lock_guard<std::mutex> lk(pool->mu);
+        if (pool->retained_bytes + cls <= kMaxRetainedBytes) {
+          auto& bucket = pool->free[cls];
+          if (bucket.size() < kMaxSlotsPerClass) {
+            bucket.push_back(std::move(owned));
+            pool->retained_bytes += cls;
+          }
+        }
+        // Not refiled: `owned` frees the slab on scope exit.
+      });
+}
+
+Buffer BufferArena::make(std::size_t capacity_bytes) {
+  return Buffer::adopt(lease(capacity_bytes), capacity_bytes);
+}
+
+void BufferArena::note_payload_copy(std::size_t bytes) {
+  pool_->copies.fetch_add(1, std::memory_order_relaxed);
+  pool_->copy_bytes.fetch_add(bytes, std::memory_order_relaxed);
+}
+
+ArenaStats BufferArena::stats() const {
+  ArenaStats s;
+  s.slots_leased = pool_->leased.load(std::memory_order_relaxed);
+  s.slots_returned = pool_->returned.load(std::memory_order_relaxed);
+  s.pool_hits = pool_->hits.load(std::memory_order_relaxed);
+  s.pool_misses = pool_->misses.load(std::memory_order_relaxed);
+  s.bytes_leased = pool_->bytes.load(std::memory_order_relaxed);
+  s.payload_copies = pool_->copies.load(std::memory_order_relaxed);
+  s.payload_copy_bytes = pool_->copy_bytes.load(std::memory_order_relaxed);
+  return s;
+}
+
+BufferArena& BufferArena::global() {
+  static BufferArena arena;
+  return arena;
+}
+
+}  // namespace dc::core

@@ -38,6 +38,18 @@ class Buffer {
     return b;
   }
 
+  /// Adopts externally owned shared storage (an arena slot, a recv block)
+  /// without copying. The storage may already hold bytes; capacity covers
+  /// at least what is present.
+  static Buffer adopt(std::shared_ptr<std::vector<std::byte>> storage,
+                      std::size_t capacity_bytes) {
+    Buffer b;
+    b.capacity_ = capacity_bytes;
+    if (storage && storage->size() > b.capacity_) b.capacity_ = storage->size();
+    b.storage_ = std::move(storage);
+    return b;
+  }
+
   [[nodiscard]] std::size_t capacity() const { return capacity_; }
   [[nodiscard]] std::size_t size() const {
     return storage_ ? storage_->size() : 0;

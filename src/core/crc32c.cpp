@@ -1,0 +1,139 @@
+#include "core/crc32c.hpp"
+
+#include <array>
+#include <cstring>
+
+namespace dc::core {
+
+namespace {
+
+/// Reflected CRC32C polynomial.
+constexpr std::uint32_t kPoly = 0x82F63B78u;
+
+/// Slicing-by-8 lookup tables, generated once at first use. Table 0 is the
+/// classic byte-at-a-time table; table k folds a byte that sits k positions
+/// deeper in the 8-byte word, so the inner loop retires 8 bytes per step
+/// with eight independent loads.
+struct Tables {
+  std::array<std::array<std::uint32_t, 256>, 8> t;
+  Tables() {
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) c = (c & 1u) ? (c >> 1) ^ kPoly : c >> 1;
+      t[0][i] = c;
+    }
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = t[0][i];
+      for (std::size_t k = 1; k < 8; ++k) {
+        c = t[0][c & 0xFFu] ^ (c >> 8);
+        t[k][i] = c;
+      }
+    }
+  }
+};
+
+const Tables& tables() {
+  static const Tables tb;
+  return tb;
+}
+
+#if defined(__x86_64__) || defined(__i386__)
+#define DC_CRC32C_HW 1
+
+/// The target attribute scopes SSE4.2 codegen to this one function, so the
+/// translation unit itself builds with -mno-sse4.2 (the CI object-library
+/// check) and the choice stays a pure runtime dispatch.
+__attribute__((target("sse4.2"))) std::uint32_t hw_impl(
+    const std::byte* p, std::size_t n, std::uint32_t crc) {
+#if defined(__x86_64__)
+  while (n >= 8) {
+    std::uint64_t w;
+    std::memcpy(&w, p, 8);
+    crc = static_cast<std::uint32_t>(
+        __builtin_ia32_crc32di(crc, w));
+    p += 8;
+    n -= 8;
+  }
+#endif
+  while (n >= 4) {
+    std::uint32_t w;
+    std::memcpy(&w, p, 4);
+    crc = __builtin_ia32_crc32si(crc, w);
+    p += 4;
+    n -= 4;
+  }
+  while (n > 0) {
+    crc = __builtin_ia32_crc32qi(crc, static_cast<unsigned char>(*p));
+    ++p;
+    --n;
+  }
+  return crc;
+}
+#endif  // x86
+
+using BackendFn = std::uint32_t (*)(std::span<const std::byte>, std::uint32_t);
+
+BackendFn pick_backend() {
+#if defined(DC_CRC32C_HW)
+  if (__builtin_cpu_supports("sse4.2")) return &crc32c_hw;
+#endif
+  return &crc32c_sw;
+}
+
+BackendFn backend() {
+  static const BackendFn fn = pick_backend();
+  return fn;
+}
+
+}  // namespace
+
+std::uint32_t crc32c_sw(std::span<const std::byte> bytes, std::uint32_t seed) {
+  const Tables& tb = tables();
+  std::uint32_t crc = ~seed;
+  const std::byte* p = bytes.data();
+  std::size_t n = bytes.size();
+  while (n >= 8) {
+    std::uint32_t lo, hi;
+    std::memcpy(&lo, p, 4);
+    std::memcpy(&hi, p + 4, 4);
+    lo ^= crc;
+    crc = tb.t[7][lo & 0xFFu] ^ tb.t[6][(lo >> 8) & 0xFFu] ^
+          tb.t[5][(lo >> 16) & 0xFFu] ^ tb.t[4][lo >> 24] ^
+          tb.t[3][hi & 0xFFu] ^ tb.t[2][(hi >> 8) & 0xFFu] ^
+          tb.t[1][(hi >> 16) & 0xFFu] ^ tb.t[0][hi >> 24];
+    p += 8;
+    n -= 8;
+  }
+  while (n > 0) {
+    crc = tb.t[0][(crc ^ static_cast<std::uint32_t>(*p)) & 0xFFu] ^ (crc >> 8);
+    ++p;
+    --n;
+  }
+  return ~crc;
+}
+
+std::uint32_t crc32c_hw(std::span<const std::byte> bytes, std::uint32_t seed) {
+#if defined(DC_CRC32C_HW)
+  return ~hw_impl(bytes.data(), bytes.size(), ~seed);
+#else
+  return crc32c_sw(bytes, seed);
+#endif
+}
+
+bool crc32c_hw_available() {
+#if defined(DC_CRC32C_HW)
+  return __builtin_cpu_supports("sse4.2") != 0;
+#else
+  return false;
+#endif
+}
+
+std::uint32_t crc32c(std::span<const std::byte> bytes, std::uint32_t seed) {
+  return backend()(bytes, seed);
+}
+
+const char* crc32c_backend() {
+  return backend() == &crc32c_sw ? "software" : "sse4.2";
+}
+
+}  // namespace dc::core

@@ -12,6 +12,7 @@
 #include <thread>
 #include <utility>
 
+#include "core/arena.hpp"
 #include "core/buffer.hpp"
 #include "core/filter.hpp"
 #include "core/writer_state.hpp"
@@ -159,7 +160,9 @@ struct Engine::ContextImpl final : core::FilterContext {
   }
 
   [[nodiscard]] core::Buffer make_buffer(int port) const override {
-    return core::Buffer(buffer_bytes(port));
+    // Arena-backed: stream buffers recycle pooled slots instead of paying
+    // an allocation per buffer (ROADMAP open item 2, zero-copy data plane).
+    return core::BufferArena::global().make(buffer_bytes(port));
   }
 
   [[nodiscard]] int num_input_ports() const override {

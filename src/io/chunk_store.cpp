@@ -83,7 +83,7 @@ void ChunkStoreWriter::put_chunk(data::FileLocation loc, int file_id, int chunk,
   e.timestep = timestep;
   e.offset = f.cursor;
   e.bytes = payload.size();
-  e.checksum = fnv1a(payload);
+  e.checksum = payload_checksum(payload);
   f.out.write(reinterpret_cast<const char*>(payload.data()),
               static_cast<std::streamsize>(payload.size()));
   f.cursor += payload.size();
@@ -103,8 +103,8 @@ void ChunkStoreWriter::finish() {
     h.num_entries = static_cast<std::uint32_t>(f.entries.size());
     h.index_offset = f.cursor;
     h.payload_bytes = f.cursor - sizeof(FileHeader);
-    h.index_checksum =
-        fnv1a(std::as_bytes(std::span<const ChunkIndexEntry>(f.entries)));
+    h.index_checksum = payload_checksum(
+        std::as_bytes(std::span<const ChunkIndexEntry>(f.entries)));
     h.header_checksum = h.compute_checksum();
     f.out.write(reinterpret_cast<const char*>(f.entries.data()),
                 static_cast<std::streamsize>(f.entries.size() *
@@ -201,9 +201,16 @@ void ChunkStore::load_file(const std::filesystem::path& path) {
   if (::pread(fd, &h, sizeof(h), 0) != static_cast<ssize_t>(sizeof(h))) {
     throw std::runtime_error("ChunkStore: short header in " + path.string());
   }
-  if (h.magic != kMagic || h.version != kFormatVersion) {
-    throw std::runtime_error("ChunkStore: bad magic/version in " +
-                             path.string());
+  if (h.magic != kMagic) {
+    throw std::runtime_error("ChunkStore: bad magic in " + path.string());
+  }
+  if (h.version != kFormatVersion) {
+    // Explicit, structured rejection: a v1 file (FNV-1a checksums) must
+    // name the version mismatch, not surface as a checksum mystery.
+    throw std::runtime_error(
+        "ChunkStore: incompatible format version " +
+        std::to_string(h.version) + " (expected " +
+        std::to_string(kFormatVersion) + ") in " + path.string());
   }
   if (h.header_checksum != h.compute_checksum()) {
     throw std::runtime_error("ChunkStore: header checksum mismatch in " +
@@ -219,7 +226,7 @@ void ChunkStore::load_file(const std::filesystem::path& path) {
     throw std::runtime_error("ChunkStore: short index in " + path.string());
   }
   if (h.index_checksum !=
-      fnv1a(std::as_bytes(std::span<const ChunkIndexEntry>(entries)))) {
+      payload_checksum(std::as_bytes(std::span<const ChunkIndexEntry>(entries)))) {
     throw std::runtime_error("ChunkStore: index checksum mismatch in " +
                              path.string());
   }

@@ -5,6 +5,8 @@
 #include <span>
 #include <string>
 
+#include "core/crc32c.hpp"
+
 namespace dc::io {
 
 /// On-disk chunk-store format (".dcc" files).
@@ -22,13 +24,26 @@ namespace dc::io {
 ///
 /// The header is written last (the writer seeks back), so a crash mid-write
 /// leaves a file with a zeroed magic that open() rejects. Every payload and
-/// the header itself carry FNV-1a checksums; the index entries are covered by
-/// the header's index_checksum.
+/// the header itself carry checksums; the index entries are covered by the
+/// header's index_checksum.
+///
+/// Format version 2: every checksum is CRC32C (core/crc32c.hpp — hardware
+/// CRC32 instruction where available), stored zero-extended in the
+/// unchanged 64-bit fields, so the layout is byte-compatible with v1 while
+/// the digests are not. A v1 file is rejected explicitly by version number
+/// ("incompatible format version"), never misdiagnosed as corruption.
 inline constexpr std::uint32_t kMagic = 0x31534344;  // "DCS1" little-endian
-inline constexpr std::uint32_t kFormatVersion = 1;
+inline constexpr std::uint32_t kFormatVersion = 2;
 inline constexpr const char* kFileExtension = ".dcc";
 
-/// FNV-1a over a byte range; the same digest primitive viz::Image uses.
+/// CRC32C of a payload, widened to the format's 64-bit checksum fields.
+[[nodiscard]] inline std::uint64_t payload_checksum(
+    std::span<const std::byte> bytes) {
+  return core::crc32c(bytes);
+}
+
+/// FNV-1a over a byte range — the v1 digest, kept so the migration tests
+/// can fabricate v1-era files; the same digest primitive viz::Image uses.
 [[nodiscard]] inline std::uint64_t fnv1a(std::span<const std::byte> bytes,
                                          std::uint64_t h = 0xcbf29ce484222325ULL) {
   for (std::byte b : bytes) {
@@ -49,13 +64,13 @@ struct FileHeader {
   std::uint32_t num_entries = 0;
   std::uint64_t index_offset = 0;    ///< byte offset of the index region
   std::uint64_t payload_bytes = 0;   ///< total chunk payload bytes
-  std::uint64_t index_checksum = 0;  ///< fnv1a over the index entries
-  std::uint64_t header_checksum = 0; ///< fnv1a over all preceding fields
+  std::uint64_t index_checksum = 0;  ///< CRC32C over the index entries
+  std::uint64_t header_checksum = 0; ///< CRC32C over all preceding fields
   std::uint8_t reserved[8] = {};
 
   [[nodiscard]] std::uint64_t compute_checksum() const {
-    return fnv1a({reinterpret_cast<const std::byte*>(this),
-                  offsetof(FileHeader, header_checksum)});
+    return payload_checksum({reinterpret_cast<const std::byte*>(this),
+                             offsetof(FileHeader, header_checksum)});
   }
 };
 static_assert(sizeof(FileHeader) == 64);
@@ -66,7 +81,7 @@ struct ChunkIndexEntry {
   std::int32_t timestep = 0;
   std::uint64_t offset = 0;  ///< absolute byte offset of the payload
   std::uint64_t bytes = 0;
-  std::uint64_t checksum = 0;  ///< fnv1a over the payload
+  std::uint64_t checksum = 0;  ///< CRC32C over the payload
 };
 static_assert(sizeof(ChunkIndexEntry) == 32);
 

@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "core/arena.hpp"
 #include "io/format.hpp"
 
 namespace dc::io {
@@ -113,7 +114,10 @@ void DiskScheduler::serve(IoRequest& req, double queue_wait) {
                    static_cast<std::int64_t>(req.bytes),
                    static_cast<std::int64_t>(queue_wait * 1e6));
   }
-  auto data = std::make_shared<std::vector<std::byte>>(req.bytes);
+  // The read block is an arena slot: the same storage the cache shares and
+  // a filter may push downstream — the disk→NIC path starts copy-free here.
+  auto data = core::BufferArena::global().lease(req.bytes);
+  data->resize(req.bytes);
   std::string error;
 
   std::size_t got = 0;
@@ -132,7 +136,7 @@ void DiskScheduler::serve(IoRequest& req, double queue_wait) {
     }
     got += static_cast<std::size_t>(n);
   }
-  if (error.empty() && req.verify && fnv1a(*data) != req.checksum) {
+  if (error.empty() && req.verify && payload_checksum(*data) != req.checksum) {
     error = "DiskScheduler: payload checksum mismatch (corrupt chunk)";
   }
   if (opts_.simulated_latency.count() > 0) {

@@ -12,6 +12,7 @@
 #include <thread>
 #include <utility>
 
+#include "core/arena.hpp"
 #include "core/autoplace.hpp"
 #include "core/buffer.hpp"
 #include "core/filter.hpp"
@@ -196,7 +197,9 @@ struct DistributedEngine::ContextImpl final : core::FilterContext {
   }
 
   [[nodiscard]] core::Buffer make_buffer(int port) const override {
-    return core::Buffer(buffer_bytes(port));
+    // Arena-backed: the slot this lease hands out is the SAME storage the
+    // frame will point its payload iovec at — the zero-copy contract.
+    return core::BufferArena::global().make(buffer_bytes(port));
   }
 
   [[nodiscard]] int num_input_ports() const override {
@@ -526,6 +529,24 @@ void DistributedEngine::build_uow() {
     live_copies_[static_cast<std::size_t>(f)] = pl().total_copies(f);
   }
   dead_filters_uow_.clear();
+
+  // Bound each link's outbox at what the credit windows allow outstanding
+  // from this rank — per local producer copy, `window` un-credited buffers
+  // per target set — plus headroom so control frames (which bypass the
+  // bound anyway) never contend. A wedged peer then back-pressures
+  // producers at the outbox instead of growing it without bound.
+  std::size_t data_bound = 0;
+  for (const auto& inst : instances_) {
+    for (const Writer& w : inst->writers) {
+      data_bound += w.stream->targets.size() *
+                    static_cast<std::size_t>(config_.window);
+    }
+  }
+  constexpr std::size_t kControlHeadroom = 64;
+  for (auto& l : links_) {
+    if (l) l->set_outbox_capacity(std::max<std::size_t>(1, data_bound) +
+                                  kControlHeadroom);
+  }
 }
 
 void DistributedEngine::teardown_uow() {
@@ -602,9 +623,10 @@ void DistributedEngine::on_frame(int peer, const Frame& f) {
         // converges at the barrier even when detection was asymmetric
         // (e.g. only one rank's monitor timed a frozen peer out so far).
         std::uint64_t mask = 0;
+        const auto mask_bytes = f.payload.bytes();
         for (int i = 0; i < 8; ++i) {
           mask |= static_cast<std::uint64_t>(
-                      f.payload[static_cast<std::size_t>(i)])
+                      mask_bytes[static_cast<std::size_t>(i)])
                   << (8 * i);
         }
         for (int r = 0; r < num_ranks_ && r < 64; ++r) {
@@ -680,7 +702,18 @@ const char* DistributedEngine::deliver_locked(const Frame& f, int origin) {
       CopySetRt* t = srt.targets[static_cast<std::size_t>(route.target)];
       if (t->host != rank_) return "DATA addressed to a remote copy set";
       Delivery d;
-      d.buf = core::Buffer::wrap({f.payload.begin(), f.payload.end()});
+      if (opts_.copy_payloads) {
+        // Legacy path: the old recv side rebuilt a Buffer from the frame's
+        // payload vector; reproduce (and book) that materialization.
+        auto& arena = core::BufferArena::global();
+        d.buf = arena.make(f.payload.size());
+        d.buf.append(f.payload.bytes());
+        arena.note_payload_copy(f.payload.size());
+      } else {
+        // The frame's payload already sits in arena-leased storage (the
+        // recv path read it there); adopt it as the delivered buffer.
+        d.buf = f.payload;
+      }
       d.route = route;
       d.origin = origin;
       try {
@@ -1479,9 +1512,8 @@ void DistributedEngine::dispatch(Instance& inst, int port, core::Buffer buf) {
       }
       const double stalled = seconds_since(t0);
       inst.m.stall_time += stalled;
-      net_metrics_.credit_stalls.fetch_add(1, std::memory_order_relaxed);
-      net_metrics_.credit_stall_us.fetch_add(
-          static_cast<std::uint64_t>(stalled * 1e6), std::memory_order_relaxed);
+      net_metrics_.record_credit_stall(
+          static_cast<std::uint64_t>(stalled * 1e6));
       if (obs_ != nullptr && net_track_ != nullptr && obs_->enabled()) {
         net_track_->instant(obs_->now(), "credit.stall", w.stream->id,
                             static_cast<std::int64_t>(stalled * 1e6));
@@ -1535,9 +1567,21 @@ void DistributedEngine::dispatch(Instance& inst, int port, core::Buffer buf) {
         cset->channel.push(w.stream->spec->to_port, std::move(d));
     inst.m.stall_time += pushed;
   } else {
-    const auto span = buf.bytes();
-    links_[static_cast<std::size_t>(cset->host)]->send(make_frame(
-        FrameType::kData, route, {span.begin(), span.end()}));
+    core::Buffer payload;
+    if (opts_.copy_payloads) {
+      // Legacy copy path, kept as the differential baseline: materialize
+      // the payload into a fresh arena slot and book the copy.
+      auto& arena = core::BufferArena::global();
+      payload = arena.make(buf.size());
+      payload.append(buf.bytes());
+      arena.note_payload_copy(buf.size());
+    } else {
+      // Zero-copy: the frame shares the producer's buffer storage; the
+      // send pump's scatter-gather write reads it in place.
+      payload = buf;
+    }
+    links_[static_cast<std::size_t>(cset->host)]->send(
+        make_frame(FrameType::kData, route, std::move(payload)));
     if (fault_cell_ != nullptr) {
       fault_cell_->advance(FaultTrigger::kFrames, 1);
       fault_cell_->advance(FaultTrigger::kBytes, nbytes);

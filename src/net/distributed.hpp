@@ -46,6 +46,15 @@ struct DistributedOptions {
   /// where dead copy sets stay dead and every later UOW re-counts their
   /// failover at admission.
   bool replace_dead = false;
+
+  /// Materialize every DATA payload into fresh arena storage on both sides
+  /// of the wire — outbound instead of sharing the producer's buffer, and
+  /// on receipt instead of adopting the frame's storage (the pre-zero-copy
+  /// behavior). Every copy is booked via BufferArena::note_payload_copy,
+  /// which is how the copy-counter test proves the default path stayed
+  /// copy-free. Exists for the differential tests (copy path and zero-copy
+  /// path must be bit-identical) and the copy-vs-zero-copy bench delta.
+  bool copy_payloads = false;
 };
 
 /// Structured outcome of one distributed unit of work. A UOW never hangs

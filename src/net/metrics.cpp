@@ -1,8 +1,36 @@
 #include "net/metrics.hpp"
 
+#include <algorithm>
+#include <bit>
+
 #include "obs/metrics.hpp"
 
 namespace dc::net {
+
+void NetMetrics::record_credit_stall(std::uint64_t us) {
+  credit_stalls.fetch_add(1, std::memory_order_relaxed);
+  credit_stall_us.fetch_add(us, std::memory_order_relaxed);
+  const int bucket =
+      us < 2 ? 0
+             : std::min<int>(kStallBuckets - 1,
+                             std::bit_width(us) - 1);  // floor(log2(us))
+  credit_stall_hist[static_cast<std::size_t>(bucket)].fetch_add(
+      1, std::memory_order_relaxed);
+}
+
+std::uint64_t NetMetricsSnapshot::stall_percentile_us(double p) const {
+  std::uint64_t total = 0;
+  for (const std::uint64_t c : credit_stall_hist) total += c;
+  if (total == 0) return 0;
+  const std::uint64_t rank = static_cast<std::uint64_t>(
+      p * static_cast<double>(total) + 0.5);
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < credit_stall_hist.size(); ++i) {
+    seen += credit_stall_hist[i];
+    if (seen >= rank) return 1ULL << (i + 1);  // bucket upper bound
+  }
+  return 1ULL << credit_stall_hist.size();
+}
 
 NetMetricsSnapshot& NetMetricsSnapshot::operator+=(const NetMetricsSnapshot& o) {
   frames_sent += o.frames_sent;
@@ -21,8 +49,12 @@ NetMetricsSnapshot& NetMetricsSnapshot::operator+=(const NetMetricsSnapshot& o) 
   aborts_recv += o.aborts_recv;
   heartbeats_sent += o.heartbeats_sent;
   heartbeats_recv += o.heartbeats_recv;
+  send_batches += o.send_batches;
   credit_stalls += o.credit_stalls;
   credit_stall_us += o.credit_stall_us;
+  for (std::size_t i = 0; i < credit_stall_hist.size(); ++i) {
+    credit_stall_hist[i] += o.credit_stall_hist[i];
+  }
   protocol_errors += o.protocol_errors;
   return *this;
 }
@@ -48,8 +80,12 @@ NetMetricsSnapshot snapshot(const NetMetrics& m) {
   s.aborts_recv = get(m.aborts_recv);
   s.heartbeats_sent = get(m.heartbeats_sent);
   s.heartbeats_recv = get(m.heartbeats_recv);
+  s.send_batches = get(m.send_batches);
   s.credit_stalls = get(m.credit_stalls);
   s.credit_stall_us = get(m.credit_stall_us);
+  for (std::size_t i = 0; i < s.credit_stall_hist.size(); ++i) {
+    s.credit_stall_hist[i] = get(m.credit_stall_hist[i]);
+  }
   s.protocol_errors = get(m.protocol_errors);
   return s;
 }
@@ -73,9 +109,12 @@ void publish(const NetMetricsSnapshot& m, obs::MetricsRegistry& reg,
   reg.set(key("aborts_recv"), m.aborts_recv);
   reg.set(key("heartbeats_sent"), m.heartbeats_sent);
   reg.set(key("heartbeats_recv"), m.heartbeats_recv);
+  reg.set(key("send_batches"), m.send_batches);
   reg.set(key("credit_stalls"), m.credit_stalls);
   reg.set(key("credit_stall_time"),
           static_cast<double>(m.credit_stall_us) / 1e6);
+  reg.set(key("credit_stall_p99_us"),
+          static_cast<std::int64_t>(m.stall_percentile_us(0.99)));
   reg.set(key("protocol_errors"), m.protocol_errors);
 }
 

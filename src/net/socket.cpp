@@ -1,6 +1,9 @@
 #include "net/socket.hpp"
 
 #include <arpa/inet.h>
+#include <limits.h>
+#include <sys/uio.h>
+
 #include <algorithm>
 #include <cerrno>
 #include <chrono>
@@ -62,6 +65,35 @@ bool Socket::send_all(std::span<const std::byte> data) {
     }
     p += n;
     left -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool Socket::send_vecs(iovec* vecs, std::size_t count) {
+  std::size_t i = 0;
+  while (i < count) {
+    msghdr msg{};
+    msg.msg_iov = vecs + i;
+    msg.msg_iovlen = std::min<std::size_t>(count - i, IOV_MAX);
+    const ssize_t n = ::sendmsg(fd_, &msg, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      last_errno_ = errno;
+      return false;
+    }
+    // Consume n bytes across the iovecs: skip the fully written ones and
+    // advance the base of a partially written one.
+    std::size_t left = static_cast<std::size_t>(n);
+    while (left > 0 && i < count) {
+      if (left >= vecs[i].iov_len) {
+        left -= vecs[i].iov_len;
+        ++i;
+      } else {
+        vecs[i].iov_base = static_cast<std::byte*>(vecs[i].iov_base) + left;
+        vecs[i].iov_len -= left;
+        left = 0;
+      }
+    }
   }
   return true;
 }

@@ -1,5 +1,7 @@
 #pragma once
 
+#include <sys/uio.h>
+
 #include <cstddef>
 #include <cstdint>
 #include <span>
@@ -52,6 +54,12 @@ class Socket {
   /// Writes the whole span (looping over partial sends, EINTR-safe,
   /// SIGPIPE-suppressed). Returns false on any error.
   bool send_all(std::span<const std::byte> data);
+
+  /// Scatter-gather send: writes every iovec in order as one (or, past
+  /// IOV_MAX or a partial write, a few) ::sendmsg calls. Same error and
+  /// signal semantics as send_all. `vecs` is mutated in place while
+  /// resuming partial writes.
+  bool send_vecs(iovec* vecs, std::size_t count);
 
   /// Reads exactly data.size() bytes. kClosed if the peer closed before any
   /// or all bytes arrived.

@@ -1,5 +1,6 @@
 #include "net/transport.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 #include <utility>
 
@@ -34,9 +35,22 @@ void PeerLink::enable_heartbeat(double interval_s) {
       std::chrono::duration<double>(interval_s));
 }
 
+void PeerLink::set_outbox_capacity(std::size_t capacity) {
+  std::lock_guard<std::mutex> lk(mu_);
+  outbox_capacity_ = capacity == 0 ? 1 : capacity;
+}
+
 void PeerLink::send(Frame f) {
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    std::unique_lock<std::mutex> lk(mu_);
+    if (f.type() == FrameType::kData) {
+      // Back-pressure: a wedged peer stalls producers here instead of
+      // growing the outbox without bound. Control frames skip this wait —
+      // they are emitted by recv threads and are what frees the windows.
+      cv_.wait(lk, [this] {
+        return outbox_.size() < outbox_capacity_ || stopping_ || send_failed_;
+      });
+    }
     // Teardown / dead-link races are benign: the frame is moot either way
     // (and a dead link must not accumulate an outbox nobody will drain).
     if (stopping_ || send_failed_) return;
@@ -88,8 +102,10 @@ void PeerLink::send_main() {
 }
 
 void PeerLink::pump_send() {
+  std::vector<Frame> batch;
+  batch.reserve(kMaxCoalescedFrames);
   for (;;) {
-    Frame f;
+    batch.clear();
     bool beacon = false;
     {
       std::unique_lock<std::mutex> lk(mu_);
@@ -111,20 +127,35 @@ void PeerLink::pump_send() {
           continue;
         }
         if (stopping_ && !flush_on_stop_) return;
-        f = std::move(outbox_.front());
-        outbox_.pop_front();
+        // Drain a batch: everything queued (up to the iovec budget) goes
+        // out in one scatter-gather write, so ACK/CREDIT frames ride the
+        // syscall a DATA frame was paying for anyway.
+        while (!outbox_.empty() && batch.size() < kMaxCoalescedFrames) {
+          batch.push_back(std::move(outbox_.front()));
+          outbox_.pop_front();
+        }
       }
     }
     if (beacon) {
       core::BufferRoute route;
       route.producer = me_;
-      f = make_frame(FrameType::kHeartbeat, route);
+      batch.push_back(make_frame(FrameType::kHeartbeat, route));
+    } else {
+      cv_.notify_all();  // outbox space freed: wake back-pressured senders
     }
-    const std::uint64_t bytes = sizeof(FrameHeader) + f.payload.size();
-    obs::ScopedSpan span(obs_, send_track_, "net.send",
-                         static_cast<std::int64_t>(f.header.type),
-                         static_cast<std::int64_t>(bytes));
-    if (!write_frame(socket_, f, send_seq_++)) {
+    std::uint64_t bytes = 0;
+    for (const Frame& f : batch) {
+      bytes += sizeof(FrameHeader) + f.payload.size();
+    }
+    bool ok;
+    {
+      obs::ScopedSpan span(
+          obs_, send_track_, "net.send",
+          static_cast<std::int64_t>(batch.front().header.type),
+          static_cast<std::int64_t>(bytes));
+      ok = write_frames(socket_, {batch.data(), batch.size()}, send_seq_);
+    }
+    if (!ok) {
       // Write failure. Outside teardown this must be REPORTED, not merely
       // noted: the recv thread can be blocked in a read the peer's death
       // never interrupts (whichever side notices first depends on timing),
@@ -139,7 +170,7 @@ void PeerLink::pump_send() {
         outbox_.clear();
         pending_writes_ = 0;
       }
-      cv_.notify_all();  // releases wait_flushed callers
+      cv_.notify_all();  // releases wait_flushed / back-pressured callers
       if (!teardown) {
         report_error(WireError::kSocketError, "send failed");
         // Unblock the recv thread's read; its own report is suppressed by
@@ -148,37 +179,44 @@ void PeerLink::pump_send() {
       }
       return;
     }
+    send_seq_ += batch.size();
     if (!beacon) {
       {
         std::lock_guard<std::mutex> lk(mu_);
-        if (pending_writes_ > 0) --pending_writes_;
+        pending_writes_ -= static_cast<int>(
+            std::min<std::size_t>(batch.size(),
+                                  static_cast<std::size_t>(pending_writes_)));
       }
       cv_.notify_all();  // wait_flushed progress
     }
     if (metrics_ != nullptr) {
-      metrics_->frames_sent.fetch_add(1, std::memory_order_relaxed);
+      metrics_->send_batches.fetch_add(1, std::memory_order_relaxed);
+      metrics_->frames_sent.fetch_add(batch.size(),
+                                      std::memory_order_relaxed);
       metrics_->bytes_sent.fetch_add(bytes, std::memory_order_relaxed);
-      switch (f.type()) {
-        case FrameType::kData:
-          metrics_->data_sent.fetch_add(1, std::memory_order_relaxed);
-          break;
-        case FrameType::kCredit:
-          metrics_->credits_sent.fetch_add(1, std::memory_order_relaxed);
-          break;
-        case FrameType::kAck:
-          metrics_->acks_sent.fetch_add(1, std::memory_order_relaxed);
-          break;
-        case FrameType::kEow:
-          metrics_->eows_sent.fetch_add(1, std::memory_order_relaxed);
-          break;
-        case FrameType::kAbort:
-          metrics_->aborts_sent.fetch_add(1, std::memory_order_relaxed);
-          break;
-        case FrameType::kHeartbeat:
-          metrics_->heartbeats_sent.fetch_add(1, std::memory_order_relaxed);
-          break;
-        default:
-          break;
+      for (const Frame& f : batch) {
+        switch (f.type()) {
+          case FrameType::kData:
+            metrics_->data_sent.fetch_add(1, std::memory_order_relaxed);
+            break;
+          case FrameType::kCredit:
+            metrics_->credits_sent.fetch_add(1, std::memory_order_relaxed);
+            break;
+          case FrameType::kAck:
+            metrics_->acks_sent.fetch_add(1, std::memory_order_relaxed);
+            break;
+          case FrameType::kEow:
+            metrics_->eows_sent.fetch_add(1, std::memory_order_relaxed);
+            break;
+          case FrameType::kAbort:
+            metrics_->aborts_sent.fetch_add(1, std::memory_order_relaxed);
+            break;
+          case FrameType::kHeartbeat:
+            metrics_->heartbeats_sent.fetch_add(1, std::memory_order_relaxed);
+            break;
+          default:
+            break;
+        }
       }
     }
   }

@@ -22,10 +22,18 @@ namespace dc::net {
 /// One TCP connection to a peer rank, pumped by a dedicated send thread and
 /// a dedicated recv thread.
 ///
-/// The send side is an unbounded outbox: send() enqueues and returns —
-/// worker and consumer threads never block on the wire (backpressure on
-/// DATA comes from the credit windows, which bound what can be outstanding;
-/// control frames must never be delayed by a slow peer). The recv side
+/// The send side is a bounded outbox drained in coalesced batches: the
+/// pump seals up to a batch of queued frames with consecutive sequence
+/// numbers and hands them to the kernel in ONE scatter-gather sendmsg
+/// (header iovec + payload iovec per frame), so small control frames
+/// (ACK/CREDIT) piggyback on the syscall a DATA frame was paying for
+/// anyway, and payload bytes are never staged through an intermediate
+/// buffer. send() of a DATA frame blocks while the outbox is at capacity
+/// (set_outbox_capacity: the engine bounds it at producers × window plus
+/// control-frame headroom), so a wedged peer back-pressures producers
+/// instead of growing memory without bound. Control frames always enqueue
+/// without blocking — they are what un-wedges the credit loop, and the
+/// recv threads that emit them must never block on the wire. The recv side
 /// parses and validates frames and hands them to the engine's handler on
 /// the recv thread; the handler must not block on the network (it may push
 /// into consumer channels, which the engine sizes so those pushes never
@@ -60,7 +68,15 @@ class PeerLink {
   /// frame counts — so beacons flow only on links with nothing else to say.
   void enable_heartbeat(double interval_s);
 
-  /// Enqueues one frame for transmission (thread-safe, non-blocking).
+  /// Bounds the outbox (call before start()). DATA sends block while the
+  /// queue holds `capacity` frames; control frames are exempt. The engine
+  /// sets capacity = producers × window + control headroom, making queued
+  /// memory proportional to the credit windows, not to producer speed.
+  /// Default: unbounded (raw-transport tests and the HELLO path).
+  void set_outbox_capacity(std::size_t capacity);
+
+  /// Enqueues one frame for transmission (thread-safe). Non-blocking for
+  /// control frames; a DATA frame waits for outbox space (back-pressure).
   void send(Frame f);
 
   /// Blocks until every frame enqueued before this call has been handed to
@@ -83,6 +99,10 @@ class PeerLink {
   /// before shutting the socket down under it.
   static constexpr std::chrono::seconds kStopFlushDeadline{5};
 
+  /// Most frames one scatter-gather sendmsg carries (2 iovecs per frame;
+  /// comfortably under IOV_MAX while keeping per-call latency flat).
+  static constexpr std::size_t kMaxCoalescedFrames = 16;
+
  private:
   void send_main();
   void pump_send();
@@ -104,6 +124,7 @@ class PeerLink {
   std::mutex mu_;
   std::condition_variable cv_;
   std::deque<Frame> outbox_;
+  std::size_t outbox_capacity_ = SIZE_MAX;  ///< DATA back-pressure bound
   bool stopping_ = false;
   bool flush_on_stop_ = true;
   bool send_failed_ = false;  ///< write error: the outbox is dead, drop sends

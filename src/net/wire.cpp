@@ -1,6 +1,10 @@
 #include "net/wire.hpp"
 
+#include <sys/uio.h>
+
 #include <cstring>
+
+#include "core/arena.hpp"
 
 namespace dc::net {
 
@@ -24,6 +28,7 @@ const char* to_string(WireError e) {
     case WireError::kClosed: return "connection closed";
     case WireError::kTruncated: return "truncated frame";
     case WireError::kBadMagic: return "bad magic";
+    case WireError::kIncompatibleVersion: return "incompatible wire version";
     case WireError::kBadType: return "bad frame type";
     case WireError::kBadHeaderChecksum: return "header checksum mismatch";
     case WireError::kOversizedPayload: return "oversized payload length";
@@ -35,7 +40,7 @@ const char* to_string(WireError e) {
 }
 
 Frame make_frame(FrameType type, core::BufferRoute route,
-                 std::vector<std::byte> payload) {
+                 core::Buffer payload) {
   Frame f;
   f.header.type = static_cast<std::uint8_t>(type);
   f.header.route = route;
@@ -44,17 +49,49 @@ Frame make_frame(FrameType type, core::BufferRoute route,
   return f;
 }
 
-bool write_frame(Socket& s, Frame& f, std::uint64_t seq) {
+Frame make_frame(FrameType type, core::BufferRoute route,
+                 std::vector<std::byte> payload) {
+  return make_frame(type, route, core::Buffer::wrap(std::move(payload)));
+}
+
+void seal_frame(Frame& f, std::uint64_t seq) {
   f.header.magic = kFrameMagic;
   f.header.seq = seq;
   f.header.payload_bytes = static_cast<std::uint32_t>(f.payload.size());
-  f.header.payload_checksum = fnv1a(f.payload);
-  f.header.header_checksum = f.header.compute_checksum();
-  if (!s.send_all({reinterpret_cast<const std::byte*>(&f.header),
-                   sizeof(FrameHeader)})) {
-    return false;
+  f.header.payload_crc = core::crc32c(f.payload.bytes());
+  f.header.header_crc = f.header.compute_checksum();
+}
+
+bool write_frame(Socket& s, Frame& f, std::uint64_t seq) {
+  seal_frame(f, seq);
+  iovec vecs[2];
+  vecs[0].iov_base = &f.header;
+  vecs[0].iov_len = sizeof(FrameHeader);
+  std::size_t n = 1;
+  const auto payload = f.payload.bytes();
+  if (!payload.empty()) {
+    vecs[1].iov_base = const_cast<std::byte*>(payload.data());
+    vecs[1].iov_len = payload.size();
+    n = 2;
   }
-  return f.payload.empty() || s.send_all(f.payload);
+  return s.send_vecs(vecs, n);
+}
+
+bool write_frames(Socket& s, std::span<Frame> frames, std::uint64_t first_seq) {
+  if (frames.empty()) return true;
+  // Seal first: every header must be final before any byte is queued, and
+  // the iovec array points straight at the headers (no staging copy).
+  std::vector<iovec> vecs;
+  vecs.reserve(frames.size() * 2);
+  for (std::size_t i = 0; i < frames.size(); ++i) {
+    seal_frame(frames[i], first_seq + i);
+    vecs.push_back({&frames[i].header, sizeof(FrameHeader)});
+    const auto payload = frames[i].payload.bytes();
+    if (!payload.empty()) {
+      vecs.push_back({const_cast<std::byte*>(payload.data()), payload.size()});
+    }
+  }
+  return s.send_vecs(vecs.data(), vecs.size());
 }
 
 WireError read_frame(Socket& s, Frame& out, std::uint64_t expected_seq) {
@@ -66,8 +103,12 @@ WireError read_frame(Socket& s, Frame& out, std::uint64_t expected_seq) {
   }
   if (hs == RecvStatus::kError) return WireError::kSocketError;
 
-  if (out.header.magic != kFrameMagic) return WireError::kBadMagic;
-  if (out.header.header_checksum != out.header.compute_checksum()) {
+  if (out.header.magic != kFrameMagic) {
+    // A v1 peer is a configuration error, not line noise: name it.
+    return out.header.magic == kFrameMagicV1 ? WireError::kIncompatibleVersion
+                                             : WireError::kBadMagic;
+  }
+  if (out.header.header_crc != out.header.compute_checksum()) {
     return WireError::kBadHeaderChecksum;
   }
   const auto t = static_cast<FrameType>(out.header.type);
@@ -82,13 +123,22 @@ WireError read_frame(Socket& s, Frame& out, std::uint64_t expected_seq) {
   }
   if (out.header.seq != expected_seq) return WireError::kBadSeq;
 
-  out.payload.resize(out.header.payload_bytes);
-  if (!out.payload.empty()) {
-    const RecvStatus ps = s.recv_exact(out.payload, got);
+  if (out.header.payload_bytes == 0) {
+    out.payload = core::Buffer();
+  } else {
+    // Straight into an arena slot: the engine adopts this storage as the
+    // delivered stream buffer, so the recv side is copy-free too.
+    auto storage =
+        core::BufferArena::global().lease(out.header.payload_bytes);
+    storage->resize(out.header.payload_bytes);
+    const RecvStatus ps =
+        s.recv_exact({storage->data(), storage->size()}, got);
     if (ps == RecvStatus::kClosed) return WireError::kTruncated;
     if (ps == RecvStatus::kError) return WireError::kSocketError;
+    out.payload =
+        core::Buffer::adopt(std::move(storage), out.header.payload_bytes);
   }
-  if (fnv1a(out.payload) != out.header.payload_checksum) {
+  if (core::crc32c(out.payload.bytes()) != out.header.payload_crc) {
     return WireError::kBadPayloadChecksum;
   }
   return WireError::kOk;

@@ -6,6 +6,8 @@
 #include <type_traits>
 #include <vector>
 
+#include "core/buffer.hpp"
+#include "core/crc32c.hpp"
 #include "core/wire.hpp"
 #include "net/socket.hpp"
 
@@ -14,7 +16,14 @@ namespace dc::net {
 /// Wire protocol of the distributed filter transport ("dcn"): every message
 /// is one length-prefixed, checksummed frame over a TCP stream.
 ///
-///   [FrameHeader (56 B)] [payload_bytes of payload]
+///   [FrameHeader (48 B)] [payload_bytes of payload]
+///
+/// Version 2 ("DCN2"). Changes from v1: both checksums are hardware-speed
+/// CRC32C (core/crc32c.hpp) instead of FNV-1a, shrinking the header from
+/// 56 to 48 bytes, and the payload is a refcounted core::Buffer so frames
+/// share producer storage instead of copying it (the zero-copy data plane).
+/// A v1 peer is rejected explicitly: its magic ("DCN1") maps to
+/// WireError::kIncompatibleVersion, never to a checksum mystery.
 ///
 /// Frame types mirror the in-process engine's control flow:
 ///
@@ -34,12 +43,13 @@ namespace dc::net {
 ///           a heartbeat (liveness piggybacks on the CREDIT / DONE plane);
 ///           explicit beacons flow only when a link has nothing else to say.
 ///
-/// Integrity: the header carries an FNV-1a checksum over its own preceding
-/// bytes and one over the payload; receivers verify both, enforce a hard
+/// Integrity: the header carries a CRC32C over its own preceding bytes and
+/// one over the payload; receivers verify both, enforce a hard
 /// payload-size cap, and require per-connection sequence numbers to be
 /// consecutive. Any violation is a WireError — the connection is closed and
 /// the run terminates with a structured outcome, never a crash or a hang.
-inline constexpr std::uint32_t kFrameMagic = 0x314E4344;  // "DCN1" LE
+inline constexpr std::uint32_t kFrameMagic = 0x324E4344;    // "DCN2" LE
+inline constexpr std::uint32_t kFrameMagicV1 = 0x314E4344;  // "DCN1" LE
 inline constexpr std::uint32_t kMaxPayloadBytes = 64u * 1024u * 1024u;
 
 enum class FrameType : std::uint8_t {
@@ -55,8 +65,9 @@ enum class FrameType : std::uint8_t {
 
 [[nodiscard]] const char* to_string(FrameType t);
 
-/// FNV-1a over a byte range (same digest primitive as io::format and
-/// viz::Image — kept dependency-free here).
+/// FNV-1a over a byte range — the v1 digest, kept for the format-migration
+/// tests and any caller wanting a cheap dependency-free 64-bit hash. The
+/// frame path itself now runs on core::crc32c.
 [[nodiscard]] inline std::uint64_t fnv1a(std::span<const std::byte> bytes,
                                          std::uint64_t h = 0xcbf29ce484222325ULL) {
   for (std::byte b : bytes) {
@@ -71,24 +82,28 @@ struct FrameHeader {
   std::uint32_t magic = kFrameMagic;
   std::uint8_t type = 0;
   std::uint8_t reserved[3] = {};
-  core::BufferRoute route;             ///< buffer identity (kData/kCredit/...)
+  core::BufferRoute route;          ///< buffer identity (kData/kCredit/...)
   std::uint32_t payload_bytes = 0;
+  std::uint32_t payload_crc = 0;    ///< CRC32C over the payload
+  std::uint64_t seq = 0;            ///< per-connection, consecutive from 0
   std::uint32_t reserved2 = 0;
-  std::uint64_t seq = 0;               ///< per-connection, consecutive from 0
-  std::uint64_t payload_checksum = 0;  ///< fnv1a over the payload
-  std::uint64_t header_checksum = 0;   ///< fnv1a over all preceding fields
+  std::uint32_t header_crc = 0;     ///< CRC32C over all preceding fields
 
-  [[nodiscard]] std::uint64_t compute_checksum() const {
-    return fnv1a({reinterpret_cast<const std::byte*>(this),
-                  offsetof(FrameHeader, header_checksum)});
+  [[nodiscard]] std::uint32_t compute_checksum() const {
+    return core::crc32c({reinterpret_cast<const std::byte*>(this),
+                         offsetof(FrameHeader, header_crc)});
   }
 };
 static_assert(std::is_trivially_copyable_v<FrameHeader>);
-static_assert(sizeof(FrameHeader) == 56, "wire layout must not drift");
+static_assert(sizeof(FrameHeader) == 48, "wire layout must not drift");
 
+/// One frame. The payload is a refcounted core::Buffer: a DATA frame built
+/// from a producer's stream buffer shares that buffer's storage (copying a
+/// Frame bumps a refcount, it does not copy bytes), and a received frame's
+/// payload lands directly in arena-leased storage the engine then adopts.
 struct Frame {
   FrameHeader header;
-  std::vector<std::byte> payload;
+  core::Buffer payload;
 
   [[nodiscard]] FrameType type() const {
     return static_cast<FrameType>(header.type);
@@ -101,6 +116,7 @@ enum class WireError {
   kClosed,           ///< orderly close on a frame boundary
   kTruncated,        ///< EOF mid-header or mid-payload
   kBadMagic,
+  kIncompatibleVersion,  ///< recognizably a dcn frame, but wire version != 2
   kBadType,
   kBadHeaderChecksum,
   kOversizedPayload,  ///< payload_bytes > kMaxPayloadBytes
@@ -111,16 +127,33 @@ enum class WireError {
 
 [[nodiscard]] const char* to_string(WireError e);
 
-/// Builds an unsealed frame (seq/checksums filled in by write_frame).
+/// Builds an unsealed frame (seq/checksums filled in by seal_frame) that
+/// shares `payload`'s storage — the zero-copy path for DATA.
 [[nodiscard]] Frame make_frame(FrameType type, core::BufferRoute route = {},
-                               std::vector<std::byte> payload = {});
+                               core::Buffer payload = {});
 
-/// Assigns `seq`, computes both checksums, and writes header + payload.
+/// Convenience for small control payloads built as plain vectors.
+[[nodiscard]] Frame make_frame(FrameType type, core::BufferRoute route,
+                               std::vector<std::byte> payload);
+
+/// Assigns `seq` and computes both CRCs; after this the header bytes are
+/// final and may be queued for a scatter-gather write.
+void seal_frame(Frame& f, std::uint64_t seq);
+
+/// Seals and writes header + payload as one scatter-gather send.
 /// Returns false on socket error.
 bool write_frame(Socket& s, Frame& f, std::uint64_t seq);
 
+/// Seals `frames` with consecutive sequence numbers starting at
+/// `first_seq` and writes them all with a single vectored send — the
+/// small-frame coalescing path (ACK/CREDIT piggyback on the same syscall
+/// as DATA). Returns false on socket error.
+bool write_frames(Socket& s, std::span<Frame> frames, std::uint64_t first_seq);
+
 /// Reads and validates one frame. `expected_seq` enforces the consecutive
-/// sequence contract. On any non-kOk result `out` is unspecified.
+/// sequence contract. The payload is read straight into storage leased
+/// from core::BufferArena::global(). On any non-kOk result `out` is
+/// unspecified.
 [[nodiscard]] WireError read_frame(Socket& s, Frame& out,
                                    std::uint64_t expected_seq);
 

@@ -8,6 +8,7 @@
 #include <unistd.h>
 #include <utility>
 
+#include "core/arena.hpp"
 #include "net/transport.hpp"
 #include "obs/chrome.hpp"
 #include "obs/recorder.hpp"
@@ -238,6 +239,7 @@ int rank_main(net::RankEnv& env, const IsoAppSpec& spec,
   IsoApp app = build_iso_app(spec);
   net::DistributedOptions dopts;
   dopts.barrier_timeout_s = opts.barrier_timeout_s;
+  dopts.copy_payloads = opts.copy_payloads;
 
   RankResult result;
   result.rank = env.rank;
@@ -283,6 +285,13 @@ int rank_main(net::RankEnv& env, const IsoAppSpec& spec,
     if (st == static_cast<int>(net::RunStatus::kTransportError)) {
       rc = std::max(rc, 3);
     }
+  }
+  // Zero-copy enforcement: on the default path no DATA payload may have
+  // been materialized between production and the socket write. Every
+  // differential run doubles as the copy-counter regression test.
+  if (!opts.copy_payloads &&
+      core::BufferArena::global().stats().payload_copies > 0) {
+    rc = std::max(rc, 6);
   }
   return rc;
 }

@@ -27,6 +27,13 @@ struct DistributedRunOptions {
   /// Non-empty: rank result files go here (kept afterwards); otherwise a
   /// temp dir is used and removed.
   std::string result_dir;
+  /// Run the legacy copy path (every outbound DATA payload materialized —
+  /// net::DistributedOptions::copy_payloads). The differential tests run
+  /// both paths and require bit-identical results; the bench records the
+  /// throughput delta. When false (the default, zero-copy), each rank
+  /// additionally asserts at exit that the arena's payload-copy counter
+  /// stayed zero — exit code 6 if a copy crept back onto the hot path.
+  bool copy_payloads = false;
 };
 
 /// Outcome of a multi-process distributed render: every rank's process

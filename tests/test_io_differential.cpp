@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "core/arena.hpp"
 #include "core/runtime.hpp"
 #include "exec/engine.hpp"
 #include "io/chunk_store.hpp"
@@ -136,6 +137,31 @@ TEST_F(IoDifferential, UniformActivePixelDemandDriven) {
   auto s = spec(viz::PipelineConfig::kRE_Ra_M, viz::HsrAlgorithm::kActivePixel,
                 viz::one_each({0, 1, 2, 3}), viz::one_each({0, 1, 2, 3}), 3);
   expect_ooc_identical(s, cfg);
+}
+
+// ---- arena-backed reads: parity AND slot conservation ---------------------
+
+TEST_F(IoDifferential, ArenaBackedReadsAreIdenticalAndConserved) {
+  // The disk scheduler now serves every read into a slot leased from the
+  // global BufferArena (the disk end of the zero-copy path). Same parity
+  // bar as every other differential — and once the reader (whose block
+  // cache pins slots) is gone, every slot leased for reads is back home.
+  auto& arena = core::BufferArena::global();
+  const core::ArenaStats before = arena.stats();
+
+  place_uniform({0, 1});
+  materialize("arena_reads", 1);
+  core::RuntimeConfig cfg;
+  cfg.policy = core::Policy::kDemandDriven;
+  auto s = spec(viz::PipelineConfig::kRE_Ra_M, viz::HsrAlgorithm::kActivePixel,
+                viz::one_each({0, 1}), {{2, 2}, {3, 2}}, 3);
+  expect_ooc_identical(s, cfg);
+
+  EXPECT_GT(arena.stats().slots_leased, before.slots_leased)
+      << "out-of-core reads bypassed the arena";
+  reader.reset();  // drops the block cache and its pinned slots
+  store.reset();
+  EXPECT_EQ(arena.stats().outstanding(), before.outstanding());
 }
 
 // ---- skewed placement, Z-buffer, weighted round robin ---------------------

@@ -181,6 +181,39 @@ fs::path corrupt_single_file_store(const std::string& name,
   return root;
 }
 
+TEST(ChunkStoreFormat, V1FileRejectedByVersionNotChecksum) {
+  // Fabricate a v1-era file: same byte layout, version = 1, checksums as a
+  // v1 writer would have left them (FNV-1a — but any digest works, because
+  // the version gate fires BEFORE checksum verification). The rejection
+  // must name the version, never surface as a corruption mystery.
+  StoreFixture f(/*files=*/1);
+  f.place({{0, 0}});
+  const fs::path root = make_temp_dir("v1_reject");
+  materialize_plume_dataset(root, *f.store, f.field, 0, 1);
+  const fs::path file = root / file_relpath(0, 0, 0);
+  FileHeader h;
+  {
+    std::ifstream in(file, std::ios::binary);
+    in.read(reinterpret_cast<char*>(&h), sizeof(h));
+  }
+  h.version = 1;
+  h.header_checksum = fnv1a({reinterpret_cast<const std::byte*>(&h),
+                             offsetof(FileHeader, header_checksum)});
+  {
+    std::fstream out(file, std::ios::binary | std::ios::in | std::ios::out);
+    out.write(reinterpret_cast<const char*>(&h), sizeof(h));
+  }
+  try {
+    ChunkStore store(root);
+    FAIL() << "v1 file opened";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("incompatible format version 1"),
+              std::string::npos)
+        << e.what();
+  }
+  fs::remove_all(root);
+}
+
 TEST(ChunkStoreFormat, CorruptHeaderDetectedOnOpen) {
   const fs::path root = corrupt_single_file_store("corrupt_header",
                                                   offsetof(FileHeader, host));

@@ -6,6 +6,7 @@
 #include <thread>
 #include <vector>
 
+#include "core/arena.hpp"
 #include "core/filter.hpp"
 #include "core/graph.hpp"
 #include "core/placement.hpp"
@@ -484,6 +485,116 @@ TEST_F(NetDifferential, SingleProcessDegenerateMatchesNative) {
   core::RuntimeConfig cfg;
   cfg.policy = core::Policy::kDemandDriven;
   expect_identical(s, cfg, /*num_ranks=*/1);
+}
+
+// ---------------------------------------------------------------------------
+// Zero-copy equivalence: the arena-backed zero-copy DATA path (the default)
+// and the legacy deep-copy path must be BIT-IDENTICAL — images, digests,
+// and stream ledgers — across 1, 2, and 4 ranks. The zero-copy runs also
+// enforce the copy counter: any rank that materialized a payload on the hot
+// path exits 6 and fails the run. This is the end-to-end proof that the
+// refactor changed how bytes move, not what arrives.
+// ---------------------------------------------------------------------------
+
+TEST_F(NetDifferential, ZeroCopyAndCopyPathsAreBitIdentical) {
+  for (int ranks : {1, 2, 4}) {
+    // Hosts must exist as ranks: scale the placement with the rank count.
+    auto s = ranks == 1
+                 ? spec(viz::PipelineConfig::kRE_Ra_M,
+                        viz::HsrAlgorithm::kActivePixel, viz::one_each({0}),
+                        viz::one_each({0}), 0)
+             : ranks == 2
+                 ? spec(viz::PipelineConfig::kRE_Ra_M,
+                        viz::HsrAlgorithm::kActivePixel, viz::one_each({0}),
+                        {{1, 2}}, 1)
+                 : spec(viz::PipelineConfig::kRE_Ra_M,
+                        viz::HsrAlgorithm::kActivePixel, viz::one_each({0, 1}),
+                        {{2, 2}, {3, 1}}, 3);
+    for (std::uint64_t seed : {3ULL, 1717ULL}) {
+      core::RuntimeConfig cfg;
+      cfg.policy = core::Policy::kDemandDriven;
+      cfg.rng_seed = seed;
+      SCOPED_TRACE("ranks " + std::to_string(ranks) + " seed " +
+                   std::to_string(seed));
+
+      const viz::NativeRenderRun nat = viz::run_iso_app_native(s, cfg, 1);
+
+      viz::DistributedRunOptions zc;
+      zc.timeout_s = kGroupTimeout;
+      zc.copy_payloads = false;  // default, spelled out: arena zero-copy
+      const viz::DistributedRenderRun zrun =
+          viz::run_iso_app_distributed(s, cfg, 1, ranks, zc);
+      ASSERT_TRUE(zrun.ok) << zrun.error;
+
+      viz::DistributedRunOptions cp;
+      cp.timeout_s = kGroupTimeout;
+      cp.copy_payloads = true;  // legacy deep-copy baseline
+      const viz::DistributedRenderRun crun =
+          viz::run_iso_app_distributed(s, cfg, 1, ranks, cp);
+      ASSERT_TRUE(crun.ok) << crun.error;
+
+      // Both paths match the native engine — and therefore each other.
+      EXPECT_EQ(zrun.digests, nat.sink->digests);
+      EXPECT_EQ(crun.digests, nat.sink->digests);
+      ASSERT_EQ(zrun.images.size(), crun.images.size());
+      for (std::size_t u = 0; u < zrun.images.size(); ++u) {
+        EXPECT_EQ(zrun.images[u], crun.images[u]) << "uow " << u;
+      }
+      // Ledgers too: zero-copy must not change what flowed, only how.
+      ASSERT_EQ(zrun.metrics.streams.size(), crun.metrics.streams.size());
+      for (std::size_t i = 0; i < zrun.metrics.streams.size(); ++i) {
+        EXPECT_EQ(zrun.metrics.streams[i].buffers,
+                  crun.metrics.streams[i].buffers)
+            << zrun.metrics.streams[i].name;
+        EXPECT_EQ(zrun.metrics.streams[i].payload_bytes,
+                  crun.metrics.streams[i].payload_bytes)
+            << zrun.metrics.streams[i].name;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Fault injection vs the arena: a rank SIGKILLed mid-lease owns a private
+// copy-on-write pool after fork, so its death — freelist mutex held, slots
+// outstanding, whatever — cannot poison the parent's arena or its
+// conservation counters.
+// ---------------------------------------------------------------------------
+
+TEST(NetDifferentialArena, KilledRankDoesNotPoisonParentArena) {
+  auto& arena = core::BufferArena::global();
+  // Touch the pool in the parent so the child inherits a warm freelist.
+  { auto warm = arena.lease(4096); }
+  const core::ArenaStats before = arena.stats();
+
+  net::FaultHarness h(net::LaunchOptions{/*timeout_s=*/30.0});
+  h.kill_rank(1, net::FaultTrigger::kBuffers, 1);
+  const auto statuses = h.run(2, [](net::RankEnv& env) {
+    // Every rank leases hard from ITS copy of the global arena...
+    auto& a = core::BufferArena::global();
+    std::vector<std::shared_ptr<std::vector<std::byte>>> held;
+    for (int i = 0; i < 16; ++i) held.push_back(a.lease(8192));
+    if (env.rank == 1 && env.fault != nullptr) {
+      // ...and rank 1 is SIGKILLed right here, slots outstanding.
+      env.fault->advance(net::FaultTrigger::kBuffers, 1);
+      return 13;  // unreachable
+    }
+    return 0;
+  });
+
+  ASSERT_EQ(statuses.size(), 2u);
+  EXPECT_EQ(statuses[0].exit_code, 0);
+  EXPECT_EQ(statuses[1].faults_injected, 1);
+  EXPECT_NE(statuses[1].term_signal, 0);  // died of the injected SIGKILL
+
+  // The parent's counters never moved: child leases happened in a private
+  // COW pool, and the kill could not reach back into this process.
+  const core::ArenaStats after = arena.stats();
+  EXPECT_EQ(after.slots_leased, before.slots_leased);
+  EXPECT_EQ(after.slots_returned, before.slots_returned);
+  // And the parent pool still works — lease, return, conserve.
+  { auto again = arena.lease(4096); }
+  EXPECT_EQ(arena.stats().outstanding(), before.outstanding());
 }
 
 }  // namespace

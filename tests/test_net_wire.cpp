@@ -13,6 +13,7 @@
 #include <thread>
 #include <vector>
 
+#include "core/crc32c.hpp"
 #include "core/wire.hpp"
 #include "exec/watchdog.hpp"
 #include "net/socket.hpp"
@@ -64,8 +65,13 @@ std::vector<std::byte> payload_of(std::size_t n, unsigned seed) {
 // Round trips
 // ---------------------------------------------------------------------------
 
+std::vector<std::byte> to_vec(const core::Buffer& b) {
+  const auto s = b.bytes();
+  return {s.begin(), s.end()};
+}
+
 TEST(NetWire, HeaderLayoutIsStable) {
-  EXPECT_EQ(sizeof(FrameHeader), 56u);
+  EXPECT_EQ(sizeof(FrameHeader), 48u);
   EXPECT_EQ(sizeof(core::BufferRoute), 16u);
 }
 
@@ -80,7 +86,37 @@ TEST(NetWire, FrameRoundTripsWithPayload) {
   ASSERT_EQ(read_frame(p.b, g, /*expected_seq=*/0), WireError::kOk);
   EXPECT_EQ(g.type(), FrameType::kData);
   EXPECT_EQ(g.header.route, route(2, 5, 1, 7));
-  EXPECT_EQ(g.payload, data);
+  EXPECT_EQ(to_vec(g.payload), data);
+}
+
+TEST(NetWire, ZeroCopyFrameSharesProducerStorage) {
+  // A DATA frame built from a producer buffer must alias its storage: the
+  // whole point of the Buffer payload is that enqueue/copy is a refcount.
+  core::Buffer buf(1024);
+  const auto data = payload_of(1024, 11);
+  ASSERT_TRUE(buf.append(data));
+  Frame f = make_frame(FrameType::kData, route(0, 0, 0, 0), buf);
+  EXPECT_EQ(f.payload.bytes().data(), buf.bytes().data());
+  Frame copy = f;  // frame copies (retention ledger, broadcasts) share too
+  EXPECT_EQ(copy.payload.bytes().data(), buf.bytes().data());
+}
+
+TEST(NetWire, CoalescedBatchRoundTrips) {
+  exec::Watchdog dog(std::chrono::seconds(60), "CoalescedBatchRoundTrips");
+  Pair p = make_pair_();
+  // One scatter-gather write carrying mixed control + data frames; the
+  // receiver must see them as perfectly ordinary consecutive frames.
+  std::vector<Frame> batch;
+  batch.push_back(make_frame(FrameType::kCredit, route(1, 0, 0, 3)));
+  batch.push_back(
+      make_frame(FrameType::kData, route(1, 2, 0, 3), payload_of(777, 5)));
+  batch.push_back(make_frame(FrameType::kAck, route(1, 0, 0, 3)));
+  ASSERT_TRUE(write_frames(p.a, batch, /*first_seq=*/0));
+  for (std::uint64_t s = 0; s < 3; ++s) {
+    Frame g;
+    ASSERT_EQ(read_frame(p.b, g, s), WireError::kOk) << "frame " << s;
+    EXPECT_EQ(g.header.seq, s);
+  }
 }
 
 TEST(NetWire, ManyFramesKeepSequenceAndIntegrity) {
@@ -120,26 +156,25 @@ TEST(NetWire, CleanCloseOnFrameBoundaryIsKClosed) {
 // Corruption: each case must produce the specific structured error.
 // ---------------------------------------------------------------------------
 
-/// Seals a frame exactly like write_frame, returning the raw bytes so tests
-/// can corrupt them before sending.
+/// Seals a frame exactly like write_frame (v2: CRC32C digests), returning
+/// the raw bytes so tests can corrupt them before sending.
 std::vector<std::byte> seal(FrameType type, core::BufferRoute r,
                             std::vector<std::byte> payload,
                             std::uint64_t seq) {
   Frame f = make_frame(type, r, std::move(payload));
-  f.header.seq = seq;
-  f.header.payload_bytes = static_cast<std::uint32_t>(f.payload.size());
-  f.header.payload_checksum = fnv1a(f.payload);
-  f.header.header_checksum = f.header.compute_checksum();
-  std::vector<std::byte> bytes(sizeof(FrameHeader) + f.payload.size());
+  seal_frame(f, seq);
+  const auto body = f.payload.bytes();
+  std::vector<std::byte> bytes(sizeof(FrameHeader) + body.size());
   std::memcpy(bytes.data(), &f.header, sizeof(FrameHeader));
-  std::memcpy(bytes.data() + sizeof(FrameHeader), f.payload.data(),
-              f.payload.size());
+  if (!body.empty()) {
+    std::memcpy(bytes.data() + sizeof(FrameHeader), body.data(), body.size());
+  }
   return bytes;
 }
 
 TEST(NetWireFuzz, TruncatedHeaderIsKTruncated) {
   exec::Watchdog dog(std::chrono::seconds(60), "TruncatedHeaderIsKTruncated");
-  for (std::size_t cut : {1u, 8u, 20u, 55u}) {
+  for (std::size_t cut : {1u, 8u, 20u, 47u}) {
     Pair p = make_pair_();
     auto bytes = seal(FrameType::kData, route(0, 0, 0, 0), payload_of(64, 3), 0);
     ASSERT_TRUE(p.a.send_all({bytes.data(), cut}));
@@ -169,12 +204,45 @@ TEST(NetWireFuzz, BadMagicIsRejected) {
   EXPECT_EQ(read_frame(p.b, g, 0), WireError::kBadMagic);
 }
 
-TEST(NetWireFuzz, FlippedHeaderBitIsBadHeaderChecksum) {
-  exec::Watchdog dog(std::chrono::seconds(60),
-                     "FlippedHeaderBitIsBadHeaderChecksum");
-  // Flip one bit in each checksummed header byte after the magic; the header
-  // checksum must catch every one of them.
-  for (std::size_t pos = 4; pos + 8 < sizeof(FrameHeader); pos += 3) {
+TEST(NetWireFuzz, V1MagicIsIncompatibleVersion) {
+  exec::Watchdog dog(std::chrono::seconds(60), "V1MagicIsIncompatibleVersion");
+  // An old peer speaking wire v1 ("DCN1", FNV-1a digests) must be rejected
+  // with the dedicated version error, NOT generic bad-magic: the two call
+  // for different operator responses (upgrade vs corruption hunt).
+  Pair p = make_pair_();
+  auto bytes = seal(FrameType::kCredit, route(0, 0, 0, 0), {}, 0);
+  std::uint32_t v1 = kFrameMagicV1;
+  std::memcpy(bytes.data(), &v1, sizeof(v1));
+  ASSERT_TRUE(p.a.send_all(bytes));
+  Frame g;
+  EXPECT_EQ(read_frame(p.b, g, 0), WireError::kIncompatibleVersion);
+}
+
+TEST(NetWireFuzz, EveryFlippedMagicByteIsRejected) {
+  exec::Watchdog dog(std::chrono::seconds(60), "EveryFlippedMagicByteIsRejected");
+  // Magic bytes are checked before the header CRC, so a flip there reports
+  // as bad magic — or, if the flip happens to spell the v1 magic, as the
+  // version error. Either way: never kOk, never a hang.
+  for (std::size_t pos = 0; pos < 4; ++pos) {
+    Pair p = make_pair_();
+    auto bytes = seal(FrameType::kData, route(1, 2, 3, 4), payload_of(32, 5), 0);
+    bytes[pos] ^= std::byte{0x03};
+    ASSERT_TRUE(p.a.send_all(bytes));
+    Frame g;
+    const WireError err = read_frame(p.b, g, 0);
+    EXPECT_TRUE(err == WireError::kBadMagic ||
+                err == WireError::kIncompatibleVersion)
+        << "byte " << pos << ": " << to_string(err);
+  }
+}
+
+TEST(NetWireFuzz, EveryFlippedHeaderByteIsBadHeaderChecksum) {
+  exec::Watchdog dog(std::chrono::seconds(120),
+                     "EveryFlippedHeaderByteIsBadHeaderChecksum");
+  // Exhaustive sweep: flip one bit in EVERY header byte past the magic —
+  // type, reserved, route, payload_bytes, payload_crc, seq, reserved2, and
+  // the header_crc field itself. The header CRC must catch all of them.
+  for (std::size_t pos = 4; pos < sizeof(FrameHeader); ++pos) {
     Pair p = make_pair_();
     auto bytes = seal(FrameType::kData, route(1, 2, 3, 4), payload_of(32, 5), 0);
     bytes[pos] ^= std::byte{0x10};
@@ -185,15 +253,22 @@ TEST(NetWireFuzz, FlippedHeaderBitIsBadHeaderChecksum) {
   }
 }
 
-TEST(NetWireFuzz, CorruptPayloadIsBadPayloadChecksum) {
-  exec::Watchdog dog(std::chrono::seconds(60),
-                     "CorruptPayloadIsBadPayloadChecksum");
-  Pair p = make_pair_();
-  auto bytes = seal(FrameType::kData, route(0, 0, 0, 0), payload_of(512, 6), 0);
-  bytes[sizeof(FrameHeader) + 100] ^= std::byte{0x01};
-  ASSERT_TRUE(p.a.send_all(bytes));
-  Frame g;
-  EXPECT_EQ(read_frame(p.b, g, 0), WireError::kBadPayloadChecksum);
+TEST(NetWireFuzz, EveryFlippedPayloadByteIsBadPayloadChecksum) {
+  exec::Watchdog dog(std::chrono::seconds(120),
+                     "EveryFlippedPayloadByteIsBadPayloadChecksum");
+  // Exhaustive position sweep over a whole payload: CRC32C must catch a
+  // single bit flip at every offset (it detects all 1-bit errors).
+  constexpr std::size_t kPayload = 128;
+  for (std::size_t pos = 0; pos < kPayload; ++pos) {
+    Pair p = make_pair_();
+    auto bytes =
+        seal(FrameType::kData, route(0, 0, 0, 0), payload_of(kPayload, 6), 0);
+    bytes[sizeof(FrameHeader) + pos] ^= std::byte{0x01};
+    ASSERT_TRUE(p.a.send_all(bytes));
+    Frame g;
+    EXPECT_EQ(read_frame(p.b, g, 0), WireError::kBadPayloadChecksum)
+        << "payload byte " << pos;
+  }
 }
 
 TEST(NetWireFuzz, OversizedLengthIsRejectedWithoutAllocating) {
@@ -206,8 +281,8 @@ TEST(NetWireFuzz, OversizedLengthIsRejectedWithoutAllocating) {
   Frame f = make_frame(FrameType::kData, route(0, 0, 0, 0));
   f.header.seq = 0;
   f.header.payload_bytes = 0xC0000000u;
-  f.header.payload_checksum = 0;
-  f.header.header_checksum = f.header.compute_checksum();
+  f.header.payload_crc = 0;
+  f.header.header_crc = f.header.compute_checksum();
   std::vector<std::byte> bytes(sizeof(FrameHeader));
   std::memcpy(bytes.data(), &f.header, sizeof(FrameHeader));
   ASSERT_TRUE(p.a.send_all(bytes));
@@ -221,8 +296,8 @@ TEST(NetWireFuzz, BadTypeIsRejected) {
   Frame f = make_frame(FrameType::kData, route(0, 0, 0, 0));
   f.header.type = 99;
   f.header.seq = 0;
-  f.header.payload_checksum = fnv1a({});
-  f.header.header_checksum = f.header.compute_checksum();
+  f.header.payload_crc = core::crc32c({});
+  f.header.header_crc = f.header.compute_checksum();
   std::vector<std::byte> bytes(sizeof(FrameHeader));
   std::memcpy(bytes.data(), &f.header, sizeof(FrameHeader));
   ASSERT_TRUE(p.a.send_all(bytes));
@@ -376,6 +451,82 @@ TEST(NetWireFuzz, StopOnWedgedLivePeerIsBounded) {
   // (the watchdog above is the regression oracle).
   link.stop(/*flush=*/true);
   EXPECT_EQ(errors.load(), 0);  // teardown-initiated: no spurious report
+}
+
+// ---------------------------------------------------------------------------
+// Bounded outbox: with a wedged peer, DATA sends must block once the outbox
+// fills (memory stays bounded) while control frames still go through; a
+// stop() releases every back-pressured sender. Regression for the unbounded
+// queue that let one wedged peer buffer the whole dataset in RAM.
+// ---------------------------------------------------------------------------
+
+TEST(NetWireFuzz, BoundedOutboxBackPressuresDataNotControl) {
+  exec::Watchdog dog(std::chrono::seconds(60),
+                     "BoundedOutboxBackPressuresDataNotControl");
+  Pair p = make_pair_();
+
+  NetMetrics metrics;
+  PeerLink link(/*my_rank=*/0, /*peer_rank=*/1, std::move(p.b), &metrics,
+                nullptr);
+  link.set_outbox_capacity(4);
+  link.start([](int, const Frame&) {},
+             [](int, WireError, const std::string&) {});
+
+  // Wedge the socket: the peer never reads, so after a few MiB the send
+  // pump blocks inside ::sendmsg and the outbox stops draining.
+  const auto big = payload_of(1u << 20, 13);
+  std::atomic<int> sent{0};
+  std::thread producer([&] {
+    for (int i = 0; i < 64; ++i) {
+      link.send(make_frame(FrameType::kData, route(0, 0, 0, 0), big));
+      sent.fetch_add(1);
+    }
+  });
+
+  // The producer must stall well short of 64: capacity 4 plus whatever the
+  // kernel buffered before wedging — nowhere near the full flood.
+  std::this_thread::sleep_for(std::chrono::milliseconds(500));
+  const int stalled_at = sent.load();
+  EXPECT_LT(stalled_at, 64) << "DATA sends never blocked on the outbox bound";
+
+  // Control frames are exempt from back-pressure: this must not block even
+  // though the outbox is full (the credit loop must never deadlock).
+  link.send(make_frame(FrameType::kCredit, route(0, 0, 0, 0)));
+
+  // stop() must release the back-pressured producer promptly.
+  link.stop(/*flush=*/false);
+  producer.join();
+  EXPECT_EQ(sent.load(), 64);  // post-stop sends return immediately
+}
+
+TEST(NetWire, SendPumpCoalescesQueuedFrames) {
+  exec::Watchdog dog(std::chrono::seconds(60), "SendPumpCoalescesQueuedFrames");
+  Pair p = make_pair_();
+
+  NetMetrics metrics;
+  PeerLink link(/*my_rank=*/0, /*peer_rank=*/1, std::move(p.b), &metrics,
+                nullptr);
+  // Queue a burst BEFORE the pump starts: the first drain grabs them all,
+  // so they must leave in fewer scatter-gather batches than frames.
+  for (int i = 0; i < 10; ++i) {
+    link.send(make_frame(FrameType::kCredit, route(0, 0, 0, i)));
+  }
+  link.start([](int, const Frame&) {},
+             [](int, WireError, const std::string&) {});
+
+  // Read them back raw: PeerLink seqs start at 1 (seq 0 was the mesh HELLO,
+  // written before the link wrapped the socket).
+  for (std::uint64_t s = 1; s <= 10; ++s) {
+    Frame g;
+    ASSERT_EQ(read_frame(p.a, g, s), WireError::kOk) << "frame " << s;
+    EXPECT_EQ(g.type(), FrameType::kCredit);
+  }
+  link.stop(/*flush=*/true);
+  const auto snap = snapshot(metrics);
+  EXPECT_EQ(snap.frames_sent, 10u);
+  EXPECT_GT(snap.send_batches, 0u);
+  EXPECT_LT(snap.send_batches, snap.frames_sent)
+      << "no coalescing happened: every frame left in its own batch";
 }
 
 // ---------------------------------------------------------------------------
