@@ -1,0 +1,226 @@
+// Tile-compositor scaling experiment: the parallel tile compositor
+// (producers -> per-host TM tile owners -> G gather, Policy::kTileOwner on
+// the fragment stream) against the legacy single-Merge pipeline on the
+// native threaded engine.
+//
+// Sweep: ranks R in {1, 2, 4} (one producer copy and one tile owner per
+// "rank" host) x {single-M baseline, tiled} x tile sizes {16, 32, 64} px.
+// For each point the table reports per-timestep wall time, the per-rank
+// composite time (busiest merge/TM instance), fragment throughput, and the
+// gathered bytes; every tiled image digest is checked against the single-M
+// baseline of the same rank count. The headline number is the 4-rank
+// per-rank composite time: tiling must beat the single M, which serializes
+// the whole frame's fragment stream through one copy. Machine-readable
+// results are emitted as one JSON object on the last line.
+//
+//   build/bench/exp_comp_scaling [--quick]
+
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "comp/app.hpp"
+#include "core/policy.hpp"
+#include "exp_common.hpp"
+#include "viz/app.hpp"
+#include "viz/zbuffer.hpp"
+
+using namespace dc;
+
+namespace {
+
+struct CompPoint {
+  int ranks = 0;
+  int tile_px = 0;  ///< 0 == single-M baseline
+  double wall_s = 0.0;
+  double composite_s = 0.0;  ///< busiest merge/TM instance, wall seconds
+  double frags_per_s = 0.0;
+  double gather_mb = 0.0;
+  bool image_ok = true;
+
+  [[nodiscard]] std::string key() const {
+    return "sweep.ranks" + std::to_string(ranks) +
+           (tile_px == 0 ? ".single" : ".tile" + std::to_string(tile_px));
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const exp::Args args = exp::Args::parse(argc, argv);
+
+  // Dataset only — the native engine needs no simulated cluster. Host ids
+  // are placement labels: rank r's producer copy reads the files placed on
+  // host r and its TM copy owns the tiles the map hashes to owner index r.
+  const data::ChunkLayout layout(
+      data::GridDims{args.grid, args.grid, args.grid}, args.chunks,
+      args.chunks, args.chunks);
+  data::DatasetStore store(layout, data::hilbert_decluster(layout, args.files),
+                           args.files);
+  const data::PlumeField field(args.seed);
+
+  viz::VizWorkload w;
+  w.store = &store;
+  w.field = &field;
+  w.iso_value = args.iso;
+  w.width = args.small_image;
+  w.height = args.small_image;
+
+  core::RuntimeConfig cfg;
+  cfg.policy = core::Policy::kDemandDriven;
+
+  exp::print_title(
+      "Parallel tile compositor (comp::TM/G) vs single-M merge",
+      "native engine, demand-driven upstream, kTileOwner fragment routing, " +
+          std::to_string(args.uows) + " timestep(s), image " +
+          std::to_string(args.small_image) + "^2, " +
+          std::to_string(std::thread::hardware_concurrency()) +
+          " hardware thread(s)");
+
+  std::vector<CompPoint> points;
+  exp::Table table({"ranks", "compositor", "wall s/uow", "composite s",
+                    "Mfrag/s", "gather MB", "image"},
+                   12);
+
+  for (int ranks : {1, 2, 4}) {
+    std::vector<int> hosts;
+    std::vector<data::FileLocation> locs;
+    for (int r = 0; r < ranks; ++r) {
+      hosts.push_back(r);
+      locs.push_back(data::FileLocation{r, 0});
+    }
+    store.place_uniform(locs);
+
+    viz::IsoAppSpec spec;
+    spec.workload = w;
+    spec.config = viz::PipelineConfig::kRERa_M;
+    spec.hsr = viz::HsrAlgorithm::kActivePixel;
+    spec.data_hosts = viz::one_each(hosts);
+    spec.merge_host = 0;
+    spec.keep_images = false;
+
+    // Single-M baseline: all fragments funnel through one merge copy.
+    const viz::IsoApp legacy_app = viz::build_iso_app(spec);
+    const viz::NativeRenderRun legacy =
+        viz::run_iso_app_native(spec, cfg, args.uows);
+    const double legacy_total = legacy.avg * args.uows;
+
+    CompPoint base;
+    base.ranks = ranks;
+    base.wall_s = legacy.avg;
+    base.composite_s =
+        legacy.metrics.aggregate_filter(legacy_app.merge_filter, "M").busy_max;
+    base.gather_mb = 0.0;  // single M writes the frame locally: no gather
+    {
+      // The legacy pixel stream carries raw PixEntry payloads, so entry
+      // count is payload bytes over the entry size.
+      std::uint64_t frags = 0;
+      for (const auto& s : legacy.metrics.streams) {
+        if (s.name == "Ra->M" || s.name == "RERa->M" || s.name == "ERa->M") {
+          frags += s.payload_bytes / sizeof(viz::PixEntry);
+        }
+      }
+      base.frags_per_s =
+          legacy_total > 0.0 ? static_cast<double>(frags) / legacy_total : 0.0;
+    }
+    points.push_back(base);
+    table.row({std::to_string(ranks), "single-M",
+               exp::Table::num(base.wall_s, 4),
+               exp::Table::num(base.composite_s, 4),
+               exp::Table::num(base.frags_per_s / 1e6, 2), "-", "ok"});
+
+    for (int tile_px : {16, 32, 64}) {
+      comp::TiledCompSpec comp;
+      comp.tile_px = tile_px;
+      comp.owner_hosts = hosts;
+      comp.gather_host = 0;
+
+      // Builder ids are deterministic for a given spec, so a throwaway
+      // build yields the TM filter id of the measured run.
+      const comp::TiledApp shape = comp::build_tiled_iso_app(spec, comp);
+      const comp::TiledNativeRun run =
+          comp::run_tiled_iso_app_native(spec, comp, cfg, args.uows);
+      const double total = run.avg * args.uows;
+
+      CompPoint pt;
+      pt.ranks = ranks;
+      pt.tile_px = tile_px;
+      pt.wall_s = run.avg;
+      pt.composite_s =
+          run.metrics.aggregate_filter(shape.tile_merge_filter, "TM").busy_max;
+      pt.frags_per_s =
+          total > 0.0
+              ? static_cast<double>(run.stats->fragments_received.load()) /
+                    total
+              : 0.0;
+      pt.gather_mb = exp::mb(run.stats->gather_bytes.load());
+      pt.image_ok = run.sink->digests == legacy.sink->digests &&
+                    run.stats->tiles_partial.load() == 0;
+      points.push_back(pt);
+
+      table.row({std::to_string(ranks), std::to_string(tile_px) + " px",
+                 exp::Table::num(pt.wall_s, 4),
+                 exp::Table::num(pt.composite_s, 4),
+                 exp::Table::num(pt.frags_per_s / 1e6, 2),
+                 exp::Table::num(pt.gather_mb, 2),
+                 pt.image_ok ? "ok" : "MISMATCH"});
+    }
+  }
+  exp::print_rule();
+
+  // Headline: per-rank composite time at the widest sweep point. The single
+  // M serializes every fragment through one copy; splitting the frame over
+  // R owners should divide that work.
+  double single4 = 0.0, tiled4 = 0.0;
+  for (const CompPoint& pt : points) {
+    if (pt.ranks != 4) continue;
+    if (pt.tile_px == 0) {
+      single4 = pt.composite_s;
+    } else if (tiled4 == 0.0 || pt.composite_s < tiled4) {
+      tiled4 = pt.composite_s;
+    }
+  }
+  std::printf(
+      "4-rank per-rank composite: single-M %.4fs, best tiled %.4fs (%s)\n",
+      single4, tiled4,
+      tiled4 < single4 ? "tiled wins" : "single-M wins — check core count");
+
+  obs::MetricsRegistry reg;
+  reg.set("hardware_threads",
+          static_cast<std::int64_t>(std::thread::hardware_concurrency()));
+  reg.set("composite4.single_s", single4);
+  reg.set("composite4.tiled_best_s", tiled4);
+  reg.set("composite4.tiled_wins",
+          static_cast<std::int64_t>(tiled4 < single4 ? 1 : 0));
+  bool all_ok = true;
+  for (const CompPoint& pt : points) {
+    const std::string k = pt.key();
+    reg.set(k + ".wall_s", pt.wall_s);
+    reg.set(k + ".composite_s", pt.composite_s);
+    reg.set(k + ".frags_per_s", pt.frags_per_s);
+    if (pt.tile_px != 0) {
+      reg.set(k + ".gather_mb", pt.gather_mb);
+      reg.set(k + ".image_ok", static_cast<std::int64_t>(pt.image_ok ? 1 : 0));
+      all_ok = all_ok && pt.image_ok;
+    }
+  }
+
+  std::string extra = "\"policy\":\"dd\",\"scaling\":[";
+  char buf[200];
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const CompPoint& pt = points[i];
+    std::snprintf(buf, sizeof(buf),
+                  "%s{\"ranks\":%d,\"tile_px\":%d,\"wall_s\":%.6f,"
+                  "\"composite_s\":%.6f,\"frags_per_s\":%.1f,"
+                  "\"gather_mb\":%.3f,\"image_ok\":%s}",
+                  i == 0 ? "" : ",", pt.ranks, pt.tile_px, pt.wall_s,
+                  pt.composite_s, pt.frags_per_s, pt.gather_mb,
+                  pt.image_ok ? "true" : "false");
+    extra += buf;
+  }
+  extra += "]";
+  exp::print_json("comp_scaling", reg, extra);
+
+  return all_ok ? 0 : 1;
+}

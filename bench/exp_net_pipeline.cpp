@@ -347,7 +347,11 @@ int main(int argc, char** argv) {
   // END-TO-END cost; this phase isolates the data plane itself. Best of
   // three reps per mode to shave scheduler noise (--quick: one rep).
   const int sat_frames = args.quick ? 96 : 768;
-  const std::size_t sat_bytes = args.quick ? (256u << 10) : (1u << 20);
+  // Frame payloads exactly fill one arena size class (the slot capacity a
+  // lease of the nominal size gets) so MB/s measures full-slot transfers
+  // and follows any retuning of the arena's class rounding.
+  const std::size_t sat_bytes = core::BufferArena::slot_capacity(
+      args.quick ? (200u << 10) : (1000u << 10));
   const int sat_reps = args.quick ? 1 : 3;
   double sat_zc_s = -1.0, sat_cp_s = -1.0;
   for (int rep = 0; rep < sat_reps; ++rep) {

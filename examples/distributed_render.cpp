@@ -17,8 +17,15 @@
 // writes DIR/rank<k>.trace.json (Chrome trace-event JSON, Perfetto-loadable)
 // with net.send/net.recv spans per peer and credit-stall instants.
 //
-//   build/examples/distributed_render [--ranks N] [--out img.ppm]
-//                                     [--trace-dir DIR]
+// With `--tiles N` the single merge rank is replaced by the parallel tile
+// compositor (src/comp/): the frame is cut into N-pixel tiles, a
+// deterministic hash assigns each tile an owner rank, fragment buffers are
+// routed to their owners by Policy::kTileOwner, every owner z-buffers its
+// tiles concurrently, and rank 0 gathers the finished tiles — still bit
+// for bit the reference image.
+//
+//   build/examples/distributed_render [--ranks N] [--tiles N]
+//                                     [--out img.ppm] [--trace-dir DIR]
 
 #include <cstdio>
 #include <cstdlib>
@@ -29,6 +36,7 @@
 #include "data/decluster.hpp"
 #include "data/store.hpp"
 #include "data/synth.hpp"
+#include "comp/app.hpp"
 #include "viz/app.hpp"
 #include "viz/camera.hpp"
 #include "viz/distributed.hpp"
@@ -73,24 +81,31 @@ viz::Image reference_render(const viz::VizWorkload& w) {
 
 int main(int argc, char** argv) {
   int ranks = 3;
+  int tiles = 0;  // 0 == legacy single-M merge
   std::string out_path;
   std::string trace_dir;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--ranks") == 0 && i + 1 < argc) {
       ranks = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--tiles") == 0 && i + 1 < argc) {
+      tiles = std::atoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       out_path = argv[++i];
     } else if (std::strcmp(argv[i], "--trace-dir") == 0 && i + 1 < argc) {
       trace_dir = argv[++i];
     } else {
       std::fprintf(stderr,
-                   "usage: distributed_render [--ranks N] [--out img.ppm] "
-                   "[--trace-dir DIR]\n");
+                   "usage: distributed_render [--ranks N] [--tiles N] "
+                   "[--out img.ppm] [--trace-dir DIR]\n");
       return 2;
     }
   }
   if (ranks < 1 || ranks > 8) {
     std::fprintf(stderr, "--ranks must be 1..8\n");
+    return 2;
+  }
+  if (tiles < 0 || tiles > 256) {
+    std::fprintf(stderr, "--tiles must be 1..256 (tile edge in pixels)\n");
     return 2;
   }
 
@@ -135,15 +150,29 @@ int main(int argc, char** argv) {
   core::RuntimeConfig cfg;
   cfg.policy = core::Policy::kDemandDriven;
 
-  std::printf("rendering %dx%d isosurface on %d process(es)...\n", w.width,
-              w.height, ranks);
+  // Tiled compositor: every rank owns a share of the frame's tiles and
+  // composites them concurrently; rank 0 gathers the finished tiles.
+  comp::TiledCompSpec comp;
+  comp.tile_px = tiles;
+  for (int r = 0; r < ranks; ++r) comp.owner_hosts.push_back(r);
+  comp.gather_host = 0;
+
+  std::printf("rendering %dx%d isosurface on %d process(es)%s...\n", w.width,
+              w.height, ranks,
+              tiles > 0 ? (" (" + std::to_string(tiles) +
+                           " px tiles, one owner per rank)")
+                              .c_str()
+                        : "");
   std::fflush(stdout);
 
   viz::DistributedRunOptions opts;
   opts.timeout_s = 300.0;
   opts.trace_dir = trace_dir;
   const viz::DistributedRenderRun run =
-      viz::run_iso_app_distributed(spec, cfg, /*uows=*/1, ranks, opts);
+      tiles > 0 ? comp::run_tiled_iso_app_distributed(spec, comp, cfg,
+                                                      /*uows=*/1, ranks, opts)
+                : viz::run_iso_app_distributed(spec, cfg, /*uows=*/1, ranks,
+                                               opts);
 
   for (std::size_t r = 0; r < run.ranks.size(); ++r) {
     const auto& st = run.ranks[r];

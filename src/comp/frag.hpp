@@ -1,0 +1,93 @@
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <vector>
+
+#include "comp/tile_map.hpp"
+#include "core/buffer.hpp"
+#include "core/filter.hpp"
+#include "viz/zbuffer.hpp"
+
+namespace dc::comp {
+
+/// Record kinds on the compositor streams. Data and summary frames ride the
+/// producer -> tile-owner fragment stream; complete/partial frames ride the
+/// owner -> gather stream.
+enum class FragKind : std::int32_t {
+  kData = 1,      ///< payload: PixEntry[entries], global pixel indices
+  kSummary = 2,   ///< payload: SummaryRecord[entries]
+  kComplete = 3,  ///< payload: uint32 colors[entries], dense tile row-major
+  kPartial = 4,   ///< payload: PixEntry[entries], global pixel indices
+};
+
+/// Frame header inside a compositor buffer: buffers carry a back-to-back
+/// sequence of [FragHeader][payload] frames (the BlockHeader/for_each_block
+/// idiom). `tile` is -1 on summary frames — the records name their tiles.
+struct FragHeader {
+  std::int32_t tile = -1;
+  std::int32_t producer = -1;  ///< global producer copy index
+  std::int32_t entries = 0;    ///< records following the header
+  std::int32_t kind = 0;       ///< FragKind
+};
+static_assert(sizeof(FragHeader) == 16);
+
+/// One per-tile fragment count in a producer's end-of-work summary. Each
+/// producer reports EVERY tile of each base owner — zero counts included —
+/// so a re-owned tile whose traffic was partially consumed by the dead
+/// owner can never alias a complete one: a missing producer, or a count
+/// mismatch, marks the tile partial.
+struct SummaryRecord {
+  std::int32_t tile = -1;
+  std::int32_t count = 0;
+};
+static_assert(sizeof(SummaryRecord) == 8);
+
+/// Walks the frames of one compositor buffer, invoking
+/// `fn(header, payload)` per frame with `payload` pointing at
+/// header.entries records of the kind-specific type.
+void for_each_frame(
+    const core::Buffer& buf,
+    const std::function<void(const FragHeader&, const std::byte*)>& fn);
+
+/// Producer-side fragment router: groups rasterized PixEntry batches by
+/// tile, frames them, and writes them on output port 0 with the buffer's
+/// route key set to the tile's BASE owner index — Policy::kTileOwner on the
+/// fragment stream then resolves the key to the first live owner. One
+/// router per producer filter instance, plugged into HsrEngine via
+/// set_entry_sink.
+class FragRouter {
+ public:
+  FragRouter(const TileMap* map, int producer_index)
+      : map_(map),
+        producer_(producer_index),
+        staged_(static_cast<std::size_t>(map->layout().num_tiles())),
+        counts_(static_cast<std::size_t>(map->layout().num_tiles()), 0) {}
+
+  /// Routes one batch of entries (an Active Pixel flush or the dense
+  /// z-buffer dump). Batches are framed per tile in ascending tile order,
+  /// so buffer contents are deterministic for a deterministic producer.
+  void add(core::FilterContext& ctx, const viz::PixEntry* entries,
+           std::size_t n);
+
+  /// End of work: flushes every open buffer, then emits one summary frame
+  /// set per base owner covering all of that owner's tiles (zero counts
+  /// included), keyed like the data so summaries chase their fragments to
+  /// the same live owner.
+  void finish(core::FilterContext& ctx);
+
+ private:
+  core::Buffer& open(core::FilterContext& ctx, int owner);
+  void flush(core::FilterContext& ctx, int owner);
+  void emit_tile(core::FilterContext& ctx, int tile);
+
+  const TileMap* map_;
+  int producer_;
+  std::vector<std::vector<viz::PixEntry>> staged_;  ///< per tile, this batch
+  std::vector<int> dirty_;                          ///< tiles staged this batch
+  std::vector<std::int64_t> counts_;  ///< per tile: fragments routed so far
+  std::vector<core::Buffer> open_;    ///< per owner: open output buffer
+};
+
+}  // namespace dc::comp

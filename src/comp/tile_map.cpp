@@ -1,0 +1,58 @@
+#include "comp/tile_map.hpp"
+
+#include <stdexcept>
+
+namespace dc::comp {
+
+namespace {
+
+/// splitmix64: cheap, seed-stable, and uniform enough to spread tiles
+/// evenly over owners regardless of the tile grid shape.
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+TileMap::TileMap(TileLayout layout, int num_owners, std::uint64_t seed)
+    : layout_(layout), num_owners_(num_owners), seed_(seed) {
+  if (layout.width <= 0 || layout.height <= 0 || layout.tile_px <= 0) {
+    throw std::invalid_argument("TileMap: bad layout");
+  }
+  if (num_owners <= 0 || num_owners > 64) {
+    throw std::invalid_argument(
+        "TileMap: owner count must be in [1, 64] (dead-owner masks are one "
+        "64-bit word)");
+  }
+  const int n = layout.num_tiles();
+  base_.reserve(static_cast<std::size_t>(n));
+  for (int t = 0; t < n; ++t) {
+    base_.push_back(static_cast<std::int32_t>(
+        splitmix64(seed ^ static_cast<std::uint64_t>(t)) %
+        static_cast<std::uint64_t>(num_owners)));
+  }
+}
+
+int TileMap::owner(int tile, std::uint64_t dead_mask) const {
+  const int base = base_owner(tile);
+  for (int i = 0; i < num_owners_; ++i) {
+    const int o = (base + i) % num_owners_;
+    if ((dead_mask >> o) & 1ULL) continue;
+    return o;
+  }
+  return -1;
+}
+
+std::vector<int> TileMap::tiles_of(int owner_index,
+                                   std::uint64_t dead_mask) const {
+  std::vector<int> out;
+  for (int t = 0; t < layout_.num_tiles(); ++t) {
+    if (owner(t, dead_mask) == owner_index) out.push_back(t);
+  }
+  return out;
+}
+
+}  // namespace dc::comp

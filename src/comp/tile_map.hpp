@@ -1,0 +1,100 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace dc::comp {
+
+/// Fixed-size tiling of the output image (Distributed FrameBuffer, Usher et
+/// al.): the frame is cut into tile_px x tile_px squares (edge tiles
+/// clipped), identified by a dense tile id in row-major tile order. All
+/// coordinate conversions between global pixel indices (what PixEntry
+/// carries on the wire) and tile-local indices (what the per-tile z-buffers
+/// use) live here.
+struct TileLayout {
+  int width = 0;
+  int height = 0;
+  int tile_px = 32;
+
+  [[nodiscard]] int tiles_x() const { return (width + tile_px - 1) / tile_px; }
+  [[nodiscard]] int tiles_y() const { return (height + tile_px - 1) / tile_px; }
+  [[nodiscard]] int num_tiles() const { return tiles_x() * tiles_y(); }
+
+  [[nodiscard]] int x0(int tile) const { return (tile % tiles_x()) * tile_px; }
+  [[nodiscard]] int y0(int tile) const { return (tile / tiles_x()) * tile_px; }
+  [[nodiscard]] int tile_w(int tile) const {
+    const int x = x0(tile);
+    return x + tile_px <= width ? tile_px : width - x;
+  }
+  [[nodiscard]] int tile_h(int tile) const {
+    const int y = y0(tile);
+    return y + tile_px <= height ? tile_px : height - y;
+  }
+  [[nodiscard]] std::size_t tile_pixels(int tile) const {
+    return static_cast<std::size_t>(tile_w(tile)) *
+           static_cast<std::size_t>(tile_h(tile));
+  }
+
+  /// Tile containing the global (row-major) pixel index.
+  [[nodiscard]] int tile_of(std::uint32_t index) const {
+    const int x = static_cast<int>(index) % width;
+    const int y = static_cast<int>(index) / width;
+    return (y / tile_px) * tiles_x() + (x / tile_px);
+  }
+
+  /// Tile-local row-major index of a global pixel index (must be in `tile`).
+  [[nodiscard]] std::uint32_t local_index(int tile, std::uint32_t index) const {
+    const int x = static_cast<int>(index) % width - x0(tile);
+    const int y = static_cast<int>(index) / width - y0(tile);
+    return static_cast<std::uint32_t>(y * tile_w(tile) + x);
+  }
+
+  /// Global pixel index of a tile-local one.
+  [[nodiscard]] std::uint32_t global_index(int tile,
+                                           std::uint32_t local) const {
+    const int x = x0(tile) + static_cast<int>(local) % tile_w(tile);
+    const int y = y0(tile) + static_cast<int>(local) / tile_w(tile);
+    return static_cast<std::uint32_t>(y) * static_cast<std::uint32_t>(width) +
+           static_cast<std::uint32_t>(x);
+  }
+};
+
+/// Deterministic tile -> owner map, published alongside the placement: every
+/// rank constructs it from the same (layout, owner count, seed) inputs, so
+/// producers, owners, and the fault re-ownership logic agree on where each
+/// tile lives without any coordination messages.
+///
+/// `base_owner` is a seed-stable hash over the tile id; `owner` applies the
+/// dead-owner probe — the FIRST LIVE owner in base, base+1, ... mod n. This
+/// is by construction the same sequence core::WriterState::pick walks under
+/// Policy::kTileOwner, so a fragment retained for a dead owner re-routes to
+/// exactly the owner this map names.
+class TileMap {
+ public:
+  TileMap() = default;
+  TileMap(TileLayout layout, int num_owners, std::uint64_t seed);
+
+  [[nodiscard]] const TileLayout& layout() const { return layout_; }
+  [[nodiscard]] int num_owners() const { return num_owners_; }
+  [[nodiscard]] std::uint64_t seed() const { return seed_; }
+
+  [[nodiscard]] int base_owner(int tile) const {
+    return base_[static_cast<std::size_t>(tile)];
+  }
+
+  /// Owner under a dead-owner bitmask (bit i = owner index i is dead).
+  /// Returns -1 when every owner is dead.
+  [[nodiscard]] int owner(int tile, std::uint64_t dead_mask = 0) const;
+
+  /// Tiles whose live owner is `owner_index` under `dead_mask` (ascending).
+  [[nodiscard]] std::vector<int> tiles_of(int owner_index,
+                                          std::uint64_t dead_mask = 0) const;
+
+ private:
+  TileLayout layout_;
+  int num_owners_ = 0;
+  std::uint64_t seed_ = 0;
+  std::vector<std::int32_t> base_;
+};
+
+}  // namespace dc::comp

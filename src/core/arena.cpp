@@ -88,6 +88,10 @@ Buffer BufferArena::make(std::size_t capacity_bytes) {
   return Buffer::adopt(lease(capacity_bytes), capacity_bytes);
 }
 
+std::size_t BufferArena::slot_capacity(std::size_t capacity_bytes) {
+  return class_of(capacity_bytes);
+}
+
 void BufferArena::note_payload_copy(std::size_t bytes) {
   pool_->copies.fetch_add(1, std::memory_order_relaxed);
   pool_->copy_bytes.fetch_add(bytes, std::memory_order_relaxed);

@@ -71,6 +71,12 @@ class BufferArena {
   /// Books one deliberate payload copy of `bytes` (see ArenaStats).
   void note_payload_copy(std::size_t bytes);
 
+  /// The size-class capacity a lease of `capacity_bytes` is filed under:
+  /// the next power of two, floored at the minimum retained class. Callers
+  /// sizing payloads to exactly fill a pooled slot (benchmarks, wire
+  /// batching) use this instead of hard-coding the class boundaries.
+  [[nodiscard]] static std::size_t slot_capacity(std::size_t capacity_bytes);
+
   [[nodiscard]] ArenaStats stats() const;
 
   /// The process-wide arena every engine, scheduler, and transport uses by

@@ -2,6 +2,7 @@
 
 #include <cassert>
 #include <cstddef>
+#include <cstdint>
 #include <cstring>
 #include <memory>
 #include <span>
@@ -99,9 +100,18 @@ class Buffer {
     return size() / sizeof(T);
   }
 
+  /// Content-addressed routing key for Policy::kTileOwner: the base-owner
+  /// target index this buffer wants to reach (-1 = unkeyed, distribute by
+  /// the fallback rotation). Part of the buffer's value, so retained copies
+  /// kept for fault retransmission re-probe to the same deterministic owner.
+  /// Never serialized — the key is resolved to a concrete target at dispatch.
+  [[nodiscard]] std::int32_t route_key() const { return route_key_; }
+  void set_route_key(std::int32_t key) { route_key_ = key; }
+
  private:
   std::shared_ptr<std::vector<std::byte>> storage_;
   std::size_t capacity_ = 0;
+  std::int32_t route_key_ = -1;
 };
 
 }  // namespace dc::core

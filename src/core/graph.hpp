@@ -2,10 +2,12 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "core/filter.hpp"
+#include "core/policy.hpp"
 
 namespace dc::core {
 
@@ -29,7 +31,20 @@ struct StreamSpec {
   int to_port = 0;
   std::size_t min_buffer_bytes = 4 * 1024;
   std::size_t max_buffer_bytes = 256 * 1024;
+  /// Per-stream writer-policy override. Most streams inherit the run-wide
+  /// RuntimeConfig::policy; a stream that needs content-addressed routing
+  /// (the compositor's fragment stream under Policy::kTileOwner) sets it
+  /// here without disturbing the rest of the graph.
+  std::optional<Policy> policy;
 };
+
+/// The writer policy actually in effect on a stream: its override if set,
+/// else the run-wide default. Every engine routes through this so a graph
+/// can mix, say, DD data distribution with tile-owner fragment routing.
+[[nodiscard]] inline Policy effective_policy(Policy run_default,
+                                             const StreamSpec& spec) {
+  return spec.policy.value_or(run_default);
+}
 
 /// The application processing structure: filters + streams. Pure
 /// specification — building a Graph performs no instantiation.

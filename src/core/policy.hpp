@@ -16,10 +16,18 @@ namespace dc::core {
 ///    unacknowledged buffers; consumers acknowledge a buffer when they start
 ///    processing it; ties prefer co-located copies. Acks are real messages
 ///    and cost network time.
+///  - TileOwner: content-addressed — each buffer carries a route key (its
+///    tile's base-owner target index, see comp::TileMap) and goes to the
+///    first live target in the probe sequence key, key+1, ... mod n. With no
+///    failures this is exactly the key'd target; when targets die the probe
+///    rotates deterministically, so every producer independently agrees on
+///    the new owner. Flow control is RR-like (in_flight / window, no acks);
+///    keyless buffers (key < 0) fall back to plain round-robin.
 enum class Policy {
   kRoundRobin,
   kWeightedRoundRobin,
   kDemandDriven,
+  kTileOwner,
 };
 
 [[nodiscard]] inline std::string_view to_string(Policy p) {
@@ -27,6 +35,7 @@ enum class Policy {
     case Policy::kRoundRobin: return "RR";
     case Policy::kWeightedRoundRobin: return "WRR";
     case Policy::kDemandDriven: return "DD";
+    case Policy::kTileOwner: return "TILE";
   }
   return "?";
 }
@@ -35,6 +44,7 @@ enum class Policy {
   if (s == "RR" || s == "rr") return Policy::kRoundRobin;
   if (s == "WRR" || s == "wrr") return Policy::kWeightedRoundRobin;
   if (s == "DD" || s == "dd") return Policy::kDemandDriven;
+  if (s == "TILE" || s == "tile") return Policy::kTileOwner;
   throw std::invalid_argument("unknown policy: " + std::string(s));
 }
 

@@ -621,8 +621,12 @@ void Runtime::try_consume(Instance& inst) {
   on_window_release(*d.producer, d.out_port, d.target);
 
   // Demand-driven: acknowledge that the buffer is now being processed. The
-  // ack is a real message and costs network time (paper Section 2).
-  if (config_.policy == Policy::kDemandDriven) {
+  // ack is a real message and costs network time (paper Section 2). Gated on
+  // the delivered stream's effective policy so per-stream overrides (the
+  // compositor's tile-owner fragment stream) do not generate stray acks.
+  const StreamSpec& dspec =
+      *d.producer->writers[static_cast<std::size_t>(d.out_port)].stream->spec;
+  if (effective_policy(config_.policy, dspec) == Policy::kDemandDriven) {
     Instance* producer = d.producer;
     const int out_port = d.out_port;
     const int target = d.target;
@@ -699,15 +703,17 @@ void Runtime::drain(Instance& inst) {
   }
 }
 
-int Runtime::pick_target(Instance& inst, int out_port) {
+int Runtime::pick_target(Instance& inst, int out_port, int key) {
   SimWriter& w = inst.writers[static_cast<std::size_t>(out_port)];
   const auto& targets = w.stream->targets;
   return w.pick(
-      config_.policy, config_.window, w.stream->wrr_order,
+      effective_policy(config_.policy, *w.stream->spec), config_.window,
+      w.stream->wrr_order,
       [&](int t) { return targets[static_cast<std::size_t>(t)]->declared_dead; },
       [&](int t) {
         return targets[static_cast<std::size_t>(t)]->host == inst.cset->host;
-      });
+      },
+      key);
 }
 
 bool Runtime::dispatch_one(Instance& inst) {
@@ -730,7 +736,7 @@ bool Runtime::dispatch_one(Instance& inst) {
       return true;
     }
   }
-  const int target = pick_target(inst, out.port);
+  const int target = pick_target(inst, out.port, out.buf.route_key());
   if (target < 0) return false;
 
   SimWriter& w = inst.writers[static_cast<std::size_t>(out.port)];
@@ -741,7 +747,10 @@ bool Runtime::dispatch_one(Instance& inst) {
     // Routing decision: chosen target plus the policy's outstanding count
     // for it (unacked under DD, in-flight under RR/WRR) after the dispatch.
     const auto& counts =
-        config_.policy == Policy::kDemandDriven ? w.unacked : w.in_flight;
+        effective_policy(config_.policy, *w.stream->spec) ==
+                Policy::kDemandDriven
+            ? w.unacked
+            : w.in_flight;
     tk->instant(topo_.sim().now(), "policy.pick", target,
                 counts[static_cast<std::size_t>(target)]);
   }
@@ -839,7 +848,8 @@ void Runtime::on_window_release(Instance& producer, int out_port, int target) {
   if (producer.dead) return;
   SimWriter& w = producer.writers[static_cast<std::size_t>(out_port)];
   w.on_dequeue(target);
-  if (fault_tolerant() && config_.policy != Policy::kDemandDriven) {
+  if (fault_tolerant() && effective_policy(config_.policy, *w.stream->spec) !=
+                              Policy::kDemandDriven) {
     // RR/WRR: the dequeue is where the consumer takes responsibility — the
     // oldest retained buffer for this target is now safe to release.
     auto& ft = w.ft[static_cast<std::size_t>(target)];
@@ -1016,6 +1026,12 @@ void Runtime::reclaim_outstanding(Instance& inst, int out_port, int target) {
 void Runtime::arm_ack_timer(Instance& inst, int out_port, int target) {
   if (config_.detection != FailureDetection::kAckTimeout) return;
   SimWriter& w = inst.writers[static_cast<std::size_t>(out_port)];
+  // Ack-timeout detection only makes sense on streams that actually carry
+  // acks; a per-stream override away from DD has none to time out on.
+  if (effective_policy(config_.policy, *w.stream->spec) !=
+      Policy::kDemandDriven) {
+    return;
+  }
   auto& ft = w.ft[static_cast<std::size_t>(target)];
   if (ft.timer != 0 || ft.outstanding.empty()) return;
   if (w.stream->targets[static_cast<std::size_t>(target)]->declared_dead) return;

@@ -140,7 +140,7 @@ class Runtime {
   void finish_instance(Instance& inst);
   void on_window_release(Instance& producer, int out_port, int target);
   void on_ack(Instance& producer, int out_port, int target);
-  [[nodiscard]] int pick_target(Instance& inst, int out_port);
+  [[nodiscard]] int pick_target(Instance& inst, int out_port, int key = -1);
 
   // ---- fault handling ------------------------------------------------------
   [[nodiscard]] bool fault_tolerant() const {

@@ -64,13 +64,18 @@ struct WriterState {
   ///    copy), same stall rule.
   ///  - DemandDriven: the live target with the fewest unacknowledged buffers
   ///    whose window has room; ties prefer co-located targets.
+  ///  - TileOwner: the first live target in the probe sequence
+  ///    key, key+1, ... mod n; stalls when that target's window is full (a
+  ///    full live owner must never be skipped — the destination is part of
+  ///    the buffer's identity). Buffers without a key (key < 0) distribute
+  ///    round-robin.
   ///
   /// `pick` mutates `rr_next` only on success, so an engine may re-evaluate
   /// it after every window release until it yields a target.
   template <typename DeadFn, typename LocalFn>
   [[nodiscard]] int pick(Policy policy, int window,
                          const std::vector<int>& wrr_order, DeadFn&& dead,
-                         LocalFn&& local) {
+                         LocalFn&& local, int key = -1) {
     const int n = num_targets();
     assert(n > 0);
     switch (policy) {
@@ -110,6 +115,27 @@ struct WriterState {
           }
         }
         return best;
+      }
+      case Policy::kTileOwner: {
+        if (key < 0) {
+          // Keyless traffic (control records, non-fragment streams) keeps
+          // the RR rotation so it spreads without disturbing keyed routing.
+          for (int i = 0; i < n; ++i) {
+            const int t = (rr_next + i) % n;
+            if (dead(t)) continue;
+            if (in_flight[st(t)] >= window) return -1;
+            rr_next = (t + 1) % n;
+            return t;
+          }
+          return -1;
+        }
+        for (int i = 0; i < n; ++i) {
+          const int t = (key + i) % n;
+          if (dead(t)) continue;
+          if (in_flight[st(t)] >= window) return -1;  // stall, never re-route
+          return t;
+        }
+        return -1;  // every target dead
       }
     }
     return -1;

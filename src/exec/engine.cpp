@@ -523,7 +523,10 @@ void Engine::consume_loop(Instance& inst, ContextImpl& ctx) {
     // it also acknowledges (the native ack is this direct state update —
     // the counters match the simulator, which models it as a message).
     settle_dequeue(d);
-    if (config_.policy == core::Policy::kDemandDriven) {
+    if (core::effective_policy(
+            config_.policy,
+            *d.producer->writers[static_cast<std::size_t>(d.out_port)]
+                 .stream->spec) == core::Policy::kDemandDriven) {
       inst.m.acks_sent++;
       if (tracing) {
         tk->instant(obs_->now(), "dd.ack",
@@ -547,7 +550,10 @@ void Engine::settle_dequeue(const Delivery& d) {
     std::lock_guard<std::mutex> lk(producer.wmu);
     Writer& w = producer.writers[static_cast<std::size_t>(d.out_port)];
     w.on_dequeue(d.target);
-    if (config_.policy == core::Policy::kDemandDriven) w.on_ack(d.target);
+    if (core::effective_policy(config_.policy, *w.stream->spec) ==
+        core::Policy::kDemandDriven) {
+      w.on_ack(d.target);
+    }
   }
   producer.wcv.notify_all();
 }
@@ -563,6 +569,9 @@ void Engine::drain(Instance& inst) {
 void Engine::dispatch(Instance& inst, int port, core::Buffer buf) {
   Writer& w = inst.writers[static_cast<std::size_t>(port)];
   obs::Track* tk = obs_track(inst);
+  const core::Policy policy =
+      core::effective_policy(config_.policy, *w.stream->spec);
+  const int key = buf.route_key();
   const auto local = [&](int t) {
     return w.stream->targets[static_cast<std::size_t>(t)]->host ==
            inst.cset->host;
@@ -572,16 +581,16 @@ void Engine::dispatch(Instance& inst, int port, core::Buffer buf) {
   int target = -1;
   {
     std::unique_lock<std::mutex> lk(inst.wmu);
-    target = w.pick(config_.policy, config_.window, w.stream->wrr_order, dead,
-                    local);
+    target = w.pick(policy, config_.window, w.stream->wrr_order, dead, local,
+                    key);
     if (target < 0) {
       // Stalled on the windows; re-evaluate after every release. pick()
       // mutates rr_next only on success, so retrying it is safe.
       const auto t0 = Clock::now();
       inst.wcv.wait(lk, [&] {
         if (aborted_.load(std::memory_order_relaxed)) return true;
-        target = w.pick(config_.policy, config_.window, w.stream->wrr_order,
-                        dead, local);
+        target = w.pick(policy, config_.window, w.stream->wrr_order, dead,
+                        local, key);
         return target >= 0;
       });
       inst.m.stall_time += seconds_since(t0);
@@ -596,7 +605,7 @@ void Engine::dispatch(Instance& inst, int port, core::Buffer buf) {
     if (tk != nullptr && obs_->enabled()) {
       // Routing decision: chosen target plus the policy's outstanding count
       // for it (unacked under DD, in-flight under RR/WRR) after the dispatch.
-      const auto& counts = config_.policy == core::Policy::kDemandDriven
+      const auto& counts = policy == core::Policy::kDemandDriven
                                ? w.unacked
                                : w.in_flight;
       tk->instant(obs_->now(), "policy.pick", target,

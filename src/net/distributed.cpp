@@ -584,8 +584,11 @@ void DistributedEngine::on_frame(int peer, const Frame& f) {
       // be settled — but a DD ack for a reclaimed buffer means the payload
       // was both processed there and retransmitted elsewhere: a potential
       // duplicate delivery, counted like the simulator's ack-races-failover.
-      if (f.type() == FrameType::kAck &&
-          config_.policy == core::Policy::kDemandDriven) {
+      const int fs = static_cast<int>(f.header.route.stream);
+      if (f.type() == FrameType::kAck && fs >= 0 &&
+          fs < graph_.num_streams() &&
+          core::effective_policy(config_.policy, graph_.stream(fs)) ==
+              core::Policy::kDemandDriven) {
         std::lock_guard<std::mutex> flk(faults_mu_);
         faults_.buffers_duplicated++;
       }
@@ -765,7 +768,9 @@ const char* DistributedEngine::deliver_locked(const Frame& f, int origin) {
             // zeroed this target's counters; nothing to settle.
           } else {
             w.on_dequeue(route.target);
-            if (ft && config_.policy != core::Policy::kDemandDriven &&
+            if (ft &&
+                core::effective_policy(config_.policy, spec) !=
+                    core::Policy::kDemandDriven &&
                 !ret.empty()) {
               ret.pop_front();  // RR/WRR: consumer took responsibility
             }
@@ -1368,7 +1373,11 @@ void DistributedEngine::consume_loop(Instance& inst, ContextImpl& ctx) {
     inst.m.buffers_in++;
     inst.m.bytes_in += d.buf.size();
 
-    const bool dd = config_.policy == core::Policy::kDemandDriven;
+    const bool dd =
+        core::effective_policy(
+            config_.policy,
+            graph_.stream(static_cast<int>(d.route.stream))) ==
+        core::Policy::kDemandDriven;
     settle_dequeue(d, dd);
     if (dd) inst.m.acks_sent++;
 
@@ -1453,6 +1462,9 @@ void DistributedEngine::drain(Instance& inst) {
 void DistributedEngine::dispatch(Instance& inst, int port, core::Buffer buf) {
   Writer& w = inst.writers[static_cast<std::size_t>(port)];
   const bool ft = fault_tolerant();
+  const core::Policy policy =
+      core::effective_policy(config_.policy, *w.stream->spec);
+  const int key = buf.route_key();
   const auto local = [&](int t) {
     return w.stream->targets[static_cast<std::size_t>(t)]->host ==
            inst.cset->host;
@@ -1479,8 +1491,8 @@ void DistributedEngine::dispatch(Instance& inst, int port, core::Buffer buf) {
       faults_.buffers_lost++;
       return;
     }
-    target = w.pick(config_.policy, config_.window, w.stream->wrr_order, dead,
-                    local);
+    target = w.pick(policy, config_.window, w.stream->wrr_order, dead, local,
+                    key);
     if (target < 0) {
       // Window stall: the slot frees on a local dequeue, a CREDIT/ACK
       // frame from a remote consumer, or a dead target's reclamation —
@@ -1494,8 +1506,8 @@ void DistributedEngine::dispatch(Instance& inst, int port, core::Buffer buf) {
           all_dead = true;
           return true;
         }
-        target = w.pick(config_.policy, config_.window, w.stream->wrr_order,
-                        dead, local);
+        target = w.pick(policy, config_.window, w.stream->wrr_order, dead,
+                        local, key);
         return target >= 0;
       };
       if (ft) {

@@ -236,7 +236,7 @@ int rank_main(net::RankEnv& env, const IsoAppSpec& spec,
 
   // Every rank builds the identical graph + placement (deterministic from
   // the spec); the engine instantiates only this rank's copies.
-  IsoApp app = build_iso_app(spec);
+  IsoApp app = opts.builder ? opts.builder(spec) : build_iso_app(spec);
   net::DistributedOptions dopts;
   dopts.barrier_timeout_s = opts.barrier_timeout_s;
   dopts.copy_payloads = opts.copy_payloads;

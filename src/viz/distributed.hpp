@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -34,6 +35,11 @@ struct DistributedRunOptions {
   /// additionally asserts at exit that the arena's payload-copy counter
   /// stayed zero — exit code 6 if a copy crept back onto the hot path.
   bool copy_payloads = false;
+  /// App-construction hook: each rank calls it (instead of build_iso_app)
+  /// to build its graph + placement + sink from the spec. Must be
+  /// deterministic — every rank builds the identical app. The tiled
+  /// compositor (comp::build_tiled_iso_app) plugs in here.
+  std::function<IsoApp(const IsoAppSpec&)> builder;
 };
 
 /// Outcome of a multi-process distributed render: every rank's process

@@ -312,6 +312,10 @@ void HsrEngine::init(core::FilterContext& ctx) {
 
 void HsrEngine::flush_entries(core::FilterContext& ctx,
                               const std::vector<PixEntry>& entries) {
+  if (sink_) {
+    sink_(ctx, entries.data(), entries.size());
+    return;
+  }
   if (stripes_ == 1) {
     core::Buffer out = ctx.make_buffer(0);
     for (const PixEntry& e : entries) {
@@ -382,6 +386,19 @@ void HsrEngine::input_boundary(core::FilterContext& ctx) {
 }
 
 void HsrEngine::eow(core::FilterContext& ctx) {
+  if (alg_ == HsrAlgorithm::kZBuffer && sink_) {
+    // Dense dump through the external sink: same index-ordered entries as
+    // the port path below, but the sink owns framing and routing.
+    const auto size = static_cast<std::uint32_t>(zb_.size());
+    std::vector<PixEntry> dense;
+    dense.reserve(size);
+    for (std::uint32_t i = 0; i < size; ++i) {
+      dense.push_back(PixEntry{i, zb_.depth_at(i), zb_.rgba_at(i)});
+    }
+    sink_(ctx, dense.data(), dense.size());
+    ctx.charge(w_.cost.zbuffer_touch_per_entry * static_cast<double>(size));
+    return;
+  }
   if (alg_ == HsrAlgorithm::kZBuffer) {
     // Dense dump: pixel information for inactive locations is transmitted
     // too — the communication overhead the paper calls out. Indices run in

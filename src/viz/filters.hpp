@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -142,6 +143,16 @@ class HsrEngine {
   [[nodiscard]] int stripes() const { return stripes_; }
   [[nodiscard]] int stripe_of(std::uint32_t index) const;
 
+  /// External fragment consumer: when set, every PixEntry batch — Active
+  /// Pixel flushes and the dense z-buffer EOW dump alike — is handed to the
+  /// sink instead of being written to the engine's output ports. The
+  /// compositor's fragment router uses this to frame and route entries by
+  /// tile id; the sink takes over all writing. Mutually exclusive with
+  /// set_partitioning (stripe routing stays on the port path).
+  using EntrySink =
+      std::function<void(core::FilterContext&, const PixEntry*, std::size_t)>;
+  void set_entry_sink(EntrySink sink) { sink_ = std::move(sink); }
+
  private:
   void flush_entries(core::FilterContext& ctx, const std::vector<PixEntry>& entries);
 
@@ -150,6 +161,7 @@ class HsrEngine {
   Camera camera_;
   int stripes_ = 1;
   int stripe_rows_ = 0;
+  EntrySink sink_;
   ZBuffer zb_;                               // kZBuffer
   std::unique_ptr<ActivePixelRaster> ap_;    // kActivePixel
 };
@@ -162,6 +174,9 @@ class RasterFilter final : public core::Filter {
       : engine_(alg, w) {
     engine_.set_partitioning(stripes);
   }
+  /// The wrapped HSR engine, exposed so composing filters (the tiled
+  /// compositor producers) can install an entry sink before init runs.
+  [[nodiscard]] HsrEngine& engine() { return engine_; }
   void init(core::FilterContext& ctx) override { engine_.init(ctx); }
   void process_buffer(core::FilterContext& ctx, int port,
                       const core::Buffer& buf) override;
@@ -212,6 +227,7 @@ class ReadExtractFilter final : public core::SourceFilter {
 class ExtractRasterFilter final : public core::Filter {
  public:
   ExtractRasterFilter(HsrAlgorithm alg, VizWorkload w) : w_(w), engine_(alg, w) {}
+  [[nodiscard]] HsrEngine& engine() { return engine_; }
   void init(core::FilterContext& ctx) override { engine_.init(ctx); }
   void process_buffer(core::FilterContext& ctx, int port,
                       const core::Buffer& buf) override;
@@ -228,6 +244,7 @@ class ReadExtractRasterFilter final : public core::SourceFilter {
  public:
   ReadExtractRasterFilter(HsrAlgorithm alg, VizWorkload w)
       : w_(w), engine_(alg, w) {}
+  [[nodiscard]] HsrEngine& engine() { return engine_; }
   void init(core::FilterContext& ctx) override;
   bool step(core::FilterContext& ctx) override;
   void process_eow(core::FilterContext& ctx) override { engine_.eow(ctx); }

@@ -1,5 +1,7 @@
 #include "viz/image.hpp"
 
+#include <algorithm>
+#include <cassert>
 #include <fstream>
 
 namespace dc::viz {
@@ -39,6 +41,44 @@ std::size_t Image::active_pixels(std::uint32_t background) const {
     if (p != background) ++n;
   }
   return n;
+}
+
+void Image::check_rect(int x0, int y0, int w, int h) const {
+  assert(w >= 0 && h >= 0);
+  assert(x0 >= 0 && y0 >= 0);
+  assert(x0 + w <= width_ && y0 + h <= height_);
+  (void)x0;
+  (void)y0;
+  (void)w;
+  (void)h;
+}
+
+void Image::blit(int x0, int y0, const Image& src) {
+  blit(x0, y0, src.width_, src.height_, src.pixels_);
+}
+
+void Image::blit(int x0, int y0, int w, int h,
+                 std::span<const std::uint32_t> src) {
+  check_rect(x0, y0, w, h);
+  assert(src.size() == static_cast<std::size_t>(w) * static_cast<std::size_t>(h));
+  for (int y = 0; y < h; ++y) {
+    const std::uint32_t* row = src.data() + static_cast<std::size_t>(y) * w;
+    std::uint32_t* dst = pixels_.data() +
+                         static_cast<std::size_t>(y0 + y) * width_ + x0;
+    std::copy(row, row + w, dst);
+  }
+}
+
+Image Image::sub_rect(int x0, int y0, int w, int h) const {
+  check_rect(x0, y0, w, h);
+  Image out(w, h);
+  for (int y = 0; y < h; ++y) {
+    const std::uint32_t* row =
+        pixels_.data() + static_cast<std::size_t>(y0 + y) * width_ + x0;
+    std::copy(row, row + w,
+              out.pixels_.data() + static_cast<std::size_t>(y) * w);
+  }
+  return out;
 }
 
 bool Image::write_ppm(const std::string& path) const {

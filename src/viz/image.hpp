@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -61,7 +62,24 @@ class Image {
   /// Writes a binary PPM (P6). Returns false on I/O failure.
   bool write_ppm(const std::string& path) const;
 
+  // --- sub-rect (tile) views -----------------------------------------------
+  // Merge paths composite rectangular regions (stripes, compositor tiles)
+  // into a frame. These helpers replace the ad-hoc offset arithmetic the
+  // call sites used to carry; every rect is asserted in-bounds.
+
+  /// Copies `src` into this image with its top-left corner at (x0, y0).
+  void blit(int x0, int y0, const Image& src);
+
+  /// Copies a w x h block of row-major pixels into this image at (x0, y0).
+  /// `src.size()` must be exactly w * h.
+  void blit(int x0, int y0, int w, int h, std::span<const std::uint32_t> src);
+
+  /// Extracts the w x h block at (x0, y0) as a standalone image.
+  [[nodiscard]] Image sub_rect(int x0, int y0, int w, int h) const;
+
  private:
+  void check_rect(int x0, int y0, int w, int h) const;
+
   int width_ = 0, height_ = 0;
   std::vector<std::uint32_t> pixels_;
 };

@@ -7,11 +7,7 @@ namespace dc::viz {
 void StripeAssembler::add_stripe(int uow, int y0, const Image& stripe) {
   Pending& p = pending_[uow];
   if (p.image.empty()) p.image = Image(width_, height_, sink_->background);
-  for (int y = 0; y < stripe.height(); ++y) {
-    for (int x = 0; x < width_; ++x) {
-      p.image.set(x, y0 + y, stripe.at(x, y));
-    }
-  }
+  p.image.blit(0, y0, stripe);
   if (++p.received == stripes_) {
     sink_->push(std::move(p.image));
     pending_.erase(uow);

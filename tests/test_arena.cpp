@@ -125,6 +125,20 @@ TEST(Arena, AdoptKeepsBytesAndStorageIdentity) {
   EXPECT_EQ(b.capacity(), 64u);
 }
 
+TEST(Arena, SlotCapacityRoundsToTheRetainedClass) {
+  // Tiny requests share the minimum class; everything else rounds up to
+  // the next power of two — and an exact power of two is its own class.
+  EXPECT_EQ(BufferArena::slot_capacity(1), BufferArena::slot_capacity(0));
+  EXPECT_EQ(BufferArena::slot_capacity(200u << 10), 256u << 10);
+  EXPECT_EQ(BufferArena::slot_capacity(1u << 20), 1u << 20);
+  EXPECT_EQ(BufferArena::slot_capacity((1u << 20) + 1), 2u << 20);
+  // A lease of n bytes really lands in that class: capacity covers it.
+  BufferArena arena;
+  auto slot = arena.lease(300);
+  slot->resize(BufferArena::slot_capacity(300));
+  EXPECT_GE(slot->capacity(), 300u);
+}
+
 TEST(Arena, NotePayloadCopyBooksTheCounters) {
   BufferArena arena;
   EXPECT_EQ(arena.stats().payload_copies, 0u);

@@ -1,0 +1,262 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "comp/app.hpp"
+#include "core/policy.hpp"
+#include "core/runtime.hpp"
+#include "test_util.hpp"
+#include "viz/app.hpp"
+#include "viz/distributed.hpp"
+
+// Tiled-compositor differential harness: the parallel tile compositor
+// (producers -> per-host TM owners -> G gather, Policy::kTileOwner on the
+// fragment stream) must reproduce the legacy single-Merge image
+// BIT-IDENTICALLY — on the native threaded engine and across 1/2/4 real OS
+// processes — for every pipeline config, writer policy, and tile size. The
+// anchor is test_util's direct_render, which bypasses the filter runtime
+// entirely; the z-buffer merge rule is order-independent, so tiling the
+// frame and racing the owners cannot change a single pixel.
+//
+// NOTE on threading: the parent forks rank groups (the TSan job runs this
+// binary), so distributed runs come AFTER native runs — exec::Engine joins
+// all its threads before returning.
+
+namespace dc {
+namespace {
+
+constexpr double kGroupTimeout = 180.0;
+
+struct CompDifferential : ::testing::Test {
+  test::TestDataset ds = test::make_dataset(24, 3, 16);
+
+  viz::IsoAppSpec spec(viz::PipelineConfig config,
+                       std::vector<viz::HostCopies> data,
+                       std::vector<viz::HostCopies> raster) {
+    std::vector<data::FileLocation> locs;
+    for (const auto& hc : data) locs.push_back(data::FileLocation{hc.host, 0});
+    ds.store->place_uniform(locs);
+
+    viz::IsoAppSpec s;
+    s.workload = test::make_workload(ds, 48, 48);
+    s.config = config;
+    s.hsr = viz::HsrAlgorithm::kActivePixel;
+    s.data_hosts = std::move(data);
+    s.raster_hosts = std::move(raster);
+    s.merge_host = 0;  // legacy baseline: single M on host 0
+    return s;
+  }
+
+  /// Runs legacy single-M and tiled native apps for the same spec and
+  /// asserts bit-identical images, plus a clean compositor ledger (no
+  /// partial tiles without injected faults).
+  void expect_tiled_matches_legacy(const viz::IsoAppSpec& s,
+                                   const comp::TiledCompSpec& comp,
+                                   const core::RuntimeConfig& cfg,
+                                   int uows = 1) {
+    const viz::NativeRenderRun legacy = viz::run_iso_app_native(s, cfg, uows);
+    const comp::TiledNativeRun tiled =
+        comp::run_tiled_iso_app_native(s, comp, cfg, uows);
+
+    ASSERT_EQ(tiled.sink->digests.size(), static_cast<std::size_t>(uows));
+    EXPECT_EQ(tiled.sink->digests, legacy.sink->digests);
+    ASSERT_EQ(tiled.sink->images.size(), legacy.sink->images.size());
+    for (std::size_t u = 0; u < tiled.sink->images.size(); ++u) {
+      EXPECT_EQ(tiled.sink->images[u], legacy.sink->images[u]) << "uow " << u;
+    }
+    // Clean run: every tile completed, something actually flowed.
+    EXPECT_EQ(tiled.stats->tiles_partial.load(), 0u);
+    EXPECT_TRUE(tiled.stats->last_partial_tiles.empty());
+    EXPECT_GT(tiled.stats->fragments_received.load(), 0u);
+    EXPECT_GT(tiled.stats->gather_bytes.load(), 0u);
+    const std::uint64_t tiles_per_uow =
+        static_cast<std::uint64_t>(tiled.map->layout().num_tiles());
+    EXPECT_EQ(tiled.stats->tiles_complete.load(),
+              tiles_per_uow * static_cast<std::uint64_t>(uows));
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Native engine: every pipeline config x tile size, anchored by the
+// runtime-free reference renderer.
+// ---------------------------------------------------------------------------
+
+TEST_F(CompDifferential, EveryConfigAndTileSizeMatchesLegacyAndReference) {
+  core::RuntimeConfig cfg;
+  cfg.policy = core::Policy::kDemandDriven;
+  for (viz::PipelineConfig config :
+       {viz::PipelineConfig::kRERa_M, viz::PipelineConfig::kRE_Ra_M,
+        viz::PipelineConfig::kR_ERa_M}) {
+    auto s = config == viz::PipelineConfig::kRERa_M
+                 ? spec(config, viz::one_each({0, 1}), {})
+                 : spec(config, viz::one_each({0}), {{1, 2}, {2, 1}});
+    const std::uint64_t reference =
+        test::direct_render(s.workload, 0).digest();
+    for (int tile_px : {16, 32, 64}) {
+      SCOPED_TRACE(std::string(viz::to_string(config)) + " tile " +
+                   std::to_string(tile_px));
+      comp::TiledCompSpec comp;
+      comp.tile_px = tile_px;
+      comp.owner_hosts = {1, 2};
+      comp.gather_host = 0;
+      expect_tiled_matches_legacy(s, comp, cfg);
+
+      const comp::TiledNativeRun tiled =
+          comp::run_tiled_iso_app_native(s, comp, cfg, 1);
+      EXPECT_EQ(tiled.sink->digests[0], reference);
+    }
+  }
+}
+
+// A tile grid that doesn't divide the frame (48^2 image, 20 px tiles) —
+// edge-clipped tiles on both axes must not disturb a single pixel.
+TEST_F(CompDifferential, ClippedEdgeTilesMatchLegacy) {
+  auto s = spec(viz::PipelineConfig::kRE_Ra_M, viz::one_each({0}), {{1, 2}});
+  core::RuntimeConfig cfg;
+  cfg.policy = core::Policy::kDemandDriven;
+  comp::TiledCompSpec comp;
+  comp.tile_px = 20;
+  comp.owner_hosts = {0, 1};
+  comp.gather_host = 1;  // gather away from host 0, away from the owners' majority
+  expect_tiled_matches_legacy(s, comp, cfg);
+}
+
+// ---------------------------------------------------------------------------
+// Upstream writer-policy sweep: the fragment stream is pinned to kTileOwner
+// by the builder, but everything upstream runs the configured default —
+// including kTileOwner itself, whose unkeyed buffers fall back to the RR
+// rotation. Multiple seeds shuffle DD ack timing and WRR weights.
+// ---------------------------------------------------------------------------
+
+class CompSeededPolicy
+    : public CompDifferential,
+      public ::testing::WithParamInterface<core::Policy> {};
+
+TEST_P(CompSeededPolicy, TiledMatchesLegacyAcrossSeeds) {
+  auto s = spec(viz::PipelineConfig::kRE_Ra_M, viz::one_each({0}),
+                {{1, 2}, {2, 1}});
+  comp::TiledCompSpec comp;
+  comp.owner_hosts = {2, 0};
+  comp.gather_host = 1;
+  for (std::uint64_t seed : {1ULL, 42ULL, 424242ULL}) {
+    core::RuntimeConfig cfg;
+    cfg.policy = GetParam();
+    cfg.rng_seed = seed;
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    expect_tiled_matches_legacy(s, comp, cfg);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, CompSeededPolicy,
+                         ::testing::Values(core::Policy::kRoundRobin,
+                                           core::Policy::kWeightedRoundRobin,
+                                           core::Policy::kDemandDriven,
+                                           core::Policy::kTileOwner),
+                         [](const auto& info) {
+                           return std::string(core::to_string(info.param));
+                         });
+
+// Different map seeds permute tile ownership; the image must not care.
+TEST_F(CompDifferential, MapSeedIsInvisibleInTheImage) {
+  auto s = spec(viz::PipelineConfig::kRE_Ra_M, viz::one_each({0}), {{1, 2}});
+  core::RuntimeConfig cfg;
+  cfg.policy = core::Policy::kDemandDriven;
+  std::vector<std::uint64_t> digests;
+  for (std::uint64_t map_seed : {1ULL, 0x7d0ULL, 999ULL}) {
+    comp::TiledCompSpec comp;
+    comp.owner_hosts = {1, 2};
+    comp.gather_host = 0;
+    comp.map_seed = map_seed;
+    const comp::TiledNativeRun run =
+        comp::run_tiled_iso_app_native(s, comp, cfg, 1);
+    ASSERT_EQ(run.sink->digests.size(), 1u);
+    digests.push_back(run.sink->digests[0]);
+  }
+  EXPECT_EQ(digests[0], digests[1]);
+  EXPECT_EQ(digests[1], digests[2]);
+}
+
+// Multi-UOW with a moving camera: per-UOW filter instantiation resets every
+// tile ledger, and each timestep's gathered frame matches the legacy one.
+TEST_F(CompDifferential, MultiUowVaryingViewMatchesLegacy) {
+  auto s = spec(viz::PipelineConfig::kRERa_M, viz::one_each({0, 1}), {});
+  s.workload.vary_view_per_uow = true;
+  core::RuntimeConfig cfg;
+  cfg.policy = core::Policy::kDemandDriven;
+  comp::TiledCompSpec comp;
+  comp.owner_hosts = {0, 1};
+  comp.gather_host = 1;
+  expect_tiled_matches_legacy(s, comp, cfg, /*uows=*/3);
+}
+
+// ---------------------------------------------------------------------------
+// Distributed: the same tiled app on 1/2/4 real OS processes (TM owners on
+// separate ranks, fragment DATA frames through the zero-copy arena path)
+// must match the native tiled run and the legacy single-M run bit for bit.
+// ---------------------------------------------------------------------------
+
+TEST_F(CompDifferential, DistributedTiledMatchesNativeAcrossRankCounts) {
+  for (int ranks : {1, 2, 4}) {
+    auto s = ranks == 1 ? spec(viz::PipelineConfig::kRERa_M,
+                               viz::one_each({0}), {})
+             : ranks == 2
+                 ? spec(viz::PipelineConfig::kRERa_M, viz::one_each({0}), {})
+                 : spec(viz::PipelineConfig::kRERa_M, viz::one_each({0, 1}),
+                        {});
+    comp::TiledCompSpec comp;
+    comp.owner_hosts = ranks == 1 ? std::vector<int>{0}
+                       : ranks == 2 ? std::vector<int>{0, 1}
+                                    : std::vector<int>{1, 2, 3};
+    comp.gather_host = 0;
+
+    core::RuntimeConfig cfg;
+    cfg.policy = core::Policy::kDemandDriven;
+    SCOPED_TRACE("ranks " + std::to_string(ranks));
+
+    const viz::NativeRenderRun legacy = viz::run_iso_app_native(s, cfg, 1);
+    const comp::TiledNativeRun tiled =
+        comp::run_tiled_iso_app_native(s, comp, cfg, 1);
+    ASSERT_EQ(tiled.sink->digests, legacy.sink->digests);
+
+    viz::DistributedRunOptions opts;
+    opts.timeout_s = kGroupTimeout;
+    const viz::DistributedRenderRun dist =
+        comp::run_tiled_iso_app_distributed(s, comp, cfg, 1, ranks, opts);
+    ASSERT_TRUE(dist.ok) << dist.error;
+    ASSERT_EQ(dist.digests.size(), 1u);
+    EXPECT_EQ(dist.digests, legacy.sink->digests);
+    ASSERT_EQ(dist.images.size(), legacy.sink->images.size());
+    for (std::size_t u = 0; u < dist.images.size(); ++u) {
+      EXPECT_EQ(dist.images[u], legacy.sink->images[u]) << "uow " << u;
+    }
+  }
+}
+
+// Distributed multi-UOW under the kTileOwner run default: the lockstep DONE
+// barrier, the per-UOW ledger reset, and the unkeyed-buffer RR fallback all
+// compose with real sockets.
+TEST_F(CompDifferential, DistributedMultiUowTileOwnerDefault) {
+  auto s = spec(viz::PipelineConfig::kRE_Ra_M, viz::one_each({0}), {{1, 2}});
+  s.workload.vary_view_per_uow = true;
+  comp::TiledCompSpec comp;
+  comp.owner_hosts = {1, 0};
+  comp.gather_host = 0;
+  core::RuntimeConfig cfg;
+  cfg.policy = core::Policy::kTileOwner;
+
+  const comp::TiledNativeRun tiled =
+      comp::run_tiled_iso_app_native(s, comp, cfg, 3);
+
+  viz::DistributedRunOptions opts;
+  opts.timeout_s = kGroupTimeout;
+  const viz::DistributedRenderRun dist =
+      comp::run_tiled_iso_app_distributed(s, comp, cfg, 3, /*num_ranks=*/2,
+                                          opts);
+  ASSERT_TRUE(dist.ok) << dist.error;
+  EXPECT_EQ(dist.digests, tiled.sink->digests);
+}
+
+}  // namespace
+}  // namespace dc

@@ -115,6 +115,7 @@ INSTANTIATE_TEST_SUITE_P(Policies, SeededPolicy,
                              case core::Policy::kRoundRobin: return "RR";
                              case core::Policy::kWeightedRoundRobin: return "WRR";
                              case core::Policy::kDemandDriven: return "DD";
+                             case core::Policy::kTileOwner: return "TILE";
                            }
                            return "unknown";
                          });

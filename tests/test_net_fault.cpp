@@ -343,6 +343,7 @@ const char* policy_name(core::Policy p) {
     case core::Policy::kRoundRobin: return "RR";
     case core::Policy::kWeightedRoundRobin: return "WRR";
     case core::Policy::kDemandDriven: return "DD";
+    case core::Policy::kTileOwner: return "TILE";
   }
   return "?";
 }
