@@ -12,9 +12,6 @@ namespace {
 
 /// Smallest retained slot; tiny control payloads all share one class.
 constexpr std::size_t kMinClassBytes = 256;
-/// Freelist retention caps — beyond these a returned slot is simply freed.
-constexpr std::size_t kMaxSlotsPerClass = 64;
-constexpr std::size_t kMaxRetainedBytes = 128u * 1024u * 1024u;
 
 std::size_t class_of(std::size_t n) {
   return n <= kMinClassBytes ? kMinClassBytes : std::bit_ceil(n);
@@ -28,6 +25,7 @@ struct BufferArena::Pool {
                      std::vector<std::unique_ptr<std::vector<std::byte>>>>
       free;
   std::size_t retained_bytes = 0;
+  ArenaOptions opts;  ///< retention caps, mutable via set_retention()
 
   std::atomic<std::uint64_t> leased{0};
   std::atomic<std::uint64_t> returned{0};
@@ -38,7 +36,10 @@ struct BufferArena::Pool {
   std::atomic<std::uint64_t> copy_bytes{0};
 };
 
-BufferArena::BufferArena() : pool_(std::make_shared<Pool>()) {}
+BufferArena::BufferArena(ArenaOptions options)
+    : pool_(std::make_shared<Pool>()) {
+  pool_->opts = options;
+}
 
 std::shared_ptr<std::vector<std::byte>> BufferArena::lease(
     std::size_t capacity_bytes) {
@@ -73,9 +74,9 @@ std::shared_ptr<std::vector<std::byte>> BufferArena::lease(
         v->clear();  // keeps capacity; bytes are dead, the slab is not
         std::unique_ptr<std::vector<std::byte>> owned(v);
         std::lock_guard<std::mutex> lk(pool->mu);
-        if (pool->retained_bytes + cls <= kMaxRetainedBytes) {
+        if (pool->retained_bytes + cls <= pool->opts.max_retained_bytes) {
           auto& bucket = pool->free[cls];
-          if (bucket.size() < kMaxSlotsPerClass) {
+          if (bucket.size() < pool->opts.max_slots_per_class) {
             bucket.push_back(std::move(owned));
             pool->retained_bytes += cls;
           }
@@ -95,6 +96,39 @@ std::size_t BufferArena::slot_capacity(std::size_t capacity_bytes) {
 void BufferArena::note_payload_copy(std::size_t bytes) {
   pool_->copies.fetch_add(1, std::memory_order_relaxed);
   pool_->copy_bytes.fetch_add(bytes, std::memory_order_relaxed);
+}
+
+ArenaOptions BufferArena::set_retention(ArenaOptions options) {
+  std::lock_guard<std::mutex> lk(pool_->mu);
+  ArenaOptions prev = pool_->opts;
+  pool_->opts = options;
+  // Trim eagerly so a tightened cap takes effect now, not at next churn.
+  // Per-class first (cheap), then total bytes, dropping from arbitrary
+  // classes until under the cap — freed slots just die with their
+  // unique_ptr.
+  for (auto& [cls, bucket] : pool_->free) {
+    while (bucket.size() > options.max_slots_per_class) {
+      bucket.pop_back();
+      pool_->retained_bytes -= cls;
+    }
+  }
+  for (auto it = pool_->free.begin();
+       pool_->retained_bytes > options.max_retained_bytes &&
+       it != pool_->free.end();
+       ++it) {
+    auto& [cls, bucket] = *it;
+    while (!bucket.empty() &&
+           pool_->retained_bytes > options.max_retained_bytes) {
+      bucket.pop_back();
+      pool_->retained_bytes -= cls;
+    }
+  }
+  return prev;
+}
+
+ArenaOptions BufferArena::retention() const {
+  std::lock_guard<std::mutex> lk(pool_->mu);
+  return pool_->opts;
 }
 
 ArenaStats BufferArena::stats() const {

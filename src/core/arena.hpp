@@ -9,6 +9,16 @@
 
 namespace dc::core {
 
+/// Freelist retention caps of one BufferArena: beyond these a returned slot
+/// is freed instead of refiled. The defaults are the historical hardcoded
+/// values, so an arena constructed without options behaves exactly as before;
+/// a MemoryGovernor tightens them on governed hosts (retained bytes bounded
+/// by the memory budget) and restores them on destruction.
+struct ArenaOptions {
+  std::size_t max_slots_per_class = 64;
+  std::size_t max_retained_bytes = 128u * 1024u * 1024u;
+};
+
 /// Point-in-time counters of one BufferArena. Leases and returns are
 /// counted at the storage-slot level (one slot == one backing
 /// std::vector<std::byte>, however many Buffer handles share it), so
@@ -57,7 +67,7 @@ struct ArenaStats {
 /// All methods are thread-safe.
 class BufferArena {
  public:
-  BufferArena();
+  explicit BufferArena(ArenaOptions options = {});
 
   /// Leases one storage slot with at least `capacity_bytes` reserved. The
   /// vector is empty (size 0); receivers that need a sized span resize it.
@@ -78,6 +88,14 @@ class BufferArena {
   [[nodiscard]] static std::size_t slot_capacity(std::size_t capacity_bytes);
 
   [[nodiscard]] ArenaStats stats() const;
+
+  /// Replaces the retention caps at runtime (thread-safe). Already-retained
+  /// slots above the new caps are freed immediately, so tightening takes
+  /// effect without waiting for churn. Returns the previous options so a
+  /// caller scoping a tighter policy (MemoryGovernor::govern) can restore
+  /// them.
+  ArenaOptions set_retention(ArenaOptions options);
+  [[nodiscard]] ArenaOptions retention() const;
 
   /// The process-wide arena every engine, scheduler, and transport uses by
   /// default. Tests may construct private arenas for isolation.

@@ -1,0 +1,189 @@
+#include "core/mem_governor.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/arena.hpp"
+#include "obs/metrics.hpp"
+
+namespace dc::core {
+
+namespace {
+
+/// Demand counters are halved across the board once the total passes this,
+/// so the proportional caps track recent hotness instead of all of history.
+constexpr std::uint64_t kDemandDecayThreshold = 1u << 20;
+
+}  // namespace
+
+MemoryGovernor::MemoryGovernor(GovernorConfig cfg) : cfg_(std::move(cfg)) {
+  stats_.budget_bytes = cfg_.budget_bytes;
+}
+
+MemoryGovernor::~MemoryGovernor() {
+  if (governed_arena_ != nullptr) {
+    // Restore the defaults we displaced in govern(); the arena is typically
+    // the process-wide global, so leaving tightened caps behind would bleed
+    // into unrelated runs (and tests) sharing the process.
+    governed_arena_->set_retention(ArenaOptions{});
+  }
+}
+
+int MemoryGovernor::register_queue(std::size_t floor_slots,
+                                   std::size_t slot_bytes) {
+  std::lock_guard<std::mutex> lk(mu_);
+  const int id = next_id_++;
+  Queue q;
+  q.floor_bytes = floor_slots * slot_bytes;
+  q.slot_bytes = slot_bytes;
+  queues_.emplace(id, q);
+  floor_reserved_ += q.floor_bytes;
+  stats_.floor_reserved_bytes =
+      std::max<std::uint64_t>(stats_.floor_reserved_bytes, floor_reserved_);
+  ++stats_.queues_registered;
+  return id;
+}
+
+void MemoryGovernor::unregister_queue(int id) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = queues_.find(id);
+  if (it == queues_.end()) return;
+  Queue& q = it->second;
+  used_bytes_ -= q.mem_bytes;
+  floor_reserved_ -= q.floor_bytes;
+  floor_used_ -= std::min(floor_used_, q.floor_used);
+  total_demand_ -= std::min(total_demand_, q.demand);
+  queues_.erase(it);
+}
+
+void MemoryGovernor::charge_locked(Queue& q, std::size_t bytes, bool elastic) {
+  q.mem_bytes += bytes;
+  if (elastic) q.elastic_bytes += bytes;
+  used_bytes_ += bytes;
+  stats_.high_water_bytes =
+      std::max<std::uint64_t>(stats_.high_water_bytes, used_bytes_);
+}
+
+bool MemoryGovernor::try_admit(int id, std::size_t bytes, bool within_floor) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = queues_.find(id);
+  if (it == queues_.end()) throw std::logic_error("governor: unknown queue id");
+  Queue& q = it->second;
+
+  if (within_floor) {
+    // The fixed-window entitlement: never denied, charged so the high-water
+    // mark reflects true residency. A floor admission converts reserved
+    // entitlement into used bytes — the committed total (used + unused
+    // reservation) is unchanged, which is what makes the budget a strict
+    // high-water bound whenever budget >= floor_reserved_.
+    q.floor_used += bytes;
+    floor_used_ += bytes;
+    charge_locked(q, bytes, /*elastic=*/false);
+    return true;
+  }
+
+  ++q.demand;
+  ++total_demand_;
+  if (total_demand_ >= kDemandDecayThreshold) {
+    total_demand_ = 0;
+    for (auto& [qid, qq] : queues_) {
+      qq.demand /= 2;
+      total_demand_ += qq.demand;
+    }
+  }
+
+  // An elastic grant must leave room for every queue to still fill its floor:
+  // committed = used bytes + floor entitlement not yet drawn. Checking against
+  // committed (not just used) is what makes the budget a strict bound on the
+  // high-water mark — a later floor admission never finds the budget already
+  // eaten by elastic grants.
+  const std::size_t unused_floor =
+      floor_reserved_ > floor_used_ ? floor_reserved_ - floor_used_ : 0;
+  if (used_bytes_ + unused_floor + bytes > cfg_.budget_bytes) {
+    ++stats_.denials;
+    return false;
+  }
+
+  // Demand-proportional cap over the surplus (budget minus every queue's
+  // floor reservation), never below one slot so a queue with room in the
+  // budget always holds at least one elastic item.
+  const std::size_t surplus =
+      cfg_.budget_bytes > floor_reserved_ ? cfg_.budget_bytes - floor_reserved_
+                                          : 0;
+  std::size_t cap = total_demand_ > 0
+                        ? static_cast<std::size_t>(
+                              static_cast<double>(surplus) *
+                              static_cast<double>(q.demand) /
+                              static_cast<double>(total_demand_))
+                        : surplus;
+  cap = std::max(cap, std::max(q.slot_bytes, bytes));
+  if (q.elastic_bytes + bytes > cap) {
+    ++stats_.denials;
+    return false;
+  }
+
+  charge_locked(q, bytes, /*elastic=*/true);
+  ++stats_.grants;
+  return true;
+}
+
+void MemoryGovernor::release(int id, std::size_t bytes, bool was_elastic) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = queues_.find(id);
+  if (it == queues_.end()) return;  // queue already unregistered (teardown)
+  Queue& q = it->second;
+  const std::size_t dec = std::min(bytes, q.mem_bytes);
+  q.mem_bytes -= dec;
+  used_bytes_ -= dec;
+  if (was_elastic) {
+    q.elastic_bytes -= std::min(bytes, q.elastic_bytes);
+    ++stats_.reclaims;
+  } else {
+    const std::size_t fdec = std::min(bytes, q.floor_used);
+    q.floor_used -= fdec;
+    floor_used_ -= fdec;
+  }
+}
+
+void MemoryGovernor::note_spill(std::size_t bytes) {
+  std::lock_guard<std::mutex> lk(mu_);
+  ++stats_.spilled_buffers;
+  stats_.spilled_bytes += bytes;
+}
+
+void MemoryGovernor::note_readmit(std::size_t bytes) {
+  std::lock_guard<std::mutex> lk(mu_);
+  ++stats_.readmitted_buffers;
+  stats_.readmitted_bytes += bytes;
+}
+
+void MemoryGovernor::govern(BufferArena& arena) {
+  ArenaOptions opts;  // defaults == the historical caps
+  opts.max_retained_bytes = std::min(opts.max_retained_bytes,
+                                     std::max<std::size_t>(cfg_.budget_bytes,
+                                                           1));
+  arena.set_retention(opts);
+  governed_arena_ = &arena;
+}
+
+GovernorStats MemoryGovernor::stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return stats_;
+}
+
+void publish(const GovernorStats& s, obs::MetricsRegistry& reg,
+             const std::string& prefix) {
+  reg.set(prefix + ".grants", s.grants);
+  reg.set(prefix + ".denials", s.denials);
+  reg.set(prefix + ".reclaims", s.reclaims);
+  reg.set(prefix + ".spilled_buffers", s.spilled_buffers);
+  reg.set(prefix + ".spilled_bytes", s.spilled_bytes);
+  reg.set(prefix + ".readmitted_buffers", s.readmitted_buffers);
+  reg.set(prefix + ".readmitted_bytes", s.readmitted_bytes);
+  reg.set(prefix + ".high_water_bytes", s.high_water_bytes);
+  reg.set(prefix + ".budget_bytes", s.budget_bytes);
+  reg.set(prefix + ".floor_reserved_bytes", s.floor_reserved_bytes);
+  reg.set(prefix + ".queues_registered", s.queues_registered);
+}
+
+}  // namespace dc::core

@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "core/graph.hpp"
@@ -29,6 +30,20 @@ struct RuntimeConfig {
   std::uint64_t rng_seed = 42;
   /// Livelock guard: a UOW firing more events than this throws.
   std::uint64_t max_events_per_uow = 2'000'000'000ULL;
+
+  // ---- memory governor (ROADMAP item 3) ------------------------------------
+  /// Per-host byte budget for queued stream buffers. 0 reproduces the legacy
+  /// fixed-window behavior exactly. Nonzero switches exec::Engine and
+  /// net::DistributedEngine into governed mode: every copy-set queue keeps a
+  /// floor of `window` slots and grows elastically into the budget; overflow
+  /// spills to disk instead of stalling the producer, and is re-admitted in
+  /// FIFO order so outputs stay bit-identical to the fixed-window baseline.
+  /// The simulator ignores the budget (virtual memory residency is not
+  /// modeled) and remains the fixed-window reference behavior.
+  std::size_t memory_budget_bytes = 0;
+  /// Directory for spill files; empty resolves $TMPDIR, falling back to
+  /// /tmp (io::temp_root).
+  std::string spill_dir;
 
   // ---- fault tolerance -----------------------------------------------------
   /// kNone reproduces the seed behavior exactly (no retention, no timers —

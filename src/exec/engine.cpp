@@ -7,6 +7,8 @@
 #include <cstdint>
 #include <deque>
 #include <exception>
+#include <filesystem>
+#include <limits>
 #include <mutex>
 #include <stdexcept>
 #include <thread>
@@ -17,6 +19,7 @@
 #include "core/filter.hpp"
 #include "core/writer_state.hpp"
 #include "exec/queue.hpp"
+#include "io/spill.hpp"
 
 namespace dc::exec {
 
@@ -27,6 +30,13 @@ using Clock = std::chrono::steady_clock;
 double seconds_since(Clock::time_point t0) {
   return std::chrono::duration<double>(Clock::now() - t0).count();
 }
+
+/// Effective writer window in governed mode: the channel's governor decides
+/// memory residency, so the per-target dispatch window must not be the
+/// bottleneck — a producer runs ahead as far as the budget (and then the
+/// spill file) lets it. Half of INT_MAX keeps the WriterState arithmetic
+/// comfortably clear of overflow.
+constexpr int kElasticWindow = std::numeric_limits<int>::max() / 2;
 
 struct PendingOut {
   int port;
@@ -61,6 +71,10 @@ struct Engine::CopySetRt {
   int filter = -1;
   int host = -1;
   std::vector<Instance*> copies;
+  /// Overflow store for the governed regime (null when ungoverned). Declared
+  /// before the channel so the channel — whose spill hooks hold a raw
+  /// pointer to it — is destroyed first.
+  std::unique_ptr<io::SpillFile> spill;
   PortChannel<Delivery> channel;
 };
 
@@ -224,9 +238,21 @@ Engine::Engine(const core::Graph& graph, const core::Placement& placement,
   for (int s = 0; s < graph_.num_streams(); ++s) {
     metrics_.streams[static_cast<std::size_t>(s)].name = graph_.stream(s).name;
   }
+  if (config_.memory_budget_bytes > 0) {
+    core::GovernorConfig gc;
+    gc.budget_bytes = config_.memory_budget_bytes;
+    gc.spill_dir = config_.spill_dir;
+    governor_ = std::make_unique<core::MemoryGovernor>(gc);
+    // Budget-derived arena retention (restored when the governor dies).
+    governor_->govern(core::BufferArena::global());
+  }
 }
 
 Engine::~Engine() = default;
+
+core::GovernorStats Engine::governor_stats() const {
+  return governor_ ? governor_->stats() : core::GovernorStats{};
+}
 
 int Engine::total_copies(int filter) const {
   return placement_.total_copies(filter);
@@ -281,6 +307,43 @@ void Engine::build_uow() {
       cset->host = e.host;
       cset->channel.init(in_ports, static_cast<std::size_t>(config_.window),
                          &aborted_);
+      if (governor_ != nullptr && in_ports > 0) {
+        // Governed regime: `window` becomes the per-port floor and the
+        // channel spills overflow into this copy set's scratch file. The
+        // slot size registered as the floor entitlement is the largest
+        // negotiated buffer among the filter's input streams.
+        std::size_t slot_bytes = 1;
+        for (int s : graph_.in_streams(f)) {
+          slot_bytes = std::max(slot_bytes,
+                                buffer_bytes_[static_cast<std::size_t>(s)]);
+        }
+        cset->spill = std::make_unique<io::SpillFile>(
+            std::filesystem::path(config_.spill_dir));
+        io::SpillFile* file = cset->spill.get();
+        SpillOps<Delivery> ops;
+        ops.size = [](const Delivery& d) {
+          return std::max<std::size_t>(d.buf.capacity(), 1);
+        };
+        ops.evict = [file](Delivery& d) {
+          const std::uint64_t token = file->append(d.buf.bytes());
+          // Keep routing metadata in a storage-less shell; the payload now
+          // lives only in the spill file.
+          core::Buffer shell = core::Buffer::adopt(nullptr, d.buf.capacity());
+          shell.set_route_key(d.buf.route_key());
+          d.buf = std::move(shell);
+          return token;
+        };
+        ops.restore = [file](Delivery& d, std::uint64_t token) {
+          auto slot = core::BufferArena::global().lease(d.buf.capacity());
+          file->read(token, *slot);  // CRC32C-verified
+          core::Buffer full = core::Buffer::adopt(std::move(slot),
+                                                  d.buf.capacity());
+          full.set_route_key(d.buf.route_key());
+          d.buf = std::move(full);
+        };
+        cset->channel.bind_governor(governor_.get(), slot_bytes,
+                                    std::move(ops));
+      }
       csets_by_filter[static_cast<std::size_t>(f)].push_back(cset.get());
       copysets_.push_back(std::move(cset));
     }
@@ -578,19 +641,21 @@ void Engine::dispatch(Instance& inst, int port, core::Buffer buf) {
   };
   const auto dead = [](int) { return false; };
 
+  // Governed mode lifts the per-target dispatch window: memory residency is
+  // the governor's call (spill absorbs overflow), so a fixed window would
+  // just reintroduce the stall this regime removes.
+  const int win = governor_ != nullptr ? kElasticWindow : config_.window;
   int target = -1;
   {
     std::unique_lock<std::mutex> lk(inst.wmu);
-    target = w.pick(policy, config_.window, w.stream->wrr_order, dead, local,
-                    key);
+    target = w.pick(policy, win, w.stream->wrr_order, dead, local, key);
     if (target < 0) {
       // Stalled on the windows; re-evaluate after every release. pick()
       // mutates rr_next only on success, so retrying it is safe.
       const auto t0 = Clock::now();
       inst.wcv.wait(lk, [&] {
         if (aborted_.load(std::memory_order_relaxed)) return true;
-        target = w.pick(policy, config_.window, w.stream->wrr_order, dead,
-                        local, key);
+        target = w.pick(policy, win, w.stream->wrr_order, dead, local, key);
         return target >= 0;
       });
       inst.m.stall_time += seconds_since(t0);

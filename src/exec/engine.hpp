@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "core/graph.hpp"
+#include "core/mem_governor.hpp"
 #include "core/metrics.hpp"
 #include "core/placement.hpp"
 #include "core/runtime.hpp"
@@ -67,6 +68,10 @@ class Engine {
   [[nodiscard]] int total_copies(int filter) const;
   [[nodiscard]] const std::string& host_class(int host) const;
 
+  /// Memory-governor counters (all zero when the engine runs ungoverned,
+  /// i.e. RuntimeConfig::memory_budget_bytes == 0). Cumulative across UOWs.
+  [[nodiscard]] core::GovernorStats governor_stats() const;
+
   /// Attaches a cross-engine observability session (nullptr detaches). Each
   /// worker thread records onto its own "exec:<filter>#<copy>@h<host>" track:
   /// init / step / process / eow / finalize callback spans, one queue.wait
@@ -113,6 +118,8 @@ class Engine {
   std::vector<std::unique_ptr<StreamRt>> stream_rt_;
   std::atomic<bool> aborted_{false};
   int uow_index_ = 0;
+  /// Non-null iff config_.memory_budget_bytes > 0; outlives every copy set.
+  std::unique_ptr<core::MemoryGovernor> governor_;
 
   Metrics metrics_;
   sim::Rng base_rng_;

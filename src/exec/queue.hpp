@@ -4,10 +4,14 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
+#include <functional>
 #include <mutex>
 #include <utility>
 #include <vector>
+
+#include "core/mem_governor.hpp"
 
 namespace dc::exec {
 
@@ -15,15 +19,46 @@ namespace dc::exec {
 /// (a filter callback raised); worker threads unwind without producing more.
 struct Aborted {};
 
-/// Bounded MPMC channel feeding one copy set: one FIFO queue per input port
-/// behind a single mutex + condvar pair, plus the end-of-work bookkeeping
-/// and the port-fair rotation — the native-thread equivalent of the
-/// simulator's CopySet queues.
+/// How a governed PortChannel moves an item between memory and disk. The
+/// channel itself is storage-agnostic; the engine supplies these when it
+/// binds a MemoryGovernor (so PortChannel<int> in the contract tests keeps
+/// working with no hooks at all).
+template <typename T>
+struct SpillOps {
+  /// Bytes the item occupies in memory — what the governor admission is
+  /// charged (buffer capacity for the engines).
+  std::function<std::size_t(const T&)> size;
+  /// Writes the item's payload to the spill file and strips its storage
+  /// (leaving a shell that keeps routing metadata). Returns the spill token.
+  std::function<std::uint64_t(T&)> evict;
+  /// Re-materializes the payload for token into the shell item (arena lease
+  /// + SpillFile::read, CRC-checked).
+  std::function<void(T&, std::uint64_t)> restore;
+};
+
+/// MPMC channel feeding one copy set: one FIFO queue per input port behind a
+/// single mutex + condvar pair, plus the end-of-work bookkeeping and the
+/// port-fair rotation — the native-thread equivalent of the simulator's
+/// CopySet queues.
 ///
-/// Capacity is per port. Producers block in push() while the port is full
-/// (backpressure beyond the writer windows); consumers block in pop() until
-/// a delivery is available or, once every producer copy has signalled
-/// end-of-work on every port and the queues drained, receive kEow.
+/// Two capacity regimes:
+///
+///   FIXED (no governor bound — the seed semantics, bit-for-bit): capacity
+///   is per port; producers block in push() while the port is full
+///   (backpressure beyond the writer windows).
+///
+///   GOVERNED (bind_governor called): `capacity` becomes the per-port FLOOR
+///   — the fixed-window entitlement that always resides in memory — and
+///   push() NEVER blocks. An item beyond the floor asks the shared
+///   MemoryGovernor for an elastic grant; on denial the item's payload is
+///   transparently evicted to the bound spill file and a storage-less shell
+///   takes its queue slot. pop() re-materializes spilled payloads lazily at
+///   the front of the queue, so delivery order is EXACTLY the push order —
+///   spilling is invisible to consumers and outputs stay bit-identical to
+///   the fixed-window baseline. The eviction and restore run under the
+///   channel mutex: slower under pressure than a fancier unlocked scheme,
+///   but order is trivially exact and the abort path cannot race a
+///   half-evicted item.
 ///
 /// End-of-work contract (STICKY): once every expected marker has arrived and
 /// the queues are drained, pop() returns kEow immediately — on every call,
@@ -48,20 +83,80 @@ class PortChannel {
     rr_port_ = 0;
     capacity_ = capacity;
     aborted_ = aborted;
+    if (gov_ != nullptr) unbind_governor();
   }
+
+  /// Switches the channel into the governed regime: `capacity` (from init)
+  /// becomes the per-port floor of `slot_bytes`-sized slots registered with
+  /// `gov`, and `ops` moves payloads to/from the spill store on elastic
+  /// denial. Call between init() and the first push.
+  void bind_governor(core::MemoryGovernor* gov, std::size_t slot_bytes,
+                     SpillOps<T> ops) {
+    std::lock_guard<std::mutex> lk(mu_);
+    gov_ = gov;
+    ops_ = std::move(ops);
+    queue_ids_.clear();
+    mem_floor_.assign(queues_.size(), 0);
+    for (std::size_t p = 0; p < queues_.size(); ++p) {
+      queue_ids_.push_back(gov_->register_queue(capacity_, slot_bytes));
+    }
+  }
+
+  /// Returns the queues to the fixed regime and releases the governor
+  /// registrations (any still-charged bytes are subtracted there). Spilled
+  /// items still queued keep their tokens; the engine drops the whole spill
+  /// file with the copy set, so abort teardown strands nothing.
+  void unbind_governor() {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (gov_ != nullptr) {
+      for (int id : queue_ids_) gov_->unregister_queue(id);
+    }
+    queue_ids_.clear();
+    mem_floor_.clear();
+    gov_ = nullptr;
+    ops_ = {};
+  }
+
+  ~PortChannel() { unbind_governor(); }
 
   /// One marker expected per producer copy of the stream entering `port`.
   void expect_eow(int port, int producers) {
     eow_pending_[static_cast<std::size_t>(port)] = producers;
   }
 
-  /// Blocking bounded push; returns seconds spent blocked on capacity.
+  /// Bounded push; returns seconds spent blocked on capacity. Fixed regime:
+  /// blocks while the port is full. Governed regime: never blocks — denial
+  /// of an elastic grant spills the payload instead (returns 0.0 wait).
   /// Throws Aborted if the UOW aborted — checked on entry, not just after
   /// blocking, so a producer whose queue never fills still stops promptly.
   double push(int port, T item) {
     std::unique_lock<std::mutex> lk(mu_);
     if (aborted()) throw Aborted{};
-    auto& q = queues_[static_cast<std::size_t>(port)];
+    const auto pi = static_cast<std::size_t>(port);
+    auto& q = queues_[pi];
+
+    if (gov_ != nullptr) {
+      const std::size_t bytes = ops_.size(item);
+      const bool within_floor = mem_floor_[pi] < capacity_;
+      Slot s;
+      s.bytes = bytes;
+      if (gov_->try_admit(queue_ids_[pi], bytes, within_floor)) {
+        s.elastic = !within_floor;
+        if (within_floor) ++mem_floor_[pi];
+        s.item = std::move(item);
+      } else {
+        // Elastic denial: evict under the mutex — push order IS delivery
+        // order, and abort cannot observe a half-moved item.
+        s.spilled = true;
+        s.token = ops_.evict(item);
+        s.item = std::move(item);  // the storage-less shell
+        gov_->note_spill(bytes);
+      }
+      q.push_back(std::move(s));
+      data_.notify_all();
+      return 0.0;
+    }
+
     double waited = 0.0;
     if (q.size() >= capacity_) {
       const auto t0 = std::chrono::steady_clock::now();
@@ -69,13 +164,16 @@ class PortChannel {
       waited = seconds_since(t0);
       if (aborted()) throw Aborted{};
     }
-    q.push_back(std::move(item));
+    Slot s;
+    s.item = std::move(item);
+    q.push_back(std::move(s));
     data_.notify_all();
     return waited;
   }
 
   /// Blocks until a delivery or end-of-work; `waited` reports the seconds
-  /// spent blocked with nothing to do.
+  /// spent blocked with nothing to do. Spilled items are re-materialized
+  /// here, at the queue front, in exactly their push order.
   Pop pop(T& out, int& port, double& waited) {
     std::unique_lock<std::mutex> lk(mu_);
     waited = 0.0;
@@ -88,11 +186,22 @@ class PortChannel {
     const int ports = static_cast<int>(queues_.size());
     for (int i = 0; i < ports; ++i) {
       const int p = (rr_port_ + i) % ports;
-      auto& q = queues_[static_cast<std::size_t>(p)];
+      const auto pi = static_cast<std::size_t>(p);
+      auto& q = queues_[pi];
       if (q.empty()) continue;
       rr_port_ = (p + 1) % ports;
-      out = std::move(q.front());
+      Slot s = std::move(q.front());
       q.pop_front();
+      if (gov_ != nullptr) {
+        if (s.spilled) {
+          ops_.restore(s.item, s.token);
+          gov_->note_readmit(s.bytes);
+        } else {
+          gov_->release(queue_ids_[pi], s.bytes, s.elastic);
+          if (!s.elastic && mem_floor_[pi] > 0) --mem_floor_[pi];
+        }
+      }
+      out = std::move(s.item);
       port = p;
       space_.notify_all();
       return Pop::kItem;
@@ -119,6 +228,17 @@ class PortChannel {
   }
 
  private:
+  /// One queued delivery. In the governed regime the channel remembers how
+  /// the item entered memory (floor / elastic / spilled) so the release or
+  /// restore on pop mirrors the admission exactly.
+  struct Slot {
+    T item{};
+    std::size_t bytes = 0;
+    std::uint64_t token = 0;
+    bool spilled = false;
+    bool elastic = false;
+  };
+
   [[nodiscard]] bool aborted() const {
     return aborted_ != nullptr && aborted_->load(std::memory_order_relaxed);
   }
@@ -141,11 +261,17 @@ class PortChannel {
   std::mutex mu_;
   std::condition_variable data_;   ///< consumers: delivery or EOW progress
   std::condition_variable space_;  ///< producers: queue capacity
-  std::vector<std::deque<T>> queues_;
+  std::vector<std::deque<Slot>> queues_;
   std::vector<int> eow_pending_;
   int rr_port_ = 0;
   std::size_t capacity_ = 1;
   const std::atomic<bool>* aborted_ = nullptr;
+
+  // Governed regime (null / empty in the fixed regime).
+  core::MemoryGovernor* gov_ = nullptr;
+  SpillOps<T> ops_;
+  std::vector<int> queue_ids_;          ///< per port, from register_queue
+  std::vector<std::size_t> mem_floor_;  ///< per port, in-memory floor items
 };
 
 }  // namespace dc::exec

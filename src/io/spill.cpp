@@ -1,0 +1,163 @@
+#include "io/spill.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+#include "core/crc32c.hpp"
+
+namespace dc::io {
+
+namespace {
+
+[[noreturn]] void throw_errno(const char* what) {
+  throw std::runtime_error(std::string("spill: ") + what + ": " +
+                           std::strerror(errno));
+}
+
+void pwrite_all(int fd, const std::byte* p, std::size_t n, std::uint64_t off) {
+  while (n > 0) {
+    const ssize_t w = ::pwrite(fd, p, n, static_cast<off_t>(off));
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("pwrite");
+    }
+    p += w;
+    n -= static_cast<std::size_t>(w);
+    off += static_cast<std::uint64_t>(w);
+  }
+}
+
+void pread_all(int fd, std::byte* p, std::size_t n, std::uint64_t off) {
+  while (n > 0) {
+    const ssize_t r = ::pread(fd, p, n, static_cast<off_t>(off));
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("pread");
+    }
+    if (r == 0) throw std::runtime_error("spill: short read (truncated file)");
+    p += r;
+    n -= static_cast<std::size_t>(r);
+    off += static_cast<std::uint64_t>(r);
+  }
+}
+
+}  // namespace
+
+std::filesystem::path temp_root() {
+  const char* t = std::getenv("TMPDIR");
+  if (t != nullptr && *t != '\0') return std::filesystem::path(t);
+  return std::filesystem::path("/tmp");
+}
+
+SpillFile::SpillFile(std::filesystem::path dir) : dir_(std::move(dir)) {
+  if (dir_.empty()) dir_ = temp_root();
+}
+
+SpillFile::~SpillFile() {
+  if (fd_ >= 0) ::close(fd_);  // the file was unlinked at creation
+}
+
+void SpillFile::ensure_open_locked() {
+  if (fd_ >= 0) return;
+  std::string tmpl = (dir_ / "dc_spill_XXXXXX").string();
+  const int fd = ::mkstemp(tmpl.data());
+  if (fd < 0) throw_errno("mkstemp");
+  // Unlink now: the kernel keeps the inode alive through our descriptor and
+  // reclaims it on close — even a SIGKILL cannot strand the scratch file.
+  ::unlink(tmpl.c_str());
+  fd_ = fd;
+}
+
+std::uint64_t SpillFile::append(std::span<const std::byte> payload) {
+  std::lock_guard<std::mutex> lk(mu_);
+  ensure_open_locked();
+
+  Record rec;
+  rec.offset = write_off_;
+  rec.bytes = payload.size();
+  rec.crc = core::crc32c(payload);
+  if (!payload.empty()) pwrite_all(fd_, payload.data(), payload.size(), write_off_);
+  write_off_ += payload.size();
+
+  const std::uint64_t token = next_token_++;
+  live_.emplace(token, rec);
+  ++stats_.records_written;
+  stats_.bytes_written += payload.size();
+  ++stats_.live_records;
+  stats_.file_high_water_bytes =
+      std::max(stats_.file_high_water_bytes, write_off_);
+  return token;
+}
+
+void SpillFile::read(std::uint64_t token, std::vector<std::byte>& out) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = live_.find(token);
+  if (it == live_.end()) throw std::runtime_error("spill: unknown token");
+  const Record rec = it->second;
+
+  out.resize(rec.bytes);
+  if (rec.bytes > 0) pread_all(fd_, out.data(), rec.bytes, rec.offset);
+  const std::uint32_t crc = core::crc32c(std::span<const std::byte>(out));
+  if (crc != rec.crc)
+    throw std::runtime_error("spill: CRC32C mismatch on re-admission");
+
+  live_.erase(it);
+  ++stats_.records_read;
+  stats_.bytes_read += rec.bytes;
+  --stats_.live_records;
+  maybe_rewind_locked();
+}
+
+void SpillFile::pread_at(std::uint64_t token, std::size_t offset,
+                         std::span<std::byte> out) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = live_.find(token);
+  if (it == live_.end()) throw std::runtime_error("spill: unknown token");
+  const Record& rec = it->second;
+  if (offset + out.size() > rec.bytes)
+    throw std::runtime_error("spill: pread_at past record end");
+  if (!out.empty()) pread_all(fd_, out.data(), out.size(), rec.offset + offset);
+}
+
+std::size_t SpillFile::record_bytes(std::uint64_t token) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = live_.find(token);
+  if (it == live_.end()) throw std::runtime_error("spill: unknown token");
+  return it->second.bytes;
+}
+
+std::uint32_t SpillFile::record_crc(std::uint64_t token) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = live_.find(token);
+  if (it == live_.end()) throw std::runtime_error("spill: unknown token");
+  return it->second.crc;
+}
+
+void SpillFile::discard(std::uint64_t token) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = live_.find(token);
+  if (it == live_.end()) return;
+  --stats_.live_records;
+  live_.erase(it);
+  maybe_rewind_locked();
+}
+
+void SpillFile::maybe_rewind_locked() {
+  if (!live_.empty() || fd_ < 0 || write_off_ == 0) return;
+  // Episodic pressure: everything spilled has been drained, so recycle the
+  // scratch space instead of letting the file ratchet upward forever.
+  if (::ftruncate(fd_, 0) == 0) write_off_ = 0;
+}
+
+SpillStats SpillFile::stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return stats_;
+}
+
+}  // namespace dc::io

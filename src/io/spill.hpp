@@ -1,0 +1,112 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <filesystem>
+#include <map>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace dc::io {
+
+/// Scratch-directory resolution shared by everything that writes transient
+/// state: $TMPDIR when set and non-empty, /tmp otherwise. The distributed
+/// rank harness (viz) and the spill files below both use this — previously
+/// the harness hardcoded /tmp, which broke hosts whose real scratch space is
+/// elsewhere (the ISSUE 10 satellite bugfix).
+[[nodiscard]] std::filesystem::path temp_root();
+
+/// Point-in-time counters of one SpillFile.
+struct SpillStats {
+  std::uint64_t records_written = 0;
+  std::uint64_t bytes_written = 0;   ///< payload bytes (excl. record headers)
+  std::uint64_t records_read = 0;
+  std::uint64_t bytes_read = 0;
+  std::uint64_t live_records = 0;    ///< written but not yet consumed
+  std::uint64_t file_high_water_bytes = 0;  ///< max physical file size seen
+};
+
+/// Append-only overflow store for one spilling consumer: the disk half of
+/// the memory-governed elastic queues (DESIGN §5.7). One SpillFile backs one
+/// PortChannel (or one external-sort run set); records are CRC32C-checked
+/// variable-size payloads addressed by the token append() returned.
+///
+/// Lifecycle and durability model:
+///   - The backing file is created with mkstemp under `dir` (default
+///     temp_root()) and unlinked IMMEDIATELY, so there is no pathname to
+///     strand: if the process dies — including SIGKILL mid-UOW, the fault
+///     harness's specialty — the kernel reclaims the space when the last
+///     descriptor closes. "No stranded spill files" is structural, not
+///     cleanup-code-dependent.
+///   - append() is called by producers that the governor denied; read()
+///     restores the payload (verifying its checksum) when the consumer
+///     catches up. Tokens are byte offsets, monotonically increasing, so
+///     FIFO re-admission order is the append order by construction.
+///   - When every live record has been consumed the file is ftruncate'd to
+///     zero and the write cursor rewinds — a long run with episodic pressure
+///     reuses the same scratch space instead of growing without bound.
+///
+/// Thread-safe; callers (the channel) typically already serialize on their
+/// own mutex, but sort cursors read concurrently via pread_at().
+class SpillFile {
+ public:
+  /// Opens lazily: no file exists until the first append(). `dir` empty
+  /// means temp_root().
+  explicit SpillFile(std::filesystem::path dir = {});
+  ~SpillFile();
+
+  SpillFile(const SpillFile&) = delete;
+  SpillFile& operator=(const SpillFile&) = delete;
+
+  /// Appends one record; returns its token. Throws std::runtime_error on
+  /// I/O failure (disk full counts — spill is best-effort infrastructure,
+  /// not a place to silently drop data).
+  std::uint64_t append(std::span<const std::byte> payload);
+
+  /// Reads and CONSUMES the record at `token` into `out` (resized to the
+  /// payload length), verifying its CRC32C. Throws on checksum mismatch or
+  /// unknown token. When the last live record is consumed the physical file
+  /// is truncated and the cursor rewinds.
+  void read(std::uint64_t token, std::vector<std::byte>& out);
+
+  /// Random-access variant for merge cursors: reads `out.size()` bytes of
+  /// the record's payload starting at `offset`, without consuming it. The
+  /// caller checks integrity via record_crc() once per record (chained
+  /// CRC32C over chunked reads).
+  void pread_at(std::uint64_t token, std::size_t offset,
+                std::span<std::byte> out) const;
+
+  /// Payload length of a live record.
+  [[nodiscard]] std::size_t record_bytes(std::uint64_t token) const;
+  /// Stored CRC32C of a live record's payload.
+  [[nodiscard]] std::uint32_t record_crc(std::uint64_t token) const;
+
+  /// Drops a live record without reading it (abort paths, finished merge
+  /// cursors). Unknown tokens are ignored.
+  void discard(std::uint64_t token);
+
+  [[nodiscard]] SpillStats stats() const;
+  [[nodiscard]] const std::filesystem::path& dir() const { return dir_; }
+
+ private:
+  struct Record {
+    std::uint64_t offset = 0;  ///< payload start in the file
+    std::size_t bytes = 0;
+    std::uint32_t crc = 0;
+  };
+
+  void ensure_open_locked();
+  void maybe_rewind_locked();
+
+  std::filesystem::path dir_;
+  mutable std::mutex mu_;
+  int fd_ = -1;
+  std::uint64_t write_off_ = 0;
+  std::uint64_t next_token_ = 0;
+  std::map<std::uint64_t, Record> live_;
+  SpillStats stats_;
+};
+
+}  // namespace dc::io

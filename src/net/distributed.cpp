@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <deque>
 #include <exception>
+#include <filesystem>
 #include <mutex>
 #include <stdexcept>
 #include <thread>
@@ -18,6 +19,7 @@
 #include "core/filter.hpp"
 #include "core/writer_state.hpp"
 #include "exec/queue.hpp"
+#include "io/spill.hpp"
 
 namespace dc::net {
 
@@ -82,6 +84,10 @@ struct DistributedEngine::CopySetRt {
   int filter = -1;
   int host = -1;
   std::vector<Instance*> copies;  ///< local ranks only
+  /// Overflow store for the governed regime (null when ungoverned or
+  /// remote). Declared before the channel so the channel — whose spill
+  /// hooks hold a raw pointer to it — is destroyed first.
+  std::unique_ptr<io::SpillFile> spill;
   exec::PortChannel<Delivery> channel;
 
   // Fault-tolerance state (unused when detection == kNone).
@@ -293,6 +299,17 @@ DistributedEngine::DistributedEngine(const core::Graph& graph,
   for (int s = 0; s < graph_.num_streams(); ++s) {
     metrics_.streams[static_cast<std::size_t>(s)].name = graph_.stream(s).name;
   }
+  if (config_.memory_budget_bytes > 0) {
+    core::GovernorConfig gc;
+    gc.budget_bytes = config_.memory_budget_bytes;
+    gc.spill_dir = config_.spill_dir;
+    governor_ = std::make_unique<core::MemoryGovernor>(gc);
+    governor_->govern(core::BufferArena::global());
+  }
+}
+
+core::GovernorStats DistributedEngine::governor_stats() const {
+  return governor_ ? governor_->stats() : core::GovernorStats{};
 }
 
 DistributedEngine::~DistributedEngine() { shutdown(); }
@@ -422,7 +439,49 @@ void DistributedEngine::build_uow() {
       cset->first_global = first_global;
       first_global += e.copies;
       if (e.host == rank_) {
-        cset->channel.init(in_ports, capacity, &aborted_);
+        if (governor_ != nullptr && in_ports > 0) {
+          // Governed regime: the memory floor shrinks from producers x
+          // window to `window` per port. Recv threads STILL never block —
+          // a governed push spills on elastic denial instead of waiting —
+          // so the credit loop's deadlock-freedom is preserved with a far
+          // smaller resident footprint. The wire protocol (credit windows
+          // of `window` per producer) is unchanged.
+          cset->channel.init(in_ports,
+                             static_cast<std::size_t>(config_.window),
+                             &aborted_);
+          std::size_t slot_bytes = 1;
+          for (int s : graph_.in_streams(f)) {
+            slot_bytes = std::max(
+                slot_bytes, buffer_bytes_[static_cast<std::size_t>(s)]);
+          }
+          cset->spill = std::make_unique<io::SpillFile>(
+              std::filesystem::path(config_.spill_dir));
+          io::SpillFile* file = cset->spill.get();
+          exec::SpillOps<Delivery> ops;
+          ops.size = [](const Delivery& d) {
+            return std::max<std::size_t>(d.buf.capacity(), 1);
+          };
+          ops.evict = [file](Delivery& d) {
+            const std::uint64_t token = file->append(d.buf.bytes());
+            core::Buffer shell =
+                core::Buffer::adopt(nullptr, d.buf.capacity());
+            shell.set_route_key(d.buf.route_key());
+            d.buf = std::move(shell);  // route / origin stay in the Delivery
+            return token;
+          };
+          ops.restore = [file](Delivery& d, std::uint64_t token) {
+            auto slot = core::BufferArena::global().lease(d.buf.capacity());
+            file->read(token, *slot);  // CRC32C-verified
+            core::Buffer full =
+                core::Buffer::adopt(std::move(slot), d.buf.capacity());
+            full.set_route_key(d.buf.route_key());
+            d.buf = std::move(full);
+          };
+          cset->channel.bind_governor(governor_.get(), slot_bytes,
+                                      std::move(ops));
+        } else {
+          cset->channel.init(in_ports, capacity, &aborted_);
+        }
       }
       csets_by_filter[static_cast<std::size_t>(f)].push_back(cset.get());
       copysets_.push_back(std::move(cset));

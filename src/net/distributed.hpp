@@ -156,6 +156,13 @@ class DistributedEngine {
   [[nodiscard]] int num_ranks() const { return num_ranks_; }
   [[nodiscard]] const core::RuntimeConfig& config() const { return config_; }
 
+  /// Memory-governor counters for this rank (all zero when ungoverned,
+  /// i.e. RuntimeConfig::memory_budget_bytes == 0). In governed mode the
+  /// channel floor shrinks from producers x window to `window` per port —
+  /// recv threads still never block, because elastic denial spills instead —
+  /// while the wire credit protocol is unchanged.
+  [[nodiscard]] core::GovernorStats governor_stats() const;
+
   /// Attaches a cross-engine observability session (nullptr detaches; must
   /// outlive the engine). Peer links record net.send / net.recv spans on
   /// "net:r<a>->r<b>" tracks; producers record credit.stall instants on
@@ -254,6 +261,8 @@ class DistributedEngine {
   std::vector<std::unique_ptr<StreamRt>> stream_rt_;
   std::vector<std::vector<Instance*>> local_by_filter_;  ///< [filter][global]
   int uow_index_ = 0;
+  /// Non-null iff config_.memory_budget_bytes > 0; outlives every copy set.
+  std::unique_ptr<core::MemoryGovernor> governor_;
 
   // ---- fault-tolerance state ----------------------------------------------
   /// Peers declared dead (index by rank; sticky for the engine's lifetime).

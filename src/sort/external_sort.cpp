@@ -1,13 +1,17 @@
 #include "sort/external_sort.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <cstring>
+#include <queue>
 #include <stdexcept>
 
+#include "core/crc32c.hpp"
 #include "core/filter.hpp"
 #include "io/chunk_store.hpp"
 #include "io/reader.hpp"
+#include "io/spill.hpp"
 
 namespace dc::sort {
 
@@ -97,42 +101,182 @@ class ReadRecordsFilter final : public core::SourceFilter {
   int run_ = 0;
 };
 
+bool record_less(const SortRecord& a, const SortRecord& b) {
+  return a.key < b.key || (a.key == b.key && a.payload < b.payload);
+}
+
+/// Spill activity shared by all SortRun copies of one run_sort_app call,
+/// reported through SortRun. Atomic: the simulator runs copies in one
+/// thread, but the counters are harmless to keep engine-agnostic.
+struct SpillTally {
+  std::atomic<std::uint64_t> blocks{0};
+  std::atomic<std::uint64_t> bytes{0};
+};
+
+/// Sequential reader over one spilled sorted block: chunked pread_at with a
+/// chained CRC32C — crc32c(b, crc32c(a)) == crc32c(a++b), so the cursor
+/// verifies the whole block against the stored record checksum by the time
+/// it is exhausted without ever holding more than one chunk in memory.
+class SpillCursor {
+ public:
+  SpillCursor(io::SpillFile& file, std::uint64_t token,
+              std::size_t chunk_bytes)
+      : file_(file),
+        token_(token),
+        total_(file.record_bytes(token)),
+        // Whole records only: a chunk that ends mid-record would drop the
+        // straddling record and desynchronize every later read.
+        chunk_bytes_(std::max<std::size_t>(chunk_bytes, sizeof(SortRecord)) /
+                     sizeof(SortRecord) * sizeof(SortRecord)) {
+    refill();
+  }
+
+  [[nodiscard]] bool done() const { return idx_ >= buf_.size() && off_ >= total_; }
+  [[nodiscard]] const SortRecord& front() const { return buf_[idx_]; }
+
+  void advance() {
+    ++idx_;
+    if (idx_ >= buf_.size() && off_ < total_) refill();
+    if (done()) {
+      if (crc_ != file_.record_crc(token_)) {
+        throw std::runtime_error("sort: spilled block failed its checksum");
+      }
+      file_.discard(token_);
+    }
+  }
+
+ private:
+  void refill() {
+    const std::size_t n = std::min(chunk_bytes_, total_ - off_);
+    raw_.resize(n);
+    file_.pread_at(token_, off_, std::span<std::byte>(raw_));
+    crc_ = core::crc32c(std::span<const std::byte>(raw_), crc_);
+    buf_.resize(n / sizeof(SortRecord));
+    std::memcpy(buf_.data(), raw_.data(), n);
+    off_ += n;
+    idx_ = 0;
+  }
+
+  io::SpillFile& file_;
+  std::uint64_t token_;
+  std::size_t total_;
+  std::size_t chunk_bytes_;
+  std::size_t off_ = 0;
+  std::uint32_t crc_ = 0;
+  std::vector<std::byte> raw_;
+  std::vector<SortRecord> buf_;
+  std::size_t idx_ = 0;
+};
+
 /// Accumulates records, sorts them at end of work, and emits one sorted run.
 /// A filter with internal state — the class of applications that forces the
 /// trailing combine filter (paper Section 1).
+///
+/// With a memory budget, accumulation is bounded: overflowing blocks are
+/// sorted and spilled (io::SpillFile, CRC32C-checked), and end of work
+/// k-way merges the spilled blocks with the in-memory tail. The emitted
+/// record sequence is identical to the unbounded sort — the comparator is a
+/// total order over (key, payload), so merge output equals sort output.
 class SortRunFilter final : public core::Filter {
  public:
-  explicit SortRunFilter(SortWorkload w) : w_(w) {}
+  SortRunFilter(SortWorkload w, std::size_t budget_bytes,
+                std::string spill_dir, std::shared_ptr<SpillTally> tally)
+      : w_(w),
+        budget_bytes_(budget_bytes),
+        spill_dir_(std::move(spill_dir)),
+        tally_(std::move(tally)) {}
 
   void process_buffer(core::FilterContext& ctx, int /*port*/,
                       const core::Buffer& buf) override {
     const auto records = buf.records<SortRecord>();
     records_.insert(records_.end(), records.begin(), records.end());
     ctx.charge(w_.gen_per_record * 0.25 * static_cast<double>(records.size()));
+    if (budget_bytes_ > 0 &&
+        records_.size() * sizeof(SortRecord) >= budget_bytes_) {
+      spill_block(ctx);
+    }
   }
 
   void process_eow(core::FilterContext& ctx) override {
-    std::sort(records_.begin(), records_.end(),
-              [](const SortRecord& a, const SortRecord& b) {
-                return a.key < b.key ||
-                       (a.key == b.key && a.payload < b.payload);
-              });
+    std::sort(records_.begin(), records_.end(), record_less);
     const double n = static_cast<double>(records_.size());
     ctx.charge(w_.sort_per_record * n * std::max(1.0, std::log2(n + 1.0)));
+
     core::Buffer out = ctx.make_buffer(0);
-    for (const SortRecord& r : records_) {
+    const auto emit = [&](const SortRecord& r) {
       if (!out.push(r)) {
         ctx.write(0, out);
         out = ctx.make_buffer(0);
         out.push(r);
       }
+    };
+
+    if (tokens_.empty()) {
+      for (const SortRecord& r : records_) emit(r);
+    } else {
+      // k-way merge of the spilled blocks and the in-memory tail. Cursor
+      // chunks split the remaining budget so the merge respects the same
+      // bound the accumulation did.
+      const std::size_t chunk =
+          std::max<std::size_t>(budget_bytes_ / (tokens_.size() + 1),
+                                4 * sizeof(SortRecord));
+      std::vector<std::unique_ptr<SpillCursor>> cursors;
+      cursors.reserve(tokens_.size());
+      for (std::uint64_t t : tokens_) {
+        cursors.push_back(std::make_unique<SpillCursor>(*spill_, t, chunk));
+      }
+      ctx.charge(w_.merge_per_record * n *
+                 std::log2(static_cast<double>(tokens_.size() + 2)));
+      std::size_t tail = 0;
+      for (;;) {
+        int best = -1;  // index into cursors, or k == in-memory tail
+        const SortRecord* best_rec = nullptr;
+        for (std::size_t c = 0; c < cursors.size(); ++c) {
+          if (cursors[c]->done()) continue;
+          if (best_rec == nullptr || record_less(cursors[c]->front(), *best_rec)) {
+            best = static_cast<int>(c);
+            best_rec = &cursors[c]->front();
+          }
+        }
+        if (tail < records_.size() &&
+            (best_rec == nullptr || record_less(records_[tail], *best_rec))) {
+          emit(records_[tail++]);
+          continue;
+        }
+        if (best_rec == nullptr) break;
+        emit(*best_rec);
+        cursors[static_cast<std::size_t>(best)]->advance();
+      }
+      tokens_.clear();
     }
     if (out.size() > 0) ctx.write(0, out);
   }
 
  private:
+  void spill_block(core::FilterContext& ctx) {
+    std::sort(records_.begin(), records_.end(), record_less);
+    const double n = static_cast<double>(records_.size());
+    ctx.charge(w_.sort_per_record * n * std::max(1.0, std::log2(n + 1.0)));
+    if (spill_ == nullptr) {
+      spill_ = std::make_unique<io::SpillFile>(
+          std::filesystem::path(spill_dir_));
+    }
+    const auto bytes = std::as_bytes(std::span<const SortRecord>(records_));
+    tokens_.push_back(spill_->append(bytes));
+    if (tally_) {
+      tally_->blocks.fetch_add(1, std::memory_order_relaxed);
+      tally_->bytes.fetch_add(bytes.size(), std::memory_order_relaxed);
+    }
+    records_.clear();
+  }
+
   SortWorkload w_;
+  std::size_t budget_bytes_;
+  std::string spill_dir_;
+  std::shared_ptr<SpillTally> tally_;
   std::vector<SortRecord> records_;
+  std::unique_ptr<io::SpillFile> spill_;
+  std::vector<std::uint64_t> tokens_;  ///< spilled sorted blocks, in order
 };
 
 /// Combine filter: merges the sorted runs into the final output and records
@@ -244,8 +388,14 @@ SortRun run_sort_app(sim::Topology& topo, const SortAppSpec& spec,
         return std::make_unique<ReadRecordsFilter>(w, chunk_reader,
                                                    prefetch_depth);
       });
-  const int sorter = graph.add_filter(
-      "SortRun", [w] { return std::make_unique<SortRunFilter>(w); });
+  auto tally = std::make_shared<SpillTally>();
+  const std::size_t sort_budget = spec.sort_memory_budget_bytes;
+  const std::string spill_dir = spec.spill_dir;
+  const int sorter =
+      graph.add_filter("SortRun", [w, sort_budget, spill_dir, tally] {
+        return std::make_unique<SortRunFilter>(w, sort_budget, spill_dir,
+                                               tally);
+      });
   const int merger = graph.add_filter("MergeRuns", [w, outcome, total_sorters] {
     return std::make_unique<MergeRunsFilter>(w, outcome, total_sorters);
   });
@@ -265,6 +415,8 @@ SortRun run_sort_app(sim::Topology& topo, const SortAppSpec& spec,
   run.makespan = rt.run_uow();
   run.outcome = *outcome;
   run.metrics = rt.metrics();
+  run.spilled_blocks = tally->blocks.load(std::memory_order_relaxed);
+  run.spilled_bytes = tally->bytes.load(std::memory_order_relaxed);
   return run;
 }
 

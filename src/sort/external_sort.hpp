@@ -60,6 +60,15 @@ struct SortAppSpec {
   /// shared across all copies (it is thread-safe).
   io::ChunkReader* reader = nullptr;
   int prefetch_depth = 2;  ///< readahead window per reader copy
+  /// 0 = each SortRun copy accumulates its whole input in memory (legacy).
+  /// Nonzero: a copy bounds its working set to this many bytes of records —
+  /// when accumulation would exceed it, the block is sorted and spilled to
+  /// an io::SpillFile (CRC32C-checked), and end of work k-way merges the
+  /// spilled blocks with the in-memory tail through chunked cursors. The
+  /// emitted run (and therefore the SortOutcome) is identical either way:
+  /// external sorting as a degenerate case of the governed spill path.
+  std::size_t sort_memory_budget_bytes = 0;
+  std::string spill_dir;  ///< empty resolves $TMPDIR, falls back to /tmp
 };
 
 /// What write_sort_runs() put on disk, plus the outcome any correct sort of
@@ -85,6 +94,10 @@ struct SortRun {
   SortOutcome outcome;
   sim::SimTime makespan = 0.0;
   core::Metrics metrics;
+  /// Spill activity summed across the SortRun copies (zero when
+  /// sort_memory_budget_bytes == 0 or the budget never overflowed).
+  std::uint64_t spilled_blocks = 0;
+  std::uint64_t spilled_bytes = 0;
 };
 
 /// Builds and runs one unit of work of the external sort on `topo`.

@@ -133,6 +133,7 @@ NativeRenderRun run_iso_app_native(const IsoAppSpec& spec,
   for (double t : run.per_uow) sum += t;
   run.avg = run.per_uow.empty() ? 0.0 : sum / static_cast<double>(run.per_uow.size());
   run.metrics = eng.metrics();
+  run.governor = eng.governor_stats();
   return run;
 }
 

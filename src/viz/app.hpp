@@ -87,6 +87,9 @@ struct NativeRenderRun {
   exec::Metrics metrics;
   std::shared_ptr<RenderSink> sink;
   int raster_filter = -1;
+  /// Memory-governor counters (all zero when
+  /// RuntimeConfig::memory_budget_bytes == 0).
+  core::GovernorStats governor;
 };
 
 /// Convenience: build, run `uows` units of work on real threads. For the

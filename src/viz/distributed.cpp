@@ -9,6 +9,7 @@
 #include <utility>
 
 #include "core/arena.hpp"
+#include "io/spill.hpp"
 #include "net/transport.hpp"
 #include "obs/chrome.hpp"
 #include "obs/recorder.hpp"
@@ -22,7 +23,7 @@ namespace {
 // the parent. Flat binary (same machine, same endianness by construction).
 // ---------------------------------------------------------------------------
 
-constexpr std::uint32_t kResultMagic = 0x52524345;  // "ECRR" (v2: outcomes)
+constexpr std::uint32_t kResultMagic = 0x52524346;  // "FCRR" (v3: governor)
 
 struct FileCloser {
   std::FILE* f = nullptr;
@@ -68,6 +69,7 @@ struct RankResult {
   net::NetMetricsSnapshot net;
   std::vector<core::UowOutcome> outcomes;  ///< per-UOW fault outcomes
   core::FaultMetrics faults;               ///< cumulative fault ledger
+  core::GovernorStats governor;            ///< this rank's governor counters
   std::vector<std::uint64_t> digests;  ///< local sink (merge rank only)
   std::vector<Image> images;
 };
@@ -128,6 +130,7 @@ bool write_result(const std::string& path, const RankResult& r) {
        put_pod(f, r.faults.failovers) && put_pod(f, r.faults.retransmits) &&
        put_pod(f, r.faults.buffers_lost) &&
        put_pod(f, r.faults.buffers_duplicated);
+  ok = ok && put_bytes(f, &r.governor, sizeof(r.governor));
   ok = ok && put_pod(f, static_cast<std::uint32_t>(r.digests.size()));
   for (std::uint64_t d : r.digests) ok = ok && put_pod(f, d);
   ok = ok && put_pod(f, static_cast<std::uint32_t>(r.images.size()));
@@ -187,6 +190,7 @@ bool read_result(const std::string& path, RankResult& r) {
       !get_pod(f, r.faults.buffers_duplicated)) {
     return false;
   }
+  if (!get_bytes(f, &r.governor, sizeof(r.governor))) return false;
   std::uint32_t ndig = 0;
   if (!get_pod(f, ndig) || ndig > (1u << 16)) return false;
   r.digests.resize(ndig);
@@ -269,6 +273,7 @@ int rank_main(net::RankEnv& env, const IsoAppSpec& spec,
     result.metrics = eng.metrics();
     result.net = net::snapshot(eng.net_metrics());
     result.faults = eng.fault_metrics();
+    result.governor = eng.governor_stats();
     if (!opts.trace_dir.empty()) {
       obs::write_chrome_trace(trace, opts.trace_dir + "/rank" +
                                          std::to_string(env.rank) +
@@ -308,8 +313,10 @@ DistributedRenderRun run_iso_app_distributed(const IsoAppSpec& spec,
   std::string dir = opts.result_dir;
   bool temp_dir = false;
   if (dir.empty()) {
-    char tmpl[] = "/tmp/dc_dist_XXXXXX";
-    if (::mkdtemp(tmpl) == nullptr) {
+    // Scratch space honors $TMPDIR (io::temp_root — the same resolution the
+    // engines use for spill files), falling back to /tmp.
+    std::string tmpl = (io::temp_root() / "dc_dist_XXXXXX").string();
+    if (::mkdtemp(tmpl.data()) == nullptr) {
       throw std::runtime_error("run_iso_app_distributed: mkdtemp failed");
     }
     dir = tmpl;
@@ -403,6 +410,9 @@ DistributedRenderRun run_iso_app_distributed(const IsoAppSpec& spec,
     run.faults.retransmits += rr.faults.retransmits;
     run.faults.buffers_lost += rr.faults.buffers_lost;
     run.faults.buffers_duplicated += rr.faults.buffers_duplicated;
+    // Governor counters sum across ranks; high-water / budget max (+= does
+    // exactly that — budgets are per host).
+    run.governor += rr.governor;
     if (!rr.digests.empty()) {
       run.digests = std::move(rr.digests);
       run.images = std::move(rr.images);

@@ -65,6 +65,12 @@ struct DistributedRenderRun {
   std::vector<core::UowOutcome> outcomes;
   /// Cumulative fault ledger aggregated the same way across ranks.
   core::FaultMetrics faults;
+  /// Memory-governor counters summed across ranks (high-water and budget
+  /// are maxed — the budget is per host). All zero for ungoverned runs
+  /// (RuntimeConfig::memory_budget_bytes == 0). The spill differential
+  /// tests assert spilled_buffers > 0 here to prove the tiny-budget run
+  /// actually exercised the spill path.
+  core::GovernorStats governor;
 };
 
 /// Renders `uows` timesteps of `spec` on `num_ranks` cooperating OS

@@ -58,6 +58,40 @@ TEST_F(SortFixture, MultipleReadersContribute) {
   EXPECT_TRUE(run.outcome.sorted);
 }
 
+// ISSUE 10 satellite: a SortRun copy bounded to a tiny working set spills
+// sorted blocks to an io::SpillFile and k-way merges them at end of work —
+// and the outcome (count, checksums, sortedness, extrema) is IDENTICAL to
+// the all-in-memory sort, across policies and copy layouts.
+TEST_F(SortFixture, SpilledSortMatchesInMemorySort) {
+  test::add_plain_nodes(topo, 4);
+  for (core::Policy pol :
+       {core::Policy::kRoundRobin, core::Policy::kDemandDriven}) {
+    core::RuntimeConfig cfg;
+    cfg.policy = pol;
+    SortAppSpec in_mem = spec_for({0, 1}, {{2, 2}}, 3);
+    const SortRun base = run_sort_app(topo, in_mem, cfg);
+    EXPECT_EQ(base.spilled_blocks, 0u) << core::to_string(pol);
+
+    SortAppSpec tiny = in_mem;
+    // ~256 records of working set against 2048 per reader: heavy spill.
+    tiny.sort_memory_budget_bytes = 256 * sizeof(SortRecord);
+    const SortRun spilled = run_sort_app(topo, tiny, cfg);
+
+    EXPECT_GT(spilled.spilled_blocks, 0u) << core::to_string(pol);
+    EXPECT_GT(spilled.spilled_bytes, 0u) << core::to_string(pol);
+    EXPECT_EQ(spilled.outcome.count, base.outcome.count) << core::to_string(pol);
+    EXPECT_EQ(spilled.outcome.key_xor, base.outcome.key_xor)
+        << core::to_string(pol);
+    EXPECT_EQ(spilled.outcome.key_sum, base.outcome.key_sum)
+        << core::to_string(pol);
+    EXPECT_EQ(spilled.outcome.min_key, base.outcome.min_key)
+        << core::to_string(pol);
+    EXPECT_EQ(spilled.outcome.max_key, base.outcome.max_key)
+        << core::to_string(pol);
+    EXPECT_TRUE(spilled.outcome.sorted) << core::to_string(pol);
+  }
+}
+
 TEST_F(SortFixture, MoreSortersSpeedUpUnderLoad) {
   test::add_plain_nodes(topo, 5);
   SortAppSpec narrow_spec = spec_for({0}, {{1, 1}}, 4);
